@@ -1,0 +1,128 @@
+//! Training instances: rows of optional feature values plus ±1 labels.
+
+/// A labelled training set. Rows are dense per instance but individual
+/// feature values may be missing (`None`), mirroring the schema-sparse
+/// feature vectors of the Yad Vashem pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct TrainSet {
+    rows: Vec<Vec<Option<f64>>>,
+    labels: Vec<i8>,
+    n_features: usize,
+}
+
+impl TrainSet {
+    /// Create an empty training set over `n_features` features.
+    #[must_use]
+    pub fn new(n_features: usize) -> Self {
+        TrainSet { rows: Vec::new(), labels: Vec::new(), n_features }
+    }
+
+    /// Add an instance. `label` must be `+1` (match) or `-1` (non-match);
+    /// `row.len()` must equal the feature count.
+    pub fn push(&mut self, row: Vec<Option<f64>>, label: i8) {
+        assert!(label == 1 || label == -1, "label must be ±1, got {label}");
+        assert_eq!(row.len(), self.n_features, "row arity mismatch");
+        self.rows.push(row);
+        self.labels.push(label);
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Feature value of instance `i` (row-major access).
+    #[must_use]
+    pub fn value(&self, i: usize, feature: usize) -> Option<f64> {
+        self.rows[i][feature]
+    }
+
+    #[must_use]
+    pub fn label(&self, i: usize) -> i8 {
+        self.labels[i]
+    }
+
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[Option<f64>] {
+        &self.rows[i]
+    }
+
+    /// Count of positive instances.
+    #[must_use]
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == 1).count()
+    }
+
+    /// Split into (train, test) by taking every `k`-th instance as test —
+    /// a deterministic stratification-free holdout used by the experiment
+    /// harness's cross-validation loop.
+    #[must_use]
+    pub fn fold(&self, k: usize, fold: usize) -> (TrainSet, TrainSet) {
+        assert!(k >= 2, "need at least 2 folds");
+        let mut train = TrainSet::new(self.n_features);
+        let mut test = TrainSet::new(self.n_features);
+        for i in 0..self.len() {
+            if i % k == fold % k {
+                test.push(self.rows[i].clone(), self.labels[i]);
+            } else {
+                train.push(self.rows[i].clone(), self.labels[i]);
+            }
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut ts = TrainSet::new(2);
+        ts.push(vec![Some(1.0), None], 1);
+        ts.push(vec![Some(0.0), Some(3.0)], -1);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.value(0, 1), None);
+        assert_eq!(ts.value(1, 1), Some(3.0));
+        assert_eq!(ts.label(0), 1);
+        assert_eq!(ts.positives(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label must be ±1")]
+    fn bad_label_panics() {
+        let mut ts = TrainSet::new(1);
+        ts.push(vec![Some(0.0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn bad_arity_panics() {
+        let mut ts = TrainSet::new(2);
+        ts.push(vec![Some(0.0)], 1);
+    }
+
+    #[test]
+    fn folds_partition_instances() {
+        let mut ts = TrainSet::new(1);
+        for i in 0..10 {
+            ts.push(vec![Some(i as f64)], if i % 2 == 0 { 1 } else { -1 });
+        }
+        let (train, test) = ts.fold(5, 2);
+        assert_eq!(train.len() + test.len(), 10);
+        assert_eq!(test.len(), 2);
+        // Instances 2 and 7 are in the test fold.
+        assert_eq!(test.value(0, 0), Some(2.0));
+        assert_eq!(test.value(1, 0), Some(7.0));
+    }
+}

@@ -1,0 +1,356 @@
+//! The boosting trainer for alternating decision trees.
+//!
+//! Each round scans every (precondition anchor, feature, threshold)
+//! candidate and adds the splitter minimizing the Z-criterion; instance
+//! weights are then multiplied by `exp(-y·r(x))` where `r` is the new
+//! splitter's contribution. Instances whose feature is missing at a
+//! splitter are counted as reaching neither branch and keep their weight —
+//! the ADTree missing-value semantics.
+
+use crate::condition::Condition;
+use crate::instance::TrainSet;
+use crate::tree::{AdTree, Anchor, Splitter};
+
+/// Trainer configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Boosting rounds = splitter nodes added (the paper's models have
+    /// about ten).
+    pub rounds: usize,
+    /// Cap on candidate thresholds per feature (midpoints are subsampled
+    /// evenly beyond the cap).
+    pub max_thresholds: usize,
+    /// Laplace smoothing added to the weight sums inside prediction-value
+    /// logarithms.
+    pub epsilon: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { rounds: 10, max_thresholds: 48, epsilon: 1.0 }
+    }
+}
+
+/// Train an ADTree on a labelled set. Returns the prior-only tree when the
+/// set is empty or single-class and no useful split exists.
+#[must_use]
+pub fn train(data: &TrainSet, config: &TrainConfig) -> AdTree {
+    let n = data.len();
+    let mut weights = vec![1.0f64; n];
+
+    let (wp, wn) = class_weights(data, &weights, &(0..n).collect::<Vec<_>>());
+    let root_value = 0.5 * ((wp + config.epsilon) / (wn + config.epsilon)).ln();
+    let mut tree = AdTree::prior(root_value);
+    for (i, w) in weights.iter_mut().enumerate() {
+        *w *= (-f64::from(data.label(i)) * root_value).exp();
+    }
+
+    // Per-feature instance order, sorted by value once up front; the
+    // per-round scans then run in linear time instead of re-sorting.
+    let sorted_columns: Vec<Vec<u32>> = (0..data.n_features())
+        .map(|f| {
+            let mut idx: Vec<u32> = (0..n as u32)
+                .filter(|&i| data.value(i as usize, f).is_some())
+                .collect();
+            idx.sort_by(|&a, &b| {
+                data.value(a as usize, f)
+                    .partial_cmp(&data.value(b as usize, f))
+                    .expect("feature values are not NaN")
+            });
+            idx
+        })
+        .collect();
+
+    // Instances anchored at each prediction node; index 0 is the root.
+    let mut anchors: Vec<(Anchor, Vec<usize>)> = vec![(Anchor::Root, (0..n).collect())];
+    let mut member_mask = vec![false; n];
+
+    for _ in 0..config.rounds {
+        let total_weight: f64 = weights.iter().sum();
+        let mut best: Option<(f64, usize, Condition, BranchWeights)> = None;
+
+        for (anchor_idx, (_, members)) in anchors.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let member_weight: f64 = members.iter().map(|&i| weights[i]).sum();
+            let outside = total_weight - member_weight;
+            for &i in members {
+                member_mask[i] = true;
+            }
+            for (feature, sorted_column) in sorted_columns.iter().enumerate() {
+                scan_feature(
+                    data,
+                    &weights,
+                    &member_mask,
+                    sorted_column,
+                    feature,
+                    member_weight,
+                    outside,
+                    config,
+                    anchor_idx,
+                    &mut best,
+                );
+            }
+            for &i in members {
+                member_mask[i] = false;
+            }
+        }
+
+        let Some((_, anchor_idx, condition, bw)) = best else {
+            break; // no splittable candidate remains
+        };
+        let yes_value = 0.5 * ((bw.wp_yes + config.epsilon) / (bw.wn_yes + config.epsilon)).ln();
+        let no_value = 0.5 * ((bw.wp_no + config.epsilon) / (bw.wn_no + config.epsilon)).ln();
+        let anchor = anchors[anchor_idx].0;
+        let splitter_idx = tree.len();
+        tree.push(Splitter { anchor, condition, yes_value, no_value });
+
+        // Partition the anchor's members and reweight.
+        let members = anchors[anchor_idx].1.clone();
+        let mut yes_members = Vec::new();
+        let mut no_members = Vec::new();
+        for &i in &members {
+            match condition.eval(data.row(i)) {
+                Some(true) => {
+                    weights[i] *= (-f64::from(data.label(i)) * yes_value).exp();
+                    yes_members.push(i);
+                }
+                Some(false) => {
+                    weights[i] *= (-f64::from(data.label(i)) * no_value).exp();
+                    no_members.push(i);
+                }
+                None => {}
+            }
+        }
+        anchors.push((Anchor::Node(splitter_idx, true), yes_members));
+        anchors.push((Anchor::Node(splitter_idx, false), no_members));
+    }
+    tree
+}
+
+/// Weight sums per class for a set of instance indices.
+fn class_weights(data: &TrainSet, weights: &[f64], members: &[usize]) -> (f64, f64) {
+    let mut wp = 0.0;
+    let mut wn = 0.0;
+    for &i in members {
+        if data.label(i) == 1 {
+            wp += weights[i];
+        } else {
+            wn += weights[i];
+        }
+    }
+    (wp, wn)
+}
+
+/// Class-weight split at a threshold candidate.
+#[derive(Debug, Clone, Copy)]
+struct BranchWeights {
+    wp_yes: f64,
+    wn_yes: f64,
+    wp_no: f64,
+    wn_no: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_feature(
+    data: &TrainSet,
+    weights: &[f64],
+    member_mask: &[bool],
+    sorted_column: &[u32],
+    feature: usize,
+    member_weight: f64,
+    outside_weight: f64,
+    config: &TrainConfig,
+    anchor_idx: usize,
+    best: &mut Option<(f64, usize, Condition, BranchWeights)>,
+) {
+    // Present member values with weight and label, already value-sorted.
+    let present: Vec<(f64, f64, i8)> = sorted_column
+        .iter()
+        .filter(|&&i| member_mask[i as usize])
+        .map(|&i| {
+            let i = i as usize;
+            (
+                data.value(i, feature).expect("sorted column holds present values"),
+                weights[i],
+                data.label(i),
+            )
+        })
+        .collect();
+    if present.len() < 2 {
+        return;
+    }
+    let present_weight: f64 = present.iter().map(|&(_, w, _)| w).sum();
+    let missing_weight = member_weight - present_weight;
+
+    let total_wp: f64 = present.iter().filter(|&&(_, _, l)| l == 1).map(|&(_, w, _)| w).sum();
+    let total_wn: f64 = present_weight - total_wp;
+
+    // Candidate thresholds: midpoints between distinct consecutive values.
+    let mut cut_positions: Vec<usize> = Vec::new();
+    for k in 1..present.len() {
+        if present[k].0 > present[k - 1].0 {
+            cut_positions.push(k);
+        }
+    }
+    if cut_positions.is_empty() {
+        return;
+    }
+    // Subsample evenly when over the cap.
+    let stride = cut_positions.len().div_ceil(config.max_thresholds);
+    let mut wp_lt = 0.0;
+    let mut wn_lt = 0.0;
+    let mut cursor = 0usize;
+    for (c_idx, &cut) in cut_positions.iter().enumerate() {
+        // Accumulate weights of values below this cut.
+        while cursor < cut {
+            let (_, w, l) = present[cursor];
+            if l == 1 {
+                wp_lt += w;
+            } else {
+                wn_lt += w;
+            }
+            cursor += 1;
+        }
+        if c_idx % stride != 0 {
+            continue;
+        }
+        let threshold = f64::midpoint(present[cut - 1].0, present[cut].0);
+        let bw = BranchWeights {
+            wp_yes: wp_lt,
+            wn_yes: wn_lt,
+            wp_no: total_wp - wp_lt,
+            wn_no: total_wn - wn_lt,
+        };
+        let z = 2.0 * ((bw.wp_yes * bw.wn_yes).sqrt() + (bw.wp_no * bw.wn_no).sqrt())
+            + outside_weight
+            + missing_weight;
+        let better = match best {
+            None => true,
+            Some((bz, ..)) => z < *bz - 1e-12,
+        };
+        if better {
+            *best = Some((z, anchor_idx, Condition::new(feature, threshold), bw));
+        }
+    }
+}
+
+/// Training-set accuracy of a tree (fraction of instances whose sign
+/// matches the label).
+#[must_use]
+pub fn accuracy(tree: &AdTree, data: &TrainSet) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    let correct = (0..data.len())
+        .filter(|&i| tree.classify(data.row(i)) == (data.label(i) == 1))
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable_set(n: usize, seed: u64) -> TrainSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ts = TrainSet::new(3);
+        for _ in 0..n {
+            let x0: f64 = rng.gen();
+            let noise: f64 = rng.gen();
+            let label = if x0 > 0.5 { 1 } else { -1 };
+            ts.push(vec![Some(x0), Some(noise), None], label);
+        }
+        ts
+    }
+
+    #[test]
+    fn learns_a_separable_threshold() {
+        let ts = separable_set(400, 7);
+        let tree = train(&ts, &TrainConfig { rounds: 8, ..TrainConfig::default() });
+        assert!(accuracy(&tree, &ts) > 0.99, "accuracy {}", accuracy(&tree, &ts));
+        // The discriminative feature must be used.
+        assert!(tree.features_used().contains(&0));
+    }
+
+    #[test]
+    fn prior_sign_matches_majority() {
+        let mut ts = TrainSet::new(1);
+        for i in 0..10 {
+            ts.push(vec![Some(i as f64)], if i < 8 { 1 } else { -1 });
+        }
+        let tree = train(&ts, &TrainConfig { rounds: 0, ..TrainConfig::default() });
+        assert!(tree.root_value > 0.0);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn handles_missing_values_in_training() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ts = TrainSet::new(2);
+        for _ in 0..300 {
+            let x0: f64 = rng.gen();
+            let label = if x0 > 0.5 { 1 } else { -1 };
+            // Feature 0 is missing 30% of the time; feature 1 is a weaker
+            // correlate so the tree can still say something.
+            let x0_val = if rng.gen_bool(0.3) { None } else { Some(x0) };
+            let x1 = x0 + rng.gen_range(-0.3..0.3);
+            ts.push(vec![x0_val, Some(x1)], label);
+        }
+        let tree = train(&ts, &TrainConfig { rounds: 6, ..TrainConfig::default() });
+        assert!(accuracy(&tree, &ts) > 0.85);
+        // Scoring a fully-missing row falls back to the prior.
+        let s = tree.score(&[None, None]);
+        assert!((s - tree.root_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_a_conjunction() {
+        // label = +1 iff x0 > 0.5 AND x1 > 0.5 — needs a nested splitter.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut ts = TrainSet::new(2);
+        for _ in 0..600 {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            let label = if x0 > 0.5 && x1 > 0.5 { 1 } else { -1 };
+            ts.push(vec![Some(x0), Some(x1)], label);
+        }
+        let tree = train(&ts, &TrainConfig { rounds: 6, ..TrainConfig::default() });
+        assert!(accuracy(&tree, &ts) > 0.95, "accuracy {}", accuracy(&tree, &ts));
+        assert!(tree.features_used().len() == 2);
+    }
+
+    #[test]
+    fn empty_and_single_class_sets() {
+        let ts = TrainSet::new(2);
+        let tree = train(&ts, &TrainConfig::default());
+        assert!(tree.is_empty());
+        let mut ones = TrainSet::new(1);
+        for i in 0..5 {
+            ones.push(vec![Some(i as f64)], 1);
+        }
+        let tree = train(&ones, &TrainConfig::default());
+        assert!(tree.root_value > 0.0);
+        assert!((accuracy(&tree, &ones) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_rounds_never_fewer_splitters() {
+        let ts = separable_set(200, 3);
+        let t1 = train(&ts, &TrainConfig { rounds: 2, ..TrainConfig::default() });
+        let t2 = train(&ts, &TrainConfig { rounds: 8, ..TrainConfig::default() });
+        assert!(t2.len() >= t1.len());
+    }
+
+    #[test]
+    fn scores_rank_confident_instances_higher() {
+        let ts = separable_set(400, 21);
+        let tree = train(&ts, &TrainConfig { rounds: 4, ..TrainConfig::default() });
+        let hi = tree.score(&[Some(0.95), Some(0.5), None]);
+        let lo = tree.score(&[Some(0.05), Some(0.5), None]);
+        assert!(hi > 0.0 && lo < 0.0 && hi > lo);
+    }
+}

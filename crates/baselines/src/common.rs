@@ -1,0 +1,241 @@
+//! Shared infrastructure for baseline blockers: the [`Blocker`] trait, key
+//! extraction, key-map materialization and pair accounting.
+
+use std::collections::HashMap;
+use yv_records::{Dataset, Record, RecordId};
+
+/// A block-building technique: records in, blocks of records out.
+pub trait Blocker {
+    /// Display name matching Table 10.
+    fn name(&self) -> &'static str;
+
+    /// Build blocks. Blocks of fewer than two records are never emitted.
+    fn blocks(&self, ds: &Dataset) -> Vec<Vec<RecordId>>;
+}
+
+/// Every baseline of Table 10 under its default configuration.
+#[must_use]
+pub fn all_baselines() -> Vec<Box<dyn Blocker>> {
+    vec![
+        Box::new(crate::stbl::StandardBlocking),
+        Box::new(crate::stbl::AttributeClustering::default()),
+        Box::new(crate::canopy::CanopyClustering::default()),
+        Box::new(crate::canopy::ExtendedCanopyClustering::default()),
+        Box::new(crate::qgrams::QGramsBlocking::default()),
+        Box::new(crate::qgrams::ExtendedQGramsBlocking::default()),
+        Box::new(crate::sorted_neighborhood::ExtendedSortedNeighborhood::default()),
+        Box::new(crate::suffix_arrays::SuffixArrays::default()),
+        Box::new(crate::suffix_arrays::ExtendedSuffixArrays::default()),
+        Box::new(crate::typimatch::TypiMatch::default()),
+    ]
+}
+
+/// All lowercase whitespace tokens of every textual attribute of a record
+/// (schema-agnostic token blocking ignores which attribute a token came
+/// from).
+#[must_use]
+pub fn record_tokens(record: &Record) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    fn push(out: &mut Vec<String>, s: &str) {
+        for t in s.split_whitespace() {
+            out.push(t.to_lowercase());
+        }
+    }
+    for n in record.first_names.iter().chain(&record.last_names) {
+        push(&mut out, n);
+    }
+    for n in [
+        &record.maiden_name,
+        &record.father_name,
+        &record.mother_name,
+        &record.mothers_maiden,
+        &record.spouse_name,
+        &record.profession,
+    ]
+    .into_iter()
+    .flatten()
+    {
+        push(&mut out, n);
+    }
+    if let Some(y) = record.birth.year {
+        out.push(y.to_string());
+    }
+    for ty in yv_records::PlaceType::ALL {
+        if let Some(place) = record.place(ty) {
+            for part in yv_records::field::PlacePart::ALL {
+                if let Some(v) = place.part(part) {
+                    push(&mut out, v);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Materialize a key→records map into blocks, dropping singleton keys.
+#[must_use]
+pub fn keymap_to_blocks(map: HashMap<String, Vec<RecordId>>) -> Vec<Vec<RecordId>> {
+    let mut blocks: Vec<Vec<RecordId>> = map
+        .into_values()
+        .filter_map(|mut records| {
+            records.sort_unstable();
+            records.dedup();
+            (records.len() >= 2).then_some(records)
+        })
+        .collect();
+    blocks.sort_unstable();
+    blocks
+}
+
+/// Candidate-pair accounting without materializing the pair set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairStats {
+    /// Distinct candidate pairs induced by the blocks.
+    pub candidates: u64,
+    /// Candidate pairs that are gold matches.
+    pub true_positives: u64,
+}
+
+impl PairStats {
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / self.candidates as f64
+        }
+    }
+
+    #[must_use]
+    pub fn recall(&self, gold_total: u64) -> f64 {
+        if gold_total == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / gold_total as f64
+        }
+    }
+}
+
+/// Count distinct candidate pairs and gold hits. Massive blocks (standard
+/// blocking's gender block spans half the dataset) make materializing the
+/// pair set infeasible, so distinct pairs are counted per record with a
+/// reusable scratch mask: `Σ_r |{r' > r sharing a block with r}|`.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // r doubles as the RecordId value
+pub fn pair_stats(
+    blocks: &[Vec<RecordId>],
+    n_records: usize,
+    is_gold: &dyn Fn(RecordId, RecordId) -> bool,
+) -> PairStats {
+    // Blocks containing each record.
+    let mut of_record: Vec<Vec<u32>> = vec![Vec::new(); n_records];
+    for (bi, block) in blocks.iter().enumerate() {
+        for &r in block {
+            of_record[r.index()].push(bi as u32);
+        }
+    }
+    let mut scratch = vec![false; n_records];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut candidates = 0u64;
+    let mut true_positives = 0u64;
+    for r in 0..n_records {
+        let rid = RecordId(r as u32);
+        for &bi in &of_record[r] {
+            for &other in &blocks[bi as usize] {
+                let o = other.index();
+                if o > r && !scratch[o] {
+                    scratch[o] = true;
+                    touched.push(o as u32);
+                }
+            }
+        }
+        candidates += touched.len() as u64;
+        for &o in &touched {
+            if is_gold(rid, RecordId(o)) {
+                true_positives += 1;
+            }
+            scratch[o as usize] = false;
+        }
+        touched.clear();
+    }
+    PairStats { candidates, true_positives }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yv_records::{RecordBuilder, SourceId};
+
+    fn rid(i: u32) -> RecordId {
+        RecordId(i)
+    }
+
+    #[test]
+    fn tokens_are_schema_agnostic_and_deduped() {
+        let r = RecordBuilder::new(1, SourceId(0))
+            .first_name("Guido")
+            .last_name("Foa")
+            .father_name("guido")
+            .build();
+        let tokens = record_tokens(&r);
+        assert_eq!(tokens, vec!["foa", "guido"]);
+    }
+
+    #[test]
+    fn keymap_drops_singletons() {
+        let mut map = HashMap::new();
+        map.insert("a".to_owned(), vec![rid(0), rid(1)]);
+        map.insert("b".to_owned(), vec![rid(2)]);
+        let blocks = keymap_to_blocks(map);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0], vec![rid(0), rid(1)]);
+    }
+
+    #[test]
+    fn pair_stats_counts_distinct_pairs() {
+        // Overlapping blocks must not double-count the (0,1) pair.
+        let blocks = vec![vec![rid(0), rid(1), rid(2)], vec![rid(0), rid(1)]];
+        let stats = pair_stats(&blocks, 3, &|a, b| (a, b) == (rid(0), rid(1)));
+        assert_eq!(stats.candidates, 3); // (0,1), (0,2), (1,2)
+        assert_eq!(stats.true_positives, 1);
+        assert!((stats.precision() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((stats.recall(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_blocks_yield_zero() {
+        let stats = pair_stats(&[], 5, &|_, _| true);
+        assert_eq!(stats.candidates, 0);
+        assert_eq!(stats.precision(), 0.0);
+        assert!((stats.recall(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_baselines_has_ten_entries_with_unique_names() {
+        let bs = all_baselines();
+        assert_eq!(bs.len(), 10);
+        let mut names = std::collections::HashSet::new();
+        for b in &bs {
+            assert!(names.insert(b.name()));
+        }
+    }
+
+    #[test]
+    fn record_tokens_include_places_and_year() {
+        let r = RecordBuilder::new(1, SourceId(0))
+            .birth(yv_records::DateParts::year_only(1920))
+            .place(
+                yv_records::PlaceType::Birth,
+                yv_records::Place {
+                    city: Some("Torino".to_owned()),
+                    ..Default::default()
+                },
+            )
+            .build();
+        let tokens = record_tokens(&r);
+        assert!(tokens.contains(&"1920".to_owned()));
+        assert!(tokens.contains(&"torino".to_owned()));
+    }
+}

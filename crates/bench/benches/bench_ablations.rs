@@ -1,0 +1,102 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * interned `u32` item bags vs. string bags for pair similarity;
+//! * the minsup-descent loop vs. a single minsup = 2 pass;
+//! * frequent-item pruning on vs. off inside full MFIBlocks;
+//! * direct maximal mining vs. mine-all-then-filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yv_blocking::{mfi_blocks, MfiBlocksConfig};
+use yv_datagen::random_set;
+use yv_mfi::{mine_frequent, mine_maximal};
+use yv_similarity::jaccard::{jaccard_sets, jaccard_sorted};
+
+fn bench_interning(c: &mut Criterion) {
+    let gen = random_set(1_000, 42);
+    let int_bags: Vec<Vec<u32>> =
+        gen.dataset.bags().iter().map(|b| b.iter().map(|i| i.0).collect()).collect();
+    let str_bags: Vec<Vec<String>> = gen
+        .dataset
+        .bags()
+        .iter()
+        .map(|b| b.iter().map(|&i| gen.dataset.interner().display(i)).collect())
+        .collect();
+    let pairs: Vec<(usize, usize)> =
+        (0..500).map(|i| (i % int_bags.len(), (i * 7 + 1) % int_bags.len())).collect();
+
+    let mut group = c.benchmark_group("ablation_interning");
+    group.bench_function("interned_u32_jaccard", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                black_box(jaccard_sorted(&int_bags[x], &int_bags[y]));
+            }
+        })
+    });
+    group.bench_function("string_jaccard", |b| {
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                black_box(jaccard_sets(&str_bags[x], &str_bags[y]));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_minsup_descent(c: &mut Criterion) {
+    let gen = random_set(1_500, 42);
+    let mut group = c.benchmark_group("ablation_minsup_descent");
+    group.sample_size(10);
+    group.bench_function("descent_5_to_2", |b| {
+        b.iter(|| black_box(mfi_blocks(&gen.dataset, &MfiBlocksConfig::default())))
+    });
+    group.bench_function("single_pass_minsup_2", |b| {
+        let config = MfiBlocksConfig { max_minsup: 2, ..MfiBlocksConfig::default() };
+        b.iter(|| black_box(mfi_blocks(&gen.dataset, &config)))
+    });
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let gen = random_set(1_500, 42);
+    let mut group = c.benchmark_group("ablation_pruning");
+    group.sample_size(10);
+    group.bench_function("with_pruning", |b| {
+        b.iter(|| black_box(mfi_blocks(&gen.dataset, &MfiBlocksConfig::default())))
+    });
+    group.bench_function("without_pruning", |b| {
+        let config = MfiBlocksConfig {
+            prune_frequent: None,
+            prune_common: None,
+            ..MfiBlocksConfig::default()
+        };
+        b.iter(|| black_box(mfi_blocks(&gen.dataset, &config)))
+    });
+    group.finish();
+}
+
+fn bench_maximal_vs_all(c: &mut Criterion) {
+    // Duplicate-heavy bags where maximal mining shines.
+    let gen = random_set(400, 42);
+    let bags: Vec<Vec<u32>> =
+        gen.dataset.bags().iter().map(|b| b.iter().map(|i| i.0).collect()).collect();
+    let pruned = yv_mfi::prune_common_items(&bags, 0.05).0;
+    let mut group = c.benchmark_group("ablation_maximal_mining");
+    group.sample_size(10);
+    group.bench_function("fpmax_direct_maximal", |b| {
+        b.iter(|| black_box(mine_maximal(&pruned, 3)))
+    });
+    group.bench_function("fpgrowth_all_frequent", |b| {
+        b.iter(|| black_box(mine_frequent(&pruned, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interning,
+    bench_minsup_descent,
+    bench_pruning,
+    bench_maximal_vs_all
+);
+criterion_main!(benches);

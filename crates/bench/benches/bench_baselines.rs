@@ -1,0 +1,26 @@
+//! Table 10 bench: every baseline blocker plus MFIBlocks on the same
+//! dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yv_baselines::all_baselines;
+use yv_blocking::{mfi_blocks, MfiBlocksConfig};
+use yv_datagen::random_set;
+
+fn bench_table10(c: &mut Criterion) {
+    let gen = random_set(1_500, 42);
+    let mut group = c.benchmark_group("table10_blockers");
+    group.sample_size(10);
+    group.bench_function("MFIBlocks", |b| {
+        b.iter(|| black_box(mfi_blocks(&gen.dataset, &MfiBlocksConfig::base())))
+    });
+    for blocker in all_baselines() {
+        group.bench_function(blocker.name(), |b| {
+            b.iter(|| black_box(blocker.blocks(&gen.dataset)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table10);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figures 15–16 / Table 9 bench: MFIBlocks end-to-end under the NG sweep
+//! and the three block-score functions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use yv_blocking::{mfi_blocks, MfiBlocksConfig};
+use yv_datagen::{random_set, Generated};
+
+fn dataset() -> Generated {
+    random_set(2_000, 42)
+}
+
+fn bench_ng_sweep(c: &mut Criterion) {
+    let gen = dataset();
+    let mut group = c.benchmark_group("fig15_16_ng_sweep");
+    group.sample_size(10);
+    for ng in [1.5, 3.0, 5.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(ng), &ng, |b, &ng| {
+            let config = MfiBlocksConfig::default().with_ng(ng);
+            b.iter(|| black_box(mfi_blocks(&gen.dataset, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_score_functions(c: &mut Criterion) {
+    let gen = dataset();
+    let mut group = c.benchmark_group("table9_score_functions");
+    group.sample_size(10);
+    for (name, config) in [
+        ("jaccard", MfiBlocksConfig::base()),
+        ("expert_weighting", MfiBlocksConfig::expert_weighting()),
+        ("expert_sim", MfiBlocksConfig::expert_sim()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(mfi_blocks(&gen.dataset, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ng_sweep, bench_score_functions);
+criterion_main!(benches);

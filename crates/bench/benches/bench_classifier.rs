@@ -1,0 +1,48 @@
+//! Tables 5–8 bench: feature extraction throughput, ADT training, and
+//! scoring — the classifier half of the pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yv_adt::{train, TrainConfig};
+use yv_blocking::{mfi_blocks, MfiBlocksConfig};
+use yv_core::build_train_set;
+use yv_datagen::{random_set, tag_pairs};
+use yv_records::RecordId;
+use yv_similarity::extract;
+
+fn bench_classifier(c: &mut Criterion) {
+    let gen = random_set(2_000, 42);
+    let blocked = mfi_blocks(&gen.dataset, &MfiBlocksConfig::default());
+    let tags = tag_pairs(&gen, &blocked.candidate_pairs, 1);
+    let labelled: Vec<(RecordId, RecordId, bool)> =
+        tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+
+    c.bench_function("table5_feature_extraction_1k_pairs", |b| {
+        b.iter(|| {
+            for &(x, y, _) in labelled.iter().take(1_000) {
+                black_box(extract(gen.dataset.record(x), gen.dataset.record(y)));
+            }
+        })
+    });
+
+    let ts = build_train_set(&gen.dataset, &labelled);
+    let mut group = c.benchmark_group("table5_adt_training");
+    group.sample_size(10);
+    group.bench_function("train_10_rounds", |b| {
+        b.iter(|| black_box(train(&ts, &TrainConfig::default())))
+    });
+    group.finish();
+
+    let tree = train(&ts, &TrainConfig::default());
+    let rows: Vec<Vec<Option<f64>>> = (0..ts.len()).map(|i| ts.row(i).to_vec()).collect();
+    c.bench_function("table5_adt_scoring_all_pairs", |b| {
+        b.iter(|| {
+            for row in &rows {
+                black_box(tree.score(row));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

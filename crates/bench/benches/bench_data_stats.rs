@@ -1,0 +1,31 @@
+//! Tables 3–4 / Figure 11 bench: the data-statistics passes (prevalence,
+//! cardinality, pattern analysis) plus dataset generation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yv_datagen::{random_set, GenConfig};
+use yv_records::patterns::{cardinality, prevalence, PatternStats};
+
+fn bench_data_stats(c: &mut Criterion) {
+    let gen = random_set(5_000, 42);
+
+    c.bench_function("table3_prevalence_5k", |b| {
+        b.iter(|| black_box(prevalence(&gen.dataset)))
+    });
+    c.bench_function("table4_cardinality_5k", |b| {
+        b.iter(|| black_box(cardinality(&gen.dataset)))
+    });
+    c.bench_function("fig11_pattern_analysis_5k", |b| {
+        b.iter(|| black_box(PatternStats::analyze(&gen.dataset)))
+    });
+
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+    group.bench_function("generate_5k_records", |b| {
+        b.iter(|| black_box(GenConfig::random(5_000, 42).generate()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_data_stats);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 12 bench: FP-Growth/FPMax mining runtime vs. minsup and dataset
+//! size, with and without frequent-item pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use yv_datagen::full_set;
+use yv_mfi::{mine_maximal, prune_common_items};
+
+fn bags_of(n: usize, prune: bool) -> Vec<Vec<u32>> {
+    let gen = full_set(n, 42);
+    let raw: Vec<Vec<u32>> =
+        gen.dataset.bags().iter().map(|b| b.iter().map(|i| i.0).collect()).collect();
+    if prune {
+        prune_common_items(&raw, 0.05).0
+    } else {
+        raw
+    }
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_mining");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        for prune in [false, true] {
+            let bags = bags_of(n, prune);
+            for minsup in [5u64, 3, 2] {
+                let label = format!("n={n}{}", if prune { ",prune" } else { "" });
+                group.bench_with_input(
+                    BenchmarkId::new(label, minsup),
+                    &minsup,
+                    |b, &minsup| b.iter(|| black_box(mine_maximal(&bags, minsup))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p yv-bench --bin reproduce --release           # default scale
+//! YV_SCALE=quick cargo run -p yv-bench --bin reproduce --release
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let scale = yv_bench::scale_from_env();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "Reproducing the evaluation of \"Multi-Source Uncertain Entity Resolution\" \
+         (Sagi et al.)\nScale: {scale:?}\n"
+    )
+    .expect("stdout");
+    let start = Instant::now();
+    for report in yv_eval::run_all(&scale) {
+        writeln!(out, "{}\n", report.render()).expect("stdout");
+    }
+    writeln!(out, "Total: {:?}", start.elapsed()).expect("stdout");
+}

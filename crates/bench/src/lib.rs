@@ -1,0 +1,23 @@
+//! # yv-bench
+//!
+//! Benchmark and reproduction targets:
+//!
+//! * `cargo run -p yv-bench --bin reproduce --release` regenerates **every
+//!   table and figure** of the paper's evaluation (Section 6) and prints
+//!   them in paper order. Set `YV_SCALE=quick` for a fast smoke run or
+//!   `YV_SCALE=full` for the default laptop-scale run.
+//! * `cargo bench -p yv-bench` runs the Criterion micro/mesobenchmarks:
+//!   one per table/figure family plus the ablations called out in
+//!   DESIGN.md.
+
+use yv_eval::Scale;
+
+/// Resolve the experiment scale from the `YV_SCALE` environment variable
+/// (`quick` or `full`; default `full`).
+#[must_use]
+pub fn scale_from_env() -> Scale {
+    match std::env::var("YV_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        _ => Scale::default(),
+    }
+}

@@ -1,0 +1,124 @@
+//! The sparse-neighborhood (NG) condition.
+//!
+//! Lines 9–15 of Algorithm 1: after candidate blocks are materialized, a
+//! score threshold `minTh` is derived such that filtering blocks scoring at
+//! or below it restores the sparse-neighborhood property — no record
+//! accumulates more than `NG · minsup` distinct candidate neighbors. Higher
+//! NG tolerates more overlap (higher recall, lower precision — Figure 16).
+
+use std::collections::HashMap;
+use yv_records::RecordId;
+
+/// Derive the NG score threshold for one minsup iteration.
+///
+/// For every record, blocks containing it are visited from highest to
+/// lowest score, accumulating distinct neighbors; once the cap
+/// `ceil(ng · minsup)` is exceeded, the record demands that all its lower-
+/// scoring blocks be pruned, i.e. a per-record threshold equal to the score
+/// of the first violating block. `minTh` is the maximum such demand
+/// (blocks scoring strictly above survive).
+#[must_use]
+pub fn ng_threshold(
+    blocks: &[(Vec<RecordId>, f64)],
+    ng: f64,
+    minsup: u64,
+) -> f64 {
+    let cap = (ng * minsup as f64).ceil() as usize;
+    // Record -> list of (block index) sorted later by score.
+    let mut memberships: HashMap<RecordId, Vec<usize>> = HashMap::new();
+    for (bi, (records, _)) in blocks.iter().enumerate() {
+        for &r in records {
+            memberships.entry(r).or_default().push(bi);
+        }
+    }
+    let mut min_th = f64::NEG_INFINITY;
+    let mut neighbors: std::collections::HashSet<RecordId> = std::collections::HashSet::new();
+    for (record, mut block_ids) in memberships {
+        block_ids.sort_by(|&a, &b| {
+            blocks[b].1.partial_cmp(&blocks[a].1).expect("scores are not NaN")
+        });
+        neighbors.clear();
+        for bi in block_ids {
+            let (records, score) = &blocks[bi];
+            neighbors.extend(records.iter().copied().filter(|&r| r != record));
+            if neighbors.len() > cap {
+                // Every block of this record scoring <= this one must go.
+                if *score > min_th {
+                    min_th = *score;
+                }
+                break;
+            }
+        }
+    }
+    min_th
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(ids: &[u32], score: f64) -> (Vec<RecordId>, f64) {
+        (ids.iter().map(|&i| RecordId(i)).collect(), score)
+    }
+
+    #[test]
+    fn no_violation_means_no_threshold() {
+        let blocks = vec![block(&[0, 1], 0.9), block(&[2, 3], 0.8)];
+        let th = ng_threshold(&blocks, 3.0, 2);
+        assert_eq!(th, f64::NEG_INFINITY);
+        assert!(blocks.iter().all(|(_, s)| *s > th));
+    }
+
+    #[test]
+    fn crowded_record_sets_threshold() {
+        // Record 0 sits in four blocks, gaining 2 fresh neighbors each;
+        // with cap = ceil(0.5 * 2) = 1 the second-best block already
+        // violates.
+        let blocks = vec![
+            block(&[0, 1, 2], 0.9),
+            block(&[0, 3, 4], 0.8),
+            block(&[0, 5, 6], 0.7),
+            block(&[0, 7, 8], 0.6),
+        ];
+        let th = ng_threshold(&blocks, 0.5, 2);
+        assert!((th - 0.9).abs() < 1e-12, "got {th}");
+        // Only blocks scoring above 0.9 survive: none here.
+        assert_eq!(blocks.iter().filter(|(_, s)| *s > th).count(), 0);
+    }
+
+    #[test]
+    fn looser_ng_keeps_more_blocks() {
+        let blocks = vec![
+            block(&[0, 1, 2], 0.9),
+            block(&[0, 3, 4], 0.8),
+            block(&[0, 5, 6], 0.7),
+        ];
+        let tight = ng_threshold(&blocks, 1.0, 2);
+        let loose = ng_threshold(&blocks, 3.0, 2);
+        let kept_tight = blocks.iter().filter(|(_, s)| *s > tight).count();
+        let kept_loose = blocks.iter().filter(|(_, s)| *s > loose).count();
+        assert!(kept_loose >= kept_tight);
+        assert_eq!(kept_loose, 3, "cap 6 neighbors: all blocks fit");
+    }
+
+    #[test]
+    fn threshold_is_monotone_in_ng() {
+        let blocks = vec![
+            block(&[0, 1, 2, 3], 0.9),
+            block(&[0, 4, 5, 6], 0.8),
+            block(&[0, 7, 8, 9], 0.7),
+            block(&[0, 10, 11], 0.6),
+        ];
+        let mut last = f64::INFINITY;
+        for ng in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let th = ng_threshold(&blocks, ng, 2);
+            assert!(th <= last, "threshold should relax as NG grows");
+            last = th;
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(ng_threshold(&[], 3.0, 2), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,126 @@
+//! A small dependency-free argument parser: `--key value` and `--flag`
+//! options after a subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand plus options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parsing errors, rendered to the user as usage messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    MissingCommand,
+    DanglingOption(String),
+    BadValue { option: String, value: String, expected: &'static str },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given"),
+            ArgError::DanglingOption(o) => write!(f, "option {o} expects a value"),
+            ArgError::BadValue { option, value, expected } => {
+                write!(f, "option {option}: '{value}' is not a valid {expected}")
+            }
+        }
+    }
+}
+
+impl Args {
+    /// Parse raw arguments (without the program name). Options look like
+    /// `--records 2000`; bare `--flag`s are recognized from the given
+    /// list.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        known_flags: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut it = raw.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(token) = it.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(ArgError::DanglingOption(token));
+            };
+            if known_flags.contains(&name) {
+                flags.push(name.to_owned());
+                continue;
+            }
+            let value = it.next().ok_or_else(|| ArgError::DanglingOption(token.clone()))?;
+            options.insert(name.to_owned(), value);
+        }
+        Ok(Args { command, options, flags })
+    }
+
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A typed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                option: format!("--{name}"),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned()), &["italy", "quick"])
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let args = parse(&["block", "--records", "500", "--ng", "3.5", "--italy"]).unwrap();
+        assert_eq!(args.command, "block");
+        assert_eq!(args.get("records"), Some("500"));
+        assert!(args.flag("italy"));
+        assert!(!args.flag("quick"));
+        assert_eq!(args.parse_or("ng", 3.0, "number"), Ok(3.5));
+        assert_eq!(args.parse_or("seed", 7u64, "integer"), Ok(7));
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+    }
+
+    #[test]
+    fn dangling_option_errors() {
+        assert!(matches!(parse(&["block", "--records"]), Err(ArgError::DanglingOption(_))));
+        assert!(matches!(parse(&["block", "bare"]), Err(ArgError::DanglingOption(_))));
+    }
+
+    #[test]
+    fn bad_value_errors() {
+        let args = parse(&["block", "--records", "many"]).unwrap();
+        assert!(matches!(
+            args.parse_or("records", 10usize, "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+}

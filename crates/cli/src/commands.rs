@@ -1,0 +1,255 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use std::io::Write as _;
+use yv_blocking::{audit, mfi_blocks, MfiBlocksConfig};
+use yv_core::{PersonProfile, PersonQuery, Pipeline, PipelineConfig};
+use yv_datagen::{tag_pairs, GenConfig, Generated};
+
+type CliResult = Result<(), String>;
+
+fn err<E: std::fmt::Display>(e: E) -> String {
+    e.to_string()
+}
+
+/// Build the dataset a command operates on.
+fn dataset(args: &Args) -> Result<Generated, String> {
+    let records: usize = args.parse_or("records", 2_000, "integer").map_err(err)?;
+    let seed: u64 = args.parse_or("seed", 7, "integer").map_err(err)?;
+    let config = if args.flag("italy") {
+        GenConfig { n_records: records, ..GenConfig::italy(seed) }
+    } else {
+        GenConfig::random(records, seed)
+    };
+    Ok(config.generate())
+}
+
+fn blocking_config(args: &Args) -> Result<MfiBlocksConfig, String> {
+    let ng: f64 = args.parse_or("ng", 3.0, "number").map_err(err)?;
+    let max_minsup: u64 = args.parse_or("max-minsup", 5, "integer").map_err(err)?;
+    Ok(MfiBlocksConfig::expert_weighting().with_ng(ng).with_max_minsup(max_minsup))
+}
+
+pub fn generate(args: &Args) -> CliResult {
+    let gen = dataset(args)?;
+    let stats = yv_records::PatternStats::analyze(&gen.dataset);
+    println!("records:           {}", gen.dataset.len());
+    println!("persons:           {}", gen.persons.len());
+    println!("sources:           {}", gen.dataset.sources().len());
+    println!("distinct items:    {}", gen.dataset.interner().len());
+    println!("data patterns:     {}", stats.distinct_patterns());
+    println!("gold match pairs:  {}", gen.gold_pair_count());
+    println!("\nitem-type prevalence:");
+    for p in yv_records::patterns::prevalence(&gen.dataset) {
+        println!("  {:<18} {:>6.1}%", p.agg.label(), p.fraction * 100.0);
+    }
+    Ok(())
+}
+
+pub fn export(args: &Args) -> CliResult {
+    let Some(path) = args.get("path") else {
+        return Err("export requires --path <file.csv>".to_owned());
+    };
+    let gen = dataset(args)?;
+    let truth: Vec<u64> =
+        gen.dataset.record_ids().map(|rid| gen.person_of(rid).0).collect();
+    let text = yv_records::csv::write_dataset(&gen.dataset, Some(&truth));
+    std::fs::write(path, text).map_err(err)?;
+    println!("wrote {} records to {path}", gen.dataset.len());
+    Ok(())
+}
+
+/// Print the statistics of an externally supplied CSV dataset — the
+/// adoption path for running the toolkit on real data.
+pub fn import(args: &Args) -> CliResult {
+    let Some(path) = args.get("path") else {
+        return Err("import requires --path <file.csv>".to_owned());
+    };
+    let text = std::fs::read_to_string(path).map_err(err)?;
+    let (ds, truth) = yv_records::csv::read_dataset(&text).map_err(err)?;
+    println!("records:        {}", ds.len());
+    println!("sources:        {}", ds.sources().len());
+    println!("distinct items: {}", ds.interner().len());
+    println!("ground truth:   {}", if truth.is_some() { "present" } else { "absent" });
+    let result = mfi_blocks(&ds, &MfiBlocksConfig::expert_weighting());
+    println!("MFIBlocks:      {} blocks, {} candidate pairs", result.blocks.len(),
+        result.candidate_pairs.len());
+    if let Some(truth) = truth {
+        let mut by_person: std::collections::HashMap<u64, Vec<yv_records::RecordId>> =
+            std::collections::HashMap::new();
+        for rid in ds.record_ids() {
+            by_person.entry(truth[rid.index()]).or_default().push(rid);
+        }
+        let gold: std::collections::HashSet<(yv_records::RecordId, yv_records::RecordId)> =
+            by_person
+                .values()
+                .flat_map(|rs| {
+                    rs.iter().enumerate().flat_map(move |(i, &a)| {
+                        rs[i + 1..].iter().map(move |&b| if a < b { (a, b) } else { (b, a) })
+                    })
+                })
+                .collect();
+        let tp = result.candidate_pairs.iter().filter(|p| gold.contains(*p)).count();
+        println!(
+            "vs ground truth: recall {:.3}, precision {:.3}",
+            tp as f64 / gold.len().max(1) as f64,
+            tp as f64 / result.candidate_pairs.len().max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+pub fn block(args: &Args) -> CliResult {
+    let gen = dataset(args)?;
+    let config = blocking_config(args)?;
+    let result = mfi_blocks(&gen.dataset, &config);
+    let gold: std::collections::HashSet<_> = gen.matching_pairs().into_iter().collect();
+    let tp = result.candidate_pairs.iter().filter(|p| gold.contains(*p)).count();
+    println!("blocks:          {}", result.blocks.len());
+    println!("candidate pairs: {}", result.candidate_pairs.len());
+    println!("mining time:     {:?}", result.stats.mining_time);
+    println!("iterations:      {}", result.stats.iterations);
+    println!(
+        "vs ground truth: recall {:.3}, precision {:.3}",
+        tp as f64 / gold.len().max(1) as f64,
+        tp as f64 / result.candidate_pairs.len().max(1) as f64
+    );
+    let diag = audit(&gen.dataset, &result, config.ng, 64);
+    println!(
+        "CS/SN audit:     compact {:.0}% of {} blocks (margin {:+.3}), \
+         sparse {:.0}%, max neighbors {}",
+        diag.compact_fraction * 100.0,
+        diag.audited_blocks,
+        diag.mean_compact_margin,
+        diag.sparse_fraction * 100.0,
+        diag.max_neighbors
+    );
+    Ok(())
+}
+
+/// Train a pipeline on oracle-tagged blocking output.
+fn trained(gen: &Generated, config: &PipelineConfig) -> Pipeline {
+    let blocked = mfi_blocks(&gen.dataset, &config.blocking);
+    let tags = tag_pairs(gen, &blocked.candidate_pairs, 1);
+    let labelled: Vec<_> =
+        tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+    Pipeline::train(&gen.dataset, &labelled, config)
+}
+
+pub fn resolve(args: &Args) -> CliResult {
+    let gen = dataset(args)?;
+    let certainty: f64 = args.parse_or("certainty", 0.0, "number").map_err(err)?;
+    let config = PipelineConfig { blocking: blocking_config(args)?, ..PipelineConfig::default() };
+    let pipeline = trained(&gen, &config);
+    let resolution = pipeline.resolve(&gen.dataset, &config);
+    let entities = resolution.entities(certainty);
+    let merged: usize = entities.iter().map(Vec::len).sum();
+    println!("scored matches:        {}", resolution.matches.len());
+    println!("entities @ {certainty}: {} (covering {merged} records)", entities.len());
+    let above: Vec<_> = resolution.at_certainty(certainty).collect();
+    let correct = above.iter().filter(|m| gen.is_match(m.a, m.b)).count();
+    println!(
+        "match purity @ {certainty}: {:.1}% of {} matches",
+        100.0 * correct as f64 / above.len().max(1) as f64,
+        above.len()
+    );
+    Ok(())
+}
+
+pub fn query(args: &Args) -> CliResult {
+    let gen = dataset(args)?;
+    let certainty: f64 = args.parse_or("certainty", 0.0, "number").map_err(err)?;
+    let config = PipelineConfig::default();
+    let pipeline = trained(&gen, &config);
+    let resolution = pipeline.resolve(&gen.dataset, &config);
+    let q = PersonQuery {
+        first_name: args.get("first").map(str::to_owned),
+        last_name: args.get("last").map(str::to_owned),
+        certainty,
+        ..PersonQuery::default()
+    };
+    if q.first_name.is_none() && q.last_name.is_none() {
+        return Err("query requires --first and/or --last".to_owned());
+    }
+    let hits = q.run(&gen.dataset, &resolution);
+    println!("{} hit(s)", hits.len());
+    for hit in hits.iter().take(10) {
+        let r = gen.dataset.record(hit.seed);
+        println!(
+            "  BookID {:>8}  {} {}  -> entity of {} report(s)",
+            r.book_id,
+            r.first_names.join("/"),
+            r.last_names.join("/"),
+            hit.entity.len()
+        );
+    }
+    Ok(())
+}
+
+pub fn narrate(args: &Args) -> CliResult {
+    let gen = dataset(args)?;
+    let top: usize = args.parse_or("top", 3, "integer").map_err(err)?;
+    let config = PipelineConfig::default();
+    let pipeline = trained(&gen, &config);
+    let resolution = pipeline.resolve(&gen.dataset, &config);
+    let mut entities = resolution.entities(0.5);
+    entities.sort_by_key(|e| std::cmp::Reverse(e.len()));
+    for entity in entities.iter().take(top) {
+        let profile = PersonProfile::build(&gen.dataset, entity);
+        println!("{}\n", profile.narrative());
+    }
+    Ok(())
+}
+
+pub fn reproduce(args: &Args) -> CliResult {
+    let scale = if args.flag("quick") {
+        yv_eval::Scale::quick()
+    } else {
+        yv_eval::Scale::default()
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for report in yv_eval::run_all(&scale) {
+        writeln!(out, "{}\n", report.render()).map_err(err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_for(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned()), &["italy", "quick"]).unwrap()
+    }
+
+    #[test]
+    fn generate_runs() {
+        let args = args_for(&["generate", "--records", "200", "--seed", "3"]);
+        generate(&args).unwrap();
+    }
+
+    #[test]
+    fn block_runs_and_reports() {
+        let args = args_for(&["block", "--records", "300", "--ng", "2.0"]);
+        block(&args).unwrap();
+    }
+
+    #[test]
+    fn export_writes_csv() {
+        let path = std::env::temp_dir().join("yv_cli_export_test.csv");
+        let path_str = path.to_string_lossy().into_owned();
+        let args = args_for(&["export", "--records", "50", "--path", &path_str]);
+        export(&args).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.lines().count() > 10);
+        assert!(content.starts_with("book_id,"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn query_requires_a_name() {
+        let args = args_for(&["query", "--records", "200"]);
+        assert!(query(&args).is_err());
+    }
+}

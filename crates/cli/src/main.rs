@@ -1,0 +1,73 @@
+//! `yv` — command-line interface to the uncertain-ER reproduction.
+//!
+//! ```text
+//! yv generate --records 2000 --seed 7 [--italy]      dataset summary
+//! yv export   --records 2000 --seed 7 --path out.csv records as CSV
+//! yv block    --records 2000 [--ng 3.0] [--max-minsup 5] [--italy]
+//! yv resolve  --records 2000 [--certainty 0.0] [--italy]
+//! yv query    --first Guido --last Foa [--certainty 0.0] [--records N]
+//! yv narrate  --records 2000 [--top 3]
+//! yv reproduce [--quick]                             all tables & figures
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "yv — multi-source uncertain entity resolution (Sagi et al., SIGMOD'16 reproduction)
+
+USAGE:
+    yv <command> [options]
+
+COMMANDS:
+    generate   generate a synthetic Names-Project dataset and print its statistics
+    export     write generated records to a CSV file (--path required)
+    import     read a CSV dataset, print statistics and block it (--path required)
+    block      run MFIBlocks and print blocks, pairs, and CS/SN diagnostics
+    resolve    train the ADT ranker and resolve; print quality vs ground truth
+    query      relative search with a certainty knob (--first / --last)
+    narrate    print narratives for the best-attested resolved entities
+    reproduce  regenerate every table and figure of the paper (--quick for a smoke run)
+
+COMMON OPTIONS:
+    --records N     dataset size (default 2000)
+    --seed N        generator seed (default 7)
+    --italy         use the Italy-set configuration (incl. the MV submitter)
+    --ng X          MFIBlocks neighborhood growth (default 3.0)
+    --max-minsup N  MFIBlocks MaxMinSup (default 5)
+    --certainty X   query-time certainty threshold (default 0.0)
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw, &["italy", "quick", "help"]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "export" => commands::export(&args),
+        "import" => commands::import(&args),
+        "block" => commands::block(&args),
+        "resolve" => commands::resolve(&args),
+        "query" => commands::query(&args),
+        "narrate" => commands::narrate(&args),
+        "reproduce" => commands::reproduce(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,116 @@
+//! The experiment conditions of Section 6.5 (Table 9) as first-class
+//! pipeline switches.
+
+use yv_blocking::MfiBlocksConfig;
+
+/// One of the binary conditions evaluated in Table 9. Conditions compose:
+/// the paper reports `SameSrc + Cls` as the best F-1 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// Uniform item weights, plain Jaccard block score, no filters.
+    Base,
+    /// Expert-derived item-type weights in the block score.
+    ExpertWeighting,
+    /// The hand-crafted Eq. 1 item similarity as the block score.
+    ExpertSim,
+    /// Discard candidate pairs whose records share a source ("it is
+    /// deemed unlikely that the same person would appear twice in the same
+    /// source").
+    SameSrc,
+    /// Let the ADT classifier filter low-scoring matches rather than just
+    /// ranking them.
+    Cls,
+    /// Both filters (the paper's best configuration).
+    SameSrcCls,
+}
+
+impl Condition {
+    /// All conditions in the row order of Table 9.
+    pub const ALL: [Condition; 6] = [
+        Condition::Base,
+        Condition::ExpertWeighting,
+        Condition::ExpertSim,
+        Condition::SameSrc,
+        Condition::Cls,
+        Condition::SameSrcCls,
+    ];
+
+    /// Display label matching Table 9.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Condition::Base => "Base",
+            Condition::ExpertWeighting => "Expert Weighting",
+            Condition::ExpertSim => "ExpertSim",
+            Condition::SameSrc => "SameSrc",
+            Condition::Cls => "Cls",
+            Condition::SameSrcCls => "SameSrc + Cls",
+        }
+    }
+
+    /// The blocking configuration this condition implies. Per Section 6.5,
+    /// the filter conditions (SameSrc/Cls) run on top of Expert Weighting,
+    /// which the paper fixed after observing its recall boost.
+    #[must_use]
+    pub fn blocking(self) -> MfiBlocksConfig {
+        match self {
+            Condition::Base => MfiBlocksConfig::base(),
+            Condition::ExpertWeighting => MfiBlocksConfig::expert_weighting(),
+            Condition::ExpertSim => MfiBlocksConfig::expert_sim(),
+            Condition::SameSrc | Condition::Cls | Condition::SameSrcCls => {
+                MfiBlocksConfig::expert_weighting()
+            }
+        }
+    }
+
+    /// Whether same-source pairs are discarded.
+    #[must_use]
+    pub fn same_src(self) -> bool {
+        matches!(self, Condition::SameSrc | Condition::SameSrcCls)
+    }
+
+    /// Whether the classifier filters low-scoring matches.
+    #[must_use]
+    pub fn classify(self) -> bool {
+        matches!(self, Condition::Cls | Condition::SameSrcCls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yv_blocking::ScoreFunction;
+
+    #[test]
+    fn table9_has_six_rows() {
+        assert_eq!(Condition::ALL.len(), 6);
+    }
+
+    #[test]
+    fn filters_compose() {
+        assert!(!Condition::Base.same_src() && !Condition::Base.classify());
+        assert!(Condition::SameSrc.same_src() && !Condition::SameSrc.classify());
+        assert!(!Condition::Cls.same_src() && Condition::Cls.classify());
+        assert!(Condition::SameSrcCls.same_src() && Condition::SameSrcCls.classify());
+    }
+
+    #[test]
+    fn blocking_score_functions() {
+        assert!(matches!(Condition::Base.blocking().score, ScoreFunction::Jaccard));
+        assert!(matches!(
+            Condition::ExpertWeighting.blocking().score,
+            ScoreFunction::WeightedJaccard(_)
+        ));
+        assert!(matches!(Condition::ExpertSim.blocking().score, ScoreFunction::ExpertSim));
+        assert!(matches!(
+            Condition::SameSrcCls.blocking().score,
+            ScoreFunction::WeightedJaccard(_)
+        ));
+    }
+
+    #[test]
+    fn labels_match_table9() {
+        assert_eq!(Condition::SameSrcCls.label(), "SameSrc + Cls");
+        assert_eq!(Condition::ExpertWeighting.label(), "Expert Weighting");
+    }
+}

@@ -1,0 +1,201 @@
+//! The end-to-end uncertain-ER pipeline (Figure 9): preprocessing →
+//! MFIBlocks → feature extraction → ADT scoring → ranked resolution.
+
+use crate::model::{RankedMatch, SoftCluster};
+use crate::resolution::Resolution;
+use yv_adt::{train, AdTree, TrainConfig, TrainSet};
+use yv_blocking::{mfi_blocks, MfiBlocksConfig};
+use yv_records::{Dataset, RecordId};
+use yv_similarity::{extract, FEATURE_COUNT};
+
+/// Pipeline configuration: blocking parameters plus the Section 6.5
+/// filters and the trainer settings.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    pub blocking: MfiBlocksConfig,
+    /// Discard candidate pairs sharing a source (`SameSrc`).
+    pub same_src_discard: bool,
+    /// Keep only matches the classifier accepts (`Cls`); otherwise every
+    /// scored candidate stays in the ranked list.
+    pub classify: bool,
+    pub train: TrainConfig,
+}
+
+impl PipelineConfig {
+    /// Build a config from a Table 9 condition.
+    #[must_use]
+    pub fn for_condition(cond: crate::conditions::Condition) -> Self {
+        PipelineConfig {
+            blocking: cond.blocking(),
+            same_src_discard: cond.same_src(),
+            classify: cond.classify(),
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// Assemble an ADT training set from labelled record pairs.
+#[must_use]
+pub fn build_train_set(ds: &Dataset, labelled: &[(RecordId, RecordId, bool)]) -> TrainSet {
+    let mut ts = TrainSet::new(FEATURE_COUNT);
+    for &(a, b, label) in labelled {
+        let fv = extract(ds.record(a), ds.record(b));
+        let row: Vec<Option<f64>> = (0..FEATURE_COUNT).map(|i| fv.get(i)).collect();
+        ts.push(row, if label { 1 } else { -1 });
+    }
+    ts
+}
+
+/// A trained pipeline: the ADTree model ready to score candidate pairs.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    pub model: AdTree,
+}
+
+impl Pipeline {
+    /// Train the ADT from labelled pairs (the simplified tag set of
+    /// Section 5.1: Maybe pairs are resolved by the caller's policy before
+    /// this point).
+    #[must_use]
+    pub fn train(
+        ds: &Dataset,
+        labelled: &[(RecordId, RecordId, bool)],
+        config: &PipelineConfig,
+    ) -> Pipeline {
+        let ts = build_train_set(ds, labelled);
+        Pipeline { model: train(&ts, &config.train) }
+    }
+
+    /// Wrap an externally trained model.
+    #[must_use]
+    pub fn with_model(model: AdTree) -> Pipeline {
+        Pipeline { model }
+    }
+
+    /// Score one record pair.
+    #[must_use]
+    pub fn score_pair(&self, ds: &Dataset, a: RecordId, b: RecordId) -> f64 {
+        let fv = extract(ds.record(a), ds.record(b));
+        let row: Vec<Option<f64>> = (0..FEATURE_COUNT).map(|i| fv.get(i)).collect();
+        self.model.score(&row)
+    }
+
+    /// Run the full pipeline over a dataset: block, filter, score, rank.
+    #[must_use]
+    pub fn resolve(&self, ds: &Dataset, config: &PipelineConfig) -> Resolution {
+        let blocked = mfi_blocks(ds, &config.blocking);
+        let clusters: Vec<SoftCluster> = blocked
+            .blocks
+            .iter()
+            .map(|b| SoftCluster {
+                key: b.items.clone(),
+                records: b.records.clone(),
+                cohesion: b.score,
+            })
+            .collect();
+        let mut matches = Vec::with_capacity(blocked.candidate_pairs.len());
+        for &(a, b) in &blocked.candidate_pairs {
+            if config.same_src_discard && ds.same_source(a, b) {
+                continue;
+            }
+            let score = self.score_pair(ds, a, b);
+            if config.classify && score <= 0.0 {
+                continue;
+            }
+            matches.push(RankedMatch::new(a, b, score));
+        }
+        Resolution::new(matches, clusters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yv_datagen::{tag_pairs, GenConfig, Generated};
+
+    fn fixture() -> (Generated, Pipeline, PipelineConfig) {
+        let gen = GenConfig::random(700, 41).generate();
+        let config = PipelineConfig::default();
+        let blocked = mfi_blocks(&gen.dataset, &config.blocking);
+        let tags = tag_pairs(&gen, &blocked.candidate_pairs, 5);
+        let labelled: Vec<_> =
+            tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+        let pipeline = Pipeline::train(&gen.dataset, &labelled, &config);
+        (gen, pipeline, config)
+    }
+
+    #[test]
+    fn trained_model_separates_matches() {
+        let (gen, pipeline, config) = fixture();
+        let resolution = pipeline.resolve(&gen.dataset, &config);
+        assert!(!resolution.matches.is_empty());
+        // Accuracy of the sign rule against ground truth on candidates.
+        let correct = resolution
+            .matches
+            .iter()
+            .filter(|m| m.is_match() == gen.is_match(m.a, m.b))
+            .count();
+        let acc = correct as f64 / resolution.matches.len() as f64;
+        assert!(acc > 0.8, "pipeline accuracy {acc}");
+    }
+
+    #[test]
+    fn model_uses_few_features_like_the_paper() {
+        let (_, pipeline, _) = fixture();
+        let used = pipeline.model.features_used().len();
+        assert!(
+            (1..=12).contains(&used),
+            "the paper's models keep 8-10 of the 48 features; got {used}"
+        );
+    }
+
+    #[test]
+    fn same_src_discard_removes_same_source_pairs() {
+        let (gen, pipeline, mut config) = fixture();
+        config.same_src_discard = true;
+        let resolution = pipeline.resolve(&gen.dataset, &config);
+        for m in &resolution.matches {
+            assert!(!gen.dataset.same_source(m.a, m.b));
+        }
+    }
+
+    #[test]
+    fn classify_filter_keeps_positive_scores_only() {
+        let (gen, pipeline, mut config) = fixture();
+        config.classify = true;
+        let resolution = pipeline.resolve(&gen.dataset, &config);
+        assert!(resolution.matches.iter().all(|m| m.score > 0.0));
+    }
+
+    #[test]
+    fn filters_only_shrink_the_match_list() {
+        let (gen, pipeline, config) = fixture();
+        let base = pipeline.resolve(&gen.dataset, &config).matches.len();
+        for (same_src, cls) in [(true, false), (false, true), (true, true)] {
+            let c = PipelineConfig {
+                same_src_discard: same_src,
+                classify: cls,
+                ..config.clone()
+            };
+            let n = pipeline.resolve(&gen.dataset, &c).matches.len();
+            assert!(n <= base);
+        }
+    }
+
+    #[test]
+    fn soft_clusters_are_exposed() {
+        let (gen, pipeline, config) = fixture();
+        let resolution = pipeline.resolve(&gen.dataset, &config);
+        assert!(!resolution.clusters.is_empty());
+        assert!(resolution.clusters.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn score_pair_matches_resolve_scores() {
+        let (gen, pipeline, config) = fixture();
+        let resolution = pipeline.resolve(&gen.dataset, &config);
+        let m = resolution.matches[0];
+        let direct = pipeline.score_pair(&gen.dataset, m.a, m.b);
+        assert!((direct - m.score).abs() < 1e-12);
+    }
+}

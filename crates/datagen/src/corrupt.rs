@@ -1,0 +1,245 @@
+//! Corruption models: the noise separating a report from the ground truth.
+//!
+//! The Names Project preprocessing already canonicalizes most spelling
+//! variants into equivalence classes (Section 2), but residual noise
+//! remains: "we encountered some cases of clerical errors (Bella→Della)"
+//! (Section 5.1), transliteration variants across the 30+ source languages,
+//! nicknames, and date errors typical of testimony filed decades after the
+//! fact.
+
+use crate::names::nicknames;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use yv_records::DateParts;
+
+/// Transliteration rules: pairs that swap freely when names cross
+/// alphabets (Latin / Hebrew / Cyrillic / Greek).
+const TRANSLITERATIONS: &[(&str, &str)] = &[
+    ("w", "v"),
+    ("y", "i"),
+    ("c", "k"),
+    ("ks", "x"),
+    ("sch", "sh"),
+    ("sz", "sh"),
+    ("cz", "ch"),
+    ("j", "y"),
+    ("ph", "f"),
+    ("th", "t"),
+    ("ie", "i"),
+    ("ou", "u"),
+];
+
+/// Apply one random transliteration rule, if any applies; otherwise return
+/// the input unchanged.
+pub fn transliterate(rng: &mut StdRng, name: &str) -> String {
+    let lower = name.to_lowercase();
+    let mut applicable: Vec<(usize, &str, &str)> = Vec::new();
+    for &(a, b) in TRANSLITERATIONS {
+        if let Some(pos) = lower.find(a) {
+            applicable.push((pos, a, b));
+        }
+        if let Some(pos) = lower.find(b) {
+            applicable.push((pos, b, a));
+        }
+    }
+    let Some(&(pos, from, to)) = applicable.choose(rng) else {
+        return name.to_owned();
+    };
+    let mut out = lower.clone();
+    out.replace_range(pos..pos + from.len(), to);
+    capitalize(&out)
+}
+
+/// One clerical error: substitute, delete or duplicate a single character
+/// (Bella→Della style).
+pub fn clerical_error(rng: &mut StdRng, name: &str) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 3 {
+        return name.to_owned();
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Substitute with a nearby letter.
+            let c = out[pos].to_ascii_lowercase();
+            let replacement = match c {
+                'b' => 'd',
+                'd' => 'b',
+                'm' => 'n',
+                'n' => 'm',
+                'e' => 'a',
+                'a' => 'e',
+                'o' => 'a',
+                'u' => 'o',
+                'l' => 'i',
+                other => {
+                    if other.is_ascii_lowercase() {
+                        (((other as u8 - b'a' + 1) % 26) + b'a') as char
+                    } else {
+                        other
+                    }
+                }
+            };
+            out[pos] = if chars[pos].is_uppercase() {
+                replacement.to_ascii_uppercase()
+            } else {
+                replacement
+            };
+        }
+        1 => {
+            if out.len() > 3 {
+                out.remove(pos);
+            }
+        }
+        _ => {
+            out.insert(pos, out[pos]);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Replace a name with one of its known nicknames / diminutives, when the
+/// table has any.
+pub fn nickname(rng: &mut StdRng, name: &str) -> String {
+    let options = nicknames(name);
+    match options.choose(rng) {
+        Some(n) => (*n).to_owned(),
+        None => name.to_owned(),
+    }
+}
+
+/// Corrupt a name with the given probability; on corruption one of the
+/// three mechanisms fires (transliteration 50%, nickname 30%, clerical
+/// 20%).
+pub fn corrupt_name(rng: &mut StdRng, name: &str, p: f64) -> String {
+    if !rng.gen_bool(p.clamp(0.0, 1.0)) {
+        return name.to_owned();
+    }
+    let roll: f64 = rng.gen();
+    if roll < 0.5 {
+        transliterate(rng, name)
+    } else if roll < 0.8 {
+        nickname(rng, name)
+    } else {
+        clerical_error(rng, name)
+    }
+}
+
+/// Corrupt a birth date with probability `p`: year off by ±1–3 (ages were
+/// often estimated), or day/month swapped when both are valid as either.
+pub fn corrupt_date(rng: &mut StdRng, date: DateParts, p: f64) -> DateParts {
+    if date.is_empty() || !rng.gen_bool(p.clamp(0.0, 1.0)) {
+        return date;
+    }
+    let mut out = date;
+    if rng.gen_bool(0.7) {
+        if let Some(y) = out.year {
+            let delta = rng.gen_range(1..=3) * if rng.gen_bool(0.5) { 1 } else { -1 };
+            out.year = Some(y + delta);
+        }
+    } else if let (Some(d), Some(m)) = (out.day, out.month) {
+        if d <= 12 && m <= 28 {
+            out.day = Some(m);
+            out.month = Some(d);
+        } else if let Some(dd) = out.day {
+            out.day = Some(((dd + rng.gen_range(1..=3)) % 28).max(1));
+        }
+    }
+    out
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn transliteration_changes_known_patterns() {
+        let mut r = rng(1);
+        let mut changed = 0;
+        for _ in 0..50 {
+            if transliterate(&mut r, "Wolf") != "Wolf" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "w/v should swap at least sometimes");
+    }
+
+    #[test]
+    fn transliteration_preserves_unmatchable_names() {
+        let mut r = rng(2);
+        // No rule applies to "Bb" (wrong case patterns aside).
+        assert_eq!(transliterate(&mut r, "Bbb"), "Bbb");
+    }
+
+    #[test]
+    fn clerical_error_edits_one_position() {
+        let mut r = rng(3);
+        for _ in 0..50 {
+            let out = clerical_error(&mut r, "Bella");
+            let dist = yv_similarity::strings::levenshtein("Bella", &out);
+            assert!(dist <= 1, "one edit max: Bella -> {out}");
+        }
+    }
+
+    #[test]
+    fn short_names_are_left_alone() {
+        let mut r = rng(4);
+        assert_eq!(clerical_error(&mut r, "Al"), "Al");
+    }
+
+    #[test]
+    fn nickname_replaces_from_table() {
+        let mut r = rng(5);
+        let out = nickname(&mut r, "Avraham");
+        assert!(crate::names::nicknames("Avraham").contains(&out.as_str()));
+        assert_eq!(nickname(&mut r, "Xyzzy"), "Xyzzy");
+    }
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut r = rng(6);
+        assert_eq!(corrupt_name(&mut r, "Guido", 0.0), "Guido");
+        let d = DateParts::full(18, 11, 1920);
+        assert_eq!(corrupt_date(&mut r, d, 0.0), d);
+    }
+
+    #[test]
+    fn date_corruption_stays_plausible() {
+        let mut r = rng(7);
+        let d = DateParts::full(18, 11, 1920);
+        for _ in 0..100 {
+            let out = corrupt_date(&mut r, d, 1.0);
+            if let Some(y) = out.year {
+                assert!((1917..=1923).contains(&y));
+            }
+            if let Some(day) = out.day {
+                assert!((1..=31).contains(&day));
+            }
+            if let Some(m) = out.month {
+                assert!((1..=12).contains(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_date_never_corrupted() {
+        let mut r = rng(8);
+        let d = DateParts::default();
+        assert_eq!(corrupt_date(&mut r, d, 1.0), d);
+    }
+}

@@ -1,0 +1,43 @@
+//! # yv-datagen
+//!
+//! A seeded synthetic generator for Yad Vashem Names-Project-like datasets.
+//!
+//! The real database (6.5M victim reports, >500,000 sources) is not
+//! publicly available; this generator is the substitution documented in
+//! DESIGN.md. It produces ground-truth *persons* organized in families
+//! within six pre-war Jewish communities (the stratification of Section
+//! 5.1), then emits 1-8 *reports* per person (archival experts estimate at
+//! most eight duplicates), each filed by a *source* -- a testimony submitter
+//! (usually a relative) or a victim list -- with:
+//!
+//! * **per-source schemas**: a source records a fixed subset of attributes,
+//!   which is what creates the clustered data patterns of Figure 11;
+//! * **field prevalence calibrated to Table 3** (e.g. last name 98%,
+//!   DOB 64%, father's name 52% on the full set; 78% father's-name on the
+//!   Italian subset);
+//! * **corruption**: transliteration variants, clerical misspellings,
+//!   nicknames, date errors and place-part truncation;
+//! * the **"MV" phenomenon** for the Italy set: one submitter contributing
+//!   1,400 reports with the fixed pattern
+//!   `{First, Last, Father, BirthPlace, DeathPlace}` (Section 6.4);
+//! * a **simulated expert tagging oracle** producing the five-level
+//!   Yes/ProbablyYes/Maybe/ProbablyNo/No scale with Maybe concentrated on
+//!   information-poor pairs (~6% of tags, Section 6.4).
+//!
+//! Everything is driven by a caller-supplied seed: the same seed yields the
+//! same dataset, gold standard and tags.
+
+pub mod corrupt;
+pub mod equivalence;
+pub mod names;
+pub mod person;
+pub mod places;
+pub mod report;
+pub mod sets;
+pub mod tagging;
+
+pub use equivalence::{canonicalized_dataset, equivalence_classes};
+pub use person::{FamilyId, Person, PersonId};
+pub use report::{Generated, MvConfig};
+pub use sets::{full_set, italy_set, random_set, GenConfig, Region};
+pub use tagging::{tag_pairs, ExpertTag, TaggedPair};

@@ -1,0 +1,263 @@
+//! Region-specific name pools.
+//!
+//! Six pre-war Jewish communities differing culturally and linguistically
+//! (Section 5.1: "Six geographical regions were selected from the dataset,
+//! each representing a different pre-Holocaust Jewish community").
+//! Each region carries male and female given-name pools, surname pools and
+//! a nickname table; transliteration noise is applied separately by
+//! [`crate::corrupt`].
+
+use crate::sets::Region;
+
+/// Male given names per region.
+#[must_use]
+pub fn male_first_names(region: Region) -> &'static [&'static str] {
+    match region {
+        Region::Italy => &[
+            "Guido", "Massimo", "Donato", "Italo", "Alberto", "Aldo", "Angelo", "Arturo",
+            "Attilio", "Bruno", "Carlo", "Cesare", "Dario", "Davide", "Emanuele", "Enrico",
+            "Ettore", "Federico", "Franco", "Giacomo", "Gino", "Giorgio", "Giuseppe", "Leone",
+            "Lelio", "Luciano", "Marco", "Mario", "Maurizio", "Michele", "Raffaele", "Renato",
+            "Renzo", "Roberto", "Salvatore", "Samuele", "Sergio", "Silvio", "Ugo", "Vittorio",
+        ],
+        Region::Poland => &[
+            "Avraham", "Yitzhak", "Moshe", "Yaakov", "Shlomo", "David", "Chaim", "Mordechai",
+            "Shmuel", "Yosef", "Hersh", "Leib", "Mendel", "Pinchas", "Zelig", "Berel", "Fishel",
+            "Getzel", "Kalman", "Lazar", "Meir", "Naftali", "Nachman", "Peretz", "Rafael",
+            "Shimon", "Simcha", "Tevye", "Velvel", "Wolf", "Yehuda", "Yechiel", "Zalman",
+            "Zev", "Aron", "Baruch", "Eliezer", "Gershon", "Hillel", "Isser",
+        ],
+        Region::Hungary => &[
+            "Laszlo", "Istvan", "Ferenc", "Gyorgy", "Jozsef", "Sandor", "Bela", "Imre",
+            "Janos", "Karoly", "Lajos", "Miklos", "Pal", "Tibor", "Zoltan", "Andor", "Arpad",
+            "Dezso", "Erno", "Geza", "Gyula", "Jeno", "Kalman", "Marton", "Odon", "Rezso",
+            "Samu", "Vilmos", "Zsigmond", "Adolf", "Armin", "Dávid", "Herman", "Ignac",
+            "Izidor", "Lipot", "Mor", "Salamon", "Simon", "Tivadar",
+        ],
+        Region::Germany => &[
+            "Siegfried", "Heinrich", "Hermann", "Julius", "Kurt", "Ludwig", "Max", "Otto",
+            "Paul", "Richard", "Rudolf", "Walter", "Werner", "Wilhelm", "Alfred", "Arthur",
+            "Bernhard", "Bruno", "Erich", "Ernst", "Felix", "Fritz", "Georg", "Gustav",
+            "Hans", "Hugo", "Isidor", "Jakob", "Josef", "Karl", "Leo", "Leopold", "Manfred",
+            "Moritz", "Norbert", "Oskar", "Salomon", "Siegmund", "Theodor", "Victor",
+        ],
+        Region::Greece => &[
+            "Alberto", "Daniel", "Elia", "Isaac", "Jacob", "Joseph", "Leon", "Maurice",
+            "Menachem", "Moise", "Nissim", "Pepo", "Raphael", "Salomon", "Samuel", "Solomon",
+            "Victor", "Vital", "Abram", "Asher", "Baruch", "Bension", "Bohor", "David",
+            "Eliau", "Gabriel", "Haim", "Isaco", "Israel", "Judah", "Mair", "Mordohai",
+            "Moshon", "Rahamim", "Sabetay", "Santo", "Shemtov", "Simantov", "Yakov", "Yuda",
+        ],
+        Region::Ussr => &[
+            "Boris", "Grigori", "Iosif", "Lev", "Mikhail", "Naum", "Semyon", "Yakov",
+            "Aleksandr", "Anatoli", "Arkadi", "David", "Efim", "Emmanuil", "Evsei", "Fyodor",
+            "Gennadi", "Ilya", "Isaak", "Izrail", "Lazar", "Leonid", "Mark", "Matvei",
+            "Moisei", "Pavel", "Pyotr", "Roman", "Ruvim", "Samuil", "Solomon", "Vladimir",
+            "Veniamin", "Viktor", "Vulf", "Yefim", "Yegor", "Yuri", "Zakhar", "Zinovi",
+        ],
+    }
+}
+
+/// Female given names per region.
+#[must_use]
+pub fn female_first_names(region: Region) -> &'static [&'static str] {
+    match region {
+        Region::Italy => &[
+            "Estela", "Olga", "Helena", "Clotilde", "Ada", "Alba", "Alessandra", "Amelia",
+            "Anna", "Bianca", "Bice", "Camilla", "Carla", "Celeste", "Clara", "Corinna",
+            "Diana", "Elena", "Elisa", "Elsa", "Emma", "Enrichetta", "Ester", "Eugenia",
+            "Fanny", "Fortunata", "Gemma", "Gina", "Giulia", "Ida", "Irene", "Lea", "Lidia",
+            "Luisa", "Margherita", "Maria", "Marcella", "Rina", "Silvia", "Zimbul",
+        ],
+        Region::Poland => &[
+            "Sara", "Rivka", "Leah", "Rachel", "Chana", "Devorah", "Esther", "Feiga",
+            "Gittel", "Golda", "Hinda", "Ita", "Mindel", "Miriam", "Necha", "Pesia",
+            "Perla", "Reizel", "Rochel", "Ruchla", "Shifra", "Sheindel", "Sosia", "Tauba",
+            "Tema", "Tzipora", "Yenta", "Yocheved", "Zelda", "Zlata", "Bluma", "Brandel",
+            "Chaya", "Dina", "Dvora", "Frieda", "Fruma", "Hadassa", "Henia", "Malka",
+        ],
+        Region::Hungary => &[
+            "Erzsebet", "Ilona", "Margit", "Maria", "Roza", "Sarolta", "Terez", "Zsuzsanna",
+            "Aranka", "Berta", "Edit", "Elza", "Etelka", "Eva", "Flora", "Gizella",
+            "Hermina", "Iren", "Janka", "Jolan", "Judit", "Julianna", "Katalin", "Klara",
+            "Lenke", "Lili", "Magda", "Malvin", "Olga", "Piroska", "Regina", "Rozalia",
+            "Serena", "Szidonia", "Valeria", "Vilma", "Reka", "Iboly", "Agnes", "Anna",
+        ],
+        Region::Germany => &[
+            "Bertha", "Charlotte", "Clara", "Edith", "Else", "Emma", "Erna", "Frieda",
+            "Gertrud", "Grete", "Hedwig", "Helene", "Henriette", "Herta", "Hilde", "Ida",
+            "Ilse", "Irma", "Johanna", "Kaethe", "Lina", "Lotte", "Margarete", "Martha",
+            "Meta", "Paula", "Recha", "Regina", "Rosa", "Rosalie", "Ruth", "Selma",
+            "Sophie", "Thekla", "Toni", "Wilhelmine", "Bella", "Della", "Mina", "Jenny",
+        ],
+        Region::Greece => &[
+            "Allegra", "Bella", "Bienvenida", "Boulissa", "Diamante", "Dona", "Esterina",
+            "Fortunee", "Gracia", "Kadena", "Luna", "Malka", "Mazaltov", "Miriam", "Oro",
+            "Palomba", "Perla", "Rachel", "Rebecca", "Regina", "Reina", "Rosa", "Sara",
+            "Signora", "Sol", "Stella", "Sultana", "Venezia", "Victoria", "Vida", "Zimbul",
+            "Clara", "Djoya", "Elsa", "Giulia", "Hana", "Lea", "Matilde", "Rena", "Rika",
+        ],
+        Region::Ussr => &[
+            "Anna", "Basya", "Berta", "Bronya", "Dora", "Elizaveta", "Esfir", "Eva",
+            "Fanya", "Feiga", "Genya", "Gita", "Golda", "Ida", "Klara", "Lyubov", "Manya",
+            "Maria", "Mariya", "Mina", "Nadezhda", "Nina", "Olga", "Polina", "Raisa",
+            "Rakhil", "Revekka", "Rimma", "Roza", "Slava", "Sofiya", "Sonya", "Tamara",
+            "Tsilya", "Vera", "Yelena", "Yevgeniya", "Zhenya", "Zinaida", "Zoya",
+        ],
+    }
+}
+
+/// Surnames per region.
+#[must_use]
+pub fn last_names(region: Region) -> &'static [&'static str] {
+    match region {
+        Region::Italy => &[
+            "Foa", "Levi", "Segre", "Ottolenghi", "Momigliano", "Treves", "Artom", "Bachi",
+            "Bassani", "Calabi", "Calo", "Cantoni", "Capelluto", "Castelnuovo", "Colombo",
+            "Coen", "DeBenedetti", "Della Torre", "Diena", "Disegni", "Finzi", "Fiorentino",
+            "Foligno", "Fubini", "Funaro", "Gallico", "Genazzani", "Jona", "Lattes", "Luzzati",
+            "Malvano", "Milano", "Modigliani", "Montalcini", "Morpurgo", "Muggia", "Norzi",
+            "Olivetti", "Orvieto", "Ovazza", "Pavia", "Pugliese", "Ravenna", "Recanati",
+            "Sacerdote", "Segni", "Sinigaglia", "Soave", "Sonnino", "Terracini", "Vitale",
+            "Viterbo", "Zargani", "Anau", "Ancona", "Ascoli", "Bemporad", "Camerini",
+            "Castelfranco", "Errera",
+        ],
+        Region::Poland => &[
+            "Kesler", "Apoteker", "Postel", "Grinberg", "Goldberg", "Rozenberg", "Zilberman",
+            "Vaisman", "Fridman", "Kaplan", "Lewin", "Blum", "Cukier", "Diament", "Edelman",
+            "Fajgenbaum", "Gelbart", "Gersztajn", "Gitler", "Gurfinkiel", "Herszkowicz",
+            "Jakubowicz", "Kirszenbaum", "Kleinman", "Korn", "Kranc", "Lederman", "Lichtenstein",
+            "Mandelbaum", "Milgrom", "Najman", "Nusbaum", "Orenstein", "Perelman", "Rajch",
+            "Rotenberg", "Rubinstein", "Szapiro", "Szwarc", "Tenenbaum", "Unger", "Wajnberg",
+            "Waksman", "Warszawski", "Wasserman", "Zajdman", "Zylbersztajn", "Borenstein",
+            "Brzezinski", "Ciechanowski", "Domb", "Erlich", "Feldman", "Frenkiel", "Glik",
+            "Halpern", "Igla", "Jablonski", "Kac", "Landau",
+        ],
+        Region::Hungary => &[
+            "Kovacs", "Szabo", "Nagy", "Weisz", "Klein", "Grosz", "Schwartz", "Braun",
+            "Deutsch", "Fischer", "Friedman", "Gruenwald", "Katz", "Kertesz", "Kohn",
+            "Lazar", "Lengyel", "Lichtman", "Lowinger", "Lukacs", "Mandel", "Molnar",
+            "Pollak", "Reich", "Rosenfeld", "Roth", "Rozsa", "Salamon", "Schlesinger",
+            "Schoen", "Spitzer", "Stein", "Steiner", "Stern", "Szanto", "Szekely", "Ungar",
+            "Vamos", "Varga", "Weinberger", "Winkler", "Balazs", "Berkovits", "Biro",
+            "Boros", "Csillag", "Engel", "Farkas", "Fekete", "Feldmann", "Fenyo", "Frankel",
+            "Gara", "Gero", "Halasz", "Hegedus", "Herczeg", "Horvath", "Izsak", "Kadar",
+        ],
+        Region::Germany => &[
+            "Rosenthal", "Goldschmidt", "Lilienthal", "Blumenfeld", "Rosenbaum", "Loewenstein",
+            "Oppenheimer", "Wertheim", "Bamberger", "Baruch", "Behrend", "Bielefeld",
+            "Birnbaum", "Blumenthal", "Cohn", "Dessauer", "Dreyfuss", "Ehrlich", "Einstein",
+            "Falkenstein", "Feuchtwanger", "Frank", "Fraenkel", "Friedlaender", "Goldmann",
+            "Grunewald", "Guggenheim", "Gutmann", "Hamburger", "Heilbronn", "Herzfeld",
+            "Hirsch", "Hirschfeld", "Kahn", "Kaufmann", "Landauer", "Lehmann", "Levinsohn",
+            "Liebermann", "Loewe", "Marcus", "Mayer", "Mendelssohn", "Meyerhof", "Neumann",
+            "Nussbaum", "Rosenberg", "Rothschild", "Salomon", "Schiff", "Seligmann",
+            "Simon", "Strauss", "Tietz", "Ullmann", "Wallach", "Wassermann", "Weil",
+            "Wolff", "Wurzburger",
+        ],
+        Region::Greece => &[
+            "Capelluto", "Alhadeff", "Amato", "Angel", "Benveniste", "Berro", "Capuano",
+            "Cohen", "Codron", "Franco", "Gabriel", "Galante", "Hanan", "Hasson", "Israel",
+            "Levy", "Menasce", "Modiano", "Notrica", "Pelossof", "Pizanti", "Rahamim",
+            "Russo", "Sidis", "Soriano", "Soulam", "Surmani", "Tarica", "Turiel", "Varon",
+            "Almeleh", "Amarillo", "Arouete", "Attas", "Beraha", "Botton", "Camhi",
+            "Carasso", "Errera", "Eskenazi", "Fais", "Florentin", "Gattegno", "Hazan",
+            "Kamhi", "Mallah", "Matalon", "Mordoh", "Nahmias", "Nefussy", "Perahia",
+            "Pinhas", "Saltiel", "Saporta", "Sarfati", "Sciaky", "Strumza", "Venezia",
+            "Yahiel", "Zacharia",
+        ],
+        Region::Ussr => &[
+            "Abramovich", "Averbukh", "Belenki", "Berman", "Bernshtein", "Brodski",
+            "Vinokur", "Vitkin", "Volfson", "Gendelman", "Gershman", "Ginzburg", "Gluskin",
+            "Goldshtein", "Gorelik", "Grinshpun", "Gurevich", "Dvorkin", "Epshtein",
+            "Zhitomirski", "Zaslavski", "Izrailev", "Ioffe", "Kagan", "Kantor", "Katsnelson",
+            "Kisin", "Kogan", "Kreindel", "Kuperman", "Lapidus", "Lerner", "Liberman",
+            "Lifshits", "Lurie", "Mazur", "Margolin", "Mirkin", "Nemirovski", "Ostrovski",
+            "Perlov", "Pinski", "Plotkin", "Polyak", "Portnoi", "Rabinovich", "Reznik",
+            "Rivkin", "Roitman", "Rubin", "Sverdlov", "Shapiro", "Shifrin", "Shub",
+            "Slutski", "Smolyar", "Tsukerman", "Shneider", "Feldman", "Khait",
+        ],
+    }
+}
+
+/// Professions (coded in the real database; we use labels as codes).
+pub const PROFESSIONS: &[&str] = &[
+    "merchant", "tailor", "shoemaker", "teacher", "physician", "lawyer", "carpenter",
+    "baker", "butcher", "watchmaker", "bookkeeper", "pharmacist", "engineer", "rabbi",
+    "seamstress", "housewife", "student", "farmer", "glazier", "printer", "furrier",
+    "locksmith", "musician", "nurse", "barber", "tinsmith", "weaver", "clerk", "peddler",
+    "photographer",
+];
+
+/// Nickname / diminutive table: canonical name → common variants recorded
+/// instead of the canonical form.
+#[must_use]
+pub fn nicknames(name: &str) -> &'static [&'static str] {
+    match name {
+        "Avraham" => &["Avram", "Abram", "Abraham", "Avrum"],
+        "Yitzhak" => &["Itzhak", "Izak", "Icchok", "Isaac"],
+        "Moshe" => &["Moishe", "Mojsze", "Moses", "Moisei"],
+        "Yaakov" => &["Yankel", "Jakob", "Jacob", "Yakov"],
+        "David" => &["Dudl", "Dawid", "Davide"],
+        "Shmuel" => &["Samuel", "Szmul", "Samuele"],
+        "Yosef" => &["Josef", "Jozef", "Joseph", "Giuseppe"],
+        "Esther" => &["Estera", "Ester", "Esterka"],
+        "Sara" => &["Sarah", "Sura", "Sala"],
+        "Rivka" => &["Rebecca", "Rywka", "Riva"],
+        "Chana" => &["Hanna", "Anna", "Khana"],
+        "Miriam" => &["Maria", "Mirla", "Mira"],
+        "Giuseppe" => &["Beppe", "Yosef"],
+        "Vittorio" => &["Vito"],
+        "Alberto" => &["Berto"],
+        "Isaak" => &["Isak", "Itzik"],
+        "Salomon" => &["Shlomo", "Salamon", "Solomon"],
+        "Wilhelm" => &["Willi", "Wolf"],
+        "Elizaveta" => &["Liza", "Lisa"],
+        "Aleksandr" => &["Sasha", "Shura"],
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_region_has_substantial_pools() {
+        for region in Region::ALL {
+            assert!(male_first_names(region).len() >= 40, "{region:?} male pool");
+            assert!(female_first_names(region).len() >= 40, "{region:?} female pool");
+            assert!(last_names(region).len() >= 59, "{region:?} surname pool");
+        }
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for region in Region::ALL {
+            for pool in [male_first_names(region), female_first_names(region), last_names(region)]
+            {
+                let mut seen = std::collections::HashSet::new();
+                for name in pool {
+                    assert!(seen.insert(*name), "duplicate {name} in {region:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nicknames_do_not_contain_the_canonical_name() {
+        for name in ["Avraham", "Yitzhak", "Moshe", "Sara"] {
+            assert!(!nicknames(name).contains(&name));
+            assert!(!nicknames(name).is_empty());
+        }
+        assert!(nicknames("Nobody").is_empty());
+    }
+
+    #[test]
+    fn regions_have_distinct_flavors() {
+        // Italian and Polish surname pools should barely overlap.
+        let italy: std::collections::HashSet<_> = last_names(Region::Italy).iter().collect();
+        let poland: std::collections::HashSet<_> = last_names(Region::Poland).iter().collect();
+        assert!(italy.intersection(&poland).count() <= 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Region-specific place gazetteers with coordinates.
+//!
+//! Each gazetteer entry carries the four place parts of the Names Project
+//! schema (city / county / region / country) plus GPS coordinates (the ERD
+//! of Figure 3 stores coordinates per place).
+
+use crate::sets::Region;
+use yv_records::{GeoPoint, Place};
+
+/// A gazetteer entry.
+#[derive(Debug, Clone, Copy)]
+pub struct GazetteerEntry {
+    pub city: &'static str,
+    pub county: &'static str,
+    pub region: &'static str,
+    pub country: &'static str,
+    pub lat: f64,
+    pub lon: f64,
+}
+
+impl GazetteerEntry {
+    /// Materialize as a fully-specified [`Place`].
+    #[must_use]
+    pub fn place(&self) -> Place {
+        Place::full(
+            self.city,
+            self.county,
+            self.region,
+            self.country,
+            GeoPoint::new(self.lat, self.lon),
+        )
+    }
+}
+
+macro_rules! gaz {
+    ($( ($city:literal, $county:literal, $region:literal, $country:literal, $lat:literal, $lon:literal) ),+ $(,)?) => {
+        &[ $( GazetteerEntry { city: $city, county: $county, region: $region, country: $country, lat: $lat, lon: $lon } ),+ ]
+    };
+}
+
+/// Residence places of a region's community.
+#[must_use]
+pub fn residences(region: Region) -> &'static [GazetteerEntry] {
+    match region {
+        Region::Italy => gaz![
+            ("Torino", "Torino", "Piemonte", "Italy", 45.0703, 7.6869),
+            ("Turin", "Torino", "Piemonte", "Italy", 45.0703, 7.6869),
+            ("Moncalieri", "Torino", "Piemonte", "Italy", 44.9996, 7.6828),
+            ("Cuorgne", "Torino", "Piemonte", "Italy", 45.3906, 7.6497),
+            ("Canischio", "Torino", "Piemonte", "Italy", 45.3753, 7.5964),
+            ("Milano", "Milano", "Lombardia", "Italy", 45.4642, 9.1900),
+            ("Venezia", "Venezia", "Veneto", "Italy", 45.4408, 12.3155),
+            ("Genova", "Genova", "Liguria", "Italy", 44.4056, 8.9463),
+            ("Firenze", "Firenze", "Toscana", "Italy", 43.7696, 11.2558),
+            ("Livorno", "Livorno", "Toscana", "Italy", 43.5485, 10.3106),
+            ("Roma", "Roma", "Lazio", "Italy", 41.9028, 12.4964),
+            ("Trieste", "Trieste", "Friuli", "Italy", 45.6495, 13.7768),
+            ("Ferrara", "Ferrara", "Emilia", "Italy", 44.8381, 11.6198),
+            ("Modena", "Modena", "Emilia", "Italy", 44.6471, 10.9252),
+            ("Ancona", "Ancona", "Marche", "Italy", 43.6158, 13.5189),
+            ("Pisa", "Pisa", "Toscana", "Italy", 43.7228, 10.4017),
+            ("Casale Monferrato", "Alessandria", "Piemonte", "Italy", 45.1333, 8.4500),
+            ("Alessandria", "Alessandria", "Piemonte", "Italy", 44.9133, 8.6150),
+            ("Mantova", "Mantova", "Lombardia", "Italy", 45.1564, 10.7914),
+            ("Padova", "Padova", "Veneto", "Italy", 45.4064, 11.8768),
+        ],
+        Region::Poland => gaz![
+            ("Warszawa", "Warszawa", "Mazowieckie", "Poland", 52.2297, 21.0122),
+            ("Lodz", "Lodz", "Lodzkie", "Poland", 51.7592, 19.4560),
+            ("Krakow", "Krakow", "Malopolskie", "Poland", 50.0647, 19.9450),
+            ("Lublin", "Lublin", "Lubelskie", "Poland", 51.2465, 22.5684),
+            ("Bialystok", "Bialystok", "Podlaskie", "Poland", 53.1325, 23.1688),
+            ("Lwow", "Lwow", "Lwowskie", "Poland", 49.8397, 24.0297),
+            ("Wilno", "Wilno", "Wilenskie", "Poland", 54.6872, 25.2797),
+            ("Lubaczow", "Lubaczow", "Lwowskie", "Poland", 50.1561, 23.1233),
+            ("Antopol", "Kobryn", "Polesie", "Poland", 52.2028, 24.7839),
+            ("Kobryn", "Kobryn", "Polesie", "Poland", 52.2139, 24.3564),
+            ("Pinsk", "Pinsk", "Polesie", "Poland", 52.1229, 26.0951),
+            ("Radom", "Radom", "Kieleckie", "Poland", 51.4025, 21.1471),
+            ("Kielce", "Kielce", "Kieleckie", "Poland", 50.8661, 20.6286),
+            ("Czestochowa", "Czestochowa", "Kieleckie", "Poland", 50.8118, 19.1203),
+            ("Piotrkow", "Piotrkow", "Lodzkie", "Poland", 51.4047, 19.7032),
+            ("Tarnow", "Tarnow", "Krakowskie", "Poland", 50.0121, 20.9858),
+            ("Przemysl", "Przemysl", "Lwowskie", "Poland", 49.7838, 22.7677),
+            ("Bedzin", "Bedzin", "Kieleckie", "Poland", 50.3249, 19.1266),
+            ("Sosnowiec", "Sosnowiec", "Kieleckie", "Poland", 50.2863, 19.1042),
+            ("Grodno", "Grodno", "Bialostockie", "Poland", 53.6694, 23.8131),
+        ],
+        Region::Hungary => gaz![
+            ("Budapest", "Pest", "Pest", "Hungary", 47.4979, 19.0402),
+            ("Debrecen", "Hajdu", "Hajdu", "Hungary", 47.5316, 21.6273),
+            ("Szeged", "Csongrad", "Csongrad", "Hungary", 46.2530, 20.1414),
+            ("Miskolc", "Borsod", "Borsod", "Hungary", 48.1035, 20.7784),
+            ("Pecs", "Baranya", "Baranya", "Hungary", 46.0727, 18.2323),
+            ("Gyor", "Gyor", "Gyor", "Hungary", 47.6875, 17.6504),
+            ("Nyiregyhaza", "Szabolcs", "Szabolcs", "Hungary", 47.9554, 21.7167),
+            ("Kecskemet", "Pest", "Pest", "Hungary", 46.8964, 19.6897),
+            ("Szekesfehervar", "Fejer", "Fejer", "Hungary", 47.1860, 18.4221),
+            ("Szombathely", "Vas", "Vas", "Hungary", 47.2307, 16.6218),
+            ("Sopron", "Sopron", "Sopron", "Hungary", 47.6817, 16.5845),
+            ("Kaposvar", "Somogy", "Somogy", "Hungary", 46.3594, 17.7968),
+            ("Eger", "Heves", "Heves", "Hungary", 47.9025, 20.3772),
+            ("Munkacs", "Bereg", "Karpatalja", "Hungary", 48.4392, 22.7129),
+            ("Ungvar", "Ung", "Karpatalja", "Hungary", 48.6208, 22.2879),
+            ("Szatmarnemeti", "Szatmar", "Partium", "Hungary", 47.7928, 22.8857),
+            ("Nagyvarad", "Bihar", "Partium", "Hungary", 47.0722, 21.9211),
+            ("Kolozsvar", "Kolozs", "Erdely", "Hungary", 46.7712, 23.6236),
+            ("Kassa", "Abauj", "Felvidek", "Hungary", 48.7164, 21.2611),
+            ("Mako", "Csanad", "Csanad", "Hungary", 46.2219, 20.4809),
+        ],
+        Region::Germany => gaz![
+            ("Berlin", "Berlin", "Brandenburg", "Germany", 52.5200, 13.4050),
+            ("Frankfurt", "Frankfurt", "Hessen", "Germany", 50.1109, 8.6821),
+            ("Hamburg", "Hamburg", "Hamburg", "Germany", 53.5511, 9.9937),
+            ("Koeln", "Koeln", "Rheinland", "Germany", 50.9375, 6.9603),
+            ("Muenchen", "Muenchen", "Bayern", "Germany", 48.1351, 11.5820),
+            ("Leipzig", "Leipzig", "Sachsen", "Germany", 51.3397, 12.3731),
+            ("Breslau", "Breslau", "Schlesien", "Germany", 51.1079, 17.0385),
+            ("Dresden", "Dresden", "Sachsen", "Germany", 51.0504, 13.7373),
+            ("Nuernberg", "Nuernberg", "Bayern", "Germany", 49.4521, 11.0767),
+            ("Stuttgart", "Stuttgart", "Wuerttemberg", "Germany", 48.7758, 9.1829),
+            ("Mannheim", "Mannheim", "Baden", "Germany", 49.4875, 8.4660),
+            ("Wuerzburg", "Wuerzburg", "Bayern", "Germany", 49.7913, 9.9534),
+            ("Mainz", "Mainz", "Hessen", "Germany", 49.9929, 8.2473),
+            ("Kassel", "Kassel", "Hessen", "Germany", 51.3127, 9.4797),
+            ("Hannover", "Hannover", "Niedersachsen", "Germany", 52.3759, 9.7320),
+            ("Essen", "Essen", "Rheinland", "Germany", 51.4556, 7.0116),
+            ("Dortmund", "Dortmund", "Westfalen", "Germany", 51.5136, 7.4653),
+            ("Karlsruhe", "Karlsruhe", "Baden", "Germany", 49.0069, 8.4037),
+            ("Fuerth", "Fuerth", "Bayern", "Germany", 49.4772, 10.9887),
+            ("Bamberg", "Bamberg", "Bayern", "Germany", 49.8988, 10.9028),
+        ],
+        Region::Greece => gaz![
+            ("Rhodes", "Rhodes", "Dodecanese", "Greece", 36.4349, 28.2176),
+            ("Salonika", "Salonika", "Macedonia", "Greece", 40.6401, 22.9444),
+            ("Athens", "Attica", "Attica", "Greece", 37.9838, 23.7275),
+            ("Kavala", "Kavala", "Macedonia", "Greece", 40.9396, 24.4069),
+            ("Ioannina", "Ioannina", "Epirus", "Greece", 39.6650, 20.8537),
+            ("Corfu", "Corfu", "Ionian", "Greece", 39.6243, 19.9217),
+            ("Volos", "Magnesia", "Thessaly", "Greece", 39.3622, 22.9420),
+            ("Larissa", "Larissa", "Thessaly", "Greece", 39.6390, 22.4191),
+            ("Drama", "Drama", "Macedonia", "Greece", 41.1528, 24.1472),
+            ("Serres", "Serres", "Macedonia", "Greece", 41.0856, 23.5484),
+            ("Kastoria", "Kastoria", "Macedonia", "Greece", 40.5193, 21.2687),
+            ("Kos", "Kos", "Dodecanese", "Greece", 36.8938, 27.2877),
+            ("Chania", "Chania", "Crete", "Greece", 35.5138, 24.0180),
+            ("Trikala", "Trikala", "Thessaly", "Greece", 39.5556, 21.7679),
+            ("Xanthi", "Xanthi", "Thrace", "Greece", 41.1349, 24.8880),
+            ("Komotini", "Rhodope", "Thrace", "Greece", 41.1224, 25.4066),
+            ("Veria", "Imathia", "Macedonia", "Greece", 40.5242, 22.2028),
+            ("Florina", "Florina", "Macedonia", "Greece", 40.7828, 21.4092),
+            ("Didymoteicho", "Evros", "Thrace", "Greece", 41.3486, 26.4964),
+            ("Preveza", "Preveza", "Epirus", "Greece", 38.9597, 20.7517),
+        ],
+        Region::Ussr => gaz![
+            ("Kiev", "Kiev", "Ukraine", "USSR", 50.4501, 30.5234),
+            ("Odessa", "Odessa", "Ukraine", "USSR", 46.4825, 30.7233),
+            ("Minsk", "Minsk", "Belorussia", "USSR", 53.9006, 27.5590),
+            ("Kharkov", "Kharkov", "Ukraine", "USSR", 49.9935, 36.2304),
+            ("Dnepropetrovsk", "Dnepropetrovsk", "Ukraine", "USSR", 48.4647, 35.0462),
+            ("Vitebsk", "Vitebsk", "Belorussia", "USSR", 55.1904, 30.2049),
+            ("Gomel", "Gomel", "Belorussia", "USSR", 52.4345, 30.9754),
+            ("Mogilev", "Mogilev", "Belorussia", "USSR", 53.9007, 30.3313),
+            ("Zhitomir", "Zhitomir", "Ukraine", "USSR", 50.2547, 28.6587),
+            ("Berdichev", "Zhitomir", "Ukraine", "USSR", 49.8916, 28.6003),
+            ("Vinnitsa", "Vinnitsa", "Ukraine", "USSR", 49.2331, 28.4682),
+            ("Uman", "Cherkassy", "Ukraine", "USSR", 48.7484, 30.2219),
+            ("Nikolaev", "Nikolaev", "Ukraine", "USSR", 46.9750, 31.9946),
+            ("Kherson", "Kherson", "Ukraine", "USSR", 46.6354, 32.6169),
+            ("Poltava", "Poltava", "Ukraine", "USSR", 49.5883, 34.5514),
+            ("Chernigov", "Chernigov", "Ukraine", "USSR", 51.4982, 31.2893),
+            ("Bobruisk", "Mogilev", "Belorussia", "USSR", 53.1446, 29.2214),
+            ("Smolensk", "Smolensk", "Russia", "USSR", 54.7818, 32.0401),
+            ("Rostov", "Rostov", "Russia", "USSR", 47.2357, 39.7015),
+            ("Kishinev", "Kishinev", "Bessarabia", "USSR", 47.0105, 28.8638),
+        ],
+    }
+}
+
+/// Death places: camps, ghettos and killing sites where fates were
+/// recorded.
+pub const DEATH_PLACES: &[GazetteerEntry] = gaz![
+    ("Auschwitz", "Oswiecim", "Krakowskie", "Poland", 50.0343, 19.1784),
+    ("Sobibor", "Wlodawa", "Lubelskie", "Poland", 51.4477, 23.5936),
+    ("Treblinka", "Sokolow", "Mazowieckie", "Poland", 52.6311, 22.0514),
+    ("Belzec", "Tomaszow", "Lubelskie", "Poland", 50.3842, 23.4428),
+    ("Majdanek", "Lublin", "Lubelskie", "Poland", 51.2180, 22.5992),
+    ("Chelmno", "Kolo", "Lodzkie", "Poland", 52.1539, 18.7281),
+    ("Mauthausen", "Perg", "Oberoesterreich", "Austria", 48.2561, 14.5003),
+    ("Dachau", "Dachau", "Bayern", "Germany", 48.2699, 11.4683),
+    ("Buchenwald", "Weimar", "Thueringen", "Germany", 51.0219, 11.2494),
+    ("Bergen-Belsen", "Celle", "Niedersachsen", "Germany", 52.7584, 9.9076),
+    ("Theresienstadt", "Litomerice", "Bohemia", "Czechoslovakia", 50.5119, 14.1503),
+    ("Ravensbrueck", "Fuerstenberg", "Brandenburg", "Germany", 53.1903, 13.1677),
+    ("Stutthof", "Sztutowo", "Pomorskie", "Poland", 54.3275, 19.1514),
+    ("Babi Yar", "Kiev", "Ukraine", "USSR", 50.4716, 30.4497),
+    ("Ponary", "Wilno", "Wilenskie", "Poland", 54.6275, 25.2117),
+    ("Drancy", "Seine", "Ile-de-France", "France", 48.9200, 2.4530),
+    ("Fossoli", "Modena", "Emilia", "Italy", 44.8252, 10.8823),
+    ("Risiera di San Sabba", "Trieste", "Friuli", "Italy", 45.6186, 13.7892),
+    ("Transnistria", "Transnistria", "Transnistria", "USSR", 47.5000, 29.5000),
+    ("Jasenovac", "Sisak", "Slavonia", "Croatia", 45.2672, 16.9086),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_region_has_a_gazetteer() {
+        for region in Region::ALL {
+            let g = residences(region);
+            assert!(g.len() >= 20, "{region:?}");
+            for e in g {
+                assert!(!e.city.is_empty());
+                assert!((-90.0..=90.0).contains(&e.lat));
+                assert!((-180.0..=180.0).contains(&e.lon));
+            }
+        }
+    }
+
+    #[test]
+    fn entry_materializes_full_place() {
+        let p = residences(Region::Italy)[0].place();
+        assert_eq!(p.city.as_deref(), Some("Torino"));
+        assert_eq!(p.country.as_deref(), Some("Italy"));
+        assert!(p.coords.is_some());
+    }
+
+    #[test]
+    fn death_places_include_the_papers_examples() {
+        // The paper's running examples and source descriptions mention
+        // Auschwitz, Sobibor, Mauthausen and Transnistria.
+        for name in ["Auschwitz", "Sobibor", "Mauthausen", "Transnistria", "Drancy"] {
+            assert!(DEATH_PLACES.iter().any(|e| e.city == name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn torino_and_turin_are_transliteration_twins() {
+        // The Guido Foa reports spell Turin both ways (Table 1); the
+        // gazetteer carries both with identical coordinates.
+        let g = residences(Region::Italy);
+        let torino = g.iter().find(|e| e.city == "Torino").unwrap();
+        let turin = g.iter().find(|e| e.city == "Turin").unwrap();
+        assert!((torino.lat - turin.lat).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Failure injection: the generator must stay well-formed under extreme
+//! configurations (total dropout, total noise, degenerate sizes).
+
+use yv_datagen::{GenConfig, MvConfig, Region};
+
+#[test]
+fn full_dropout_yields_empty_but_valid_records() {
+    let gen = GenConfig { dropout: 1.0, ..GenConfig::random(300, 1) }.generate();
+    assert!(!gen.dataset.is_empty());
+    for rid in gen.dataset.record_ids() {
+        // Bags may be empty; pattern analysis and blocking must not panic.
+        let _ = gen.dataset.bag(rid);
+    }
+    let stats = yv_records::PatternStats::analyze(&gen.dataset);
+    assert!(stats.distinct_patterns() >= 1, "the empty pattern still counts");
+}
+
+#[test]
+fn full_noise_still_produces_matchable_structure() {
+    let gen = GenConfig { name_noise: 1.0, date_noise: 1.0, ..GenConfig::random(300, 2) }
+        .generate();
+    assert!(gen.gold_pair_count() > 0);
+    // Blocking still runs on heavily corrupted data.
+    let result =
+        yv_blocking::mfi_blocks(&gen.dataset, &yv_blocking::MfiBlocksConfig::default());
+    assert!(result.stats.iterations >= 1);
+}
+
+#[test]
+fn tiny_datasets_are_valid() {
+    for n in [1usize, 2, 5, 10] {
+        let gen = GenConfig::random(n, 3).generate();
+        assert!(!gen.dataset.is_empty());
+        assert!(gen.dataset.len() <= n + 8, "overshoot bounded by one person's reports");
+        for rid in gen.dataset.record_ids() {
+            let _ = gen.person_of(rid);
+            let _ = gen.family_of(rid);
+        }
+    }
+}
+
+#[test]
+fn mv_larger_than_the_set_is_clamped_sanely() {
+    let gen = GenConfig {
+        n_records: 100,
+        mv: Some(MvConfig { n_reports: 100 }),
+        ..GenConfig::italy(4)
+    }
+    .generate();
+    // All requested records are MV records; organic part is empty.
+    assert_eq!(gen.mv_records().len(), 100);
+}
+
+#[test]
+fn single_region_sets_only_use_that_region() {
+    let gen = GenConfig {
+        regions: vec![Region::Greece],
+        ..GenConfig::random(400, 5)
+    }
+    .generate();
+    for p in &gen.persons {
+        assert_eq!(p.region, Region::Greece);
+    }
+}
+
+#[test]
+fn zero_records_request() {
+    let gen = GenConfig::random(0, 6).generate();
+    assert_eq!(gen.dataset.len(), 0);
+    assert_eq!(gen.gold_pair_count(), 0);
+    assert!(gen.matching_pairs().is_empty());
+}

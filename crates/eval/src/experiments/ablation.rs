@@ -1,0 +1,96 @@
+//! Extension ablation (not a paper table): the value of the Names
+//! Project's equivalence-class preprocessing.
+//!
+//! Section 2 credits the expert-curated equivalence classes for the
+//! "large yet relatively clean" database every other experiment assumes.
+//! This ablation runs identical MFIBlocks configurations over the raw
+//! generated records and over the same records with the generator's
+//! equivalence dictionary applied, quantifying what the preprocessing
+//! buys.
+
+use crate::experiments::{Context, Report};
+use crate::metrics::{prf, Prf};
+use crate::table::{f3, Table};
+use std::collections::HashSet;
+use yv_blocking::{mfi_blocks, MfiBlocksConfig};
+use yv_datagen::{canonicalized_dataset, equivalence_classes};
+use yv_records::RecordId;
+
+/// Quality of one arm of the ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationArm {
+    pub preprocessed: bool,
+    pub vocabulary: usize,
+    pub quality: Prf,
+}
+
+/// Measure both arms against the generator's complete ground truth (not
+/// the tagged standard: preprocessing changes what the standard itself
+/// would contain, so the comparison needs a fixed referee).
+#[must_use]
+pub fn measure(ctx: &Context) -> Vec<AblationArm> {
+    let gold: HashSet<(RecordId, RecordId)> =
+        ctx.italy.matching_pairs().into_iter().collect();
+    let config = MfiBlocksConfig::expert_weighting();
+    let eq = equivalence_classes();
+    let canon = canonicalized_dataset(&ctx.italy.dataset, &eq);
+
+    [false, true]
+        .into_iter()
+        .map(|preprocessed| {
+            let ds = if preprocessed { &canon } else { &ctx.italy.dataset };
+            let result = mfi_blocks(ds, &config);
+            AblationArm {
+                preprocessed,
+                vocabulary: ds.interner().len(),
+                quality: prf(&result.candidate_pairs, &gold),
+            }
+        })
+        .collect()
+}
+
+#[must_use]
+pub fn run(ctx: &Context) -> Report {
+    let arms = measure(ctx);
+    let mut t = Table::new(
+        "Equivalence-class preprocessing ablation (vs. complete ground truth)",
+        &["Arm", "Vocabulary", "Recall", "Precision", "F-1"],
+    );
+    for arm in &arms {
+        t.row(vec![
+            if arm.preprocessed { "With equivalence classes" } else { "Raw records" }.into(),
+            arm.vocabulary.to_string(),
+            f3(arm.quality.recall),
+            f3(arm.quality.precision),
+            f3(arm.quality.f1),
+        ]);
+    }
+    Report {
+        id: "Ablation (extension)".into(),
+        title: "Equivalence-class preprocessing".into(),
+        body: t.render(),
+        notes: "Extension beyond the paper's tables: quantifies the Section 2 \
+                claim that the experts' equivalence-class preprocessing is \
+                what makes the database 'relatively clean'. Applying the \
+                dictionary shrinks the item vocabulary and recovers matches \
+                whose only divergence is a transliteration variant."
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn preprocessing_shrinks_vocabulary_and_keeps_recall() {
+        let ctx = Context::build(Scale::quick());
+        let arms = measure(&ctx);
+        assert_eq!(arms.len(), 2);
+        let raw = arms.iter().find(|a| !a.preprocessed).unwrap();
+        let clean = arms.iter().find(|a| a.preprocessed).unwrap();
+        assert!(clean.vocabulary < raw.vocabulary);
+        assert!(clean.quality.recall >= raw.quality.recall - 0.03);
+    }
+}

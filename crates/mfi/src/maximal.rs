@@ -1,0 +1,339 @@
+//! Direct maximal frequent itemset mining (FPMax-style).
+//!
+//! An itemset is maximal when it is frequent and no frequent strict
+//! superset exists. The miner follows the FP-Growth recursion but maintains
+//! the running MFI set and applies two prunings:
+//!
+//! 1. **single-path shortcut** — a conditional tree that degenerates to one
+//!    path contributes exactly one candidate per distinct count level, so
+//!    identical duplicate records never cause subset enumeration;
+//! 2. **head subsumption** — before descending into a conditional tree, the
+//!    largest itemset that branch could produce (`prefix ∪ all items in the
+//!    conditional tree`) is checked against the MFI set; subsumed branches
+//!    are skipped wholesale.
+
+use crate::fptree::FpTree;
+
+/// A mined itemset: sorted item ids and the number of supporting
+/// transactions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Itemset {
+    pub items: Vec<u32>,
+    pub support: u64,
+}
+
+impl Itemset {
+    /// True when `self.items ⊆ other` (both sorted).
+    #[must_use]
+    pub fn is_subset_of(&self, other: &[u32]) -> bool {
+        is_subset(&self.items, other)
+    }
+}
+
+/// Subset test over two sorted slices.
+#[must_use]
+pub fn is_subset(small: &[u32], big: &[u32]) -> bool {
+    debug_assert!(small.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(big.windows(2).all(|w| w[0] < w[1]));
+    let mut j = 0;
+    for &x in small {
+        while j < big.len() && big[j] < x {
+            j += 1;
+        }
+        if j >= big.len() || big[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// The running MFI collection with posting-list-indexed subsumption
+/// checks: `postings[item]` lists the recorded sets containing `item`, so
+/// a subsumption test only inspects sets sharing the candidate's rarest
+/// item instead of the whole collection (large minsup-2 runs record
+/// hundreds of thousands of MFIs).
+#[derive(Debug, Default)]
+struct MfiSet {
+    /// Tombstoned storage: superseded sets become `None`.
+    slots: Vec<Option<Itemset>>,
+    postings: std::collections::HashMap<u32, Vec<u32>>,
+    live: usize,
+}
+
+impl MfiSet {
+    /// True when `candidate` (sorted) is a subset of an already-recorded
+    /// MFI.
+    fn subsumed(&self, candidate: &[u32]) -> bool {
+        let Some(rarest) = candidate
+            .iter()
+            .min_by_key(|i| self.postings.get(i).map_or(0, Vec::len))
+        else {
+            return false; // the empty set is never recorded
+        };
+        let Some(list) = self.postings.get(rarest) else {
+            return false;
+        };
+        list.iter().any(|&idx| {
+            self.slots[idx as usize]
+                .as_ref()
+                .is_some_and(|m| is_subset(candidate, &m.items))
+        })
+    }
+
+    /// Insert a candidate known to be frequent; drops recorded sets it
+    /// strictly contains. No-op when subsumed.
+    fn insert(&mut self, items: Vec<u32>, support: u64) {
+        if self.subsumed(&items) {
+            return;
+        }
+        // Tombstone subsets of the new set: any such subset shares the new
+        // set's first item or... every item of the subset is in `items`,
+        // so scanning the postings of each new item finds them all.
+        for &item in &items {
+            if let Some(list) = self.postings.get(&item) {
+                for &idx in list {
+                    let slot = &mut self.slots[idx as usize];
+                    if slot.as_ref().is_some_and(|m| is_subset(&m.items, &items)) {
+                        *slot = None;
+                        self.live -= 1;
+                    }
+                }
+            }
+        }
+        let idx = self.slots.len() as u32;
+        for &item in &items {
+            self.postings.entry(item).or_default().push(idx);
+        }
+        self.slots.push(Some(Itemset { items, support }));
+        self.live += 1;
+    }
+
+    fn into_sets(self) -> Vec<Itemset> {
+        self.slots.into_iter().flatten().collect()
+    }
+}
+
+/// Mine all maximal frequent itemsets with support ≥ `minsup` from the
+/// given item bags. Items within each returned set are sorted; the result
+/// is sorted for determinism. Singleton maximal itemsets are included
+/// (they arise when a frequent item co-occurs with nothing frequently).
+#[must_use]
+pub fn mine_maximal(bags: &[Vec<u32>], minsup: u64) -> Vec<Itemset> {
+    assert!(minsup >= 1, "minsup must be at least 1");
+    let tree = FpTree::build(bags.iter().map(|b| (b.as_slice(), 1)), minsup);
+    let mut mfis = MfiSet::default();
+    fpmax(&tree, &mut Vec::new(), minsup, &mut mfis);
+    let mut out = mfis.into_sets();
+    out.sort();
+    out
+}
+
+fn fpmax(tree: &FpTree, prefix: &mut Vec<u32>, minsup: u64, mfis: &mut MfiSet) {
+    if tree.is_empty() {
+        return;
+    }
+    if let Some(path) = tree.single_path() {
+        // Single path: every count level yields one candidate — the prefix
+        // plus the path items down to that level. Only the deepest frequent
+        // level can be maximal for this branch, plus shallower levels are
+        // subsets, so one candidate suffices: all path nodes are already
+        // ≥ minsup (infrequent items never enter the tree).
+        let mut items = prefix.clone();
+        items.extend(path.iter().map(|&(rank, _)| tree.item_of(rank)));
+        items.sort_unstable();
+        let support = path.last().map_or(0, |&(_, c)| c);
+        if !items.is_empty() {
+            mfis.insert(items, support);
+        }
+        return;
+    }
+    for rank in tree.ranks_ascending_frequency() {
+        let item = tree.item_of(rank);
+        let support = tree.rank_count(rank);
+        prefix.push(item);
+        let base = tree.conditional_base(rank);
+        if base.is_empty() {
+            let mut items = prefix.clone();
+            items.sort_unstable();
+            mfis.insert(items, support);
+        } else {
+            let cond = FpTree::build(base.iter().map(|(p, w)| (p.as_slice(), *w)), minsup);
+            if cond.is_empty() {
+                let mut items = prefix.clone();
+                items.sort_unstable();
+                mfis.insert(items, support);
+            } else {
+                // Head pruning: the largest set this branch can produce.
+                let mut head = prefix.clone();
+                head.extend((0..cond.n_ranks()).map(|r| cond.item_of(r)));
+                head.sort_unstable();
+                head.dedup();
+                if !mfis.subsumed(&head) {
+                    fpmax(&cond, prefix, minsup, mfis);
+                }
+            }
+        }
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::mine_frequent;
+    use std::collections::BTreeSet;
+
+    /// Reference maximality filter over the complete FI list.
+    fn maximal_reference(bags: &[Vec<u32>], minsup: u64) -> Vec<Itemset> {
+        let all = mine_frequent(bags, minsup);
+        let sets: Vec<BTreeSet<u32>> =
+            all.iter().map(|s| s.items.iter().copied().collect()).collect();
+        let mut out: Vec<Itemset> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                let me: BTreeSet<u32> = s.items.iter().copied().collect();
+                !sets.iter().enumerate().any(|(j, other)| *i != j && me.is_subset(other) && me != *other)
+            })
+            .map(|(_, s)| s.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn doc_example() {
+        let bags = vec![vec![1, 2, 3, 4], vec![1, 2, 3, 5], vec![1, 6]];
+        let mfis = mine_maximal(&bags, 2);
+        assert_eq!(mfis, vec![Itemset { items: vec![1, 2, 3], support: 2 }]);
+    }
+
+    #[test]
+    fn identical_bags_do_not_explode() {
+        // 100 identical bags of 20 items: all-FI mining would enumerate
+        // 2^20 sets; maximal mining must return exactly one.
+        let bag: Vec<u32> = (0..20).collect();
+        let bags = vec![bag.clone(); 100];
+        let mfis = mine_maximal(&bags, 2);
+        assert_eq!(mfis.len(), 1);
+        assert_eq!(mfis[0].items, bag);
+        assert_eq!(mfis[0].support, 100);
+    }
+
+    #[test]
+    fn paper_table2_example() {
+        // Records 3 and 4 of Table 2 share {F Yitzhak, L Postel, G 0};
+        // encode items as ids.
+        // r1: YB1927, P1 Lubaczow, ..., F Avraham, L Kesler
+        // r2: P1 Lwow, ..., F Avraham, L Apoteker, G0
+        // r3: P1 Antopol, ..., F Yitzhak, F Avram, L Postel, G0, P4 Poland
+        // r4: P4 Poland, F Yitzhak, L Postel, G0
+        let (f_yitzhak, l_postel, g0, p4_poland, f_avraham) = (1, 2, 3, 4, 5);
+        let bags = vec![
+            vec![f_avraham, 10, 11, 12, p4_poland],
+            vec![f_avraham, 13, 14, g0, p4_poland],
+            vec![f_yitzhak, 20, l_postel, g0, p4_poland],
+            vec![f_yitzhak, l_postel, g0, p4_poland],
+        ];
+        let mfis = mine_maximal(&bags, 2);
+        // {F Yitzhak, L Postel, G 0, P4 Poland} is maximal with support 2.
+        assert!(mfis
+            .iter()
+            .any(|m| m.items == vec![f_yitzhak, l_postel, g0, p4_poland] && m.support == 2));
+        // No mined set strictly contains another.
+        for (i, a) in mfis.iter().enumerate() {
+            for (j, b) in mfis.iter().enumerate() {
+                if i != j {
+                    assert!(!is_subset(&a.items, &b.items), "{a:?} subset of {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_reference_on_fixed_inputs() {
+        let bags = vec![
+            vec![1, 2, 3],
+            vec![1, 2, 4],
+            vec![1, 3, 4],
+            vec![2, 3, 4],
+            vec![1, 2, 3, 4],
+            vec![5, 6],
+            vec![5, 6, 7],
+        ];
+        for minsup in 1..=4 {
+            assert_eq!(
+                mine_maximal(&bags, minsup),
+                maximal_reference(&bags, minsup),
+                "minsup={minsup}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_subset_basics() {
+        assert!(is_subset(&[], &[]));
+        assert!(is_subset(&[], &[1]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn agrees_with_reference(
+                bags in proptest::collection::vec(
+                    proptest::collection::vec(0u32..10, 0..7), 0..10),
+                minsup in 1u64..4,
+            ) {
+                prop_assert_eq!(
+                    mine_maximal(&bags, minsup),
+                    maximal_reference(&bags, minsup)
+                );
+            }
+
+            #[test]
+            fn results_are_mutually_incomparable(
+                bags in proptest::collection::vec(
+                    proptest::collection::vec(0u32..12, 0..8), 0..12),
+                minsup in 2u64..4,
+            ) {
+                let mfis = mine_maximal(&bags, minsup);
+                for (i, a) in mfis.iter().enumerate() {
+                    for (j, b) in mfis.iter().enumerate() {
+                        if i != j {
+                            prop_assert!(!is_subset(&a.items, &b.items));
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn supports_are_correct(
+                bags in proptest::collection::vec(
+                    proptest::collection::vec(0u32..10, 0..7), 0..10),
+                minsup in 1u64..4,
+            ) {
+                for mfi in mine_maximal(&bags, minsup) {
+                    let true_support = bags
+                        .iter()
+                        .filter(|bag| {
+                            let mut b = (*bag).clone();
+                            b.sort_unstable();
+                            b.dedup();
+                            is_subset(&mfi.items, &b)
+                        })
+                        .count() as u64;
+                    prop_assert_eq!(mfi.support, true_support);
+                    prop_assert!(mfi.support >= minsup);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Frequent-item pruning (Section 6.3).
+//!
+//! The performance study prunes the 0.03% most frequent items before
+//! mining, following [18]: ultra-frequent items (country names, genders)
+//! generate enormous conditional trees while contributing no discriminative
+//! power to blocks.
+
+use std::collections::{HashMap, HashSet};
+
+/// Occurrence count of every item across the bags.
+#[must_use]
+pub fn item_frequencies(bags: &[Vec<u32>]) -> HashMap<u32, u64> {
+    let mut freq = HashMap::new();
+    for bag in bags {
+        for &item in bag {
+            *freq.entry(item).or_insert(0u64) += 1;
+        }
+    }
+    freq
+}
+
+/// Remove the `fraction` most frequent items (by distinct-item count,
+/// rounded up when the fraction selects a positive number of items) from
+/// every bag, returning the pruned bags and the set of pruned items.
+///
+/// `fraction` is expressed as a proportion of the *distinct item
+/// vocabulary* — the paper's ".03% most frequent items" is
+/// `fraction = 0.0003`.
+#[must_use]
+pub fn prune_top_frequent(bags: &[Vec<u32>], fraction: f64) -> (Vec<Vec<u32>>, HashSet<u32>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let freq = item_frequencies(bags);
+    let k = ((freq.len() as f64) * fraction).ceil() as usize;
+    let k = if fraction == 0.0 { 0 } else { k.max(1).min(freq.len()) };
+    let mut by_freq: Vec<(u32, u64)> = freq.into_iter().collect();
+    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let pruned: HashSet<u32> = by_freq.iter().take(k).map(|&(i, _)| i).collect();
+    let new_bags = bags
+        .iter()
+        .map(|bag| bag.iter().copied().filter(|i| !pruned.contains(i)).collect())
+        .collect();
+    (new_bags, pruned)
+}
+
+/// Remove items occurring in more than `fraction` of the bags (e.g. 0.05
+/// removes items present in over 5% of records). Scale-free variant of
+/// [`prune_top_frequent`]: gender codes and country names explode mining
+/// cost while contributing nothing to block quality, regardless of
+/// vocabulary size.
+#[must_use]
+pub fn prune_common_items(bags: &[Vec<u32>], fraction: f64) -> (Vec<Vec<u32>>, HashSet<u32>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let cap = (bags.len() as f64 * fraction).ceil() as u64;
+    let freq = item_frequencies(bags);
+    let pruned: HashSet<u32> =
+        freq.into_iter().filter(|&(_, c)| c > cap).map(|(i, _)| i).collect();
+    let new_bags = bags
+        .iter()
+        .map(|bag| bag.iter().copied().filter(|i| !pruned.contains(i)).collect())
+        .collect();
+    (new_bags, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_items_pruned_by_record_fraction() {
+        let bags: Vec<Vec<u32>> = (0..10).map(|i| vec![1, 100 + i]).collect();
+        // Item 1 is in 100% of bags; cap at 50%.
+        let (out, pruned) = prune_common_items(&bags, 0.5);
+        assert_eq!(pruned, HashSet::from([1]));
+        assert!(out.iter().all(|b| !b.contains(&1)));
+        // Nothing pruned at 100%.
+        let (_, none) = prune_common_items(&bags, 1.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn frequencies_count_occurrences() {
+        let bags = vec![vec![1, 2], vec![1], vec![1, 3]];
+        let f = item_frequencies(&bags);
+        assert_eq!(f[&1], 3);
+        assert_eq!(f[&2], 1);
+        assert_eq!(f.get(&9), None);
+    }
+
+    #[test]
+    fn prunes_most_frequent() {
+        let bags = vec![vec![1, 2], vec![1, 3], vec![1, 4], vec![1]];
+        // 4 distinct items; 25% => 1 item pruned: item 1.
+        let (pruned_bags, pruned) = prune_top_frequent(&bags, 0.25);
+        assert_eq!(pruned, HashSet::from([1]));
+        assert!(pruned_bags.iter().all(|b| !b.contains(&1)));
+        assert_eq!(pruned_bags[3], Vec::<u32>::new());
+    }
+
+    #[test]
+    fn tiny_fraction_still_prunes_one() {
+        let bags = vec![vec![1, 2], vec![1, 3]];
+        let (_, pruned) = prune_top_frequent(&bags, 0.0003);
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned.contains(&1));
+    }
+
+    #[test]
+    fn zero_fraction_prunes_nothing() {
+        let bags = vec![vec![1, 2], vec![1, 3]];
+        let (out, pruned) = prune_top_frequent(&bags, 0.0);
+        assert!(pruned.is_empty());
+        assert_eq!(out, bags);
+    }
+
+    #[test]
+    fn full_fraction_prunes_everything() {
+        let bags = vec![vec![1, 2], vec![3]];
+        let (out, pruned) = prune_top_frequent(&bags, 1.0);
+        assert_eq!(pruned.len(), 3);
+        assert!(out.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let (out, pruned) = prune_top_frequent(&[], 0.5);
+        assert!(out.is_empty());
+        assert!(pruned.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Equivalence classes for names and places (Section 2).
+//!
+//! "During the registration process, speakers of one language wrote
+//! unfamiliar names and places in foreign languages, resulting in a vast
+//! array of different spellings and semantic variants. … Equivalence
+//! classes of first names, last names and places, as well as professions,
+//! personal titles and family relations, were created to help deal with
+//! multiple spellings and variants. The preprocessing of all misspelling
+//! and name synonyms led to a large yet relatively clean Names project
+//! database."
+//!
+//! An [`EquivalenceClasses`] dictionary maps every known variant to its
+//! canonical form; applying it to a record before itemization collapses
+//! transliteration twins (Torino/Turin, Avraham/Avrum) into one item —
+//! the preprocessing that makes the Yad Vashem item bags "pre-cleaned".
+
+use crate::field::{PlacePart, PlaceType};
+use crate::record::Record;
+use std::collections::HashMap;
+
+/// A variant → canonical dictionary with rule-based fallback folding.
+#[derive(Debug, Clone, Default)]
+pub struct EquivalenceClasses {
+    map: HashMap<String, String>,
+    /// Apply the transliteration folding rules to values absent from the
+    /// dictionary (a cheap approximation of the experts' semantic
+    /// classes).
+    pub rule_fallback: bool,
+}
+
+/// Fold common cross-alphabet transliteration digraphs to a canonical
+/// spelling: `w→v`, `cz/tsch/tch→ch`, `sz/sch→sh`, `ph→f`, `th→t`,
+/// `j→y`, `ks/x→x`, collapse doubled letters.
+#[must_use]
+pub fn fold_transliterations(value: &str) -> String {
+    let lower = value.to_lowercase();
+    let mut out = lower
+        .replace("tsch", "ch")
+        .replace("tch", "ch")
+        .replace("cz", "ch")
+        .replace("sch", "sh")
+        .replace("sz", "sh")
+        .replace("ph", "f")
+        .replace("th", "t")
+        .replace('w', "v")
+        .replace('j', "y")
+        .replace("ks", "x");
+    // Collapse doubled letters (Anna → Ana, Capelluto → Capeluto).
+    let mut folded = String::with_capacity(out.len());
+    let mut last = '\0';
+    for c in out.drain(..) {
+        if c != last {
+            folded.push(c);
+        }
+        last = c;
+    }
+    folded
+}
+
+impl EquivalenceClasses {
+    #[must_use]
+    pub fn new() -> Self {
+        EquivalenceClasses { map: HashMap::new(), rule_fallback: true }
+    }
+
+    /// Register a variant of a canonical form (both normalized to
+    /// lowercase). Registering the canonical itself is allowed and
+    /// harmless.
+    pub fn register(&mut self, canonical: &str, variant: &str) {
+        self.map.insert(variant.to_lowercase(), canonical.to_lowercase());
+    }
+
+    /// Number of registered variants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Canonicalize one value: dictionary lookup first, then (optionally)
+    /// the rule-based fold.
+    #[must_use]
+    pub fn canonicalize(&self, value: &str) -> String {
+        let lower = value.trim().to_lowercase();
+        if let Some(canonical) = self.map.get(&lower) {
+            return canonical.clone();
+        }
+        if self.rule_fallback {
+            let folded = fold_transliterations(&lower);
+            if let Some(canonical) = self.map.get(&folded) {
+                return canonical.clone();
+            }
+            return folded;
+        }
+        lower
+    }
+
+    /// Apply the dictionary to every name and place-part of a record —
+    /// the Names Project preprocessing step, run before
+    /// [`crate::schema::Dataset::add_record`].
+    pub fn apply(&self, record: &mut Record) {
+        for name in record.first_names.iter_mut().chain(record.last_names.iter_mut()) {
+            *name = self.canonicalize(name);
+        }
+        for field in [
+            &mut record.maiden_name,
+            &mut record.father_name,
+            &mut record.mother_name,
+            &mut record.mothers_maiden,
+            &mut record.spouse_name,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            *field = self.canonicalize(field);
+        }
+        for ty in PlaceType::ALL {
+            if let Some(place) = record.places[ty.index()].as_mut() {
+                for part in PlacePart::ALL {
+                    if let Some(v) = place.part(part) {
+                        let canon = self.canonicalize(v);
+                        place.set_part(part, Some(canon));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordBuilder;
+    use crate::source::SourceId;
+    use crate::Place;
+
+    #[test]
+    fn dictionary_lookup_wins() {
+        let mut eq = EquivalenceClasses::new();
+        eq.register("torino", "turin");
+        assert_eq!(eq.canonicalize("Turin"), "torino");
+        assert_eq!(eq.canonicalize("TORINO"), "torino", "rule fold is identity here");
+    }
+
+    #[test]
+    fn rule_fallback_folds_transliterations() {
+        let eq = EquivalenceClasses::new();
+        assert_eq!(eq.canonicalize("Wolf"), eq.canonicalize("Volf"));
+        assert_eq!(eq.canonicalize("Szapiro"), eq.canonicalize("Shapiro"));
+        assert_eq!(eq.canonicalize("Jakob"), eq.canonicalize("Yakob"));
+        assert_eq!(eq.canonicalize("Anna"), eq.canonicalize("Ana"));
+    }
+
+    #[test]
+    fn fold_is_idempotent() {
+        for name in ["Wolf", "Szapiro", "Capelluto", "Tschaikowski", "Philipp"] {
+            let once = fold_transliterations(name);
+            assert_eq!(fold_transliterations(&once), once, "{name}");
+        }
+    }
+
+    #[test]
+    fn disabled_fallback_only_lowercases() {
+        let eq = EquivalenceClasses { rule_fallback: false, ..EquivalenceClasses::new() };
+        assert_eq!(eq.canonicalize("Wolf"), "wolf");
+        assert_ne!(eq.canonicalize("Wolf"), eq.canonicalize("Volf"));
+    }
+
+    #[test]
+    fn apply_canonicalizes_names_and_places() {
+        let mut eq = EquivalenceClasses::new();
+        eq.register("avraham", "avrum");
+        eq.register("torino", "turin");
+        let mut record = RecordBuilder::new(1, SourceId(0))
+            .first_name("Avrum")
+            .last_name("Wolf")
+            .father_name("Avrum")
+            .place(
+                crate::PlaceType::Birth,
+                Place { city: Some("Turin".to_owned()), ..Place::default() },
+            )
+            .build();
+        eq.apply(&mut record);
+        assert_eq!(record.first_names, vec!["avraham".to_owned()]);
+        assert_eq!(record.last_names, vec!["volf".to_owned()]);
+        assert_eq!(record.father_name.as_deref(), Some("avraham"));
+        assert_eq!(
+            record.place(crate::PlaceType::Birth).and_then(|p| p.city.as_deref()),
+            Some("torino")
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # yv-records
+//!
+//! Data model for the Yad Vashem Names Project reproduction (Sagi et al.,
+//! SIGMOD 2016): victim-report records, the typed *item-bag* encoding used by
+//! the MFIBlocks algorithm, string interning, the source model (Pages of
+//! Testimony vs. victim lists), and the data-pattern analysis of Section 6.2.
+//!
+//! A [`Record`] mirrors the central entity of the Names Project ERD
+//! (Figure 3 in the paper): names (first/last/maiden/father/mother/mother's
+//! maiden/spouse), gender, birth-date components, four typed places
+//! (birth/permanent/wartime/death) each with four parts
+//! (city/county/region/country) and optional GPS coordinates, and a
+//! profession code.
+//!
+//! Records are *massively multi-source*: every record carries a [`SourceId`]
+//! pointing at either a testimony submitter or a victim list. Two records
+//! from the same source are deemed unlikely to describe the same person
+//! (`SameSrc` condition, Section 6.5).
+//!
+//! The item-bag encoding prefixes every field value with a type marker
+//! (e.g. first name *Avraham* becomes the item `F Avraham`, cf. Table 2) and
+//! interns it to a dense `u32` [`ItemId`] so the mining and blocking layers
+//! work on integers.
+
+pub mod csv;
+pub mod equivalence;
+pub mod field;
+pub mod interner;
+pub mod item;
+pub mod patterns;
+pub mod record;
+pub mod schema;
+pub mod source;
+
+pub use equivalence::EquivalenceClasses;
+pub use field::{DateParts, Gender, GeoPoint, Place, PlaceType};
+pub use interner::Interner;
+pub use item::{AggregateType, ItemId, ItemType};
+pub use patterns::{Pattern, PatternStats};
+pub use record::{Record, RecordBuilder, RecordId};
+pub use schema::Dataset;
+pub use source::{Source, SourceId, SourceKind};

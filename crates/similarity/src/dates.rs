@@ -1,0 +1,95 @@
+//! Date-component distances.
+//!
+//! The paper's `BXDist` features measure per-component distance between
+//! birth dates, "normalized by a maximal distance (31 for days, 12 for
+//! months, 100 for years)". Months are compared cyclically (`monthDiff`),
+//! matching the Eq. 1 formulation.
+
+/// Absolute day-of-month difference.
+#[must_use]
+pub fn day_diff(a: u8, b: u8) -> u8 {
+    a.abs_diff(b)
+}
+
+/// Cyclic month difference (December and January are 1 apart).
+#[must_use]
+pub fn month_diff(a: u8, b: u8) -> u8 {
+    let d = a.abs_diff(b);
+    d.min(12 - d.min(12))
+}
+
+/// Absolute year difference.
+#[must_use]
+pub fn year_diff(a: i32, b: i32) -> u32 {
+    a.abs_diff(b)
+}
+
+/// Day distance normalized by the maximal distance of 31; clamped to
+/// `[0, 1]`.
+#[must_use]
+pub fn day_dist_norm(a: u8, b: u8) -> f64 {
+    (f64::from(day_diff(a, b)) / 31.0).min(1.0)
+}
+
+/// Cyclic month distance normalized by 12.
+#[must_use]
+pub fn month_dist_norm(a: u8, b: u8) -> f64 {
+    (f64::from(month_diff(a, b)) / 12.0).min(1.0)
+}
+
+/// Year distance normalized by 100.
+#[must_use]
+pub fn year_dist_norm(a: i32, b: i32) -> f64 {
+    (f64::from(year_diff(a, b)) / 100.0).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn day_distance() {
+        assert_eq!(day_diff(2, 18), 16);
+        assert!((day_dist_norm(1, 31) - 30.0 / 31.0).abs() < 1e-12);
+        assert!((day_dist_norm(5, 5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn month_distance_is_cyclic() {
+        assert_eq!(month_diff(1, 12), 1);
+        assert_eq!(month_diff(12, 1), 1);
+        assert_eq!(month_diff(3, 9), 6);
+        assert_eq!(month_diff(6, 6), 0);
+    }
+
+    #[test]
+    fn year_distance() {
+        assert_eq!(year_diff(1920, 1936), 16);
+        assert!((year_dist_norm(1900, 2050) - 1.0).abs() < 1e-12, "clamped at 1");
+    }
+
+    proptest! {
+        #[test]
+        fn normalized_distances_in_unit_interval(
+            d1 in 1u8..=31, d2 in 1u8..=31,
+            m1 in 1u8..=12, m2 in 1u8..=12,
+            y1 in 1850i32..1950, y2 in 1850i32..1950,
+        ) {
+            prop_assert!((0.0..=1.0).contains(&day_dist_norm(d1, d2)));
+            prop_assert!((0.0..=1.0).contains(&month_dist_norm(m1, m2)));
+            prop_assert!((0.0..=1.0).contains(&year_dist_norm(y1, y2)));
+        }
+
+        #[test]
+        fn month_diff_at_most_6(m1 in 1u8..=12, m2 in 1u8..=12) {
+            prop_assert!(month_diff(m1, m2) <= 6);
+        }
+
+        #[test]
+        fn diffs_symmetric(m1 in 1u8..=12, m2 in 1u8..=12, y1 in 1850i32..1950, y2 in 1850i32..1950) {
+            prop_assert_eq!(month_diff(m1, m2), month_diff(m2, m1));
+            prop_assert_eq!(year_diff(y1, y2), year_diff(y2, y1));
+        }
+    }
+}

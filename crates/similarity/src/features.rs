@@ -1,0 +1,505 @@
+//! The 48 pairwise similarity features of Section 5.1.
+//!
+//! The paper "constructed every conceivable similarity feature given the
+//! record attributes, assuming these will be pruned by the ADT algorithm".
+//! The enumerated families are:
+//!
+//! * `sameXName` (7) — trinary *yes*/*partial*/*no* per name attribute;
+//! * `XnameDist` (7) — q-gram Jaccard similarity, max over multi-values;
+//! * `BXDist` (3) — raw day / cyclic-month / year differences (the printed
+//!   models of Tables 7–8 split on raw-year thresholds such as
+//!   `B3dist < 1.5`, so the tree features carry the unnormalized values);
+//! * `samePlaceXPartY` (16) — binary equality per place type × part;
+//! * `PlaceXGeoDistance` (4) — km between same-typed places;
+//! * `sameSource`, `sameGender`, `sameProfession` (3).
+//!
+//! That enumeration yields 40; the remaining 8 "conceivable" features we
+//! supply are Jaro-Winkler name similarities, exact full-DOB equality,
+//! initial matches, a cross maiden-vs-last comparison (married-name
+//! evidence), a normalized year distance and an all-names token Jaccard.
+//! The ADT learner prunes what does not help, exactly as in the paper
+//! (which kept only 8–10 of the 48).
+//!
+//! **Missing values**: if either record lacks the underlying attribute the
+//! feature is *absent* (`None`) and the ADT skips splits on it — the
+//! property that makes ADTrees suitable for this schema-sparse dataset.
+
+use crate::dates::{day_diff, month_diff, year_diff};
+use crate::geo::haversine_km;
+use crate::jaccard::{qgram_jaccard, token_jaccard};
+use crate::jaro::jaro_winkler;
+use yv_records::{PlaceType, Record};
+
+/// Index of a feature within a [`FeatureVector`].
+pub type FeatureId = usize;
+
+/// Broad feature families, used for documentation and rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// 1.0 = yes, 0.5 = partial, 0.0 = no.
+    Trinary,
+    /// Similarity in `[0, 1]` (1 = identical).
+    Similarity,
+    /// Raw non-negative difference (days, months, years, km).
+    Distance,
+    /// 1.0 = true, 0.0 = false.
+    Binary,
+}
+
+/// Static description of one feature.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureDef {
+    pub name: &'static str,
+    pub kind: FeatureKind,
+}
+
+macro_rules! features {
+    ($( $konst:ident : $name:literal => $kind:ident ),+ $(,)?) => {
+        /// Named feature indices.
+        pub mod ids {
+            use super::FeatureId;
+            features!(@consts 0usize; $($konst),+);
+        }
+        /// Feature metadata, indexed by [`FeatureId`].
+        pub static FEATURES: &[FeatureDef] = &[
+            $( FeatureDef { name: $name, kind: FeatureKind::$kind } ),+
+        ];
+    };
+    (@consts $idx:expr; $head:ident $(, $tail:ident)*) => {
+        pub const $head: FeatureId = $idx;
+        features!(@consts $idx + 1; $($tail),*);
+    };
+    (@consts $idx:expr;) => {};
+}
+
+features! {
+    SAME_FN:  "sameFN"  => Trinary,
+    SAME_LN:  "sameLN"  => Trinary,
+    SAME_MN:  "sameMN"  => Trinary,
+    SAME_FFN: "sameFFN" => Trinary,
+    SAME_MFN: "sameMFN" => Trinary,
+    SAME_MMN: "sameMMN" => Trinary,
+    SAME_SN:  "sameSN"  => Trinary,
+    FN_DIST:  "FNdist"  => Similarity,
+    LN_DIST:  "LNdist"  => Similarity,
+    MN_DIST:  "MNdist"  => Similarity,
+    FFN_DIST: "FFNdist" => Similarity,
+    MFN_DIST: "MFNdist" => Similarity,
+    MMN_DIST: "MMNdist" => Similarity,
+    SN_DIST:  "SNdist"  => Similarity,
+    B1_DIST:  "B1dist"  => Distance,
+    B2_DIST:  "B2dist"  => Distance,
+    B3_DIST:  "B3dist"  => Distance,
+    SAME_BP1: "sameBP1" => Binary,
+    SAME_BP2: "sameBP2" => Binary,
+    SAME_BP3: "sameBP3" => Binary,
+    SAME_BP4: "sameBP4" => Binary,
+    SAME_P1:  "sameP1"  => Binary,
+    SAME_P2:  "sameP2"  => Binary,
+    SAME_P3:  "sameP3"  => Binary,
+    SAME_P4:  "sameP4"  => Binary,
+    SAME_WP1: "sameWP1" => Binary,
+    SAME_WP2: "sameWP2" => Binary,
+    SAME_WP3: "sameWP3" => Binary,
+    SAME_WP4: "sameWP4" => Binary,
+    SAME_DP1: "sameDP1" => Binary,
+    SAME_DP2: "sameDP2" => Binary,
+    SAME_DP3: "sameDP3" => Binary,
+    SAME_DP4: "sameDP4" => Binary,
+    BP_GEO:   "BPGeoDist" => Distance,
+    P_GEO:    "PPGeoDist" => Distance,
+    WP_GEO:   "WPGeoDist" => Distance,
+    DP_GEO:   "DPGeoDist" => Distance,
+    SAME_SOURCE:     "sameSource"     => Binary,
+    SAME_GENDER:     "sameGender"     => Binary,
+    SAME_PROFESSION: "sameProfession" => Binary,
+    FN_JW:    "FNjw" => Similarity,
+    LN_JW:    "LNjw" => Similarity,
+    SAME_FULL_DOB:   "sameFullDOB"   => Binary,
+    SAME_FIRST_INIT: "sameFirstInit" => Binary,
+    SAME_LAST_INIT:  "sameLastInit"  => Binary,
+    CROSS_MAIDEN_LAST: "crossMaidenLast" => Binary,
+    B3_DIST_NORM: "B3distNorm" => Similarity,
+    ALL_NAMES_DIST: "allNamesDist" => Similarity,
+}
+
+/// Number of features (48, as in the paper).
+pub const FEATURE_COUNT: usize = 48;
+
+/// A pairwise feature vector with per-feature missing-value support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    values: [Option<f64>; FEATURE_COUNT],
+}
+
+impl Default for FeatureVector {
+    fn default() -> Self {
+        FeatureVector { values: [None; FEATURE_COUNT] }
+    }
+}
+
+impl FeatureVector {
+    /// The value of a feature, `None` when the underlying attributes are
+    /// missing on either record.
+    #[must_use]
+    pub fn get(&self, id: FeatureId) -> Option<f64> {
+        self.values[id]
+    }
+
+    /// Set a feature value.
+    pub fn set(&mut self, id: FeatureId, value: f64) {
+        self.values[id] = Some(value);
+    }
+
+    /// Number of present (non-missing) features.
+    #[must_use]
+    pub fn present(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Iterate over `(id, value)` for present features.
+    pub fn iter_present(&self) -> impl Iterator<Item = (FeatureId, f64)> + '_ {
+        self.values.iter().enumerate().filter_map(|(i, v)| v.map(|x| (i, x)))
+    }
+}
+
+/// Trinary comparison of two multi-valued name attributes: 1.0 when the
+/// value sets are equal, 0.5 when they intersect, 0.0 when disjoint
+/// (case-insensitive).
+fn trinary(a: &[String], b: &[String]) -> f64 {
+    let sa: std::collections::BTreeSet<String> = a.iter().map(|s| s.to_lowercase()).collect();
+    let sb: std::collections::BTreeSet<String> = b.iter().map(|s| s.to_lowercase()).collect();
+    if sa == sb {
+        1.0
+    } else if sa.intersection(&sb).next().is_some() {
+        0.5
+    } else {
+        0.0
+    }
+}
+
+/// Max q-gram (q=2) Jaccard similarity over the cross product of two
+/// multi-valued names.
+fn name_dist(a: &[String], b: &[String]) -> f64 {
+    let mut best: f64 = 0.0;
+    for x in a {
+        for y in b {
+            best = best.max(qgram_jaccard(&x.to_lowercase(), &y.to_lowercase(), 2));
+        }
+    }
+    best
+}
+
+/// Max Jaro-Winkler over the cross product of two multi-valued names.
+fn name_jw(a: &[String], b: &[String]) -> f64 {
+    let mut best: f64 = 0.0;
+    for x in a {
+        for y in b {
+            best = best.max(jaro_winkler(&x.to_lowercase(), &y.to_lowercase()));
+        }
+    }
+    best
+}
+
+fn opt_slice(v: &Option<String>) -> Option<Vec<String>> {
+    v.as_ref().map(|s| vec![s.clone()])
+}
+
+fn set_name_features(
+    fv: &mut FeatureVector,
+    same_id: FeatureId,
+    dist_id: FeatureId,
+    a: Option<&[String]>,
+    b: Option<&[String]>,
+) {
+    if let (Some(a), Some(b)) = (a, b) {
+        if !a.is_empty() && !b.is_empty() {
+            fv.set(same_id, trinary(a, b));
+            fv.set(dist_id, name_dist(a, b));
+        }
+    }
+}
+
+fn eq_ci(a: &str, b: &str) -> bool {
+    a.eq_ignore_ascii_case(b) || a.to_lowercase() == b.to_lowercase()
+}
+
+/// Extract the 48-feature vector for a candidate record pair.
+///
+/// The `sameSource` feature comes from comparing the records'
+/// [`yv_records::SourceId`]s — equal ids mean the same victim list or the
+/// same testimony submitter.
+#[must_use]
+pub fn extract(a: &Record, b: &Record) -> FeatureVector {
+    let mut fv = FeatureVector::default();
+
+    // -- Name families -----------------------------------------------------
+    set_name_features(
+        &mut fv,
+        ids::SAME_FN,
+        ids::FN_DIST,
+        Some(&a.first_names),
+        Some(&b.first_names),
+    );
+    set_name_features(
+        &mut fv,
+        ids::SAME_LN,
+        ids::LN_DIST,
+        Some(&a.last_names),
+        Some(&b.last_names),
+    );
+    let pairs = [
+        (ids::SAME_MN, ids::MN_DIST, &a.maiden_name, &b.maiden_name),
+        (ids::SAME_FFN, ids::FFN_DIST, &a.father_name, &b.father_name),
+        (ids::SAME_MFN, ids::MFN_DIST, &a.mother_name, &b.mother_name),
+        (ids::SAME_MMN, ids::MMN_DIST, &a.mothers_maiden, &b.mothers_maiden),
+        (ids::SAME_SN, ids::SN_DIST, &a.spouse_name, &b.spouse_name),
+    ];
+    for (same_id, dist_id, va, vb) in pairs {
+        let (sa, sb) = (opt_slice(va), opt_slice(vb));
+        set_name_features(&mut fv, same_id, dist_id, sa.as_deref(), sb.as_deref());
+    }
+
+    // -- Birth-date components ----------------------------------------------
+    if let (Some(d1), Some(d2)) = (a.birth.day, b.birth.day) {
+        fv.set(ids::B1_DIST, f64::from(day_diff(d1, d2)));
+    }
+    if let (Some(m1), Some(m2)) = (a.birth.month, b.birth.month) {
+        fv.set(ids::B2_DIST, f64::from(month_diff(m1, m2)));
+    }
+    if let (Some(y1), Some(y2)) = (a.birth.year, b.birth.year) {
+        fv.set(ids::B3_DIST, f64::from(year_diff(y1, y2)));
+        fv.set(ids::B3_DIST_NORM, 1.0 - (f64::from(year_diff(y1, y2)) / 100.0).min(1.0));
+    }
+    if let (Some(da), Some(db)) = (
+        a.birth.day.zip(a.birth.month).zip(a.birth.year),
+        b.birth.day.zip(b.birth.month).zip(b.birth.year),
+    ) {
+        fv.set(ids::SAME_FULL_DOB, f64::from(da == db));
+    }
+
+    // -- Places ---------------------------------------------------------------
+    let place_feature_base: [(PlaceType, FeatureId, FeatureId); 4] = [
+        (PlaceType::Birth, ids::SAME_BP1, ids::BP_GEO),
+        (PlaceType::Permanent, ids::SAME_P1, ids::P_GEO),
+        (PlaceType::Wartime, ids::SAME_WP1, ids::WP_GEO),
+        (PlaceType::Death, ids::SAME_DP1, ids::DP_GEO),
+    ];
+    for (ty, same_base, geo_id) in place_feature_base {
+        if let (Some(pa), Some(pb)) = (a.place(ty), b.place(ty)) {
+            for (k, part) in yv_records::field::PlacePart::ALL.iter().enumerate() {
+                if let (Some(x), Some(y)) = (pa.part(*part), pb.part(*part)) {
+                    fv.set(same_base + k, f64::from(eq_ci(x, y)));
+                }
+            }
+            if let (Some(g1), Some(g2)) = (pa.coords, pb.coords) {
+                fv.set(geo_id, haversine_km(g1, g2));
+            }
+        }
+    }
+
+    // -- Codes ------------------------------------------------------------------
+    if let (Some(g1), Some(g2)) = (a.gender, b.gender) {
+        fv.set(ids::SAME_GENDER, f64::from(g1 == g2));
+    }
+    if let (Some(p1), Some(p2)) = (&a.profession, &b.profession) {
+        fv.set(ids::SAME_PROFESSION, f64::from(eq_ci(p1, p2)));
+    }
+    fv.set(ids::SAME_SOURCE, f64::from(a.source == b.source));
+
+    // -- Extra conceivable features ----------------------------------------------
+    if !a.first_names.is_empty() && !b.first_names.is_empty() {
+        fv.set(ids::FN_JW, name_jw(&a.first_names, &b.first_names));
+        let init_match = a.first_names.iter().any(|x| {
+            b.first_names.iter().any(|y| {
+                x.chars().next().map(|c| c.to_lowercase().to_string())
+                    == y.chars().next().map(|c| c.to_lowercase().to_string())
+            })
+        });
+        fv.set(ids::SAME_FIRST_INIT, f64::from(init_match));
+    }
+    if !a.last_names.is_empty() && !b.last_names.is_empty() {
+        fv.set(ids::LN_JW, name_jw(&a.last_names, &b.last_names));
+        let init_match = a.last_names.iter().any(|x| {
+            b.last_names.iter().any(|y| {
+                x.chars().next().map(|c| c.to_lowercase().to_string())
+                    == y.chars().next().map(|c| c.to_lowercase().to_string())
+            })
+        });
+        fv.set(ids::SAME_LAST_INIT, f64::from(init_match));
+    }
+    // Married-name evidence: one record's maiden name equals the other's
+    // last name.
+    let cross_ab = a
+        .maiden_name
+        .as_ref()
+        .map(|m| b.last_names.iter().any(|l| eq_ci(m, l)));
+    let cross_ba = b
+        .maiden_name
+        .as_ref()
+        .map(|m| a.last_names.iter().any(|l| eq_ci(m, l)));
+    if let Some(hit) = match (cross_ab, cross_ba) {
+        (None, None) => None,
+        (x, y) => Some(x.unwrap_or(false) || y.unwrap_or(false)),
+    } {
+        fv.set(ids::CROSS_MAIDEN_LAST, f64::from(hit));
+    }
+    // Token Jaccard over the union of all name tokens of each record.
+    let all_names = |r: &Record| {
+        let mut s = String::new();
+        for n in r.first_names.iter().chain(&r.last_names) {
+            s.push_str(n);
+            s.push(' ');
+        }
+        for n in [&r.maiden_name, &r.father_name, &r.mother_name, &r.mothers_maiden, &r.spouse_name]
+            .into_iter()
+            .flatten()
+        {
+            s.push_str(n);
+            s.push(' ');
+        }
+        s
+    };
+    let (na, nb) = (all_names(a), all_names(b));
+    if !na.trim().is_empty() && !nb.trim().is_empty() {
+        fv.set(ids::ALL_NAMES_DIST, token_jaccard(&na, &nb));
+    }
+
+    fv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yv_records::{DateParts, Gender, GeoPoint, Place, RecordBuilder, SourceId};
+
+    fn guido_a() -> Record {
+        RecordBuilder::new(1059654, SourceId(1))
+            .first_name("Guido")
+            .last_name("Foa")
+            .gender(Gender::Male)
+            .birth(DateParts::full(18, 11, 1920))
+            .spouse_name("Helena")
+            .mother_name("Olga")
+            .father_name("Donato")
+            .place(
+                PlaceType::Birth,
+                Place::full("Torino", "Torino", "Piemonte", "Italy", GeoPoint::new(45.07, 7.69)),
+            )
+            .build()
+    }
+
+    fn guido_b() -> Record {
+        RecordBuilder::new(1028769, SourceId(2))
+            .first_name("Guido")
+            .last_name("Foy")
+            .gender(Gender::Male)
+            .birth(DateParts::full(18, 11, 1920))
+            .mother_name("Olga")
+            .father_name("Donato")
+            .place(
+                PlaceType::Birth,
+                Place::full("Turin", "Torino", "Piemonte", "Italy", GeoPoint::new(45.07, 7.69)),
+            )
+            .build()
+    }
+
+    #[test]
+    fn feature_count_is_48() {
+        assert_eq!(FEATURES.len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn feature_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for f in FEATURES {
+            assert!(seen.insert(f.name), "duplicate {}", f.name);
+        }
+    }
+
+    #[test]
+    fn matching_pair_features() {
+        let fv = extract(&guido_a(), &guido_b());
+        assert_eq!(fv.get(ids::SAME_FN), Some(1.0));
+        assert_eq!(fv.get(ids::SAME_FFN), Some(1.0));
+        assert_eq!(fv.get(ids::SAME_MFN), Some(1.0));
+        assert_eq!(fv.get(ids::SAME_GENDER), Some(1.0));
+        assert_eq!(fv.get(ids::B3_DIST), Some(0.0));
+        assert_eq!(fv.get(ids::SAME_FULL_DOB), Some(1.0));
+        // Foa vs Foy: same != 1, dist in (0,1).
+        assert_eq!(fv.get(ids::SAME_LN), Some(0.0));
+        let ln = fv.get(ids::LN_DIST).unwrap();
+        assert!(ln > 0.0 && ln < 1.0);
+        // Torino vs Turin: different strings, same coordinates.
+        assert_eq!(fv.get(ids::SAME_BP1), Some(0.0));
+        assert_eq!(fv.get(ids::SAME_BP2), Some(1.0));
+        assert!(fv.get(ids::BP_GEO).unwrap() < 1.0);
+        assert_eq!(fv.get(ids::SAME_SOURCE), Some(0.0));
+    }
+
+    #[test]
+    fn missing_attributes_yield_missing_features() {
+        let fv = extract(&guido_a(), &guido_b());
+        // guido_b has no spouse => spouse features absent.
+        assert_eq!(fv.get(ids::SAME_SN), None);
+        assert_eq!(fv.get(ids::SN_DIST), None);
+        // Neither has a death place.
+        assert_eq!(fv.get(ids::SAME_DP1), None);
+        assert_eq!(fv.get(ids::DP_GEO), None);
+        // Neither has a profession.
+        assert_eq!(fv.get(ids::SAME_PROFESSION), None);
+    }
+
+    #[test]
+    fn trinary_partial_on_multivalued_names() {
+        let a = RecordBuilder::new(1, SourceId(0))
+            .first_name("John")
+            .first_name("Harris")
+            .build();
+        let b = RecordBuilder::new(2, SourceId(0)).first_name("John").build();
+        let fv = extract(&a, &b);
+        assert_eq!(fv.get(ids::SAME_FN), Some(0.5));
+    }
+
+    #[test]
+    fn same_source_feature() {
+        let a = RecordBuilder::new(1, SourceId(7)).first_name("A").build();
+        let b = RecordBuilder::new(2, SourceId(7)).first_name("B").build();
+        let fv = extract(&a, &b);
+        assert_eq!(fv.get(ids::SAME_SOURCE), Some(1.0));
+    }
+
+    #[test]
+    fn cross_maiden_last_detects_married_name() {
+        let wife_list = RecordBuilder::new(1, SourceId(0))
+            .first_name("Zimbul")
+            .last_name("Capelluto")
+            .build();
+        let wife_testimony = RecordBuilder::new(2, SourceId(1))
+            .first_name("Zimbul")
+            .last_name("Levi")
+            .maiden_name("Capelluto")
+            .build();
+        let fv = extract(&wife_list, &wife_testimony);
+        assert_eq!(fv.get(ids::CROSS_MAIDEN_LAST), Some(1.0));
+    }
+
+    #[test]
+    fn empty_records_have_minimal_features() {
+        let a = RecordBuilder::new(1, SourceId(0)).build();
+        let b = RecordBuilder::new(2, SourceId(1)).build();
+        let fv = extract(&a, &b);
+        // Only sameSource is always present.
+        assert_eq!(fv.present(), 1);
+        assert_eq!(fv.get(ids::SAME_SOURCE), Some(0.0));
+    }
+
+    #[test]
+    fn iter_present_matches_get() {
+        let fv = extract(&guido_a(), &guido_b());
+        for (id, v) in fv.iter_present() {
+            assert_eq!(fv.get(id), Some(v));
+        }
+        assert_eq!(fv.iter_present().count(), fv.present());
+    }
+}

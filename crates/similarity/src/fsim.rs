@@ -1,0 +1,214 @@
+//! The expert item-similarity function `fsim` of Eq. 1 and the expert item
+//! weighting scheme (`Expert Weighting` condition, Section 6.5).
+//!
+//! ```text
+//! fsim(i1, i2) = 0                          if type(i1) != type(i2)
+//!              = jw(i1, i2)                 if type = Name
+//!              = 1 - |i1 - i2| / 50         if type = Year
+//!              = 1 - monthDiff(i1,i2) / 12  if type = Month
+//!              = 1 - dayDiff(i1,i2) / 31    if type = Day
+//!              = max(0, 1 - geoDist/100)    if type = Geo
+//! ```
+//!
+//! Code-like items (gender, profession, non-city place parts) fall back to
+//! exact equality. The paper found this hand-crafted function *detrimental*
+//! when used as the MFIBlocks block score because it breaks the
+//! set-monotonicity the algorithm relies on (Table 9) — we reproduce that
+//! finding, so the function is here both as API and as the `ExpertSim`
+//! experiment condition.
+
+use crate::dates::{day_diff, month_diff};
+use crate::geo::haversine_km;
+use crate::jaro::jaro_winkler;
+use yv_records::item::SimClass;
+use yv_records::{Interner, ItemId, ItemType};
+
+/// Expert item similarity (Eq. 1) between two interned items.
+///
+/// Items of different types score 0. Date items that fail to parse (cannot
+/// happen for generator output, but guarded anyway) and city items without
+/// registered coordinates fall back to exact-match comparison.
+#[must_use]
+pub fn item_similarity(interner: &Interner, i1: ItemId, i2: ItemId) -> f64 {
+    let t1 = interner.item_type(i1);
+    let t2 = interner.item_type(i2);
+    if t1 != t2 {
+        return 0.0;
+    }
+    if i1 == i2 {
+        return 1.0;
+    }
+    let v1 = interner.value(i1);
+    let v2 = interner.value(i2);
+    match t1.sim_class() {
+        SimClass::Name => jaro_winkler(v1, v2),
+        SimClass::Code => 0.0, // distinct codes are simply different
+        SimClass::Year => match (v1.parse::<i32>(), v2.parse::<i32>()) {
+            (Ok(y1), Ok(y2)) => (1.0 - f64::from(y1.abs_diff(y2)) / 50.0).max(0.0),
+            _ => 0.0,
+        },
+        SimClass::Month => match (v1.parse::<u8>(), v2.parse::<u8>()) {
+            (Ok(m1), Ok(m2)) => 1.0 - f64::from(month_diff(m1, m2)) / 12.0,
+            _ => 0.0,
+        },
+        SimClass::Day => match (v1.parse::<u8>(), v2.parse::<u8>()) {
+            (Ok(d1), Ok(d2)) => 1.0 - f64::from(day_diff(d1, d2)) / 31.0,
+            _ => 0.0,
+        },
+        SimClass::Geo => match (interner.geo(i1), interner.geo(i2)) {
+            (Some(g1), Some(g2)) => (1.0 - haversine_km(g1, g2) / 100.0).max(0.0),
+            _ => 0.0,
+        },
+    }
+}
+
+/// Expert-derived item-type weights for block scoring (the `Expert
+/// Weighting` condition). Weights reflect Yad Vashem archivists' view of how
+/// identifying each attribute is: names and birth dates identify a person;
+/// gender and coarse place parts barely discriminate.
+#[derive(Debug, Clone)]
+pub struct ExpertWeights {
+    weights: [f64; ItemType::COUNT],
+}
+
+impl Default for ExpertWeights {
+    fn default() -> Self {
+        let mut weights = [1.0; ItemType::COUNT];
+        for ty in ItemType::all() {
+            weights[ty.index()] = match ty {
+                ItemType::FirstName | ItemType::LastName => 2.0,
+                ItemType::MaidenName | ItemType::MothersMaiden => 1.8,
+                ItemType::FatherName | ItemType::MotherFirstName | ItemType::SpouseName => 1.6,
+                ItemType::BirthDay | ItemType::BirthMonth => 1.4,
+                ItemType::BirthYear => 1.5,
+                ItemType::Gender => 0.2,
+                ItemType::Profession => 0.6,
+                ItemType::Place(_, part) => match part {
+                    yv_records::field::PlacePart::City => 1.2,
+                    yv_records::field::PlacePart::County => 0.8,
+                    yv_records::field::PlacePart::Region => 0.5,
+                    yv_records::field::PlacePart::Country => 0.3,
+                },
+            };
+        }
+        ExpertWeights { weights }
+    }
+}
+
+impl ExpertWeights {
+    /// Uniform weights (the `Base` condition).
+    #[must_use]
+    pub fn uniform() -> Self {
+        ExpertWeights { weights: [1.0; ItemType::COUNT] }
+    }
+
+    /// The weight of an item type.
+    #[must_use]
+    pub fn weight(&self, ty: ItemType) -> f64 {
+        self.weights[ty.index()]
+    }
+
+    /// Override a single weight (for ablations and tests).
+    pub fn set(&mut self, ty: ItemType, w: f64) {
+        self.weights[ty.index()] = w;
+    }
+}
+
+/// The weight an item contributes to a weighted block score.
+#[must_use]
+pub fn weighted_item_weight(interner: &Interner, weights: &ExpertWeights, item: ItemId) -> f64 {
+    weights.weight(interner.item_type(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yv_records::field::{PlacePart, PlaceType};
+    use yv_records::GeoPoint;
+
+    fn interner() -> Interner {
+        Interner::new()
+    }
+
+    #[test]
+    fn different_types_score_zero() {
+        let mut it = interner();
+        let f = it.intern(ItemType::FirstName, "guido");
+        let l = it.intern(ItemType::LastName, "guido");
+        assert!(item_similarity(&it, f, l).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_items_score_one() {
+        let mut it = interner();
+        let a = it.intern(ItemType::FirstName, "guido");
+        assert!((item_similarity(&it, a, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_use_jaro_winkler() {
+        let mut it = interner();
+        let a = it.intern(ItemType::FirstName, "bella");
+        let b = it.intern(ItemType::FirstName, "della");
+        let expected = jaro_winkler("bella", "della");
+        assert!((item_similarity(&it, a, b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn years_normalize_by_50() {
+        let mut it = interner();
+        let a = it.intern(ItemType::BirthYear, "1920");
+        let b = it.intern(ItemType::BirthYear, "1930");
+        assert!((item_similarity(&it, a, b) - 0.8).abs() < 1e-12);
+        let c = it.intern(ItemType::BirthYear, "1830");
+        assert!(item_similarity(&it, a, c).abs() < 1e-12, "clamped at 0");
+    }
+
+    #[test]
+    fn months_and_days_normalize() {
+        let mut it = interner();
+        let m1 = it.intern(ItemType::BirthMonth, "1");
+        let m2 = it.intern(ItemType::BirthMonth, "12");
+        assert!((item_similarity(&it, m1, m2) - (1.0 - 1.0 / 12.0)).abs() < 1e-12);
+        let d1 = it.intern(ItemType::BirthDay, "2");
+        let d2 = it.intern(ItemType::BirthDay, "18");
+        assert!((item_similarity(&it, d1, d2) - (1.0 - 16.0 / 31.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_items_use_distance() {
+        let mut it = interner();
+        let ty = ItemType::Place(PlaceType::Birth, PlacePart::City);
+        let turin = it.intern(ty, "torino");
+        let moncalieri = it.intern(ty, "moncalieri");
+        it.register_geo(turin, GeoPoint::new(45.0703, 7.6869));
+        it.register_geo(moncalieri, GeoPoint::new(44.9996, 7.6828));
+        let sim = item_similarity(&it, turin, moncalieri);
+        assert!(sim > 0.88 && sim < 0.95, "~8km apart: got {sim}");
+        // Without coords, distinct cities score 0.
+        let unknown = it.intern(ty, "atlantis");
+        assert!(item_similarity(&it, turin, unknown).abs() < 1e-12);
+    }
+
+    #[test]
+    fn code_items_are_exact_match() {
+        let mut it = interner();
+        let g0 = it.intern(ItemType::Gender, "0");
+        let g1 = it.intern(ItemType::Gender, "1");
+        assert!(item_similarity(&it, g0, g1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expert_weights_favor_names_over_gender() {
+        let w = ExpertWeights::default();
+        assert!(w.weight(ItemType::FirstName) > w.weight(ItemType::Gender));
+        assert!(
+            w.weight(ItemType::Place(PlaceType::Birth, PlacePart::City))
+                > w.weight(ItemType::Place(PlaceType::Birth, PlacePart::Country))
+        );
+        let u = ExpertWeights::uniform();
+        for ty in ItemType::all() {
+            assert!((u.weight(ty) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Great-circle distance between geographic coordinates.
+
+use yv_records::GeoPoint;
+
+/// Mean Earth radius in kilometres.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Haversine great-circle distance in kilometres.
+///
+/// Used by the `PlaceXGeoDistance` features ("for two records with birth
+/// places of Turin and Moncalieri, the value would be 9 (KM)") and the `Geo`
+/// branch of Eq. 1.
+#[must_use]
+pub fn haversine_km(a: GeoPoint, b: GeoPoint) -> f64 {
+    let lat1 = a.lat.to_radians();
+    let lat2 = b.lat.to_radians();
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TURIN: GeoPoint = GeoPoint { lat: 45.0703, lon: 7.6869 };
+    const MONCALIERI: GeoPoint = GeoPoint { lat: 44.9996, lon: 7.6828 };
+    const ROME: GeoPoint = GeoPoint { lat: 41.9028, lon: 12.4964 };
+
+    #[test]
+    fn turin_to_moncalieri_is_about_9km() {
+        let d = haversine_km(TURIN, MONCALIERI);
+        assert!((7.0..11.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn turin_to_rome_is_about_525km() {
+        let d = haversine_km(TURIN, ROME);
+        assert!((500.0..560.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert!(haversine_km(TURIN, TURIN).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric_and_nonnegative(
+            lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
+            lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0,
+        ) {
+            let a = GeoPoint::new(lat1, lon1);
+            let b = GeoPoint::new(lat2, lon2);
+            let d1 = haversine_km(a, b);
+            let d2 = haversine_km(b, a);
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() < 1e-6);
+            // Never more than half the circumference.
+            prop_assert!(d1 <= std::f64::consts::PI * 6371.0 + 1.0);
+        }
+    }
+}

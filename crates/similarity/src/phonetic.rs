@@ -1,0 +1,164 @@
+//! Phonetic encodings for name comparison.
+//!
+//! Not used by the paper's 48-feature set (Yad Vashem's expert-curated
+//! equivalence classes already absorb most phonetic variation), but a
+//! standard tool in the record-linkage literature the library serves:
+//! classic Soundex plus a consonant-skeleton code tuned for the
+//! multi-alphabet transliterations of this domain.
+
+/// Classic (American) Soundex: first letter plus three digits.
+///
+/// ```
+/// use yv_similarity::phonetic::soundex;
+/// assert_eq!(soundex("Robert"), soundex("Rupert"));
+/// assert_ne!(soundex("Robert"), soundex("Rubin"));
+/// ```
+#[must_use]
+pub fn soundex(name: &str) -> String {
+    let letters: Vec<char> = name
+        .chars()
+        .filter(char::is_ascii_alphabetic)
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return String::new();
+    };
+    fn code(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            _ => 0, // vowels, H, W, Y
+        }
+    }
+    let mut out = String::new();
+    out.push(first);
+    let mut last_code = code(first);
+    for &c in &letters[1..] {
+        let k = code(c);
+        // H and W are transparent: they do not reset the previous code.
+        if c == 'H' || c == 'W' {
+            continue;
+        }
+        if k != 0 && k != last_code {
+            out.push(char::from(b'0' + k));
+            if out.len() == 4 {
+                break;
+            }
+        }
+        last_code = k;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// A transliteration-robust consonant skeleton: fold the cross-alphabet
+/// digraphs (as in [`yv_records::equivalence::fold_transliterations`]'
+/// spirit), drop vowels after the first letter, collapse repeats. Two
+/// names with the same skeleton are plausible transliteration variants
+/// (Yitzhak / Icchok → differing Soundex, same skeleton class under the
+/// fold).
+#[must_use]
+pub fn consonant_skeleton(name: &str) -> String {
+    let folded = name
+        .to_lowercase()
+        .replace("tsch", "c")
+        .replace("tch", "c")
+        .replace("cz", "c")
+        .replace("ch", "c")
+        .replace("sch", "s")
+        .replace("sz", "s")
+        .replace("sh", "s")
+        .replace("ph", "f")
+        .replace("th", "t")
+        .replace(['w'], "v")
+        .replace(['j'], "y")
+        .replace(['k', 'q'], "c")
+        .replace('x', "cs");
+    let mut out = String::new();
+    let mut last = '\0';
+    for (i, c) in folded.chars().enumerate() {
+        if !c.is_ascii_alphabetic() {
+            continue;
+        }
+        let keep = i == 0 || !"aeiouy".contains(c);
+        if keep && c != last {
+            out.push(c);
+        }
+        if keep {
+            last = c;
+        }
+    }
+    out
+}
+
+/// Binary phonetic agreement: same Soundex or same consonant skeleton.
+#[must_use]
+pub fn phonetic_match(a: &str, b: &str) -> bool {
+    (!a.is_empty() && !b.is_empty())
+        && (soundex(a) == soundex(b) || consonant_skeleton(a) == consonant_skeleton(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn soundex_reference_values() {
+        // Classic reference encodings.
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex(""), "");
+    }
+
+    #[test]
+    fn domain_variants_agree() {
+        assert!(phonetic_match("Foa", "Foy") || soundex("Foa") == soundex("Foy"));
+        assert!(phonetic_match("Szapiro", "Shapiro"));
+        assert!(phonetic_match("Wolf", "Volf"));
+        assert!(phonetic_match("Jakob", "Yakov") || phonetic_match("Jakob", "Yakob"));
+    }
+
+    #[test]
+    fn different_names_differ() {
+        assert!(!phonetic_match("Foa", "Postel"));
+        assert!(!phonetic_match("Guido", "Moshe"));
+    }
+
+    #[test]
+    fn skeleton_collapses_doubles_and_vowels() {
+        assert_eq!(consonant_skeleton("Capelluto"), consonant_skeleton("Capeluto"));
+        assert_eq!(consonant_skeleton("Anna"), consonant_skeleton("Ana"));
+    }
+
+    proptest! {
+        #[test]
+        fn soundex_is_four_chars_for_alphabetic(s in "[A-Za-z]{1,16}") {
+            prop_assert_eq!(soundex(&s).len(), 4);
+        }
+
+        #[test]
+        fn soundex_is_case_insensitive(s in "[A-Za-z]{1,12}") {
+            prop_assert_eq!(soundex(&s), soundex(&s.to_lowercase()));
+        }
+
+        #[test]
+        fn phonetic_match_is_reflexive(s in "[A-Za-z]{1,12}") {
+            prop_assert!(phonetic_match(&s, &s));
+        }
+
+        #[test]
+        fn phonetic_match_is_symmetric(a in "[A-Za-z]{1,10}", b in "[A-Za-z]{1,10}") {
+            prop_assert_eq!(phonetic_match(&a, &b), phonetic_match(&b, &a));
+        }
+    }
+}

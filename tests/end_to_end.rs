@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the full uncertain-ER pipeline from
+//! generated reports to ranked, certainty-tunable entities.
+
+use std::collections::HashSet;
+use yad_vashem_er::prelude::*;
+
+fn fixture() -> (Generated, Pipeline, PipelineConfig, Resolution) {
+    let generated = GenConfig::random(1_200, 77).generate();
+    let config = PipelineConfig::default();
+    let blocked = mfi_blocks(&generated.dataset, &config.blocking);
+    let tags = tag_pairs(&generated, &blocked.candidate_pairs, 9);
+    let labelled: Vec<_> =
+        tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+    let pipeline = Pipeline::train(&generated.dataset, &labelled, &config);
+    let resolution = pipeline.resolve(&generated.dataset, &config);
+    (generated, pipeline, config, resolution)
+}
+
+#[test]
+fn pipeline_recovers_most_duplicates_with_high_purity() {
+    let (generated, _, _, resolution) = fixture();
+    let crisp: Vec<RankedMatch> = resolution.crisp_matches().collect();
+    assert!(!crisp.is_empty());
+    let correct = crisp.iter().filter(|m| generated.is_match(m.a, m.b)).count();
+    let purity = correct as f64 / crisp.len() as f64;
+    assert!(purity > 0.85, "crisp-match purity {purity}");
+
+    // The positive-score matches recover a substantial share of the
+    // reachable gold pairs.
+    let gold: HashSet<(RecordId, RecordId)> = generated.matching_pairs().into_iter().collect();
+    let recalled = crisp.iter().filter(|m| gold.contains(&(m.a, m.b))).count();
+    let recall = recalled as f64 / gold.len() as f64;
+    assert!(recall > 0.25, "end-to-end recall {recall}");
+}
+
+#[test]
+fn certainty_knob_is_monotone() {
+    let (_, _, _, resolution) = fixture();
+    let mut last = usize::MAX;
+    for certainty in [-2.0, -1.0, 0.0, 1.0, 2.0, 4.0] {
+        let n = resolution.at_certainty(certainty).count();
+        assert!(n <= last, "certainty {certainty} returned more matches than a looser one");
+        last = n;
+    }
+}
+
+#[test]
+fn entities_partition_within_threshold() {
+    let (_, _, _, resolution) = fixture();
+    let entities = resolution.entities(0.0);
+    let mut seen: HashSet<RecordId> = HashSet::new();
+    for entity in &entities {
+        assert!(entity.len() >= 2);
+        for &r in entity {
+            assert!(seen.insert(r), "record {r:?} appears in two entities");
+        }
+    }
+}
+
+#[test]
+fn family_granularity_broadens_entities() {
+    let generated = GenConfig::random(900, 13).generate();
+    let person_pairs =
+        mfi_blocks(&generated.dataset, &Granularity::Person.blocking()).candidate_pairs;
+    let family_pairs =
+        mfi_blocks(&generated.dataset, &Granularity::Family.blocking()).candidate_pairs;
+    assert!(
+        family_pairs.len() > person_pairs.len(),
+        "family blocking should admit more pairs ({} vs {})",
+        family_pairs.len(),
+        person_pairs.len()
+    );
+    // Family pairs are enriched in same-family relations even where the
+    // person differs (the Capelluto effect).
+    let cross_person_family = family_pairs
+        .iter()
+        .filter(|&&(a, b)| !generated.is_match(a, b) && generated.same_family(a, b))
+        .count();
+    assert!(cross_person_family > 0, "sibling pairs should appear at family granularity");
+}
+
+#[test]
+fn same_src_filter_respects_the_source_model() {
+    let (generated, pipeline, mut config, _) = fixture();
+    config.same_src_discard = true;
+    let resolution = pipeline.resolve(&generated.dataset, &config);
+    for m in &resolution.matches {
+        assert_ne!(
+            generated.dataset.record(m.a).source,
+            generated.dataset.record(m.b).source
+        );
+    }
+}
+
+#[test]
+fn query_interface_expands_through_entities() {
+    let (generated, _, _, resolution) = fixture();
+    // Take a known duplicated person and query by their name.
+    let (a, b) = generated.matching_pairs()[0];
+    let seed = generated.dataset.record(a);
+    let query = PersonQuery {
+        first_name: seed.first_names.first().cloned(),
+        last_name: seed.last_names.first().cloned(),
+        certainty: -5.0,
+        ..PersonQuery::default()
+    };
+    let hits = query.run(&generated.dataset, &resolution);
+    assert!(!hits.is_empty(), "the seed record itself must match its own name");
+    let _ = b;
+}
+
+#[test]
+fn ranked_output_is_sorted_and_normalized() {
+    let (_, _, _, resolution) = fixture();
+    for w in resolution.matches.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+    for m in &resolution.matches {
+        assert!(m.a < m.b);
+    }
+}

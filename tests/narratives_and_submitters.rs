@@ -1,0 +1,89 @@
+//! Integration tests for the narrative layer and submitter resolution —
+//! the paper's motivating application (Section 1) and its Section 7
+//! future-work direction.
+
+use yad_vashem_er::core::{
+    resolve_submitters, KnowledgeGraph, PersonProfile, SubmitterResolutionConfig,
+};
+use yad_vashem_er::prelude::*;
+
+fn resolved_fixture() -> (Generated, Vec<Vec<RecordId>>) {
+    let generated = GenConfig::random(1_000, 55).generate();
+    let config = PipelineConfig::default();
+    let blocked = mfi_blocks(&generated.dataset, &config.blocking);
+    let tags = tag_pairs(&generated, &blocked.candidate_pairs, 8);
+    let labelled: Vec<_> =
+        tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+    let pipeline = Pipeline::train(&generated.dataset, &labelled, &config);
+    let resolution = pipeline.resolve(&generated.dataset, &config);
+    let entities = resolution.entities(0.5);
+    (generated, entities)
+}
+
+#[test]
+fn every_resolved_entity_yields_a_narrative() {
+    let (generated, entities) = resolved_fixture();
+    assert!(!entities.is_empty());
+    for entity in entities.iter().take(50) {
+        let profile = PersonProfile::build(&generated.dataset, entity);
+        let text = profile.narrative();
+        assert!(text.contains("report(s)"), "narrative should cite its evidence: {text}");
+        assert!(
+            text.split('.').count() >= 2,
+            "narrative should have at least a couple of sentences: {text}"
+        );
+        let graph = KnowledgeGraph::from_profile(&profile);
+        // Multi-record entities of the generator always carry names, so
+        // the graph is non-trivial.
+        assert!(!graph.is_empty(), "graph empty for {entity:?}");
+    }
+}
+
+#[test]
+fn narrative_support_counts_are_bounded_by_entity_size() {
+    let (generated, entities) = resolved_fixture();
+    for entity in entities.iter().take(50) {
+        let profile = PersonProfile::build(&generated.dataset, entity);
+        for attested in profile.first_names.iter().chain(&profile.last_names) {
+            assert!(attested.support >= 1);
+            assert!(attested.support <= entity.len() + entity.len()); // multi-valued names
+        }
+        for year in &profile.birth_years {
+            assert!(year.support <= entity.len());
+        }
+    }
+}
+
+#[test]
+fn submitter_resolution_deflates_the_source_count() {
+    let generated = GenConfig::random(2_000, 91).generate();
+    let clusters =
+        resolve_submitters(&generated.dataset, &SubmitterResolutionConfig::default());
+    let raw = generated.dataset.sources().iter().filter(|s| s.is_testimony()).count();
+    let resolved = clusters.len();
+    assert!(resolved <= raw);
+    assert!(resolved > 0);
+    // Every testimony source appears in exactly one cluster.
+    let total: usize = clusters.iter().map(|c| c.sources.len()).sum();
+    assert_eq!(total, raw);
+}
+
+#[test]
+fn submitter_clusters_share_surnames() {
+    let generated = GenConfig::random(2_000, 91).generate();
+    let clusters =
+        resolve_submitters(&generated.dataset, &SubmitterResolutionConfig::default());
+    for cluster in clusters.iter().filter(|c| c.sources.len() > 1).take(20) {
+        let initials: std::collections::HashSet<char> = cluster
+            .sources
+            .iter()
+            .filter_map(|&s| match &generated.dataset.source(s).kind {
+                yad_vashem_er::records::SourceKind::Testimony { last_name, .. } => {
+                    last_name.to_lowercase().chars().next()
+                }
+                yad_vashem_er::records::SourceKind::List { .. } => None,
+            })
+            .collect();
+        assert_eq!(initials.len(), 1, "clusters never cross last-name-initial blocks");
+    }
+}

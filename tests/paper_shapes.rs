@@ -1,0 +1,99 @@
+//! Shape regression tests: the qualitative results of the paper's
+//! evaluation must keep holding at quick scale (who wins, in which
+//! direction the knobs move). These are the claims EXPERIMENTS.md records
+//! at full scale.
+
+use yad_vashem_er::eval::experiments::{blocking_comparison, conditions, sweep, Context, Scale};
+use yad_vashem_er::prelude::*;
+
+fn ctx() -> Context {
+    Context::build(Scale::quick())
+}
+
+#[test]
+fn table9_filters_trade_recall_for_precision() {
+    let ctx = ctx();
+    let rows = conditions::measure(&ctx);
+    let get = |c: Condition| rows.iter().find(|r| r.condition == c).unwrap().quality;
+    let ew = get(Condition::ExpertWeighting);
+    let same_src = get(Condition::SameSrc);
+    let cls = get(Condition::Cls);
+    let both = get(Condition::SameSrcCls);
+    // Expert weighting is the recall-friendly blocking the filters build on.
+    assert!(same_src.precision > ew.precision);
+    assert!(same_src.recall < ew.recall);
+    assert!(cls.precision > ew.precision);
+    // The combined filter is the most precise configuration.
+    assert!(both.precision >= same_src.precision - 1e-9);
+    assert!(both.precision >= cls.precision * 0.8);
+    // And the filtered configurations beat Base on F-1 (paper: 0.279 →
+    // 0.427).
+    let base = get(Condition::Base);
+    assert!(both.f1 > base.f1 * 0.9, "both {} vs base {}", both.f1, base.f1);
+}
+
+#[test]
+fn table9_expert_sim_hurts() {
+    let ctx = ctx();
+    let rows = conditions::measure(&ctx);
+    let get = |c: Condition| rows.iter().find(|r| r.condition == c).unwrap().quality;
+    // The non-monotonic hand-crafted similarity is worse than expert
+    // weighting on F-1 (the paper's surprising negative result).
+    assert!(get(Condition::ExpertSim).f1 < get(Condition::ExpertWeighting).f1);
+}
+
+#[test]
+fn table10_baselines_recall_high_precision_tiny() {
+    let ctx = ctx();
+    let rows = blocking_comparison::measure(&ctx);
+    let mfi = rows.iter().find(|r| r.name == "MFIBlocks").unwrap();
+    for name in ["StBl", "ACl", "QGBl", "EQGBl", "ESoNe"] {
+        let row = rows.iter().find(|r| r.name == name).unwrap();
+        assert!(row.recall > 0.9, "{name} recall {}", row.recall);
+        assert!(
+            mfi.precision > row.precision * 20.0,
+            "MFIBlocks should dominate {name} precision by orders of magnitude \
+             ({} vs {})",
+            mfi.precision,
+            row.precision
+        );
+    }
+}
+
+#[test]
+fn fig15_f1_peaks_at_intermediate_ng() {
+    let ctx = ctx();
+    let points = sweep::measure(&ctx);
+    // For MaxMinSup = 5, the middle NG must beat at least one extreme —
+    // the single-peak shape of Figure 15.
+    let series: Vec<f64> = points
+        .iter()
+        .filter(|p| p.max_minsup == 5)
+        .map(|p| p.quality.f1)
+        .collect();
+    assert!(series.len() >= 3);
+    let first = series[0];
+    let mid = series[series.len() / 2];
+    let last = *series.last().unwrap();
+    assert!(
+        mid >= first.min(last),
+        "middle NG should not be the global minimum: {first} {mid} {last}"
+    );
+}
+
+#[test]
+fn fig16_precision_falls_as_ng_grows() {
+    let ctx = ctx();
+    let points = sweep::measure(&ctx);
+    for &m in &ctx.scale.sweep_minsups {
+        let series: Vec<f64> = points
+            .iter()
+            .filter(|p| p.max_minsup == m)
+            .map(|p| p.quality.precision)
+            .collect();
+        assert!(
+            series.first().unwrap() > series.last().unwrap(),
+            "precision should fall from tightest to loosest NG (minsup {m}): {series:?}"
+        );
+    }
+}
