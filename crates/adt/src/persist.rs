@@ -46,14 +46,17 @@ impl std::error::Error for PersistError {}
 #[must_use]
 pub fn to_text(tree: &AdTree) -> String {
     let mut out = String::from("yv-adt v1\n");
-    out.push_str(&format!("root {:.17}\n", tree.root_value));
+    // `{:?}` prints the shortest decimal that parses back to the exact
+    // f64; fixed precision (`{:.17}`) drops significant digits on values
+    // with leading zeros and breaks the exact round-trip.
+    out.push_str(&format!("root {:?}\n", tree.root_value));
     for s in &tree.splitters {
         let anchor = match s.anchor {
             Anchor::Root => "root".to_owned(),
             Anchor::Node(idx, branch) => format!("{idx} {branch}"),
         };
         out.push_str(&format!(
-            "splitter {anchor} {} {:.17} {:.17} {:.17}\n",
+            "splitter {anchor} {} {:?} {:?} {:?}\n",
             s.condition.feature, s.condition.threshold, s.yes_value, s.no_value
         ));
     }

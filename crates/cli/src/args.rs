@@ -17,6 +17,7 @@ pub enum ArgError {
     MissingCommand,
     DanglingOption(String),
     BadValue { option: String, value: String, expected: &'static str },
+    UnknownOption { command: String, option: String, known: String },
 }
 
 impl std::fmt::Display for ArgError {
@@ -26,6 +27,13 @@ impl std::fmt::Display for ArgError {
             ArgError::DanglingOption(o) => write!(f, "option {o} expects a value"),
             ArgError::BadValue { option, value, expected } => {
                 write!(f, "option {option}: '{value}' is not a valid {expected}")
+            }
+            ArgError::UnknownOption { command, option, known } => {
+                if known.is_empty() {
+                    write!(f, "'{command}' takes no options, got --{option}")
+                } else {
+                    write!(f, "'{command}' does not take --{option}; it accepts: {known}")
+                }
             }
         }
     }
@@ -65,6 +73,36 @@ impl Args {
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&str> {
         self.options.get(name).map(String::as_str)
+    }
+
+    /// Reject any parsed option or flag the current command does not
+    /// declare, so a typo like `--reccords` fails loudly with the list of
+    /// accepted options instead of being silently ignored.
+    pub fn reject_unknown(
+        &self,
+        valid_options: &[&str],
+        valid_flags: &[&str],
+    ) -> Result<(), ArgError> {
+        let unknown = self
+            .options
+            .keys()
+            .find(|name| !valid_options.contains(&name.as_str()))
+            .or_else(|| self.flags.iter().find(|name| !valid_flags.contains(&name.as_str())));
+        match unknown {
+            None => Ok(()),
+            Some(option) => {
+                let known: Vec<String> = valid_options
+                    .iter()
+                    .map(|o| format!("--{o} <value>"))
+                    .chain(valid_flags.iter().map(|f| format!("--{f}")))
+                    .collect();
+                Err(ArgError::UnknownOption {
+                    command: self.command.clone(),
+                    option: option.clone(),
+                    known: known.join(", "),
+                })
+            }
+        }
     }
 
     /// A typed option with a default.
@@ -121,6 +159,31 @@ mod tests {
         assert!(matches!(
             args.parse_or("records", 10usize, "integer"),
             Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_with_the_valid_list() {
+        let args = parse(&["block", "--reccords", "500", "--italy"]).unwrap();
+        let err = args.reject_unknown(&["records", "ng"], &["italy"]).unwrap_err();
+        let ArgError::UnknownOption { command, option, known } = &err else {
+            panic!("{err:?}")
+        };
+        assert_eq!(command, "block");
+        assert_eq!(option, "reccords");
+        assert!(known.contains("--records <value>"));
+        assert!(known.contains("--italy"));
+        // The declared set passes.
+        let ok = parse(&["block", "--records", "500", "--italy"]).unwrap();
+        assert_eq!(ok.reject_unknown(&["records", "ng"], &["italy"]), Ok(()));
+    }
+
+    #[test]
+    fn misplaced_flags_are_rejected() {
+        let args = parse(&["generate", "--quick"]).unwrap();
+        assert!(matches!(
+            args.reject_unknown(&["records"], &["italy"]),
+            Err(ArgError::UnknownOption { .. })
         ));
     }
 }

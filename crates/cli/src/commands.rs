@@ -201,6 +201,65 @@ pub fn narrate(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Bootstrap or reopen the store behind `yv serve` / `yv snapshot`: an
+/// existing store directory is opened (snapshot + WAL replay); otherwise a
+/// synthetic dataset is generated, a pipeline trained, and a fresh store
+/// initialized at the directory.
+fn open_or_bootstrap(args: &Args, dir: &std::path::Path) -> Result<yv_store::Store, String> {
+    if dir.join(yv_store::SNAPSHOT_FILE).exists() {
+        return yv_store::Store::open(dir).map_err(err);
+    }
+    let gen = dataset(args)?;
+    let config = PipelineConfig { blocking: blocking_config(args)?, ..PipelineConfig::default() };
+    let pipeline = trained(&gen, &config);
+    let resolver = yv_core::IncrementalResolver::bootstrap(
+        gen.dataset,
+        pipeline,
+        config,
+        yv_core::IncrementalConfig::default(),
+    );
+    yv_store::Store::create(dir, resolver).map_err(err)
+}
+
+pub fn serve(args: &Args) -> CliResult {
+    let Some(dir) = args.get("dir") else {
+        return Err("serve requires --dir <store-directory>".to_owned());
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let workers: usize = args.parse_or("workers", 4, "integer").map_err(err)?;
+    let store = open_or_bootstrap(args, std::path::Path::new(dir))?;
+    let stats = store.stats();
+    let listener = std::net::TcpListener::bind(addr).map_err(err)?;
+    println!(
+        "serving {} records ({} ranked matches) on {} with {workers} workers",
+        stats.records,
+        stats.matches,
+        listener.local_addr().map_err(err)?
+    );
+    println!("commands: QUERY ADD STATS SNAPSHOT SHUTDOWN");
+    let store = yv_store::serve(store, listener, workers).map_err(err)?;
+    println!("shut down cleanly; {} records snapshotted", store.stats().records);
+    Ok(())
+}
+
+pub fn snapshot(args: &Args) -> CliResult {
+    let Some(dir) = args.get("dir") else {
+        return Err("snapshot requires --dir <store-directory>".to_owned());
+    };
+    let mut store = yv_store::Store::open(std::path::Path::new(dir)).map_err(err)?;
+    let pending = store.stats().wal_entries;
+    store.snapshot().map_err(err)?;
+    let stats = store.stats();
+    println!(
+        "folded {pending} WAL entr{} into {dir}/{}: {} records, {} matches",
+        if pending == 1 { "y" } else { "ies" },
+        yv_store::SNAPSHOT_FILE,
+        stats.records,
+        stats.matches
+    );
+    Ok(())
+}
+
 pub fn reproduce(args: &Args) -> CliResult {
     let scale = if args.flag("quick") {
         yv_eval::Scale::quick()

@@ -7,6 +7,8 @@
 //! yv resolve  --records 2000 [--certainty 0.0] [--italy]
 //! yv query    --first Guido --last Foa [--certainty 0.0] [--records N]
 //! yv narrate  --records 2000 [--top 3]
+//! yv serve    --dir people.store [--addr 127.0.0.1:7878] [--workers 4]
+//! yv snapshot --dir people.store                     fold the WAL into the snapshot
 //! yv reproduce [--quick]                             all tables & figures
 //! ```
 
@@ -28,6 +30,9 @@ COMMANDS:
     resolve    train the ADT ranker and resolve; print quality vs ground truth
     query      relative search with a certainty knob (--first / --last)
     narrate    print narratives for the best-attested resolved entities
+    serve      persistent store + TCP query server (--dir required; bootstraps
+               a store on first run, reopens snapshot + WAL afterwards)
+    snapshot   fold a store's write-ahead log into a fresh snapshot (--dir)
     reproduce  regenerate every table and figure of the paper (--quick for a smoke run)
 
 COMMON OPTIONS:
@@ -37,7 +42,35 @@ COMMON OPTIONS:
     --ng X          MFIBlocks neighborhood growth (default 3.0)
     --max-minsup N  MFIBlocks MaxMinSup (default 5)
     --certainty X   query-time certainty threshold (default 0.0)
+
+SERVING OPTIONS:
+    --dir PATH      store directory (snapshot + write-ahead log)
+    --addr A:P      listen address (default 127.0.0.1:7878)
+    --workers N     worker threads (default 4)
+
+Unknown options are rejected with the list of options the command accepts.
 ";
+
+/// The options (taking a value) and flags each command accepts; anything
+/// else is rejected with the valid list.
+fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
+    match command {
+        "generate" => Some((&["records", "seed"], &["italy"])),
+        "import" => Some((&["path"], &[])),
+        "export" => Some((&["records", "seed", "path"], &["italy"])),
+        "block" => Some((&["records", "seed", "ng", "max-minsup"], &["italy"])),
+        "resolve" => Some((&["records", "seed", "ng", "max-minsup", "certainty"], &["italy"])),
+        "query" => Some((&["records", "seed", "first", "last", "certainty"], &["italy"])),
+        "narrate" => Some((&["records", "seed", "top"], &["italy"])),
+        "serve" => Some((
+            &["records", "seed", "ng", "max-minsup", "dir", "addr", "workers"],
+            &["italy"],
+        )),
+        "snapshot" => Some((&["dir"], &[])),
+        "reproduce" => Some((&[], &["quick"])),
+        _ => None,
+    }
+}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +81,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some((options, flags)) = spec(&args.command) {
+        if let Err(e) = args.reject_unknown(options, flags) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let result = match args.command.as_str() {
         "generate" => commands::generate(&args),
         "export" => commands::export(&args),
@@ -56,6 +95,8 @@ fn main() {
         "resolve" => commands::resolve(&args),
         "query" => commands::query(&args),
         "narrate" => commands::narrate(&args),
+        "serve" => commands::serve(&args),
+        "snapshot" => commands::snapshot(&args),
         "reproduce" => commands::reproduce(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

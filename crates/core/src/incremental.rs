@@ -92,6 +92,52 @@ impl IncrementalResolver {
         &self.dataset
     }
 
+    /// The accumulated ranked matches (insertion order, not re-sorted).
+    #[must_use]
+    pub fn matches(&self) -> &[RankedMatch] {
+        &self.matches
+    }
+
+    /// The scoring pipeline (model) driving this resolver.
+    #[must_use]
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The batch-pipeline configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The incremental candidate-rule configuration.
+    #[must_use]
+    pub fn inc_config(&self) -> IncrementalConfig {
+        self.inc
+    }
+
+    /// Reassemble a resolver from persisted state — dataset, model and the
+    /// already-accumulated matches — without re-running batch resolution.
+    /// This is how a snapshot restores serving state: the postings index is
+    /// rebuilt from the dataset (it is derived data), the matches are taken
+    /// as-is.
+    #[must_use]
+    pub fn from_parts(
+        dataset: Dataset,
+        pipeline: Pipeline,
+        config: PipelineConfig,
+        inc: IncrementalConfig,
+        matches: Vec<RankedMatch>,
+    ) -> IncrementalResolver {
+        let mut postings: Vec<Vec<RecordId>> = vec![Vec::new(); dataset.interner().len()];
+        for rid in dataset.record_ids() {
+            for &item in dataset.bag(rid) {
+                postings[item.index()].push(rid);
+            }
+        }
+        IncrementalResolver { dataset, pipeline, config, inc, postings, matches }
+    }
+
     /// Insert one arriving record; returns the new ranked matches it
     /// produced (already folded into the resolver's state). The record's
     /// source must have been registered on the dataset before bootstrap,
@@ -132,8 +178,14 @@ impl IncrementalResolver {
         for &item in &bag {
             self.postings[item.index()].push(rid);
         }
+        // Deterministic order: score descending, then pair ids — the
+        // candidate map iterates in hash order, and equal scores are
+        // common enough (identical twins of a record) to surface it.
         new_matches.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).expect("scores are not NaN")
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are not NaN")
+                .then_with(|| (a.a, a.b).cmp(&(b.a, b.b)))
         });
         self.matches.extend(new_matches.iter().copied());
         new_matches

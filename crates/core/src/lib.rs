@@ -53,4 +53,4 @@ pub use pipeline::{build_train_set, Pipeline, PipelineConfig};
 pub use probabilistic::{PlattCalibration, SameAsStore};
 pub use query::{PersonQuery, QueryHit};
 pub use submitters::{resolve_submitters, SubmitterCluster, SubmitterResolutionConfig};
-pub use resolution::Resolution;
+pub use resolution::{EntityMap, Resolution};

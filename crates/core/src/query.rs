@@ -2,12 +2,12 @@
 //! ("a person searching for perished relatives can control the size of the
 //! response by tuning a certainty parameter in a Web-query interface").
 
-use crate::resolution::Resolution;
-use yv_records::{Dataset, RecordId};
+use crate::resolution::{EntityMap, Resolution};
+use yv_records::{Dataset, Record, RecordId};
 use yv_similarity::jaro_winkler;
 
 /// A relative-search query: fuzzy name match plus a certainty knob.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PersonQuery {
     pub first_name: Option<String>,
     pub last_name: Option<String>,
@@ -40,13 +40,33 @@ pub struct QueryHit {
 }
 
 impl PersonQuery {
-    fn name_matches(&self, candidates: &[String], query: Option<&str>) -> bool {
-        match query {
+    /// The query's name constraints, lowercased once — `name_matches`
+    /// compares every candidate against these instead of re-lowercasing
+    /// the query per candidate.
+    fn lowered(&self) -> (Option<String>, Option<String>) {
+        (
+            self.first_name.as_deref().map(str::to_lowercase),
+            self.last_name.as_deref().map(str::to_lowercase),
+        )
+    }
+
+    fn name_matches(&self, candidates: &[String], query_lower: Option<&str>) -> bool {
+        match query_lower {
             None => true,
             Some(q) => candidates
                 .iter()
-                .any(|c| jaro_winkler(&c.to_lowercase(), &q.to_lowercase()) >= self.name_similarity),
+                .any(|c| jaro_winkler(&c.to_lowercase(), q) >= self.name_similarity),
         }
+    }
+
+    /// True when a record's names satisfy both (lowercased) constraints.
+    /// Exposed so index layers (e.g. `yv-store`) can reuse the exact
+    /// matching semantics on pre-filtered candidates.
+    #[must_use]
+    pub fn matches_record(&self, record: &Record) -> bool {
+        let (first, last) = self.lowered();
+        self.name_matches(&record.first_names, first.as_deref())
+            && self.name_matches(&record.last_names, last.as_deref())
     }
 
     /// Run the query: find seed records by fuzzy name, then expand each to
@@ -55,23 +75,24 @@ impl PersonQuery {
     /// query would miss (Section 1).
     #[must_use]
     pub fn run(&self, ds: &Dataset, resolution: &Resolution) -> Vec<QueryHit> {
-        let entities = resolution.entities(self.certainty);
-        let entity_of = |r: RecordId| entities.iter().find(|e| e.contains(&r));
+        let entity_map = resolution.entity_map(self.certainty);
+        let (first, last) = self.lowered();
         let mut hits = Vec::new();
         for rid in ds.record_ids() {
             let record = ds.record(rid);
-            if self.name_matches(&record.first_names, self.first_name.as_deref())
-                && self.name_matches(&record.last_names, self.last_name.as_deref())
+            if self.name_matches(&record.first_names, first.as_deref())
+                && self.name_matches(&record.last_names, last.as_deref())
             {
-                let entity = match entity_of(rid) {
-                    Some(e) => e.clone(),
-                    None => vec![rid],
-                };
-                hits.push(QueryHit { seed: rid, entity });
+                hits.push(QueryHit { seed: rid, entity: expand(&entity_map, rid) });
             }
         }
         hits
     }
+}
+
+/// A record's entity at the map's threshold, falling back to a singleton.
+pub(crate) fn expand(entity_map: &EntityMap, rid: RecordId) -> Vec<RecordId> {
+    entity_map.entity_of(rid).map_or_else(|| vec![rid], <[RecordId]>::to_vec)
 }
 
 #[cfg(test)]

@@ -88,6 +88,49 @@ impl Resolution {
     pub fn matches_of(&self, r: RecordId) -> Vec<RankedMatch> {
         self.matches.iter().filter(|m| m.a == r || m.b == r).copied().collect()
     }
+
+    /// Materialize the entities at a threshold together with a
+    /// record→entity lookup — one O(matches) pass instead of the
+    /// O(records × entities × entity-size) scan a per-record
+    /// `entities.iter().find(...)` would cost.
+    #[must_use]
+    pub fn entity_map(&self, threshold: f64) -> EntityMap {
+        EntityMap::new(self.entities(threshold))
+    }
+}
+
+/// Entities at one certainty threshold plus a constant-time record→entity
+/// index. This is what query serving materializes per threshold.
+#[derive(Debug, Clone, Default)]
+pub struct EntityMap {
+    entities: Vec<Vec<RecordId>>,
+    of: HashMap<RecordId, usize>,
+}
+
+impl EntityMap {
+    /// Index a set of entities (each a sorted record list).
+    #[must_use]
+    pub fn new(entities: Vec<Vec<RecordId>>) -> Self {
+        let mut of = HashMap::new();
+        for (i, entity) in entities.iter().enumerate() {
+            for &r in entity {
+                of.insert(r, i);
+            }
+        }
+        EntityMap { entities, of }
+    }
+
+    /// The entity containing a record, or `None` for singletons.
+    #[must_use]
+    pub fn entity_of(&self, r: RecordId) -> Option<&[RecordId]> {
+        self.of.get(&r).map(|&i| self.entities[i].as_slice())
+    }
+
+    /// All non-singleton entities.
+    #[must_use]
+    pub fn entities(&self) -> &[Vec<RecordId>] {
+        &self.entities
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,132 @@
+//! Property tests for the incremental resolver: bootstrapping on a batch
+//! and streaming the remainder must agree with one batch resolution over
+//! the union wherever the two consider the same pair, and every
+//! incremental score must be exactly what the pipeline's scorer says
+//! about the union dataset.
+//!
+//! Exact match-set equality is *not* expected: MFIBlocks mines candidate
+//! pairs globally while the incremental rule pairs on shared informative
+//! items, so each may propose pairs the other skips. Where both propose a
+//! pair, the scores must be identical — the model and features are the
+//! same.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use yv_core::{
+    build_train_set, IncrementalConfig, IncrementalResolver, Pipeline, PipelineConfig,
+};
+use yv_datagen::{tag_pairs, GenConfig};
+use yv_records::{Dataset, RecordId};
+
+fn clone_prefix(ds: &Dataset, n: usize) -> Dataset {
+    let mut out = Dataset::new();
+    for source in ds.sources() {
+        out.add_source(source.clone());
+    }
+    for rid in ds.record_ids().take(n) {
+        out.add_record(ds.record(rid).clone());
+    }
+    out
+}
+
+fn trained(gen: &yv_datagen::Generated, config: &PipelineConfig) -> Pipeline {
+    let blocked = yv_blocking::mfi_blocks(&gen.dataset, &config.blocking);
+    let tags = tag_pairs(gen, &blocked.candidate_pairs, 4);
+    let labelled: Vec<_> =
+        tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+    let ts = build_train_set(&gen.dataset, &labelled);
+    Pipeline::with_model(yv_adt::train(&ts, &config.train))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn bootstrap_plus_stream_agrees_with_batch_over_union(
+        seed in 0u64..40,
+        holdout in 1usize..6,
+    ) {
+        let gen = GenConfig::random(200, seed).generate();
+        let config = PipelineConfig::default();
+        let pipeline = trained(&gen, &config);
+        let inc_config = IncrementalConfig::default();
+        let n = gen.dataset.len();
+
+        // Batch over the union.
+        let full = IncrementalResolver::bootstrap(
+            clone_prefix(&gen.dataset, n),
+            pipeline.clone(),
+            config.clone(),
+            inc_config,
+        );
+        // Bootstrap on a prefix, stream the held-out suffix.
+        let mut streamed = IncrementalResolver::bootstrap(
+            clone_prefix(&gen.dataset, n - holdout),
+            pipeline.clone(),
+            config.clone(),
+            inc_config,
+        );
+        for rid in gen.dataset.record_ids().skip(n - holdout) {
+            streamed.insert(gen.dataset.record(rid).clone());
+        }
+
+        // Same union dataset, record for record.
+        prop_assert_eq!(streamed.len(), full.len());
+        for rid in gen.dataset.record_ids() {
+            prop_assert_eq!(streamed.dataset().record(rid), full.dataset().record(rid));
+        }
+
+        // Every streamed match scores exactly as the pipeline scores that
+        // pair on the union dataset — streaming changes candidate
+        // generation, never scoring.
+        for m in streamed.matches() {
+            let direct = pipeline.score_pair(full.dataset(), m.a, m.b);
+            prop_assert!(
+                (direct - m.score).abs() < 1e-12,
+                "pair ({:?}, {:?}): streamed {} vs direct {}",
+                m.a, m.b, m.score, direct
+            );
+        }
+
+        // Where batch and stream propose the same pair, they agree on the
+        // score (and hence on the ranked order among shared pairs).
+        let batch_scores: HashMap<(RecordId, RecordId), f64> =
+            full.matches().iter().map(|m| ((m.a, m.b), m.score)).collect();
+        let mut shared = 0usize;
+        for m in streamed.matches() {
+            if let Some(&batch_score) = batch_scores.get(&(m.a, m.b)) {
+                shared += 1;
+                prop_assert!((batch_score - m.score).abs() < 1e-12);
+            }
+        }
+        // The suffix was part of the batch resolution too; the two
+        // candidate rules overlap unless the suffix is all strangers.
+        let _ = shared;
+
+        // Streaming respects the normalized pair orientation.
+        for m in streamed.matches() {
+            prop_assert!(m.a < m.b, "pairs stay normalized: {m:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_is_deterministic(seed in 0u64..40) {
+        let gen = GenConfig::random(150, seed).generate();
+        let config = PipelineConfig::default();
+        let pipeline = trained(&gen, &config);
+        let n = gen.dataset.len();
+        let run = || {
+            let mut r = IncrementalResolver::bootstrap(
+                clone_prefix(&gen.dataset, n - 3),
+                pipeline.clone(),
+                config.clone(),
+                IncrementalConfig::default(),
+            );
+            for rid in gen.dataset.record_ids().skip(n - 3) {
+                r.insert(gen.dataset.record(rid).clone());
+            }
+            r.matches().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -144,7 +144,7 @@ pub fn corrupt_date(rng: &mut StdRng, date: DateParts, p: f64) -> DateParts {
             out.day = Some(m);
             out.month = Some(d);
         } else if let Some(dd) = out.day {
-            out.day = Some(((dd + rng.gen_range(1..=3)) % 28).max(1));
+            out.day = Some(((dd + rng.gen_range(1u8..=3)) % 28).max(1));
         }
     }
     out

@@ -1,0 +1,68 @@
+//! Typed errors for the persistence layer. Corrupt or incompatible files
+//! must surface as values, never panics — a serving process restarting
+//! from disk has to degrade gracefully.
+
+use std::fmt;
+
+/// Everything that can go wrong opening, reading or writing store files.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot / WAL magic bytes.
+    BadMagic,
+    /// The file's format version is not one this build can read.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The payload checksum does not match the trailer.
+    ChecksumMismatch { expected: u64, actual: u64 },
+    /// Structurally invalid payload: truncated, bad UTF-8, out-of-range
+    /// tag, dangling source reference. The string names the spot.
+    Corrupt(String),
+    /// The embedded ADT model failed to parse.
+    Model(yv_adt::PersistError),
+    /// A store directory operation was invalid (e.g. loading a directory
+    /// with no snapshot).
+    MissingSnapshot(std::path::PathBuf),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::BadMagic => write!(f, "not a yv-store file (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported format version {found} (this build reads {supported})")
+            }
+            StoreError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}")
+            }
+            StoreError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            StoreError::Model(e) => write!(f, "embedded model: {e}"),
+            StoreError::MissingSnapshot(dir) => {
+                write!(f, "no snapshot in store directory {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<yv_adt::PersistError> for StoreError {
+    fn from(e: yv_adt::PersistError) -> Self {
+        StoreError::Model(e)
+    }
+}

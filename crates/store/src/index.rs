@@ -1,0 +1,160 @@
+//! In-memory query index: lowercased name → postings.
+//!
+//! `PersonQuery::run` scans every record and runs Jaro-Winkler against
+//! each of its names. At serving scale the same distinct names recur
+//! thousands of times (the full Names Project has 6.5M records over a far
+//! smaller name vocabulary), so the index keys postings by *distinct
+//! lowercased name* and pays one similarity computation per vocabulary
+//! entry instead of one per record occurrence.
+
+use std::collections::{HashMap, HashSet};
+use yv_core::PersonQuery;
+use yv_records::{Dataset, Record, RecordId};
+use yv_similarity::jaro_winkler;
+
+/// Postings from distinct lowercased first/last names to the records
+/// carrying them.
+#[derive(Debug, Clone, Default)]
+pub struct QueryIndex {
+    first: HashMap<String, Vec<RecordId>>,
+    last: HashMap<String, Vec<RecordId>>,
+    n_records: usize,
+}
+
+impl QueryIndex {
+    /// Index every record of a dataset.
+    #[must_use]
+    pub fn build(ds: &Dataset) -> QueryIndex {
+        let mut index = QueryIndex::default();
+        for rid in ds.record_ids() {
+            index.add_record(rid, ds.record(rid));
+        }
+        index
+    }
+
+    /// Index one (newly arrived) record.
+    pub fn add_record(&mut self, rid: RecordId, record: &Record) {
+        post(&mut self.first, &record.first_names, rid);
+        post(&mut self.last, &record.last_names, rid);
+        self.n_records = self.n_records.max(rid.index() + 1);
+    }
+
+    /// Number of distinct lowercased names indexed.
+    #[must_use]
+    pub fn vocabulary_size(&self) -> usize {
+        self.first.len() + self.last.len()
+    }
+
+    /// Seed records matching the query's name constraints, ascending —
+    /// the same set (and order) `PersonQuery::run` derives by scanning.
+    #[must_use]
+    pub fn seeds(&self, query: &PersonQuery) -> Vec<RecordId> {
+        let first = matching(&self.first, query.first_name.as_deref(), query.name_similarity);
+        let last = matching(&self.last, query.last_name.as_deref(), query.name_similarity);
+        let mut out: Vec<RecordId> = match (first, last) {
+            (None, None) => (0..self.n_records).map(|i| RecordId(i as u32)).collect(),
+            (Some(f), None) => f.into_iter().collect(),
+            (None, Some(l)) => l.into_iter().collect(),
+            (Some(f), Some(l)) => {
+                let (small, large) = if f.len() <= l.len() { (f, l) } else { (l, f) };
+                small.into_iter().filter(|r| large.contains(r)).collect()
+            }
+        };
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Append a record to the postings of each of its distinct names.
+fn post(map: &mut HashMap<String, Vec<RecordId>>, names: &[String], rid: RecordId) {
+    for name in names {
+        let postings = map.entry(name.to_lowercase()).or_default();
+        // Names within one record are posted consecutively, so a repeated
+        // (case-folded) name dedupes against the tail.
+        if postings.last() != Some(&rid) {
+            postings.push(rid);
+        }
+    }
+}
+
+/// Records with at least one name within `similarity` of the query, or
+/// `None` when the constraint is absent (matches everything).
+fn matching(
+    map: &HashMap<String, Vec<RecordId>>,
+    query: Option<&str>,
+    similarity: f64,
+) -> Option<HashSet<RecordId>> {
+    let q = query?.to_lowercase();
+    let mut out = HashSet::new();
+    for (name, postings) in map {
+        if jaro_winkler(name, &q) >= similarity {
+            out.extend(postings.iter().copied());
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yv_records::{RecordBuilder, Source, SourceId};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        let s = ds.add_source(Source::list(SourceId(0), "l"));
+        ds.add_record(RecordBuilder::new(0, s).first_name("Guido").last_name("Foa").build());
+        ds.add_record(RecordBuilder::new(1, s).first_name("guido").last_name("Foy").build());
+        ds.add_record(RecordBuilder::new(2, s).first_name("Moshe").last_name("Postel").build());
+        ds
+    }
+
+    #[test]
+    fn seeds_match_linear_scan_for_every_query_shape() {
+        let ds = dataset();
+        let index = QueryIndex::build(&ds);
+        let queries = [
+            PersonQuery::default(),
+            PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() },
+            PersonQuery { last_name: Some("Foa".into()), ..PersonQuery::default() },
+            PersonQuery {
+                first_name: Some("Guido".into()),
+                last_name: Some("Foa".into()),
+                ..PersonQuery::default()
+            },
+            PersonQuery {
+                last_name: Some("Foa".into()),
+                name_similarity: 0.8,
+                ..PersonQuery::default()
+            },
+            PersonQuery { last_name: Some("Zzz".into()), ..PersonQuery::default() },
+        ];
+        for q in queries {
+            let scan: Vec<RecordId> =
+                ds.record_ids().filter(|&r| q.matches_record(ds.record(r))).collect();
+            assert_eq!(index.seeds(&q), scan, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn case_folded_duplicates_post_once() {
+        let mut ds = Dataset::new();
+        let s = ds.add_source(Source::list(SourceId(0), "l"));
+        ds.add_record(
+            RecordBuilder::new(0, s).first_name("Avram").first_name("avram").build(),
+        );
+        let index = QueryIndex::build(&ds);
+        let q = PersonQuery { first_name: Some("Avram".into()), ..PersonQuery::default() };
+        assert_eq!(index.seeds(&q), vec![RecordId(0)]);
+    }
+
+    #[test]
+    fn incremental_add_extends_the_index() {
+        let ds = dataset();
+        let mut index = QueryIndex::build(&ds);
+        let extra = RecordBuilder::new(3, SourceId(0)).first_name("Guido").build();
+        index.add_record(RecordId(3), &extra);
+        let q = PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() };
+        assert_eq!(index.seeds(&q), vec![RecordId(0), RecordId(1), RecordId(3)]);
+        assert_eq!(index.seeds(&PersonQuery::default()).len(), 4);
+    }
+}

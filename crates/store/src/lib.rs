@@ -1,0 +1,46 @@
+//! # yv-store
+//!
+//! The serving layer the paper's deployment section gestures at: "Yad
+//! Vashem is actively engaged in integrating the results of the project
+//! into its databases and applications" (Section 7). The batch pipeline
+//! resolves a corpus once; this crate keeps that resolution **alive** —
+//! durable across restarts, queryable concurrently, and open to the
+//! Pages of Testimony that still arrive.
+//!
+//! Three pieces:
+//!
+//! - [`snapshot`] — one versioned, checksummed file holding the dataset,
+//!   ranked matches, trained ADT model and pipeline configuration
+//!   (hand-rolled binary, same philosophy as `yv_adt::persist`);
+//! - [`wal`] — a write-ahead log of incremental arrivals, appended before
+//!   each record is applied and replayed on restart;
+//! - [`server`] — a line-protocol TCP front end over a shared [`Store`],
+//!   with a scoped worker pool and per-request metrics.
+//!
+//! ```no_run
+//! use std::net::TcpListener;
+//! use std::path::Path;
+//! use yv_store::{serve, Store};
+//!
+//! let store = Store::open(Path::new("people.store"))?;
+//! let listener = TcpListener::bind("127.0.0.1:7878")?;
+//! // Serves until a client sends SHUTDOWN; flushes the WAL on the way out.
+//! let _store = serve(store, listener, 4)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod codec;
+pub mod error;
+pub mod index;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use error::StoreError;
+pub use index::QueryIndex;
+pub use protocol::Request;
+pub use server::{serve, ServerMetrics};
+pub use store::{Store, StoreStats, SNAPSHOT_FILE, WAL_FILE};
+pub use wal::{Wal, WalEntry};

@@ -1,0 +1,233 @@
+//! The `yv serve` line protocol.
+//!
+//! One request per line, `key=value` tokens separated by whitespace
+//! (values therefore cannot contain spaces — a binary protocol is a
+//! roadmap item). Responses are one `OK ...` or `ERR ...` status line,
+//! zero or more data lines, and a lone `.` terminator:
+//!
+//! ```text
+//! > QUERY first=Guido last=Foa certainty=1.0
+//! < OK 2
+//! < HIT seed=17 entity=17,203,5044
+//! < HIT seed=203 entity=17,203,5044
+//! < .
+//! > ADD book=99 source=0 first=Sara last=Levi gender=f year=1921
+//! < OK matches=3
+//! < .
+//! > STATS
+//! < OK records=5000 sources=12 matches=10817 wal=1 vocabulary=1943 ...
+//! < .
+//! > SNAPSHOT
+//! < OK snapshot
+//! < .
+//! > SHUTDOWN
+//! < OK bye
+//! < .
+//! ```
+
+use yv_core::{PersonQuery, QueryHit};
+use yv_records::{DateParts, Gender, Record, RecordBuilder, SourceId};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Query(PersonQuery),
+    Add(Box<Record>),
+    Stats,
+    Snapshot,
+    Shutdown,
+}
+
+/// The response terminator line.
+pub const TERMINATOR: &str = ".";
+
+/// Parse one request line. Errors are human-readable strings destined for
+/// an `ERR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let command = tokens.next().ok_or_else(|| "empty request".to_owned())?;
+    let args: Vec<&str> = tokens.collect();
+    match command.to_ascii_uppercase().as_str() {
+        "QUERY" => parse_query(&args).map(Request::Query),
+        "ADD" => parse_add(&args).map(|r| Request::Add(Box::new(r))),
+        "STATS" => expect_no_args("STATS", &args).map(|()| Request::Stats),
+        "SNAPSHOT" => expect_no_args("SNAPSHOT", &args).map(|()| Request::Snapshot),
+        "SHUTDOWN" => expect_no_args("SHUTDOWN", &args).map(|()| Request::Shutdown),
+        other => Err(format!(
+            "unknown command {other}; expected QUERY, ADD, STATS, SNAPSHOT or SHUTDOWN"
+        )),
+    }
+}
+
+fn expect_no_args(command: &str, args: &[&str]) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{command} takes no arguments"))
+    }
+}
+
+fn split_kv<'a>(token: &'a str, command: &str) -> Result<(&'a str, &'a str), String> {
+    token
+        .split_once('=')
+        .ok_or_else(|| format!("{command}: expected key=value, got {token:?}"))
+}
+
+fn parse_query(args: &[&str]) -> Result<PersonQuery, String> {
+    let mut query = PersonQuery::default();
+    for token in args {
+        let (key, value) = split_kv(token, "QUERY")?;
+        match key {
+            "first" => query.first_name = Some(value.to_owned()),
+            "last" => query.last_name = Some(value.to_owned()),
+            "similarity" => query.name_similarity = parse_f64("similarity", value)?,
+            "certainty" => query.certainty = parse_f64("certainty", value)?,
+            other => return Err(format!("QUERY: unknown key {other}")),
+        }
+    }
+    Ok(query)
+}
+
+fn parse_add(args: &[&str]) -> Result<Record, String> {
+    let mut book: Option<u64> = None;
+    let mut source: Option<u32> = None;
+    let mut builder: Option<RecordBuilder> = None;
+    let mut pending: Vec<(String, String)> = Vec::new();
+    for token in args {
+        let (key, value) = split_kv(token, "ADD")?;
+        match key {
+            "book" => {
+                book = Some(value.parse().map_err(|_| format!("ADD: bad book id {value:?}"))?);
+            }
+            "source" => {
+                source =
+                    Some(value.parse().map_err(|_| format!("ADD: bad source id {value:?}"))?);
+            }
+            _ => pending.push((key.to_owned(), value.to_owned())),
+        }
+        if builder.is_none() {
+            if let (Some(b), Some(s)) = (book, source) {
+                builder = Some(RecordBuilder::new(b, SourceId(s)));
+            }
+        }
+    }
+    let Some(mut builder) = builder else {
+        return Err("ADD: book= and source= are required".to_owned());
+    };
+    let mut birth = DateParts::default();
+    for (key, value) in pending {
+        builder = match key.as_str() {
+            "first" => builder.first_name(value),
+            "last" => builder.last_name(value),
+            "maiden" => builder.maiden_name(value),
+            "father" => builder.father_name(value),
+            "mother" => builder.mother_name(value),
+            "spouse" => builder.spouse_name(value),
+            "profession" => builder.profession(value),
+            "gender" => match value.as_str() {
+                "m" | "M" => builder.gender(Gender::Male),
+                "f" | "F" => builder.gender(Gender::Female),
+                other => return Err(format!("ADD: gender must be m or f, got {other:?}")),
+            },
+            "day" => {
+                birth.day =
+                    Some(value.parse().map_err(|_| format!("ADD: bad day {value:?}"))?);
+                builder
+            }
+            "month" => {
+                birth.month =
+                    Some(value.parse().map_err(|_| format!("ADD: bad month {value:?}"))?);
+                builder
+            }
+            "year" => {
+                birth.year =
+                    Some(value.parse().map_err(|_| format!("ADD: bad year {value:?}"))?);
+                builder
+            }
+            other => return Err(format!("ADD: unknown key {other}")),
+        };
+    }
+    Ok(builder.birth(birth).build())
+}
+
+fn parse_f64(what: &str, value: &str) -> Result<f64, String> {
+    value.parse().map_err(|_| format!("bad {what} value {value:?}"))
+}
+
+/// Render query hits as response lines (status, data, terminator).
+#[must_use]
+pub fn format_hits(hits: &[QueryHit]) -> String {
+    let mut out = format!("OK {}\n", hits.len());
+    for hit in hits {
+        let entity: Vec<String> = hit.entity.iter().map(|r| r.0.to_string()).collect();
+        out.push_str(&format!("HIT seed={} entity={}\n", hit.seed.0, entity.join(",")));
+    }
+    out.push_str(TERMINATOR);
+    out.push('\n');
+    out
+}
+
+/// Render a single-status response (`OK ...` / `ERR ...`).
+#[must_use]
+pub fn format_status(status: &str) -> String {
+    format!("{status}\n{TERMINATOR}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yv_records::RecordId;
+
+    #[test]
+    fn query_parses_all_knobs() {
+        let req = parse_request("QUERY first=Guido last=Foa similarity=0.9 certainty=1.5");
+        let Ok(Request::Query(q)) = req else { panic!("{req:?}") };
+        assert_eq!(q.first_name.as_deref(), Some("Guido"));
+        assert_eq!(q.last_name.as_deref(), Some("Foa"));
+        assert!((q.name_similarity - 0.9).abs() < 1e-12);
+        assert!((q.certainty - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bare_query_is_unconstrained() {
+        let Ok(Request::Query(q)) = parse_request("QUERY") else { panic!() };
+        assert_eq!(q.first_name, None);
+        assert_eq!(q.last_name, None);
+    }
+
+    #[test]
+    fn add_builds_a_record() {
+        let line = "ADD book=99 source=2 first=Sara last=Levi gender=f day=3 month=7 year=1921";
+        let Ok(Request::Add(r)) = parse_request(line) else { panic!() };
+        assert_eq!(r.book_id, 99);
+        assert_eq!(r.source, SourceId(2));
+        assert_eq!(r.first_names, vec!["Sara".to_owned()]);
+        assert_eq!(r.gender, Some(Gender::Female));
+        assert_eq!(r.birth, DateParts::full(3, 7, 1921));
+    }
+
+    #[test]
+    fn add_requires_book_and_source() {
+        assert!(parse_request("ADD first=Sara").is_err());
+        assert!(parse_request("ADD book=1 first=Sara").is_err());
+    }
+
+    #[test]
+    fn unknown_commands_and_keys_are_rejected() {
+        assert!(parse_request("FROB").is_err());
+        assert!(parse_request("").is_err());
+        assert!(parse_request("QUERY color=blue").is_err());
+        assert!(parse_request("ADD book=1 source=0 color=blue").is_err());
+        assert!(parse_request("STATS now").is_err());
+    }
+
+    #[test]
+    fn hits_render_with_terminator() {
+        let hits = vec![QueryHit {
+            seed: RecordId(17),
+            entity: vec![RecordId(17), RecordId(203)],
+        }];
+        assert_eq!(format_hits(&hits), "OK 1\nHIT seed=17 entity=17,203\n.\n");
+        assert_eq!(format_hits(&[]), "OK 0\n.\n");
+    }
+}

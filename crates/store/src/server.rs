@@ -1,0 +1,176 @@
+//! Concurrent line-protocol server over a [`Store`].
+//!
+//! Architecture: the calling thread accepts connections and feeds them
+//! through a crossbeam channel to a scoped worker pool. Workers share the
+//! store behind a `parking_lot::RwLock` — queries and stats take the read
+//! lock (and run concurrently), arrivals and snapshots take the write
+//! lock. `SHUTDOWN` sets a flag and self-connects to unblock the
+//! acceptor; once the pool drains, the WAL is flushed into a fresh
+//! snapshot and the store is handed back to the caller.
+
+use crate::error::StoreError;
+use crate::protocol::{self, Request};
+use crate::store::Store;
+use parking_lot::RwLock;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-request counters, shared across workers. Latency is accumulated in
+/// nanoseconds and reported as a mean in `STATS`.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    pub queries: AtomicU64,
+    pub adds: AtomicU64,
+    pub snapshots: AtomicU64,
+    pub errors: AtomicU64,
+    query_nanos: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn record_query(&self, started: Instant) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.query_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Mean query latency in microseconds (0 before the first query).
+    #[must_use]
+    pub fn avg_query_us(&self) -> u64 {
+        let n = self.queries.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0;
+        }
+        self.query_nanos.load(Ordering::Relaxed) / n / 1_000
+    }
+}
+
+/// Serve the store on an already-bound listener until a client sends
+/// `SHUTDOWN`. Returns the store after flushing the WAL into a fresh
+/// snapshot, so the caller can keep using (or inspect) the final state.
+pub fn serve(store: Store, listener: TcpListener, workers: usize) -> Result<Store, StoreError> {
+    let addr = listener.local_addr()?;
+    let lock = RwLock::new(store);
+    let metrics = ServerMetrics::default();
+    let shutdown = AtomicBool::new(false);
+    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+
+    let result = crossbeam::thread::scope(|s| {
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            let lock = &lock;
+            let metrics = &metrics;
+            let shutdown = &shutdown;
+            s.spawn(move |_| {
+                for stream in rx.iter() {
+                    handle_connection(stream, lock, metrics, shutdown, addr);
+                }
+            });
+        }
+        drop(rx);
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                // A send only fails if every worker panicked; stop accepting.
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        }
+        drop(tx);
+    });
+    if result.is_err() {
+        return Err(StoreError::Corrupt("a server worker panicked".into()));
+    }
+
+    let mut store = lock.into_inner();
+    store.snapshot()?;
+    Ok(store)
+}
+
+/// Serve one client connection: request lines in, response blocks out,
+/// until the client closes or asks for shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    lock: &RwLock<Store>,
+    metrics: &ServerMetrics,
+    shutdown: &AtomicBool,
+    addr: std::net::SocketAddr,
+) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_request(&line) {
+            Err(msg) => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::format_status(&format!("ERR {msg}"))
+            }
+            Ok(Request::Query(query)) => {
+                let started = Instant::now();
+                let hits = lock.read().query(&query);
+                metrics.record_query(started);
+                protocol::format_hits(&hits)
+            }
+            Ok(Request::Add(record)) => match lock.write().add_record(*record) {
+                Ok(matches) => {
+                    metrics.adds.fetch_add(1, Ordering::Relaxed);
+                    protocol::format_status(&format!("OK matches={}", matches.len()))
+                }
+                Err(e) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::format_status(&format!("ERR {e}"))
+                }
+            },
+            Ok(Request::Stats) => {
+                let stats = lock.read().stats();
+                protocol::format_status(&format!(
+                    "OK records={} sources={} matches={} wal={} vocabulary={} \
+                     queries={} adds={} snapshots={} errors={} avg_query_us={}",
+                    stats.records,
+                    stats.sources,
+                    stats.matches,
+                    stats.wal_entries,
+                    stats.vocabulary,
+                    metrics.queries.load(Ordering::Relaxed),
+                    metrics.adds.load(Ordering::Relaxed),
+                    metrics.snapshots.load(Ordering::Relaxed),
+                    metrics.errors.load(Ordering::Relaxed),
+                    metrics.avg_query_us(),
+                ))
+            }
+            Ok(Request::Snapshot) => match lock.write().snapshot() {
+                Ok(()) => {
+                    metrics.snapshots.fetch_add(1, Ordering::Relaxed);
+                    protocol::format_status("OK snapshot")
+                }
+                Err(e) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    protocol::format_status(&format!("ERR {e}"))
+                }
+            },
+            Ok(Request::Shutdown) => {
+                shutdown.store(true, Ordering::SeqCst);
+                let _ = writer.write_all(protocol::format_status("OK bye").as_bytes());
+                // Unblock the acceptor so it observes the flag.
+                let _ = TcpStream::connect(addr);
+                return;
+            }
+        };
+        if writer.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Versioned on-disk snapshot of the full serving state: dataset,
+//! accumulated ranked matches, trained ADT model and pipeline
+//! configuration, in one file.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! 8 bytes   magic  "YVSTORE\0"
+//! u32       format version (currently 1)
+//! u64       payload length in bytes
+//! payload   see below
+//! u64       FNV-1a 64 checksum of the payload
+//! ```
+//!
+//! Payload: sources, records, ranked matches, the ADT model as the
+//! length-prefixed `yv-adt v1` text of [`yv_adt::persist`], then pipeline
+//! and incremental configuration. The encoding is deterministic (floats as
+//! IEEE bits, insertion-ordered collections), so re-snapshotting a loaded
+//! store reproduces the file byte for byte.
+
+use crate::codec::{self, Reader, Writer};
+use crate::error::StoreError;
+use std::path::Path;
+use yv_blocking::{MfiBlocksConfig, ScoreFunction};
+use yv_core::{IncrementalConfig, IncrementalResolver, Pipeline, PipelineConfig, RankedMatch};
+use yv_records::{Dataset, RecordId};
+
+/// File magic: identifies a yv-store snapshot.
+pub const MAGIC: [u8; 8] = *b"YVSTORE\0";
+/// The snapshot format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+/// Serialize a resolver's full state to snapshot bytes.
+#[must_use]
+pub fn to_bytes(resolver: &IncrementalResolver) -> Vec<u8> {
+    let mut p = Writer::new();
+    let ds = resolver.dataset();
+    let sources = ds.sources();
+    p.u32(u32::try_from(sources.len()).expect("source count fits u32"));
+    for s in sources {
+        codec::write_source(&mut p, s);
+    }
+    p.u32(u32::try_from(ds.len()).expect("record count fits u32"));
+    for rid in ds.record_ids() {
+        codec::write_record(&mut p, ds.record(rid));
+    }
+    let matches = resolver.matches();
+    p.u32(u32::try_from(matches.len()).expect("match count fits u32"));
+    for m in matches {
+        p.u32(m.a.0);
+        p.u32(m.b.0);
+        p.f64(m.score);
+    }
+    p.str(&yv_adt::to_text(&resolver.pipeline().model));
+    write_pipeline_config(&mut p, resolver.config());
+    let inc = resolver.inc_config();
+    p.u64(inc.min_shared_items as u64);
+    p.f64(inc.common_fraction);
+
+    let payload = p.into_bytes();
+    let mut out = Writer::new();
+    out_magic(&mut out);
+    out.u64(payload.len() as u64);
+    let checksum = codec::fnv1a64(&payload);
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+fn out_magic(w: &mut Writer) {
+    for b in MAGIC {
+        w.u8(b);
+    }
+    w.u32(VERSION);
+}
+
+/// Deserialize snapshot bytes back into a resolver. Rejects bad magic,
+/// unsupported versions and checksum mismatches with typed errors.
+pub fn from_bytes(bytes: &[u8]) -> Result<IncrementalResolver, StoreError> {
+    let mut r = Reader::new(bytes);
+    let mut magic = [0u8; 8];
+    for slot in &mut magic {
+        *slot = r.u8("magic")?;
+    }
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.u32("version")?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version, supported: VERSION });
+    }
+    let payload_len = r.u64("payload length")? as usize;
+    if r.remaining() < payload_len + 8 {
+        return Err(StoreError::Corrupt(format!(
+            "file shorter than declared payload: need {} bytes, have {}",
+            payload_len + 8,
+            r.remaining()
+        )));
+    }
+    let payload = &bytes[bytes.len() - r.remaining()..][..payload_len];
+    let mut trailer = Reader::new(&bytes[bytes.len() - r.remaining() + payload_len..]);
+    let expected = trailer.u64("checksum")?;
+    let actual = codec::fnv1a64(payload);
+    if expected != actual {
+        return Err(StoreError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut p = Reader::new(payload);
+    let n_sources = p.u32("source count")?;
+    let mut ds = Dataset::new();
+    for _ in 0..n_sources {
+        ds.add_source(codec::read_source(&mut p)?);
+    }
+    let n_records = p.u32("record count")?;
+    let n_sources = ds.sources().len();
+    for _ in 0..n_records {
+        let rec = codec::read_record(&mut p)?;
+        if rec.source.0 as usize >= n_sources {
+            return Err(StoreError::Corrupt(format!(
+                "record {} references unknown source {}",
+                rec.book_id, rec.source.0
+            )));
+        }
+        ds.add_record(rec);
+    }
+    let n_matches = p.u32("match count")?;
+    let mut matches = Vec::with_capacity((n_matches as usize).min(p.remaining()));
+    for _ in 0..n_matches {
+        let a = RecordId(p.u32("match a")?);
+        let b = RecordId(p.u32("match b")?);
+        let score = p.f64("match score")?;
+        if a.index() >= ds.len() || b.index() >= ds.len() {
+            return Err(StoreError::Corrupt(format!(
+                "match ({}, {}) references records beyond the dataset",
+                a.0, b.0
+            )));
+        }
+        matches.push(RankedMatch { a, b, score });
+    }
+    let model = yv_adt::from_text(&p.str("model text")?)?;
+    let config = read_pipeline_config(&mut p)?;
+    let inc = IncrementalConfig {
+        min_shared_items: usize::try_from(p.u64("min shared items")?)
+            .map_err(|_| StoreError::Corrupt("min_shared_items overflows usize".into()))?,
+        common_fraction: p.f64("common fraction")?,
+    };
+    if p.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after payload",
+            p.remaining()
+        )));
+    }
+    Ok(IncrementalResolver::from_parts(ds, Pipeline::with_model(model), config, inc, matches))
+}
+
+fn write_pipeline_config(w: &mut Writer, c: &PipelineConfig) {
+    let b = &c.blocking;
+    w.u64(b.max_minsup);
+    w.f64(b.ng);
+    w.f64(b.p);
+    match &b.score {
+        ScoreFunction::Jaccard => w.u8(0),
+        ScoreFunction::WeightedJaccard(weights) => {
+            w.u8(1);
+            codec::write_expert_weights(w, weights);
+        }
+        ScoreFunction::ExpertSim => w.u8(2),
+    }
+    w.opt_f64(b.prune_frequent);
+    w.opt_f64(b.prune_common);
+    w.u64(b.threads as u64);
+    w.u8(u8::from(c.same_src_discard));
+    w.u8(u8::from(c.classify));
+    w.u64(c.train.rounds as u64);
+    w.u64(c.train.max_thresholds as u64);
+    w.f64(c.train.epsilon);
+}
+
+fn read_pipeline_config(r: &mut Reader<'_>) -> Result<PipelineConfig, StoreError> {
+    let max_minsup = r.u64("max minsup")?;
+    let ng = r.f64("ng")?;
+    let p = r.f64("p")?;
+    let score = match r.u8("score function tag")? {
+        0 => ScoreFunction::Jaccard,
+        1 => ScoreFunction::WeightedJaccard(codec::read_expert_weights(r)?),
+        2 => ScoreFunction::ExpertSim,
+        t => return Err(StoreError::Corrupt(format!("unknown score function tag {t}"))),
+    };
+    let prune_frequent = r.opt_f64("prune frequent")?;
+    let prune_common = r.opt_f64("prune common")?;
+    let threads = usize::try_from(r.u64("threads")?)
+        .map_err(|_| StoreError::Corrupt("threads overflows usize".into()))?;
+    let same_src_discard = bool_flag(r.u8("same src discard")?, "same src discard")?;
+    let classify = bool_flag(r.u8("classify")?, "classify")?;
+    let rounds = usize::try_from(r.u64("train rounds")?)
+        .map_err(|_| StoreError::Corrupt("rounds overflows usize".into()))?;
+    let max_thresholds = usize::try_from(r.u64("max thresholds")?)
+        .map_err(|_| StoreError::Corrupt("max_thresholds overflows usize".into()))?;
+    let epsilon = r.f64("epsilon")?;
+    Ok(PipelineConfig {
+        blocking: MfiBlocksConfig {
+            max_minsup,
+            ng,
+            p,
+            score,
+            prune_frequent,
+            prune_common,
+            threads,
+        },
+        same_src_discard,
+        classify,
+        train: yv_adt::TrainConfig { rounds, max_thresholds, epsilon },
+    })
+}
+
+fn bool_flag(v: u8, what: &str) -> Result<bool, StoreError> {
+    match v {
+        0 => Ok(false),
+        1 => Ok(true),
+        t => Err(StoreError::Corrupt(format!("bad bool {t} for {what}"))),
+    }
+}
+
+/// Write a snapshot atomically: to a sibling temp file, then rename over
+/// the target, so a crash mid-write never leaves a torn snapshot behind.
+pub fn write_file(path: &Path, resolver: &IncrementalResolver) -> Result<(), StoreError> {
+    let bytes = to_bytes(resolver);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a snapshot file.
+pub fn read_file(path: &Path) -> Result<IncrementalResolver, StoreError> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes)
+}

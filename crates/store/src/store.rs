@@ -1,0 +1,223 @@
+//! The persistent resolution store: an [`IncrementalResolver`] wrapped
+//! with durability (snapshot + WAL) and serving-speed lookups (name
+//! postings + per-threshold entity maps).
+//!
+//! Durability protocol: `create` writes a full snapshot and an empty WAL.
+//! Every arrival is appended to the WAL *before* it is applied in memory.
+//! `open` loads the snapshot and replays the WAL, reconstructing exactly
+//! the pre-crash state; `snapshot` folds the WAL into a fresh snapshot
+//! and truncates it.
+
+use crate::error::StoreError;
+use crate::index::QueryIndex;
+use crate::snapshot;
+use crate::wal::{self, Wal, WalEntry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use yv_core::{
+    EntityMap, IncrementalResolver, PersonQuery, QueryHit, RankedMatch, Resolution,
+};
+use yv_records::{Dataset, Record, Source, SourceId};
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.yvs";
+/// WAL file name inside a store directory.
+pub const WAL_FILE: &str = "wal.yvl";
+
+/// Point-in-time counters for `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    pub records: usize,
+    pub sources: usize,
+    pub matches: usize,
+    /// Arrivals applied since the last snapshot (pending WAL entries).
+    pub wal_entries: usize,
+    /// Distinct lowercased names in the query index.
+    pub vocabulary: usize,
+}
+
+/// A durable, queryable resolution store rooted at a directory.
+#[derive(Debug)]
+pub struct Store {
+    resolver: IncrementalResolver,
+    index: QueryIndex,
+    wal: Wal,
+    dir: PathBuf,
+    wal_entries: usize,
+    /// Ranked-match resolution, rebuilt lazily after writes.
+    resolution: Mutex<Option<Arc<Resolution>>>,
+    /// Entity maps keyed by certainty-threshold bits, per resolution.
+    entity_maps: Mutex<HashMap<u64, Arc<EntityMap>>>,
+}
+
+impl Store {
+    /// Initialize a store directory from a bootstrapped resolver: writes
+    /// the initial snapshot and an empty WAL.
+    pub fn create(dir: &Path, resolver: IncrementalResolver) -> Result<Store, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        snapshot::write_file(&dir.join(SNAPSHOT_FILE), &resolver)?;
+        let wal = Wal::create(&dir.join(WAL_FILE))?;
+        let index = QueryIndex::build(resolver.dataset());
+        Ok(Store {
+            resolver,
+            index,
+            wal,
+            dir: dir.to_path_buf(),
+            wal_entries: 0,
+            resolution: Mutex::new(None),
+            entity_maps: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Open an existing store directory: load the snapshot, replay the
+    /// WAL over it, and position the WAL for further appends.
+    pub fn open(dir: &Path) -> Result<Store, StoreError> {
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if !snap_path.exists() {
+            return Err(StoreError::MissingSnapshot(dir.to_path_buf()));
+        }
+        let mut resolver = snapshot::read_file(&snap_path)?;
+        let wal_path = dir.join(WAL_FILE);
+        let entries = if wal_path.exists() { wal::replay(&wal_path)? } else { Vec::new() };
+        let wal_entries = entries.len();
+        for entry in entries {
+            match entry {
+                WalEntry::Source(source) => {
+                    resolver.add_source(source);
+                }
+                WalEntry::Record(record) => {
+                    if record.source.index() >= resolver.dataset().sources().len() {
+                        return Err(StoreError::Corrupt(format!(
+                            "WAL record {} references unknown source {}",
+                            record.book_id, record.source.0
+                        )));
+                    }
+                    resolver.insert(*record);
+                }
+            }
+        }
+        let wal = if wal_path.exists() {
+            Wal::open(&wal_path)?
+        } else {
+            Wal::create(&wal_path)?
+        };
+        let index = QueryIndex::build(resolver.dataset());
+        Ok(Store {
+            resolver,
+            index,
+            wal,
+            dir: dir.to_path_buf(),
+            wal_entries,
+            resolution: Mutex::new(None),
+            entity_maps: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The growing dataset.
+    #[must_use]
+    pub fn dataset(&self) -> &Dataset {
+        self.resolver.dataset()
+    }
+
+    /// The underlying resolver.
+    #[must_use]
+    pub fn resolver(&self) -> &IncrementalResolver {
+        &self.resolver
+    }
+
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            records: self.resolver.len(),
+            sources: self.resolver.dataset().sources().len(),
+            matches: self.resolver.matches().len(),
+            wal_entries: self.wal_entries,
+            vocabulary: self.index.vocabulary_size(),
+        }
+    }
+
+    /// Register an arriving source, durably (WAL first).
+    pub fn add_source(&mut self, source: Source) -> Result<SourceId, StoreError> {
+        self.wal.append_source(&source)?;
+        self.wal_entries += 1;
+        Ok(self.resolver.add_source(source))
+    }
+
+    /// Apply one arriving record, durably (WAL first); returns the new
+    /// ranked matches it produced. Unknown sources are a typed error, not
+    /// a panic, because arrivals come over the wire.
+    pub fn add_record(&mut self, record: Record) -> Result<Vec<RankedMatch>, StoreError> {
+        if record.source.index() >= self.resolver.dataset().sources().len() {
+            return Err(StoreError::Corrupt(format!(
+                "record {} references unknown source {}",
+                record.book_id, record.source.0
+            )));
+        }
+        self.wal.append_record(&record)?;
+        self.wal_entries += 1;
+        let rid = yv_records::RecordId(self.resolver.len() as u32);
+        let matches = self.resolver.insert(record);
+        self.index.add_record(rid, self.resolver.dataset().record(rid));
+        *self.resolution.lock() = None;
+        self.entity_maps.lock().clear();
+        Ok(matches)
+    }
+
+    /// The current resolution, cached until the next write.
+    #[must_use]
+    pub fn resolution(&self) -> Arc<Resolution> {
+        let mut cached = self.resolution.lock();
+        if let Some(r) = cached.as_ref() {
+            return Arc::clone(r);
+        }
+        let fresh = Arc::new(self.resolver.resolution());
+        *cached = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// The entity map at a certainty threshold, cached until the next
+    /// write (keyed by the threshold's bit pattern).
+    #[must_use]
+    pub fn entity_map(&self, certainty: f64) -> Arc<EntityMap> {
+        let key = certainty.to_bits();
+        if let Some(m) = self.entity_maps.lock().get(&key) {
+            return Arc::clone(m);
+        }
+        let fresh = Arc::new(self.resolution().entity_map(certainty));
+        self.entity_maps.lock().insert(key, Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Answer a person query through the index — same hits, same order,
+    /// as `PersonQuery::run` over the full dataset.
+    #[must_use]
+    pub fn query(&self, query: &PersonQuery) -> Vec<QueryHit> {
+        let entity_map = self.entity_map(query.certainty);
+        self.index
+            .seeds(query)
+            .into_iter()
+            .map(|seed| QueryHit {
+                seed,
+                entity: entity_map
+                    .entity_of(seed)
+                    .map_or_else(|| vec![seed], <[yv_records::RecordId]>::to_vec),
+            })
+            .collect()
+    }
+
+    /// Fold the WAL into a fresh snapshot and truncate it.
+    pub fn snapshot(&mut self) -> Result<(), StoreError> {
+        snapshot::write_file(&self.dir.join(SNAPSHOT_FILE), &self.resolver)?;
+        self.wal = Wal::create(&self.dir.join(WAL_FILE))?;
+        self.wal_entries = 0;
+        Ok(())
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

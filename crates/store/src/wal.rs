@@ -1,0 +1,257 @@
+//! Write-ahead log of incremental arrivals.
+//!
+//! Every `ADD` is appended (and flushed) here *before* it is applied to
+//! the in-memory resolver, so a crash between append and apply replays
+//! the arrival on restart instead of losing it. `SNAPSHOT` folds the log
+//! into a fresh snapshot and truncates it.
+//!
+//! Layout:
+//!
+//! ```text
+//! 8 bytes   magic  "YVWAL\0\0\0"
+//! u32       format version (currently 1)
+//! frames:
+//!   u8      entry tag (1 = record, 2 = source)
+//!   u32     payload length
+//!   bytes   payload (codec-encoded record / source)
+//!   u64     FNV-1a 64 checksum of tag + payload
+//! ```
+//!
+//! A *truncated* final frame is how a crash mid-append looks; replay
+//! treats it as a clean stop and the next append overwrites it. A frame
+//! that is complete but fails its checksum is real corruption and
+//! surfaces as a typed error.
+
+use crate::codec::{self, Reader, Writer};
+use crate::error::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::Path;
+use yv_records::{Record, Source};
+
+/// File magic: identifies a yv-store write-ahead log.
+pub const MAGIC: [u8; 8] = *b"YVWAL\0\0\0";
+/// The WAL format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+const TAG_RECORD: u8 = 1;
+const TAG_SOURCE: u8 = 2;
+
+/// One replayed WAL entry, in append order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEntry {
+    Record(Box<Record>),
+    Source(Source),
+}
+
+/// Append handle over a WAL file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+}
+
+impl Wal {
+    /// Create a fresh (empty) log, truncating any existing file.
+    pub fn create(path: &Path) -> Result<Wal, StoreError> {
+        let mut file =
+            OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        file.write_all(&MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(Wal { file })
+    }
+
+    /// Open an existing log for appending, positioned after the last
+    /// complete frame (a torn tail from a crash is overwritten).
+    pub fn open(path: &Path) -> Result<Wal, StoreError> {
+        let bytes = std::fs::read(path)?;
+        let valid_len = scan(&bytes)?.1;
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal { file })
+    }
+
+    pub fn append_record(&mut self, record: &Record) -> Result<(), StoreError> {
+        let mut w = Writer::new();
+        codec::write_record(&mut w, record);
+        self.append_frame(TAG_RECORD, &w.into_bytes())
+    }
+
+    pub fn append_source(&mut self, source: &Source) -> Result<(), StoreError> {
+        let mut w = Writer::new();
+        codec::write_source(&mut w, source);
+        self.append_frame(TAG_SOURCE, &w.into_bytes())
+    }
+
+    fn append_frame(&mut self, tag: u8, payload: &[u8]) -> Result<(), StoreError> {
+        let mut frame = Vec::with_capacity(payload.len() + 13);
+        frame.push(tag);
+        frame.extend_from_slice(
+            &u32::try_from(payload.len()).expect("frame fits u32").to_le_bytes(),
+        );
+        frame.extend_from_slice(payload);
+        let mut hashed = Vec::with_capacity(payload.len() + 1);
+        hashed.push(tag);
+        hashed.extend_from_slice(payload);
+        frame.extend_from_slice(&codec::fnv1a64(&hashed).to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Replay a WAL file into its entries, in append order. A truncated tail
+/// is tolerated; checksum failures on complete frames are errors.
+pub fn replay(path: &Path) -> Result<Vec<WalEntry>, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(scan(&bytes)?.0)
+}
+
+/// Parse the log, returning the entries plus the byte length of the valid
+/// prefix (header + complete frames).
+fn scan(bytes: &[u8]) -> Result<(Vec<WalEntry>, usize), StoreError> {
+    if bytes.len() < 12 {
+        return Err(StoreError::BadMagic);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version, supported: VERSION });
+    }
+    let mut entries = Vec::new();
+    let mut pos = 12;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            break;
+        }
+        // Frame header: tag + length. Shorter than that = torn tail.
+        if rest.len() < 5 {
+            break;
+        }
+        let tag = rest[0];
+        let len = u32::from_le_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
+        let Some(frame_rest) = rest.get(5..5 + len + 8) else {
+            break; // torn tail: payload or checksum incomplete
+        };
+        let payload = &frame_rest[..len];
+        let expected =
+            u64::from_le_bytes(frame_rest[len..].try_into().expect("8 bytes"));
+        let mut hashed = Vec::with_capacity(len + 1);
+        hashed.push(tag);
+        hashed.extend_from_slice(payload);
+        let actual = codec::fnv1a64(&hashed);
+        if expected != actual {
+            return Err(StoreError::ChecksumMismatch { expected, actual });
+        }
+        let mut r = Reader::new(payload);
+        let entry = match tag {
+            TAG_RECORD => WalEntry::Record(Box::new(codec::read_record(&mut r)?)),
+            TAG_SOURCE => WalEntry::Source(codec::read_source(&mut r)?),
+            t => return Err(StoreError::Corrupt(format!("unknown WAL entry tag {t}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes in WAL frame",
+                r.remaining()
+            )));
+        }
+        entries.push(entry);
+        pos += 5 + len + 8;
+    }
+    Ok((entries, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yv_records::{RecordBuilder, SourceId};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("yv-store-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_entries() -> (Source, Record, Record) {
+        (
+            Source::list(SourceId(0), "late list"),
+            RecordBuilder::new(1, SourceId(0)).first_name("Guido").last_name("Foa").build(),
+            RecordBuilder::new(2, SourceId(0)).first_name("Sara").last_name("Levi").build(),
+        )
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = tmp("roundtrip.wal");
+        let (src, r1, r2) = sample_entries();
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_source(&src).unwrap();
+        wal.append_record(&r1).unwrap();
+        wal.append_record(&r2).unwrap();
+        let entries = replay(&path).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                WalEntry::Source(src),
+                WalEntry::Record(Box::new(r1)),
+                WalEntry::Record(Box::new(r2))
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_a_clean_stop() {
+        let path = tmp("torn.wal");
+        let (src, r1, _) = sample_entries();
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_source(&src).unwrap();
+        wal.append_record(&r1).unwrap();
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        // Cut into the middle of the last frame.
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let entries = replay(&path).unwrap();
+        assert_eq!(entries, vec![WalEntry::Source(src.clone())]);
+        // Re-opening for append truncates the torn tail and continues.
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_record(&r1).unwrap();
+        assert_eq!(replay(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bitflip_in_complete_frame_is_checksum_error() {
+        let path = tmp("bitflip.wal");
+        let (src, r1, _) = sample_entries();
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_source(&src).unwrap();
+        wal.append_record(&r1).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the first frame's payload.
+        bytes[20] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            replay(&path),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed() {
+        let path = tmp("magic.wal");
+        std::fs::write(&path, b"NOTAWAL\0rest").unwrap();
+        assert!(matches!(replay(&path), Err(StoreError::BadMagic)));
+        let mut header = MAGIC.to_vec();
+        header.extend_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &header).unwrap();
+        assert!(matches!(
+            replay(&path),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end serving: concurrent TCP clients, durable arrivals, and
+//! kill/restart identity (snapshot + WAL replay reproduce exactly the
+//! pre-crash query results).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use yv_core::{IncrementalConfig, IncrementalResolver, PersonQuery, Pipeline, PipelineConfig};
+use yv_datagen::{tag_pairs, GenConfig};
+use yv_store::{serve, Store};
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("yv-store-e2e").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn trained_resolver(n_records: usize, seed: u64) -> IncrementalResolver {
+    let gen = GenConfig::random(n_records, seed).generate();
+    let config = PipelineConfig::default();
+    let blocked = yv_blocking::mfi_blocks(&gen.dataset, &config.blocking);
+    let tags = tag_pairs(&gen, &blocked.candidate_pairs, 3);
+    let labelled: Vec<_> =
+        tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+    let pipeline = Pipeline::train(&gen.dataset, &labelled, &config);
+    IncrementalResolver::bootstrap(gen.dataset, pipeline, config, IncrementalConfig::default())
+}
+
+/// Send one request line, read the full response block (through the `.`
+/// terminator).
+fn roundtrip(stream: &mut TcpStream, request: &str) -> Vec<String> {
+    stream.write_all(format!("{request}\n").as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server closed mid-response");
+        let line = line.trim_end().to_owned();
+        if line == "." {
+            return lines;
+        }
+        lines.push(line);
+    }
+}
+
+/// One-shot client: connect, run requests in order, return all responses.
+fn client(addr: std::net::SocketAddr, requests: &[&str]) -> Vec<Vec<String>> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    requests.iter().map(|r| roundtrip(&mut stream, r)).collect()
+}
+
+/// The query battery whose answers must survive a restart.
+const QUERIES: &[&str] = &[
+    "QUERY first=Guido",
+    "QUERY last=Foa certainty=1.0",
+    "QUERY first=Sara last=Levi",
+    "QUERY certainty=0.5",
+    "QUERY first=Moshe similarity=0.8",
+];
+
+#[test]
+fn concurrent_clients_durable_adds_and_restart_identity() {
+    let dir = fresh_dir("serve-restart");
+    let store = Store::create(&dir, trained_resolver(250, 21)).unwrap();
+    let records_before = store.stats().records;
+
+    // ---- first server lifetime -------------------------------------
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || serve(store, listener, 6).unwrap());
+
+    // Four clients hammer queries concurrently.
+    let concurrent: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || client(addr, QUERIES)))
+        .collect();
+    let concurrent_answers: Vec<Vec<Vec<String>>> =
+        concurrent.into_iter().map(|t| t.join().unwrap()).collect();
+    // Same battery, same store — every client saw identical answers.
+    for other in &concurrent_answers[1..] {
+        assert_eq!(&concurrent_answers[0], other);
+    }
+    for (query, answer) in QUERIES.iter().zip(&concurrent_answers[0]) {
+        assert!(answer[0].starts_with("OK "), "{query} -> {answer:?}");
+    }
+
+    // A writer adds two records (durable via WAL), then the battery again.
+    let adds = client(
+        addr,
+        &[
+            "ADD book=900001 source=0 first=Guido last=Foa gender=m year=1936",
+            "ADD book=900002 source=0 first=Sara last=Levi gender=f year=1921",
+        ],
+    );
+    for response in &adds {
+        assert!(response[0].starts_with("OK matches="), "{response:?}");
+    }
+    let after_adds = client(addr, QUERIES);
+    let stats = client(addr, &["STATS"]);
+    assert!(stats[0][0].contains(&format!("records={}", records_before + 2)), "{stats:?}");
+    assert!(stats[0][0].contains("wal=2"), "{stats:?}");
+
+    // Protocol errors are reported, not fatal.
+    let errs = client(addr, &["FROB", "ADD book=1 source=99999 first=X"]);
+    assert!(errs[0][0].starts_with("ERR "));
+    assert!(errs[1][0].starts_with("ERR "));
+
+    // Graceful shutdown flushes the WAL into a fresh snapshot.
+    let bye = client(addr, &["SHUTDOWN"]);
+    assert_eq!(bye[0][0], "OK bye");
+    let store = server.join().unwrap();
+    assert_eq!(store.stats().records, records_before + 2);
+    assert_eq!(store.stats().wal_entries, 0, "shutdown folds the WAL");
+    drop(store);
+
+    // ---- second lifetime: reopen from disk -------------------------
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.stats().records, records_before + 2);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr2 = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || serve(store, listener, 4).unwrap());
+    let after_restart = client(addr2, QUERIES);
+    assert_eq!(
+        after_adds, after_restart,
+        "restarted server must answer the battery identically"
+    );
+    client(addr2, &["SHUTDOWN"]);
+    server.join().unwrap();
+}
+
+#[test]
+fn kill_without_snapshot_replays_the_wal() {
+    let dir = fresh_dir("kill-replay");
+    let mut store = Store::create(&dir, trained_resolver(200, 33)).unwrap();
+
+    // Apply arrivals through the durable path, then record the answers.
+    let extra = yv_records::RecordBuilder::new(900_100, yv_records::SourceId(0))
+        .first_name("Guido")
+        .last_name("Foa")
+        .build();
+    store.add_record(extra).unwrap();
+    let query = PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() };
+    let before: Vec<_> = store.query(&query);
+    let stats_before = store.stats();
+    assert_eq!(stats_before.wal_entries, 1);
+
+    // "Kill": drop without snapshotting. The WAL is the only trace of the
+    // arrival.
+    drop(store);
+
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.stats().records, stats_before.records);
+    assert_eq!(store.stats().wal_entries, 1, "arrival came back via replay");
+    assert_eq!(store.query(&query), before, "replayed store answers identically");
+}
+
+#[test]
+fn store_queries_match_person_query_run() {
+    let dir = fresh_dir("index-equivalence");
+    let resolver = trained_resolver(250, 44);
+    let store = Store::create(&dir, resolver).unwrap();
+    let resolution = store.resolver().resolution();
+    let queries = [
+        PersonQuery::default(),
+        PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() },
+        PersonQuery {
+            last_name: Some("Levi".into()),
+            certainty: 1.0,
+            ..PersonQuery::default()
+        },
+        PersonQuery {
+            first_name: Some("Sara".into()),
+            last_name: Some("Levi".into()),
+            name_similarity: 0.8,
+            ..PersonQuery::default()
+        },
+    ];
+    for q in queries {
+        assert_eq!(
+            store.query(&q),
+            q.run(store.dataset(), &resolution),
+            "indexed query must equal the linear scan for {q:?}"
+        );
+    }
+}

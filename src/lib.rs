@@ -16,6 +16,7 @@
 //! | [`baselines`] | `yv-baselines` | ten comparison blockers (Table 10) |
 //! | [`datagen`] | `yv-datagen` | synthetic Names-Project data + tagging oracle |
 //! | [`core`] | `yv-core` | the uncertain-ER pipeline, conditions, queries |
+//! | [`store`] | `yv-store` | persistent resolution store + `yv serve` query server |
 //! | [`eval`] | `yv-eval` | metrics + per-table/figure experiment harness |
 //!
 //! ## Quickstart
@@ -54,6 +55,7 @@ pub use yv_eval as eval;
 pub use yv_mfi as mfi;
 pub use yv_records as records;
 pub use yv_similarity as similarity;
+pub use yv_store as store;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -69,4 +71,5 @@ pub mod prelude {
         Source, SourceId,
     };
     pub use yv_similarity::{extract, jaro_winkler, FeatureVector, FEATURES, FEATURE_COUNT};
+    pub use yv_store::{Store, StoreError};
 }

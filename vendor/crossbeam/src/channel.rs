@@ -1,0 +1,173 @@
+//! MPMC channel mirroring `crossbeam::channel::unbounded`: cloneable
+//! senders *and* receivers, disconnect on last-handle drop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded MPMC channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(value));
+        }
+        self.shared.queue.lock().expect("channel lock").push_back(value);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake blocked receivers so they observe disconnect.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value or disconnection.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel lock");
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self.shared.ready.wait(queue).expect("channel lock");
+        }
+    }
+
+    /// Iterate until disconnection (mirrors `crossbeam::channel::Receiver::iter`).
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_flow_in_order_per_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_with_no_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_stream() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        let h = std::thread::spawn(move || rx2.iter().count());
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let local = rx.iter().count();
+        let remote = h.join().unwrap();
+        assert_eq!(local + remote, 100);
+    }
+}

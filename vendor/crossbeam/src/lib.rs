@@ -1,0 +1,8 @@
+//! Offline stub of `crossbeam` 0.8: `thread::scope` (delegating to
+//! `std::thread::scope`, stable since Rust 1.63) and an MPMC
+//! `channel::unbounded` built on `Mutex` + `Condvar`. API-compatible with
+//! the subset this workspace uses; the real crate's lock-free internals are
+//! not reproduced.
+
+pub mod channel;
+pub mod thread;

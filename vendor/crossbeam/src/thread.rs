@@ -1,0 +1,66 @@
+//! Scoped threads mirroring `crossbeam::thread::scope`, backed by
+//! `std::thread::scope`.
+
+use std::any::Any;
+
+/// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to the scope. The closure receives the scope,
+    /// like crossbeam's, so workers can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+    }
+}
+
+/// Mirrors `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Run a closure with a scope; all spawned threads are joined before this
+/// returns. Unlike crossbeam, a panicking child propagates its panic when
+/// the scope exits (via `std::thread::scope`) instead of surfacing it in
+/// the returned `Result` — callers `.expect()` the result either way.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::scope(|scope| {
+            for (o, &v) in out.chunks_mut(1).zip(&data) {
+                scope.spawn(move |_| o[0] = v * 10);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let v = super::scope(|scope| scope.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+        assert_eq!(v, 42);
+    }
+}

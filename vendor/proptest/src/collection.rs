@@ -1,0 +1,46 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy producing vectors whose length is drawn from `len` and whose
+/// elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+/// Mirrors `proptest::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = if self.len.is_empty() { 0 } else { rng.gen_range(self.len.clone()) };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nested_vec_strategy() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strat = vec(vec(0u32..8, 0..6), 0..8);
+        for _ in 0..100 {
+            let bags = strat.generate(&mut rng);
+            assert!(bags.len() < 8);
+            for bag in &bags {
+                assert!(bag.len() < 6);
+                assert!(bag.iter().all(|&x| x < 8));
+            }
+        }
+    }
+}

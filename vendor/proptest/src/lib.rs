@@ -1,0 +1,91 @@
+//! Offline stub of `proptest` 1.x: enough of the API for this workspace's
+//! property tests — the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! numeric-range and regex-literal strategies, and `collection::vec`.
+//!
+//! Differences from upstream: cases are generated from a fixed seed per
+//! test (deterministic CI), there is **no shrinking** (the failing input is
+//! printed as-is via the assertion message), and the string strategy
+//! supports only the `[class]{m,n}` regex subset the tests use.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The body of a `proptest!` test returns this so `prop_assert!` can use
+/// `?`-free early panics while matching upstream's spelling.
+pub type TestCaseResult = Result<(), test_runner::TestCaseError>;
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// The `proptest!` macro: each listed function becomes a `#[test]` running
+/// its body over `config.cases` strategy-generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::Runner::new(config, stringify!($name));
+                for _case in 0..runner.cases() {
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), runner.rng());)+
+                    $body
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                fn $name($($p in $s),+) $body
+            )+
+        }
+    };
+}

@@ -1,0 +1,122 @@
+//! Regex-subset string generation: sequences of literal characters and
+//! character classes `[a-z0-9éö ]`, each optionally repeated `{n}` or
+//! `{m,n}`. This covers every string strategy in the workspace's tests.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in '{pattern}'"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let start = prev.take().expect("range start");
+                            let end = chars.next().expect("range end");
+                            assert!(start <= end, "bad range {start}-{end} in '{pattern}'");
+                            for v in (start as u32)..=(end as u32) {
+                                if let Some(ch) = char::from_u32(v) {
+                                    set.push(ch);
+                                }
+                            }
+                        }
+                        Some(other) => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in '{pattern}'");
+                Atom::Class(set)
+            }
+            '\\' => Atom::Literal(chars.next().expect("escaped character")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+/// Generate one string matching the pattern.
+#[must_use]
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse(pattern) {
+        let n = if min == max { min } else { rng.gen_range(min..=max) };
+        for _ in 0..n {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(*set.choose(rng).expect("non-empty class")),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn mixed_classes_and_unicode() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let s = generate_from_pattern("[A-Za-zéö ]{1,12}", &mut rng);
+            assert!(!s.is_empty() && s.chars().count() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == 'é' || c == 'ö' || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+        assert_eq!(generate_from_pattern("a{3}", &mut rng), "aaa");
+    }
+}

@@ -1,0 +1,58 @@
+//! Test-case driving: configuration and the per-test runner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mirrors `proptest::test_runner::ProptestConfig` (cases only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Upstream-compatible error type (unused by the stub's panicking asserts,
+/// kept so signatures line up).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+/// Drives one property test: a seeded generator plus the case budget.
+#[derive(Debug)]
+pub struct Runner {
+    cases: u32,
+    rng: StdRng,
+}
+
+impl Runner {
+    /// The seed mixes the test name so distinct properties explore distinct
+    /// streams while staying reproducible run-to-run.
+    #[must_use]
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Runner { cases: config.cases, rng: StdRng::seed_from_u64(h) }
+    }
+
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stub of `serde`. The workspace derives `Serialize`/`Deserialize`
+//! on its data model as forward-compatibility markers, but never routes
+//! bytes through serde — persistence is hand-rolled (`yv-adt::persist`,
+//! `yv-store::snapshot`). This stub keeps the derive syntax compiling in a
+//! container with no crates.io access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,17 @@
+//! Offline stub of `serde_derive`: the build container has no crates.io
+//! access, and nothing in this workspace serializes through serde (the
+//! derives are forward-compatibility markers; real persistence is
+//! hand-rolled in `yv-adt::persist` and `yv-store`). The derive macros
+//! therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
