@@ -1,8 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, lint. Run from the repository root.
+# Tier-1 verification: build, test, lint, audit. Run from the repository
+# root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+# cast_possible_truncation is a workspace-level warn (see [workspace.lints])
+# surfaced for review but not yet a build failure; everything else is -D.
+cargo clippy --workspace --all-targets -- -D warnings -A clippy::cast_possible_truncation
+
+# Workspace invariant audit (determinism / panic-freedom / score hygiene —
+# DESIGN.md §10). The workspace itself must be clean...
+cargo run -q -p yv-audit -- check
+
+# ...and the auditor must still catch seeded violations: every known-bad
+# fixture has to fail the check, or the gate is dead.
+for fixture in crates/audit/fixtures/bad_*.rs; do
+    if cargo run -q -p yv-audit -- check "$fixture" > /dev/null; then
+        echo "audit gate failure: $fixture passed but must be detected" >&2
+        exit 1
+    fi
+done
+echo "audit gate: workspace clean, all seeded violations detected"

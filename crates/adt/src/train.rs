@@ -53,9 +53,11 @@ pub fn train(data: &TrainSet, config: &TrainConfig) -> AdTree {
                 .filter(|&i| data.value(i as usize, f).is_some())
                 .collect();
             idx.sort_by(|&a, &b| {
-                data.value(a as usize, f)
-                    .partial_cmp(&data.value(b as usize, f))
-                    .expect("feature values are not NaN")
+                // Both values are present (filtered above); total_cmp also
+                // gives NaN a stable position instead of a panic.
+                let va = data.value(a as usize, f).unwrap_or(f64::NAN);
+                let vb = data.value(b as usize, f).unwrap_or(f64::NAN);
+                va.total_cmp(&vb)
             });
             idx
         })
@@ -169,13 +171,11 @@ fn scan_feature(
     let present: Vec<(f64, f64, i8)> = sorted_column
         .iter()
         .filter(|&&i| member_mask[i as usize])
-        .map(|&i| {
+        .filter_map(|&i| {
             let i = i as usize;
-            (
-                data.value(i, feature).expect("sorted column holds present values"),
-                weights[i],
-                data.label(i),
-            )
+            // Sorted columns only hold present values; filter_map keeps
+            // that invariant local instead of a reachable panic.
+            data.value(i, feature).map(|v| (v, weights[i], data.label(i)))
         })
         .collect();
     if present.len() < 2 {

@@ -1,0 +1,11 @@
+// Known-bad fixture for rule D1: hash-ordered iteration feeding a push
+// with no canonicalizing sort. The violation is on line 7.
+use std::collections::HashMap;
+
+pub fn emit(clusters: &HashMap<u32, Vec<u32>>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (id, _members) in clusters {
+        out.push(*id);
+    }
+    out
+}

@@ -1,0 +1,10 @@
+// Known-bad fixture for rule F1: fixed-precision float formatting (line
+// 5) and a lossy `as` cast on a score value (line 9).
+
+pub fn persist_score(score: f64) -> String {
+    format!("{:.17}", score)
+}
+
+pub fn narrow(score: f64) -> f32 {
+    score as f32
+}

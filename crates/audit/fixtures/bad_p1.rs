@@ -1,0 +1,6 @@
+// Known-bad fixture for rule P1: a panicking call in non-test library
+// code. The violation is on line 5.
+
+pub fn head(values: &[u32]) -> u32 {
+    *values.first().unwrap()
+}

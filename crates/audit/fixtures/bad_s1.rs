@@ -1,0 +1,7 @@
+// Known-bad fixture for rule S1: a wall-clock read in deterministic
+// pipeline code. The violation is on line 6.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

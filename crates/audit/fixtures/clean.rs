@@ -1,0 +1,21 @@
+// Known-clean fixture: sorted BTree iteration, error propagation, debug
+// float formatting, no wall-clock reads. Mentions of .unwrap() or {:.17}
+// in comments and strings must not fire.
+use std::collections::BTreeMap;
+
+pub fn emit(clusters: &BTreeMap<u32, Vec<u32>>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (id, _members) in clusters {
+        out.push(*id);
+    }
+    out
+}
+
+pub fn head(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}
+
+pub fn persist_score(score: f64) -> String {
+    let _prose = "never call .unwrap() or format with {:.17} here";
+    format!("{score:?}")
+}

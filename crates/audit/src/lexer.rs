@@ -1,0 +1,363 @@
+//! Line-level lexing of Rust sources.
+//!
+//! The auditor deliberately avoids a full parser (the workspace builds
+//! offline against vendored stubs, so `syn` is not available). Instead
+//! each file is reduced to a vector of [`CleanLine`]s: code with string
+//! *contents* and comments stripped, the comment text preserved separately
+//! (that is where `audit:allow(...)` markers live), and a flag telling
+//! whether the line sits inside `#[cfg(test)]` / `#[test]` code.
+//!
+//! The stripping is a small state machine over characters handling line
+//! comments, nested block comments, string literals, raw strings
+//! (`r#"..."#`), char literals and lifetimes (`'a` is not a char
+//! literal).
+
+/// One source line after lexing.
+#[derive(Debug, Clone)]
+pub struct CleanLine {
+    /// Code with comments removed and string contents blanked (the
+    /// surrounding quotes survive so `format!("{:.3}", x)` still shows a
+    /// string boundary — but its *contents* are gone, keeping string text
+    /// from triggering code rules).
+    pub code: String,
+    /// Code with comments removed but string contents kept — for rules
+    /// that inspect format strings (F1) without being fooled by comments
+    /// that merely mention a pattern.
+    pub text: String,
+    /// Concatenated comment text of the line (line and block comments).
+    pub comment: String,
+    /// True when the line is inside `#[cfg(test)]` items or a `#[test]`
+    /// function.
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    Str,
+    RawStr { hashes: usize },
+    BlockComment { depth: usize },
+}
+
+/// Brace-tracked region of test-only code.
+#[derive(Debug, Clone, Copy)]
+struct TestRegion {
+    /// Brace depth at which the region's opening `{` sits; the region
+    /// closes when depth falls back to this value.
+    entry_depth: usize,
+}
+
+/// Lex a whole source file into clean lines.
+#[must_use]
+pub fn clean_lines(source: &str) -> Vec<CleanLine> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    let mut depth: usize = 0;
+    // Set when a `#[cfg(test)]` or `#[test]` attribute has been seen and
+    // the opening brace of the annotated item is still ahead.
+    let mut pending_test_attr = false;
+    let mut regions: Vec<TestRegion> = Vec::new();
+
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut text = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        // A region opened on this line may also close on it (`mod t { .. }`
+        // one-liners), so remember that the line touched test code.
+        let mut line_in_test = !regions.is_empty() || pending_test_attr;
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw[char_offset(&chars, i)..]);
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment { depth: 1 };
+                        i += 2;
+                    }
+                    'r' if is_raw_string_start(&chars, i) => {
+                        let hashes = count_hashes(&chars, i + 1);
+                        code.push('"');
+                        text.push('"');
+                        mode = Mode::RawStr { hashes };
+                        i += 2 + hashes; // r, hashes, opening quote
+                    }
+                    '"' => {
+                        code.push('"');
+                        text.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                    }
+                    '\'' => {
+                        // Distinguish char literals from lifetimes.
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            code.push_str("' '");
+                            text.push_str("' '");
+                            i = end + 1;
+                        } else {
+                            code.push('\'');
+                            text.push('\'');
+                            i += 1;
+                        }
+                    }
+                    '{' => {
+                        depth += 1;
+                        if pending_test_attr {
+                            regions.push(TestRegion { entry_depth: depth - 1 });
+                            pending_test_attr = false;
+                            line_in_test = true;
+                        }
+                        code.push('{');
+                        text.push('{');
+                        i += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if let Some(last) = regions.last() {
+                            if depth <= last.entry_depth {
+                                regions.pop();
+                            }
+                        }
+                        code.push('}');
+                        text.push('}');
+                        i += 1;
+                    }
+                    ';' if pending_test_attr && depth_of_attr_item(&code) => {
+                        // `#[cfg(test)] use ...;` — attribute consumed by a
+                        // braceless item.
+                        pending_test_attr = false;
+                        code.push(';');
+                        text.push(';');
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(c);
+                        text.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::Str => match c {
+                    '\\' => {
+                        text.push('\\');
+                        if let Some(e) = chars.get(i + 1) {
+                            text.push(*e);
+                        }
+                        i += 2; // skip the escaped character
+                    }
+                    '"' => {
+                        code.push('"');
+                        text.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    }
+                    _ => {
+                        text.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::RawStr { hashes } => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        code.push('"');
+                        text.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                    } else {
+                        text.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::BlockComment { depth: d } => {
+                    if c == '*' && next == Some('/') {
+                        if d == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::BlockComment { depth: d - 1 };
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment { depth: d + 1 };
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Strings and block comments may span lines; a string open at EOL
+        // simply stays open (multi-line string literal).
+        if contains_test_attr(&code) {
+            pending_test_attr = true;
+        }
+        out.push(CleanLine {
+            code,
+            text,
+            comment,
+            in_test: line_in_test || !regions.is_empty() || pending_test_attr,
+        });
+    }
+    out
+}
+
+/// Byte offset of char index `i` within the original line.
+fn char_offset(chars: &[char], i: usize) -> usize {
+    chars[..i].iter().map(|c| c.len_utf8()).sum()
+}
+
+/// True when `chars[i]` begins `r"` or `r#...#"` (and is not part of an
+/// identifier such as `for` or `attr`).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], from: usize) -> usize {
+    let mut n = 0;
+    while chars.get(from + n) == Some(&'#') {
+        n += 1;
+    }
+    n
+}
+
+fn closes_raw(chars: &[char], quote_at: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(quote_at + k) == Some(&'#'))
+}
+
+/// If `chars[i]` (a `'`) opens a char literal, return the index of its
+/// closing quote; `None` means it is a lifetime or a stray quote.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan to the next unescaped quote.
+            let mut j = i + 2;
+            while j < chars.len() {
+                match chars[j] {
+                    '\'' => return Some(j),
+                    '\\' => j += 2,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            if chars.get(i + 2) == Some(&'\'') {
+                Some(i + 2)
+            } else {
+                None // `'a` lifetime or `'static`
+            }
+        }
+    }
+}
+
+/// True when the cleaned line carries a test attribute.
+fn contains_test_attr(code: &str) -> bool {
+    code.contains("#[cfg(test)]")
+        || code.contains("#[test]")
+        || code.contains("#[cfg(all(test")
+        || code.contains("#[bench]")
+}
+
+/// True when the pending attribute can be consumed by a braceless item on
+/// this line (e.g. `#[cfg(test)] use foo;`).
+fn depth_of_attr_item(code: &str) -> bool {
+    let t = code.trim_start();
+    t.contains("use ") || t.contains("extern crate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_separated() {
+        let lines = clean_lines("let x = 1; // audit:allow(P1) reason\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("audit:allow(P1)"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = clean_lines("let s = \"{:.17} .unwrap() HashMap\";\n");
+        assert!(!lines[0].code.contains("{:.17}"));
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn block_comments_can_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nstill comment .unwrap()\n*/ c\n";
+        let lines = clean_lines(src);
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert_eq!(lines[1].code.trim(), "");
+        assert!(lines[2].comment.contains(".unwrap()"));
+        assert_eq!(lines[3].code.trim(), "c");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = clean_lines("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }\n");
+        // The quote inside the char literal must not open a string.
+        assert!(lines[0].code.contains("let d ="));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let lines = clean_lines("let r = r#\"contains \"quotes\" and .unwrap()\"#; f();\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("f();"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "\
+fn lib() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { y.unwrap(); }
+}
+fn lib2() {}
+";
+        let lines = clean_lines(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "the attribute line itself");
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn test_fn_attribute_covers_the_function() {
+        let src = "\
+#[test]
+fn a_test() {
+    z.unwrap();
+}
+fn lib() {}
+";
+        let lines = clean_lines(src);
+        assert!(lines[2].in_test);
+        assert!(!lines[4].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_use_does_not_open_a_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { x.unwrap(); }\n";
+        let lines = clean_lines(src);
+        assert!(!lines[2].in_test);
+    }
+}

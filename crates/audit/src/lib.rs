@@ -1,0 +1,55 @@
+//! yv-audit: static analysis over the workspace's own sources.
+//!
+//! The resolver's ranked output (paper §4.2) is only meaningful if scores
+//! and cluster orderings are bit-for-bit reproducible, and the serving
+//! path must not panic. This crate enforces both mechanically with four
+//! line-level rules (D1 hash-order determinism, P1 panic-freedom, F1
+//! score/float hygiene, S1 wall-clock hygiene); see [`rules`] for the
+//! exact semantics and `DESIGN.md` §10 for the rationale.
+//!
+//! Suppression: `// audit:allow(RULE) <justification>` on the offending
+//! line, or alone on the line above it.
+
+pub mod lexer;
+pub mod profile;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use profile::FileProfile;
+pub use rules::{Finding, Rule};
+
+/// Analyze in-memory source text under an explicit profile.
+#[must_use]
+pub fn analyze_source(display_path: &str, source: &str, profile: &FileProfile) -> Vec<Finding> {
+    if profile.test_file {
+        return Vec::new();
+    }
+    let lines = lexer::clean_lines(source);
+    rules::check_lines(display_path, source, &lines, profile)
+}
+
+/// Analyze one file on disk; the profile is derived from `display_path`.
+pub fn analyze_file(path: &Path, display_path: &str) -> std::io::Result<Vec<Finding>> {
+    let source = std::fs::read_to_string(path)?;
+    let profile = FileProfile::for_path(display_path);
+    Ok(analyze_source(display_path, &source, &profile))
+}
+
+/// Analyze every workspace source under `root`. Findings come back sorted
+/// by (file, line, rule).
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in walk::workspace_sources(root)? {
+        let display = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(analyze_file(&path, &display)?);
+    }
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(findings)
+}

@@ -1,0 +1,112 @@
+//! Mapping a file path to the set of rules that apply to it.
+//!
+//! The rule scoping mirrors ISSUE-2: panic-freedom (P1) is demanded of the
+//! library crates that back `yv serve`, wall-clock hygiene (S1) of the
+//! deterministic pipeline crates, float hygiene (F1) of persistence and
+//! protocol code, and hash-order determinism (D1) everywhere. Files whose
+//! path does not identify a workspace crate (e.g. audit fixtures) get every
+//! rule — the conservative default.
+
+/// Crates whose non-test code must be panic-free (P1).
+const P1_CRATES: [&str; 6] = ["core", "blocking", "mfi", "store", "similarity", "adt"];
+
+/// Deterministic pipeline crates where wall-clock reads are suspect (S1).
+const S1_CRATES: [&str; 4] = ["mfi", "blocking", "adt", "eval"];
+
+/// File-name fragments marking persistence/protocol code (F1 scope).
+const F1_FILES: [&str; 6] = ["persist", "codec", "snapshot", "wal", "protocol", "csv"];
+
+/// Which rules apply to a given file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileProfile {
+    pub d1: bool,
+    pub p1: bool,
+    pub f1: bool,
+    pub s1: bool,
+    /// Path components identified this as test/bench/example code; all
+    /// rules are off.
+    pub test_file: bool,
+}
+
+impl FileProfile {
+    /// Every rule on — used for unknown paths and in-memory checks.
+    #[must_use]
+    pub fn all() -> Self {
+        FileProfile { d1: true, p1: true, f1: true, s1: true, test_file: false }
+    }
+
+    /// Classify a workspace-relative path (`/`-separated).
+    #[must_use]
+    pub fn for_path(path: &str) -> Self {
+        let norm = path.replace('\\', "/");
+        let components: Vec<&str> = norm.split('/').collect();
+        if components
+            .iter()
+            .any(|c| matches!(*c, "tests" | "benches" | "examples"))
+        {
+            return FileProfile { d1: false, p1: false, f1: false, s1: false, test_file: true };
+        }
+        // Fixture snippets exercise every rule regardless of which crate
+        // hosts them.
+        if components.contains(&"fixtures") {
+            return FileProfile::all();
+        }
+        let crate_name = components
+            .iter()
+            .position(|c| *c == "crates")
+            .and_then(|i| components.get(i + 1))
+            .copied();
+        let file_name = components.last().copied().unwrap_or_default();
+        match crate_name {
+            Some(name) => FileProfile {
+                d1: true,
+                p1: P1_CRATES.contains(&name),
+                f1: F1_FILES.iter().any(|f| file_name.contains(f)),
+                s1: S1_CRATES.contains(&name),
+                test_file: false,
+            },
+            // Root src/, fixtures, anything unrecognized: all rules.
+            None => FileProfile::all(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_crate_gets_p1_and_s1() {
+        let p = FileProfile::for_path("crates/blocking/src/mfiblocks.rs");
+        assert!(p.d1 && p.p1 && p.s1 && !p.f1);
+    }
+
+    #[test]
+    fn store_persistence_file_gets_f1() {
+        let p = FileProfile::for_path("crates/store/src/wal.rs");
+        assert!(p.f1 && p.p1 && !p.s1);
+    }
+
+    #[test]
+    fn cli_crate_gets_only_d1() {
+        let p = FileProfile::for_path("crates/cli/src/commands.rs");
+        assert!(p.d1 && !p.p1 && !p.s1 && !p.f1);
+    }
+
+    #[test]
+    fn test_dirs_are_exempt() {
+        let p = FileProfile::for_path("crates/store/tests/server_e2e.rs");
+        assert!(p.test_file && !p.d1 && !p.p1);
+        let b = FileProfile::for_path("crates/similarity/benches/jw.rs");
+        assert!(b.test_file);
+    }
+
+    #[test]
+    fn unknown_paths_get_everything() {
+        let p = FileProfile::for_path("crates/audit/fixtures/bad_f1.rs");
+        // `fixtures` is not a test dir; unknown crate layout → all rules.
+        assert!(p.d1 && p.p1 && p.f1 && p.s1);
+        let r = FileProfile::for_path("src/lib.rs");
+        assert!(r.d1 && r.p1);
+    }
+}

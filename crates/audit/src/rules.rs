@@ -1,0 +1,481 @@
+//! The audit rules.
+//!
+//! Every rule works on [`CleanLine`]s. D1/P1/S1 match against `code`
+//! (comments and string contents stripped) so prose never triggers them;
+//! F1's precision check matches against `text` (comments stripped,
+//! string contents kept) because format specifiers like `{:.17}` live
+//! inside string literals. See each rule's doc for exact semantics.
+//!
+//! | rule | hazard | fires on |
+//! |------|--------|----------|
+//! | D1   | hash-order nondeterminism | `HashMap`/`HashSet` iteration feeding `push`/`extend`/serialization within [`SINK_WINDOW`] lines with no `.sort` within [`SORT_WINDOW`] lines after the sink |
+//! | P1   | panic in library code | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` outside test code |
+//! | F1   | lossy score persistence | fixed-precision float formatting (`{:.17}`) and lossy `as` casts on score values in persistence/protocol files |
+//! | S1   | wall-clock in deterministic pipeline | `Instant::now` / `SystemTime::now` in pipeline crates |
+
+use crate::lexer::CleanLine;
+use crate::profile::FileProfile;
+
+/// Lines after a hash iteration within which a sink makes the iteration a
+/// D1 hazard.
+pub const SINK_WINDOW: usize = 12;
+/// Lines after the sink within which a `.sort` discharges the hazard (the
+/// accumulated output is canonicalized before anyone observes it).
+pub const SORT_WINDOW: usize = 12;
+
+/// Rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    D1,
+    P1,
+    F1,
+    S1,
+}
+
+impl Rule {
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::P1 => "P1",
+            Rule::F1 => "F1",
+            Rule::S1 => "S1",
+        }
+    }
+
+    #[must_use]
+    pub fn all() -> [Rule; 4] {
+        [Rule::D1, Rule::P1, Rule::F1, Rule::S1]
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Path as given to the analyzer (workspace-relative in CLI runs).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Run every applicable rule over one lexed file.
+#[must_use]
+pub fn check_lines(
+    file: &str,
+    raw: &str,
+    lines: &[CleanLine],
+    profile: &FileProfile,
+) -> Vec<Finding> {
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let mut findings = Vec::new();
+    if profile.d1 {
+        d1(file, lines, &raw_lines, &mut findings);
+    }
+    if profile.p1 {
+        p1(file, lines, &raw_lines, &mut findings);
+    }
+    if profile.f1 {
+        f1(file, lines, &raw_lines, &mut findings);
+    }
+    if profile.s1 {
+        s1(file, lines, &raw_lines, &mut findings);
+    }
+    findings.retain(|f| !suppressed(lines, f.line, f.rule));
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
+    findings
+}
+
+/// `// audit:allow(RULE)` on the finding's line, or alone on the line
+/// directly above it, suppresses the finding.
+fn suppressed(lines: &[CleanLine], line_no: usize, rule: Rule) -> bool {
+    let idx = line_no - 1;
+    if allows(&lines[idx].comment, rule) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].code.trim().is_empty() && allows(&lines[idx - 1].comment, rule)
+}
+
+fn allows(comment: &str, rule: Rule) -> bool {
+    let Some(at) = comment.find("audit:allow(") else {
+        return false;
+    };
+    let rest = &comment[at + "audit:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    rest[..close].split(',').any(|r| r.trim() == rule.name())
+}
+
+fn push_finding(
+    findings: &mut Vec<Finding>,
+    rule: Rule,
+    file: &str,
+    line: usize,
+    raw_lines: &[&str],
+    message: String,
+) {
+    let snippet = raw_lines.get(line - 1).map_or("", |l| l.trim()).to_owned();
+    findings.push(Finding { rule, file: file.to_owned(), line, message, snippet });
+}
+
+// ------------------------------------------------------------------- D1
+
+/// Identifiers bound to hash-ordered collections in this file.
+fn hash_bound_names(lines: &[CleanLine]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] name: HashMap<..>` / `let [mut] name = HashMap::new()`
+        if let Some(name) = let_binding_name(code) {
+            push_name(&mut names, name);
+        }
+        // Parameter or field position: `name: &HashMap<`, `name: HashMap<`.
+        for marker in ["HashMap<", "HashSet<"] {
+            let mut from = 0;
+            while let Some(at) = code[from..].find(marker) {
+                let abs = from + at;
+                if let Some(name) = param_name_before(code, abs) {
+                    push_name(&mut names, name);
+                }
+                from = abs + marker.len();
+            }
+        }
+    }
+    names
+}
+
+fn push_name(names: &mut Vec<String>, name: String) {
+    if !name.is_empty() && !names.contains(&name) {
+        names.push(name);
+    }
+}
+
+/// Extract the bound name from a `let` line mentioning a hash collection.
+fn let_binding_name(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String =
+        rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    // Destructuring patterns (`let (a, b) = ...`) yield an empty name.
+    (!name.is_empty()).then_some(name)
+}
+
+/// Identifier preceding `: &HashMap<` / `: HashMap<` at byte `at`.
+fn param_name_before(code: &str, at: usize) -> Option<String> {
+    let before = &code[..at];
+    let before = before.trim_end_matches(['&', ' ']);
+    let before = before.strip_suffix("mut").unwrap_or(before).trim_end();
+    let before = before.strip_suffix(':')?.trim_end();
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+const ITER_METHODS: [&str; 7] =
+    [".iter()", ".into_iter()", ".values()", ".keys()", ".into_values()", ".into_keys()", ".drain("];
+const SINKS: [&str; 5] = [".push(", ".push_str(", ".extend(", "write!(", "writeln!("];
+
+/// True when the cleaned line iterates the named hash collection.
+fn iterates(code: &str, name: &str) -> bool {
+    for m in ITER_METHODS {
+        let pat = format!("{name}{m}");
+        if code.contains(&pat) {
+            return true;
+        }
+    }
+    // `for x in name` / `for x in &name` / `for x in &mut name`
+    for pat in [format!(" in {name}"), format!(" in &{name}"), format!(" in &mut {name}")] {
+        if let Some(at) = code.find(&pat) {
+            let after = at + pat.len();
+            let boundary = code[after..]
+                .chars()
+                .next()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+            if boundary && code.trim_start().starts_with("for ") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn d1(file: &str, lines: &[CleanLine], raw_lines: &[&str], findings: &mut Vec<Finding>) {
+    let names = hash_bound_names(lines);
+    if names.is_empty() {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(name) = names.iter().find(|n| iterates(&line.code, n)) else {
+            continue;
+        };
+        // A sink within the window makes the hash order observable...
+        let sink = (idx + 1..lines.len().min(idx + 1 + SINK_WINDOW))
+            .find(|&j| SINKS.iter().any(|s| lines[j].code.contains(s)));
+        // ...including a sink on the iteration line itself (iterator
+        // chains like `map.values().for_each(|v| out.push(v))`).
+        let sink = if SINKS.iter().any(|s| line.code.contains(s)) { Some(idx) } else { sink };
+        let Some(sink_idx) = sink else {
+            continue;
+        };
+        // A sort after the sink canonicalizes the accumulated output.
+        let sorted = (sink_idx + 1..lines.len().min(sink_idx + 1 + SORT_WINDOW))
+            .any(|j| lines[j].code.contains(".sort"));
+        if sorted {
+            continue;
+        }
+        push_finding(
+            findings,
+            Rule::D1,
+            file,
+            idx + 1,
+            raw_lines,
+            format!(
+                "iteration over hash-ordered `{name}` feeds an order-sensitive sink \
+                 (line {}) with no canonicalizing sort; use a BTree collection or \
+                 sort before emitting",
+                sink_idx + 1
+            ),
+        );
+    }
+}
+
+// ------------------------------------------------------------------- P1
+
+const PANIC_CALLS: [&str; 6] =
+    [".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+fn p1(file: &str, lines: &[CleanLine], raw_lines: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for call in PANIC_CALLS {
+            if let Some(at) = line.code.find(call) {
+                // `.expect(` must not match `.expect_err(`; find() can hit a
+                // prefix of a longer identifier only for the macro names,
+                // which end in `!(` and are unambiguous.
+                let _ = at;
+                push_finding(
+                    findings,
+                    Rule::P1,
+                    file,
+                    idx + 1,
+                    raw_lines,
+                    format!(
+                        "`{}` can panic in library code; propagate an error with `?` instead",
+                        call.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- F1
+
+const LOSSY_CAST_TARGETS: [&str; 9] =
+    ["f32", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "usize"];
+
+/// True when a format specifier with fixed precision (`{:.3}`, `{:>8.2}`)
+/// appears in code position.
+fn has_fixed_precision_format(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while let Some(at) = code[i..].find("{:") {
+        let start = i + at + 2;
+        let mut j = start;
+        while j < bytes.len() && bytes[j] != b'}' && j - start < 16 {
+            if bytes[j] == b'.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                return true;
+            }
+            j += 1;
+        }
+        i = start;
+    }
+    false
+}
+
+/// True when a score-typed value is narrowed with `as`.
+fn has_lossy_score_cast(code: &str) -> bool {
+    let Some(score_at) = code.find("score") else {
+        return false;
+    };
+    let tail = &code[score_at..];
+    let Some(as_at) = tail.find(" as ") else {
+        return false;
+    };
+    let target = tail[as_at + 4..].trim_start();
+    LOSSY_CAST_TARGETS.iter().any(|t| {
+        target.starts_with(t)
+            && target[t.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+    })
+}
+
+const FORMAT_MACROS: [&str; 6] =
+    ["format!(", "write!(", "writeln!(", "print!(", "println!(", "format_args!("];
+
+fn f1(file: &str, lines: &[CleanLine], raw_lines: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        // Precision specifiers live inside string literals, so match on
+        // `text`; requiring a formatting macro on the same line keeps
+        // prose strings that merely mention `{:.17}` from firing.
+        let is_format_call = FORMAT_MACROS.iter().any(|m| line.code.contains(m));
+        if is_format_call && has_fixed_precision_format(&line.text) {
+            push_finding(
+                findings,
+                Rule::F1,
+                file,
+                idx + 1,
+                raw_lines,
+                "fixed-precision float formatting in a persistence/protocol path loses \
+                 significant digits; use `{:?}` (shortest round-trip) or `to_bits()`"
+                    .to_owned(),
+            );
+        }
+        if has_lossy_score_cast(&line.code) {
+            push_finding(
+                findings,
+                Rule::F1,
+                file,
+                idx + 1,
+                raw_lines,
+                "lossy `as` cast on a score value in a persistence/protocol path; \
+                 keep scores f64 end to end"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------- S1
+
+fn s1(file: &str, lines: &[CleanLine], raw_lines: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for call in ["Instant::now", "SystemTime::now"] {
+            if line.code.contains(call) {
+                push_finding(
+                    findings,
+                    Rule::S1,
+                    file,
+                    idx + 1,
+                    raw_lines,
+                    format!(
+                        "`{call}` in a deterministic pipeline crate; wall-clock reads \
+                         must not influence scores or cluster output"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean_lines;
+    use crate::profile::FileProfile;
+
+    fn check_all(src: &str) -> Vec<Finding> {
+        let lines = clean_lines(src);
+        check_lines("mem.rs", src, &lines, &FileProfile::all())
+    }
+
+    #[test]
+    fn p1_fires_outside_tests_only() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn b() { y.unwrap(); } }\n";
+        let f = check_all(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::P1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn p1_does_not_match_unwrap_or() {
+        assert!(check_all("fn a() { x.unwrap_or(0); y.unwrap_or_default(); }\n").is_empty());
+    }
+
+    #[test]
+    fn d1_fires_without_sort_and_not_with() {
+        let bad = "fn f() {\nlet mut m: std::collections::HashMap<u32, u32> = x;\nfor (k, v) in m {\nout.push(k);\n}\n}\n";
+        let f = check_all(bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::D1);
+        assert_eq!(f[0].line, 3);
+
+        let good = "fn f() {\nlet mut m: std::collections::HashMap<u32, u32> = x;\nfor (k, v) in m {\nout.push(k);\n}\nout.sort();\n}\n";
+        assert!(check_all(good).is_empty());
+    }
+
+    #[test]
+    fn d1_btree_is_clean() {
+        let src = "fn f() {\nlet mut m: std::collections::BTreeMap<u32, u32> = x;\nfor (k, v) in &m {\nout.push(*k);\n}\n}\n";
+        assert!(check_all(src).is_empty());
+    }
+
+    #[test]
+    fn f1_fires_on_precision_and_cast_not_on_debug() {
+        let f = check_all("fn f() { let s = format!(\"{:.17}\", v); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::F1);
+        let f = check_all("fn f() { let x = score as f32; }\n");
+        assert_eq!(f.len(), 1);
+        assert!(check_all("fn f() { let s = format!(\"{:?}\", v); }\n").is_empty());
+    }
+
+    #[test]
+    fn f1_ignores_comments() {
+        assert!(check_all("// fixed precision like {:.17} is lossy\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn s1_fires_on_wall_clock() {
+        let f = check_all("fn f() { let t = std::time::Instant::now(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::S1);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_line_and_preceding_line() {
+        let same = "fn f() { x.unwrap(); } // audit:allow(P1) startup-only\n";
+        assert!(check_all(same).is_empty());
+        let above = "// audit:allow(P1) startup-only\nfn f() { x.unwrap(); }\n";
+        assert!(check_all(above).is_empty());
+        let wrong_rule = "fn f() { x.unwrap(); } // audit:allow(D1)\n";
+        assert_eq!(check_all(wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn findings_are_line_sorted() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\nfn g() { x.unwrap(); }\n";
+        let f = check_all(src);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].line < f[1].line);
+    }
+}

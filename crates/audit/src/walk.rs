@@ -1,0 +1,57 @@
+//! Deterministic discovery of the workspace's own `.rs` sources.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into. `fixtures` holds deliberately-bad
+/// audit snippets; `vendor` holds stub crates we do not own; `target` is
+/// build output.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", "fixtures", ".git"];
+
+/// Collect every `.rs` file under `root`, sorted by path so reports (and
+/// CI diffs against them) are stable.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_finds_own_sources_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = workspace_sources(root).expect("walk audit crate");
+        assert!(files.iter().any(|p| p.ends_with("src/walk.rs")));
+        // No file may come from a `fixtures` *directory* (a test file
+        // named fixtures.rs is fine).
+        assert!(!files
+            .iter()
+            .any(|p| p.parent().is_some_and(|d| d.ends_with("fixtures"))));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "output is path-sorted");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fixture-based end-to-end tests: each known-bad snippet under
+//! `fixtures/` must fire its rule at the documented `file:line`, the
+//! known-clean and suppressed snippets must not fire, and the CLI must
+//! turn findings into a non-zero exit code.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use yv_audit::{analyze_file, Rule};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let display = format!("crates/audit/fixtures/{name}");
+    (disk, display)
+}
+
+fn findings_of(name: &str) -> Vec<(Rule, usize)> {
+    let (disk, display) = fixture(name);
+    analyze_file(&disk, &display)
+        .expect("fixture readable")
+        .into_iter()
+        .map(|f| {
+            assert_eq!(f.file, display, "finding carries the display path");
+            (f.rule, f.line)
+        })
+        .collect()
+}
+
+#[test]
+fn bad_d1_fires_at_documented_line() {
+    assert_eq!(findings_of("bad_d1.rs"), vec![(Rule::D1, 7)]);
+}
+
+#[test]
+fn bad_p1_fires_at_documented_line() {
+    assert_eq!(findings_of("bad_p1.rs"), vec![(Rule::P1, 5)]);
+}
+
+#[test]
+fn bad_f1_fires_on_precision_and_cast() {
+    assert_eq!(findings_of("bad_f1.rs"), vec![(Rule::F1, 5), (Rule::F1, 9)]);
+}
+
+#[test]
+fn bad_s1_fires_at_documented_line() {
+    assert_eq!(findings_of("bad_s1.rs"), vec![(Rule::S1, 6)]);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_eq!(findings_of("clean.rs"), vec![]);
+}
+
+#[test]
+fn allow_markers_suppress_both_placements() {
+    assert_eq!(findings_of("allowed.rs"), vec![]);
+}
+
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_yv-audit"))
+        .args(args)
+        .output()
+        .expect("yv-audit binary runs");
+    (out.status.code().unwrap_or(-1), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[test]
+fn cli_exits_nonzero_on_every_bad_fixture() {
+    for name in ["bad_d1.rs", "bad_p1.rs", "bad_f1.rs", "bad_s1.rs"] {
+        let (_, display) = fixture(name);
+        let (code, stdout) = run_cli(&["check", &display]);
+        assert_eq!(code, 1, "{name} must fail the check");
+        assert!(stdout.contains(&display), "{name}: diagnostics anchor the file");
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_clean_and_suppressed() {
+    for name in ["clean.rs", "allowed.rs"] {
+        let (_, display) = fixture(name);
+        let (code, stdout) = run_cli(&["check", &display]);
+        assert_eq!(code, 0, "{name} must pass: {stdout}");
+        assert!(stdout.contains("audit: clean"));
+    }
+}
+
+#[test]
+fn cli_json_output_is_machine_readable() {
+    let (_, display) = fixture("bad_p1.rs");
+    let (code, stdout) = run_cli(&["check", &display, "--format=json"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"rule\":\"P1\""));
+    assert!(stdout.contains("\"line\":5"));
+    assert!(stdout.contains("\"count\":1"));
+    assert!(stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn cli_usage_error_is_exit_two() {
+    let (code, _) = run_cli(&["bogus-subcommand"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn workspace_scan_is_clean() {
+    // The enforcing property: the tool lands with the workspace swept.
+    let (code, stdout) = run_cli(&["check"]);
+    assert_eq!(code, 0, "workspace must stay audit-clean:\n{stdout}");
+}

@@ -64,6 +64,7 @@ impl BlockingResult {
 /// Run MFIBlocks over a dataset.
 #[must_use]
 pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
+    // audit:allow(S1) timing feeds BlockingStats only, never scores/blocks
     let start = Instant::now();
     let n = ds.len();
     let mut stats = BlockingStats::default();
@@ -98,6 +99,7 @@ pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
         // Mine MFIs from the uncovered records (line 6).
         let subset: Vec<Vec<u32>> =
             uncovered.iter().map(|&i| mining_bags[i].clone()).collect();
+        // audit:allow(S1) timing feeds BlockingStats only
         let mining_start = Instant::now();
         let mfis = mine_maximal(&subset, minsup);
         stats.mining_time += mining_start.elapsed();
@@ -141,14 +143,18 @@ pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
         // Sparse-neighborhood threshold (lines 9–14) and filtering
         // (lines 15–16).
         let min_th = ng_threshold(&scored, config.ng, minsup);
-        for (idx, ((items, records), &score)) in candidates.iter().zip(&scores).enumerate() {
-            let _ = idx;
+        for ((items, records), &score) in candidates.iter().zip(&scores) {
             if score <= min_th {
                 continue;
             }
             // Surviving block: emit pairs and mark coverage (lines 17–19).
-            let block =
-                Block { items: items.clone(), records: records.clone(), score, minsup };
+            // Membership is sorted before emission so cluster output is
+            // canonical regardless of how support was materialized.
+            let mut items = items.clone();
+            items.sort_unstable();
+            let mut records = records.clone();
+            records.sort_unstable();
+            let block = Block { items, records, score, minsup };
             for (a, b) in block.pairs() {
                 pairs.insert((a, b));
                 covered[a.index()] = true;
@@ -219,16 +225,17 @@ fn score_blocks(
     }
     let chunk = candidates.len().div_ceil(config.threads);
     let mut scores = vec![0.0; candidates.len()];
-    crossbeam::thread::scope(|scope| {
+    // std scoped threads re-raise any worker panic on join — no Result to
+    // unwrap, and a panicking worker cannot yield half-written scores.
+    std::thread::scope(|scope| {
         for (slot, work) in scores.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (out, (_, records)) in slot.iter_mut().zip(work) {
                     *out = block_score(ds, records, &config.score);
                 }
             });
         }
-    })
-    .expect("scoring workers do not panic");
+    });
     scores
 }
 

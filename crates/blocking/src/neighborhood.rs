@@ -6,7 +6,7 @@
 //! accumulates more than `NG · minsup` distinct candidate neighbors. Higher
 //! NG tolerates more overlap (higher recall, lower precision — Figure 16).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use yv_records::RecordId;
 
 /// Derive the NG score threshold for one minsup iteration.
@@ -24,8 +24,10 @@ pub fn ng_threshold(
     minsup: u64,
 ) -> f64 {
     let cap = (ng * minsup as f64).ceil() as usize;
-    // Record -> list of (block index) sorted later by score.
-    let mut memberships: HashMap<RecordId, Vec<usize>> = HashMap::new();
+    // Record -> list of (block index) sorted later by score. BTreeMap so
+    // the per-record visit order (and thus any score-tie behavior) is the
+    // same on every run.
+    let mut memberships: BTreeMap<RecordId, Vec<usize>> = BTreeMap::new();
     for (bi, (records, _)) in blocks.iter().enumerate() {
         for &r in records {
             memberships.entry(r).or_default().push(bi);
@@ -34,9 +36,7 @@ pub fn ng_threshold(
     let mut min_th = f64::NEG_INFINITY;
     let mut neighbors: std::collections::HashSet<RecordId> = std::collections::HashSet::new();
     for (record, mut block_ids) in memberships {
-        block_ids.sort_by(|&a, &b| {
-            blocks[b].1.partial_cmp(&blocks[a].1).expect("scores are not NaN")
-        });
+        block_ids.sort_by(|&a, &b| blocks[b].1.total_cmp(&blocks[a].1));
         neighbors.clear();
         for bi in block_ids {
             let (records, score) = &blocks[bi];

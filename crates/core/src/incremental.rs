@@ -182,10 +182,7 @@ impl IncrementalResolver {
         // candidate map iterates in hash order, and equal scores are
         // common enough (identical twins of a record) to surface it.
         new_matches.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are not NaN")
-                .then_with(|| (a.a, a.b).cmp(&(b.a, b.b)))
+            b.score.total_cmp(&a.score).then_with(|| (a.a, a.b).cmp(&(b.a, b.b)))
         });
         self.matches.extend(new_matches.iter().copied());
         new_matches

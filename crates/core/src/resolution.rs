@@ -25,10 +25,7 @@ impl Resolution {
     #[must_use]
     pub fn new(mut matches: Vec<RankedMatch>, clusters: Vec<SoftCluster>) -> Self {
         matches.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are not NaN")
-                .then_with(|| (a.a, a.b).cmp(&(b.a, b.b)))
+            b.score.total_cmp(&a.score).then_with(|| (a.a, a.b).cmp(&(b.a, b.b)))
         });
         Resolution { matches, clusters }
     }

@@ -63,19 +63,26 @@ impl Writer {
         self.u64(v.to_bits());
     }
 
-    pub fn str(&mut self, s: &str) {
-        self.u32(u32::try_from(s.len()).expect("string longer than 4 GiB"));
+    /// Length-prefixed string; a string whose length does not fit the u32
+    /// prefix is a typed error, not a panic.
+    pub fn str(&mut self, s: &str) -> Result<(), StoreError> {
+        self.u32(
+            u32::try_from(s.len())
+                .map_err(|_| StoreError::LimitExceeded { what: "string", len: s.len() })?,
+        );
         self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 
-    pub fn opt_str(&mut self, s: Option<&str>) {
+    pub fn opt_str(&mut self, s: Option<&str>) -> Result<(), StoreError> {
         match s {
             None => self.u8(0),
             Some(s) => {
                 self.u8(1);
-                self.str(s);
+                self.str(s)?;
             }
         }
+        Ok(())
     }
 
     pub fn opt_u8(&mut self, v: Option<u8>) {
@@ -143,20 +150,28 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Fixed-width read as an owned array; `take` guarantees the length,
+    /// so a mismatch here is corruption, never a panic.
+    fn array<const N: usize>(&mut self, what: &str) -> Result<[u8; N], StoreError> {
+        self.take(N, what)?
+            .try_into()
+            .map_err(|_| StoreError::Corrupt(format!("bad fixed-width slice for {what}")))
+    }
+
     pub fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
         Ok(self.take(1, what)?[0])
     }
 
     pub fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array(what)?))
     }
 
     pub fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array(what)?))
     }
 
     pub fn i32(&mut self, what: &str) -> Result<i32, StoreError> {
-        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+        Ok(i32::from_le_bytes(self.array(what)?))
     }
 
     pub fn f64(&mut self, what: &str) -> Result<f64, StoreError> {
@@ -205,20 +220,21 @@ impl<'a> Reader<'a> {
 
 // ---------------------------------------------------- domain encodings
 
-pub fn write_source(w: &mut Writer, s: &Source) {
+pub fn write_source(w: &mut Writer, s: &Source) -> Result<(), StoreError> {
     w.u32(s.id.0);
     match &s.kind {
         yv_records::SourceKind::Testimony { first_name, last_name, city } => {
             w.u8(0);
-            w.str(first_name);
-            w.str(last_name);
-            w.str(city);
+            w.str(first_name)?;
+            w.str(last_name)?;
+            w.str(city)?;
         }
         yv_records::SourceKind::List { description } => {
             w.u8(1);
-            w.str(description);
+            w.str(description)?;
         }
     }
+    Ok(())
 }
 
 pub fn read_source(r: &mut Reader<'_>) -> Result<Source, StoreError> {
@@ -238,11 +254,11 @@ pub fn read_source(r: &mut Reader<'_>) -> Result<Source, StoreError> {
     }
 }
 
-fn write_place(w: &mut Writer, p: &Place) {
-    w.opt_str(p.city.as_deref());
-    w.opt_str(p.county.as_deref());
-    w.opt_str(p.region.as_deref());
-    w.opt_str(p.country.as_deref());
+fn write_place(w: &mut Writer, p: &Place) -> Result<(), StoreError> {
+    w.opt_str(p.city.as_deref())?;
+    w.opt_str(p.county.as_deref())?;
+    w.opt_str(p.region.as_deref())?;
+    w.opt_str(p.country.as_deref())?;
     match p.coords {
         None => w.u8(0),
         Some(GeoPoint { lat, lon }) => {
@@ -251,6 +267,7 @@ fn write_place(w: &mut Writer, p: &Place) {
             w.f64(lon);
         }
     }
+    Ok(())
 }
 
 fn read_place(r: &mut Reader<'_>) -> Result<Place, StoreError> {
@@ -266,11 +283,15 @@ fn read_place(r: &mut Reader<'_>) -> Result<Place, StoreError> {
     Ok(Place { city, county, region, country, coords })
 }
 
-fn write_str_vec(w: &mut Writer, v: &[String]) {
-    w.u32(u32::try_from(v.len()).expect("name list fits u32"));
+fn write_str_vec(w: &mut Writer, v: &[String]) -> Result<(), StoreError> {
+    w.u32(
+        u32::try_from(v.len())
+            .map_err(|_| StoreError::LimitExceeded { what: "name list", len: v.len() })?,
+    );
     for s in v {
-        w.str(s);
+        w.str(s)?;
     }
+    Ok(())
 }
 
 fn read_str_vec(r: &mut Reader<'_>, what: &str) -> Result<Vec<String>, StoreError> {
@@ -282,30 +303,31 @@ fn read_str_vec(r: &mut Reader<'_>, what: &str) -> Result<Vec<String>, StoreErro
     Ok(out)
 }
 
-pub fn write_record(w: &mut Writer, rec: &Record) {
+pub fn write_record(w: &mut Writer, rec: &Record) -> Result<(), StoreError> {
     w.u64(rec.book_id);
     w.u32(rec.source.0);
-    write_str_vec(w, &rec.first_names);
-    write_str_vec(w, &rec.last_names);
-    w.opt_str(rec.maiden_name.as_deref());
-    w.opt_str(rec.father_name.as_deref());
-    w.opt_str(rec.mother_name.as_deref());
-    w.opt_str(rec.mothers_maiden.as_deref());
-    w.opt_str(rec.spouse_name.as_deref());
+    write_str_vec(w, &rec.first_names)?;
+    write_str_vec(w, &rec.last_names)?;
+    w.opt_str(rec.maiden_name.as_deref())?;
+    w.opt_str(rec.father_name.as_deref())?;
+    w.opt_str(rec.mother_name.as_deref())?;
+    w.opt_str(rec.mothers_maiden.as_deref())?;
+    w.opt_str(rec.spouse_name.as_deref())?;
     w.opt_u8(rec.gender.map(Gender::code));
     w.opt_u8(rec.birth.day);
     w.opt_u8(rec.birth.month);
     w.opt_i32(rec.birth.year);
-    w.opt_str(rec.profession.as_deref());
+    w.opt_str(rec.profession.as_deref())?;
     for place in &rec.places {
         match place {
             None => w.u8(0),
             Some(p) => {
                 w.u8(1);
-                write_place(w, p);
+                write_place(w, p)?;
             }
         }
     }
+    Ok(())
 }
 
 pub fn read_record(r: &mut Reader<'_>) -> Result<Record, StoreError> {
@@ -404,7 +426,7 @@ mod tests {
     fn record_round_trips() {
         let rec = full_record();
         let mut w = Writer::new();
-        write_record(&mut w, &rec);
+        write_record(&mut w, &rec).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(read_record(&mut r).unwrap(), rec);
@@ -415,7 +437,7 @@ mod tests {
     fn sparse_record_round_trips() {
         let rec = RecordBuilder::new(7, SourceId(0)).build();
         let mut w = Writer::new();
-        write_record(&mut w, &rec);
+        write_record(&mut w, &rec).unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(read_record(&mut r).unwrap(), rec);
@@ -428,7 +450,7 @@ mod tests {
             Source::list(SourceId(9), "deportation list 1943"),
         ] {
             let mut w = Writer::new();
-            write_source(&mut w, &src);
+            write_source(&mut w, &src).unwrap();
             let bytes = w.into_bytes();
             let mut r = Reader::new(&bytes);
             assert_eq!(read_source(&mut r).unwrap(), src);
@@ -438,7 +460,7 @@ mod tests {
     #[test]
     fn truncation_is_a_typed_error_not_a_panic() {
         let mut w = Writer::new();
-        write_record(&mut w, &full_record());
+        write_record(&mut w, &full_record()).unwrap();
         let bytes = w.into_bytes();
         for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
             let mut r = Reader::new(&bytes[..cut]);

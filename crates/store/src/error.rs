@@ -23,6 +23,9 @@ pub enum StoreError {
     /// A store directory operation was invalid (e.g. loading a directory
     /// with no snapshot).
     MissingSnapshot(std::path::PathBuf),
+    /// A value to be encoded exceeds a format limit (e.g. a string or
+    /// collection whose length does not fit the u32 prefix).
+    LimitExceeded { what: &'static str, len: usize },
 }
 
 impl fmt::Display for StoreError {
@@ -40,6 +43,9 @@ impl fmt::Display for StoreError {
             StoreError::Model(e) => write!(f, "embedded model: {e}"),
             StoreError::MissingSnapshot(dir) => {
                 write!(f, "no snapshot in store directory {}", dir.display())
+            }
+            StoreError::LimitExceeded { what, len } => {
+                write!(f, "{what} of length {len} exceeds the format's u32 limit")
             }
         }
     }

@@ -86,6 +86,9 @@ fn matching(
 ) -> Option<HashSet<RecordId>> {
     let q = query?.to_lowercase();
     let mut out = HashSet::new();
+    // The accumulator is itself an unordered membership set and the only
+    // caller (`seeds`) sorts before returning, so visit order is moot.
+    // audit:allow(D1)
     for (name, postings) in map {
         if jaro_winkler(name, &q) >= similarity {
             out.extend(postings.iter().copied());

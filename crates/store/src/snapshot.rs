@@ -30,28 +30,28 @@ pub const MAGIC: [u8; 8] = *b"YVSTORE\0";
 /// The snapshot format version this build reads and writes.
 pub const VERSION: u32 = 1;
 
-/// Serialize a resolver's full state to snapshot bytes.
-#[must_use]
-pub fn to_bytes(resolver: &IncrementalResolver) -> Vec<u8> {
+/// Serialize a resolver's full state to snapshot bytes. Oversized
+/// collections (lengths past the u32 prefix) surface as typed errors.
+pub fn to_bytes(resolver: &IncrementalResolver) -> Result<Vec<u8>, StoreError> {
     let mut p = Writer::new();
     let ds = resolver.dataset();
     let sources = ds.sources();
-    p.u32(u32::try_from(sources.len()).expect("source count fits u32"));
+    p.u32(len_u32(sources.len(), "source count")?);
     for s in sources {
-        codec::write_source(&mut p, s);
+        codec::write_source(&mut p, s)?;
     }
-    p.u32(u32::try_from(ds.len()).expect("record count fits u32"));
+    p.u32(len_u32(ds.len(), "record count")?);
     for rid in ds.record_ids() {
-        codec::write_record(&mut p, ds.record(rid));
+        codec::write_record(&mut p, ds.record(rid))?;
     }
     let matches = resolver.matches();
-    p.u32(u32::try_from(matches.len()).expect("match count fits u32"));
+    p.u32(len_u32(matches.len(), "match count")?);
     for m in matches {
         p.u32(m.a.0);
         p.u32(m.b.0);
         p.f64(m.score);
     }
-    p.str(&yv_adt::to_text(&resolver.pipeline().model));
+    p.str(&yv_adt::to_text(&resolver.pipeline().model))?;
     write_pipeline_config(&mut p, resolver.config());
     let inc = resolver.inc_config();
     p.u64(inc.min_shared_items as u64);
@@ -65,7 +65,11 @@ pub fn to_bytes(resolver: &IncrementalResolver) -> Vec<u8> {
     let mut bytes = out.into_bytes();
     bytes.extend_from_slice(&payload);
     bytes.extend_from_slice(&checksum.to_le_bytes());
-    bytes
+    Ok(bytes)
+}
+
+fn len_u32(len: usize, what: &'static str) -> Result<u32, StoreError> {
+    u32::try_from(len).map_err(|_| StoreError::LimitExceeded { what, len })
 }
 
 fn out_magic(w: &mut Writer) {
@@ -225,7 +229,7 @@ fn bool_flag(v: u8, what: &str) -> Result<bool, StoreError> {
 /// Write a snapshot atomically: to a sibling temp file, then rename over
 /// the target, so a crash mid-write never leaves a torn snapshot behind.
 pub fn write_file(path: &Path, resolver: &IncrementalResolver) -> Result<(), StoreError> {
-    let bytes = to_bytes(resolver);
+    let bytes = to_bytes(resolver)?;
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, &bytes)?;
     std::fs::rename(&tmp, path)?;

@@ -74,22 +74,24 @@ impl Wal {
 
     pub fn append_record(&mut self, record: &Record) -> Result<(), StoreError> {
         let mut w = Writer::new();
-        codec::write_record(&mut w, record);
+        codec::write_record(&mut w, record)?;
         self.append_frame(TAG_RECORD, &w.into_bytes())
     }
 
     pub fn append_source(&mut self, source: &Source) -> Result<(), StoreError> {
         let mut w = Writer::new();
-        codec::write_source(&mut w, source);
+        codec::write_source(&mut w, source)?;
         self.append_frame(TAG_SOURCE, &w.into_bytes())
     }
 
     fn append_frame(&mut self, tag: u8, payload: &[u8]) -> Result<(), StoreError> {
+        let len = u32::try_from(payload.len()).map_err(|_| StoreError::LimitExceeded {
+            what: "WAL frame payload",
+            len: payload.len(),
+        })?;
         let mut frame = Vec::with_capacity(payload.len() + 13);
         frame.push(tag);
-        frame.extend_from_slice(
-            &u32::try_from(payload.len()).expect("frame fits u32").to_le_bytes(),
-        );
+        frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(payload);
         let mut hashed = Vec::with_capacity(payload.len() + 1);
         hashed.push(tag);
@@ -118,7 +120,7 @@ fn scan(bytes: &[u8]) -> Result<(Vec<WalEntry>, usize), StoreError> {
     if bytes[..8] != MAGIC {
         return Err(StoreError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let version = le_u32(&bytes[8..12], "format version")?;
     if version != VERSION {
         return Err(StoreError::UnsupportedVersion { found: version, supported: VERSION });
     }
@@ -134,13 +136,12 @@ fn scan(bytes: &[u8]) -> Result<(Vec<WalEntry>, usize), StoreError> {
             break;
         }
         let tag = rest[0];
-        let len = u32::from_le_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
+        let len = le_u32(&rest[1..5], "frame length")? as usize;
         let Some(frame_rest) = rest.get(5..5 + len + 8) else {
             break; // torn tail: payload or checksum incomplete
         };
         let payload = &frame_rest[..len];
-        let expected =
-            u64::from_le_bytes(frame_rest[len..].try_into().expect("8 bytes"));
+        let expected = le_u64(&frame_rest[len..], "frame checksum")?;
         let mut hashed = Vec::with_capacity(len + 1);
         hashed.push(tag);
         hashed.extend_from_slice(payload);
@@ -164,6 +165,23 @@ fn scan(bytes: &[u8]) -> Result<(Vec<WalEntry>, usize), StoreError> {
         pos += 5 + len + 8;
     }
     Ok((entries, pos))
+}
+
+/// Little-endian u32 from an exactly-sized slice; callers bound-check for
+/// torn-tail handling first, so a short slice here is corruption.
+fn le_u32(bytes: &[u8], what: &str) -> Result<u32, StoreError> {
+    bytes
+        .try_into()
+        .map(u32::from_le_bytes)
+        .map_err(|_| StoreError::Corrupt(format!("truncated {what}")))
+}
+
+/// Little-endian u64, same contract as [`le_u32`].
+fn le_u64(bytes: &[u8], what: &str) -> Result<u64, StoreError> {
+    bytes
+        .try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| StoreError::Corrupt(format!("truncated {what}")))
 }
 
 #[cfg(test)]
@@ -239,6 +257,58 @@ mod tests {
             replay(&path),
             Err(StoreError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn pathological_inputs_are_errors_or_clean_stops_never_panics() {
+        let path = tmp("pathological.wal");
+        let (src, r1, _) = sample_entries();
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_source(&src).unwrap();
+        wal.append_record(&r1).unwrap();
+        drop(wal);
+        let good = std::fs::read(&path).unwrap();
+
+        // A frame header declaring a gigantic payload is a torn tail: the
+        // declared bytes are not there, so replay stops cleanly.
+        let mut huge = good[..12].to_vec();
+        huge.push(1); // TAG_RECORD
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&[0xab; 64]);
+        std::fs::write(&path, &huge).unwrap();
+        assert_eq!(replay(&path).unwrap(), vec![]);
+        // And re-opening for append truncates it back to the header.
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_source(&src).unwrap();
+        assert_eq!(replay(&path).unwrap().len(), 1);
+
+        // A complete frame with an unknown tag is typed corruption.
+        let mut payload_frame = good[..12].to_vec();
+        let tag = 9u8;
+        let payload = b"junk";
+        payload_frame.push(tag);
+        payload_frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        payload_frame.extend_from_slice(payload);
+        let mut hashed = vec![tag];
+        hashed.extend_from_slice(payload);
+        payload_frame.extend_from_slice(&codec::fnv1a64(&hashed).to_le_bytes());
+        std::fs::write(&path, &payload_frame).unwrap();
+        assert!(matches!(replay(&path), Err(StoreError::Corrupt(_))));
+
+        // Truncations at every byte boundary of a real log: each must
+        // yield Ok (torn tail) or a typed error, never a panic.
+        for cut in 0..good.len() {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            match replay(&path) {
+                Ok(entries) => assert!(entries.len() <= 2),
+                Err(
+                    StoreError::BadMagic
+                    | StoreError::Corrupt(_)
+                    | StoreError::ChecksumMismatch { .. },
+                ) => {}
+                Err(e) => panic!("cut {cut}: unexpected error {e}"),
+            }
+        }
     }
 
     #[test]

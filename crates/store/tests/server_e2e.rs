@@ -2,6 +2,10 @@
 //! kill/restart identity (snapshot + WAL replay reproduce exactly the
 //! pre-crash query results).
 
+// Test-only binary: helper fns outside #[test] may unwrap freely (the
+// workspace unwrap_used deny targets library code).
+#![allow(clippy::unwrap_used)]
+
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;

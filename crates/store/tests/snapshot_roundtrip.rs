@@ -21,9 +21,9 @@ fn resolver(n_records: usize, seed: u64) -> IncrementalResolver {
 #[test]
 fn save_load_save_is_byte_identical() {
     let original = resolver(300, 11);
-    let bytes = snapshot::to_bytes(&original);
+    let bytes = snapshot::to_bytes(&original).unwrap();
     let reloaded = snapshot::from_bytes(&bytes).expect("snapshot loads");
-    let bytes_again = snapshot::to_bytes(&reloaded);
+    let bytes_again = snapshot::to_bytes(&reloaded).unwrap();
     assert_eq!(bytes, bytes_again, "save(load(save(x))) must equal save(x)");
 
     // The reloaded resolver serves identical state.
@@ -40,7 +40,7 @@ fn reloaded_resolver_keeps_resolving_incrementally() {
     let original = resolver(300, 13);
     let probe = original.dataset().record(yv_records::RecordId(0)).clone();
     let mut reloaded =
-        snapshot::from_bytes(&snapshot::to_bytes(&original)).expect("snapshot loads");
+        snapshot::from_bytes(&snapshot::to_bytes(&original).unwrap()).expect("snapshot loads");
     // The rebuilt postings index must find the copy's original, like a
     // resolver that never left memory.
     let matches = reloaded.insert(probe);
@@ -53,7 +53,7 @@ fn reloaded_resolver_keeps_resolving_incrementally() {
 
 #[test]
 fn corrupt_checksum_is_a_typed_error() {
-    let bytes = snapshot::to_bytes(&resolver(120, 5));
+    let bytes = snapshot::to_bytes(&resolver(120, 5)).unwrap();
     // Flip one payload byte (after the 20-byte header).
     let mut damaged = bytes.clone();
     damaged[60] ^= 0x01;
@@ -73,7 +73,7 @@ fn corrupt_checksum_is_a_typed_error() {
 
 #[test]
 fn wrong_version_and_magic_are_typed_errors() {
-    let bytes = snapshot::to_bytes(&resolver(120, 5));
+    let bytes = snapshot::to_bytes(&resolver(120, 5)).unwrap();
     let mut wrong_version = bytes.clone();
     wrong_version[8..12].copy_from_slice(&999u32.to_le_bytes());
     assert!(matches!(
@@ -87,7 +87,7 @@ fn wrong_version_and_magic_are_typed_errors() {
 
 #[test]
 fn truncations_never_panic() {
-    let bytes = snapshot::to_bytes(&resolver(120, 5));
+    let bytes = snapshot::to_bytes(&resolver(120, 5)).unwrap();
     for cut in [0, 7, 8, 12, 19, 20, 21, bytes.len() / 2, bytes.len() - 1] {
         assert!(
             snapshot::from_bytes(&bytes[..cut]).is_err(),
@@ -104,7 +104,7 @@ proptest! {
     /// input panics.
     #[test]
     fn single_byte_corruption_is_always_rejected(seed in 0u64..1000, pos_frac in 0.0f64..1.0) {
-        let bytes = snapshot::to_bytes(&resolver(60, seed));
+        let bytes = snapshot::to_bytes(&resolver(60, seed)).unwrap();
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         let mut damaged = bytes.clone();
         damaged[pos] ^= 0x5a;
