@@ -23,3 +23,22 @@ for fixture in crates/audit/fixtures/bad_*.rs; do
     fi
 done
 echo "audit gate: workspace clean, all seeded violations detected"
+
+# Observability smoke test: `yv block --trace-json` must emit a valid
+# Chrome-trace file carrying the span taxonomy (DESIGN.md §11).
+trace_file="$(mktemp -t yv-trace-XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+cargo run -q --release -p yv-cli --bin yv -- \
+    block --records 300 --trace-json "$trace_file" > /dev/null
+python3 - "$trace_file" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+names = {e["name"] for e in events if e.get("ph") == "X"}
+for span in ["blocking", "iteration", "mine", "score_blocks", "ng_filter"]:
+    assert span in names, f"trace is missing span {span!r}: {sorted(names)}"
+counters = {e["name"] for e in events if e.get("ph") == "C"}
+assert "candidate_pairs" in counters, f"missing counter: {sorted(counters)}"
+print(f"trace smoke test: {len(events)} events, span taxonomy present")
+PYEOF

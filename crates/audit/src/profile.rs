@@ -1,17 +1,21 @@
 //! Mapping a file path to the set of rules that apply to it.
 //!
 //! The rule scoping mirrors ISSUE-2: panic-freedom (P1) is demanded of the
-//! library crates that back `yv serve`, wall-clock hygiene (S1) of the
-//! deterministic pipeline crates, float hygiene (F1) of persistence and
-//! protocol code, and hash-order determinism (D1) everywhere. Files whose
-//! path does not identify a workspace crate (e.g. audit fixtures) get every
-//! rule — the conservative default.
+//! library crates that back `yv serve`, wall-clock hygiene (S1) of
+//! everything except the one crate sanctioned to own the wall clock
+//! (`yv-obs`), float hygiene (F1) of persistence and protocol code, and
+//! hash-order determinism (D1) everywhere. Files whose path does not
+//! identify a workspace crate (e.g. audit fixtures) get every rule — the
+//! conservative default.
 
 /// Crates whose non-test code must be panic-free (P1).
-const P1_CRATES: [&str; 6] = ["core", "blocking", "mfi", "store", "similarity", "adt"];
+const P1_CRATES: [&str; 7] = ["core", "blocking", "mfi", "store", "similarity", "adt", "obs"];
 
-/// Deterministic pipeline crates where wall-clock reads are suspect (S1).
-const S1_CRATES: [&str; 4] = ["mfi", "blocking", "adt", "eval"];
+/// The only crate allowed to read the wall clock: `yv-obs` wraps
+/// `Instant::now` behind its `Clock` trait, and every other crate takes
+/// time through an injected clock — so S1 holds by construction
+/// everywhere else, and this exemption is the single escape hatch.
+const S1_EXEMPT_CRATES: [&str; 1] = ["obs"];
 
 /// File-name fragments marking persistence/protocol code (F1 scope).
 const F1_FILES: [&str; 6] = ["persist", "codec", "snapshot", "wal", "protocol", "csv"];
@@ -62,7 +66,7 @@ impl FileProfile {
                 d1: true,
                 p1: P1_CRATES.contains(&name),
                 f1: F1_FILES.iter().any(|f| file_name.contains(f)),
-                s1: S1_CRATES.contains(&name),
+                s1: !S1_EXEMPT_CRATES.contains(&name),
                 test_file: false,
             },
             // Root src/, fixtures, anything unrecognized: all rules.
@@ -84,13 +88,23 @@ mod tests {
     #[test]
     fn store_persistence_file_gets_f1() {
         let p = FileProfile::for_path("crates/store/src/wal.rs");
-        assert!(p.f1 && p.p1 && !p.s1);
+        assert!(p.f1 && p.p1 && p.s1);
     }
 
     #[test]
-    fn cli_crate_gets_only_d1() {
+    fn cli_crate_gets_d1_and_s1_but_not_p1_or_f1() {
         let p = FileProfile::for_path("crates/cli/src/commands.rs");
-        assert!(p.d1 && !p.p1 && !p.s1 && !p.f1);
+        assert!(p.d1 && !p.p1 && p.s1 && !p.f1);
+    }
+
+    #[test]
+    fn obs_is_the_sole_s1_exemption() {
+        let p = FileProfile::for_path("crates/obs/src/clock.rs");
+        assert!(p.d1 && p.p1 && !p.s1, "yv-obs owns the wall clock");
+        for other in ["core", "blocking", "store", "eval", "bench", "cli", "datagen"] {
+            let p = FileProfile::for_path(&format!("crates/{other}/src/lib.rs"));
+            assert!(p.s1, "{other} must stay under S1");
+        }
     }
 
     #[test]

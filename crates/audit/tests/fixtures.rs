@@ -46,6 +46,23 @@ fn bad_s1_fires_at_documented_line() {
 }
 
 #[test]
+fn s1_exemption_profile_sanctions_only_the_obs_crate() {
+    // The same wall-clock-reading source fires S1 anywhere in the
+    // workspace — except under `crates/obs/`, the one crate sanctioned
+    // to own `Instant::now` (it wraps it behind the injected Clock trait).
+    let (disk, _) = fixture("bad_s1.rs");
+    let sanctioned = yv_audit::analyze_file(&disk, "crates/obs/src/clock.rs")
+        .expect("fixture readable");
+    assert_eq!(sanctioned, vec![], "yv-obs may read the wall clock");
+    let elsewhere = yv_audit::analyze_file(&disk, "crates/blocking/src/clock.rs")
+        .expect("fixture readable");
+    assert!(
+        elsewhere.iter().any(|f| f.rule == Rule::S1),
+        "every other crate stays under S1: {elsewhere:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     assert_eq!(findings_of("clean.rs"), vec![]);
 }

@@ -33,4 +33,4 @@ pub mod score;
 
 pub use config::{MfiBlocksConfig, ScoreFunction};
 pub use diagnostics::{audit, BlockingDiagnostics};
-pub use mfiblocks::{mfi_blocks, Block, BlockingResult, BlockingStats};
+pub use mfiblocks::{mfi_blocks, mfi_blocks_recorded, Block, BlockingResult, BlockingStats};

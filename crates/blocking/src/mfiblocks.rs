@@ -4,8 +4,9 @@ use crate::config::MfiBlocksConfig;
 use crate::neighborhood::ng_threshold;
 use crate::score::block_score;
 use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use yv_mfi::{mine_maximal, prune_common_items, prune_top_frequent};
+use yv_obs::Recorder;
 use yv_records::{Dataset, ItemId, RecordId};
 
 /// A surviving block: the maximal frequent itemset acting as its implicit
@@ -62,14 +63,43 @@ impl BlockingResult {
 }
 
 /// Run MFIBlocks over a dataset.
+///
+/// Timings in [`BlockingStats`] come from an internal wall-clock
+/// [`Recorder`]; use [`mfi_blocks_recorded`] to capture the full span
+/// stream (per-iteration mining/scoring/filtering) as well.
 #[must_use]
 pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
-    // audit:allow(S1) timing feeds BlockingStats only, never scores/blocks
-    let start = Instant::now();
+    mfi_blocks_recorded(ds, config, &Recorder::monotonic())
+}
+
+/// Run MFIBlocks, recording the span taxonomy on `rec`:
+///
+/// ```text
+/// blocking                     the whole run
+/// ├── prune_items              frequent/common-item pruning before mining
+/// └── iteration (minsup=k)     one pass of the minsup loop
+///     ├── mine                 FP-Growth/FPMax maximal-itemset mining
+///     ├── find_support         posting-list intersection + maximality/size pruning
+///     ├── score_blocks         block scoring (parallel when configured)
+///     └── ng_filter            sparse-neighborhood threshold + coverage update
+/// ```
+///
+/// The clock is injected through the recorder, so this function never
+/// reads the wall clock itself (the yv-audit S1 rule holds by
+/// construction) and timing can never influence which blocks survive.
+#[must_use]
+pub fn mfi_blocks_recorded(
+    ds: &Dataset,
+    config: &MfiBlocksConfig,
+    rec: &Recorder,
+) -> BlockingResult {
+    let blocking_span = rec.span("blocking");
     let n = ds.len();
     let mut stats = BlockingStats::default();
+    let mut mining_ns = 0u64;
 
     // Item bags as raw u32s, optionally with ultra-frequent items pruned.
+    let prune_span = rec.span("prune_items");
     let raw_bags: Vec<Vec<u32>> =
         ds.bags().iter().map(|bag| bag.iter().map(|id| id.0).collect()).collect();
     let mut mining_bags: Vec<Vec<u32>> = match config.prune_frequent {
@@ -85,6 +115,7 @@ pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
         stats.items_pruned += removed.len();
         mining_bags = pruned;
     }
+    prune_span.finish();
 
     let mut covered = vec![false; n];
     let mut pairs: HashSet<(RecordId, RecordId)> = HashSet::new();
@@ -96,17 +127,18 @@ pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
         if uncovered.is_empty() {
             break;
         }
+        let iteration_span = rec.span_with("iteration", &[("minsup", minsup)]);
         // Mine MFIs from the uncovered records (line 6).
         let subset: Vec<Vec<u32>> =
             uncovered.iter().map(|&i| mining_bags[i].clone()).collect();
-        // audit:allow(S1) timing feeds BlockingStats only
-        let mining_start = Instant::now();
+        let mine_span = rec.span_with("mine", &[("minsup", minsup)]);
         let mfis = mine_maximal(&subset, minsup);
-        stats.mining_time += mining_start.elapsed();
+        mining_ns += mine_span.finish();
         stats.mfis_mined += mfis.len();
         stats.iterations += 1;
 
         // FindSupport (line 7): inverted index over the uncovered subset.
+        let support_span = rec.span_with("find_support", &[("minsup", minsup)]);
         let n_items = ds.interner().len();
         let mut postings: Vec<Vec<u32>> = vec![Vec::new(); n_items];
         for (local, &global) in uncovered.iter().enumerate() {
@@ -131,17 +163,21 @@ pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
             candidates.push((items, records));
         }
         stats.blocks_considered += candidates.len();
+        support_span.finish();
 
         // Score blocks (parallel when configured).
+        let score_span = rec.span_with("score_blocks", &[("minsup", minsup)]);
         let scores = score_blocks(ds, &candidates, config);
         let scored: Vec<(Vec<RecordId>, f64)> = candidates
             .iter()
             .zip(&scores)
             .map(|((_, records), &s)| (records.clone(), s))
             .collect();
+        score_span.finish();
 
         // Sparse-neighborhood threshold (lines 9–14) and filtering
         // (lines 15–16).
+        let filter_span = rec.span_with("ng_filter", &[("minsup", minsup)]);
         let min_th = ng_threshold(&scored, config.ng, minsup);
         for ((items, records), &score) in candidates.iter().zip(&scores) {
             if score <= min_th {
@@ -162,6 +198,8 @@ pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
             }
             kept_blocks.push(block);
         }
+        filter_span.finish();
+        iteration_span.finish();
 
         if minsup == 2 {
             break;
@@ -171,10 +209,18 @@ pub fn mfi_blocks(ds: &Dataset, config: &MfiBlocksConfig) -> BlockingResult {
 
     stats.blocks_kept = kept_blocks.len();
     stats.records_covered = covered.iter().filter(|&&c| c).count();
-    stats.total_time = start.elapsed();
+    stats.mining_time = Duration::from_nanos(mining_ns);
 
     let mut candidate_pairs: Vec<(RecordId, RecordId)> = pairs.into_iter().collect();
     candidate_pairs.sort_unstable();
+
+    rec.incr("mfis_mined", stats.mfis_mined as u64);
+    rec.incr("blocks_considered", stats.blocks_considered as u64);
+    rec.incr("blocks_kept", stats.blocks_kept as u64);
+    rec.incr("candidate_pairs", candidate_pairs.len() as u64);
+    rec.incr("items_pruned", stats.items_pruned as u64);
+    stats.total_time = Duration::from_nanos(blocking_span.finish());
+
     BlockingResult { blocks: kept_blocks, candidate_pairs, stats }
 }
 
@@ -346,6 +392,27 @@ mod tests {
         assert!(result.stats.blocks_kept > 0);
         assert!(result.stats.records_covered > 0);
         assert!(result.stats.total_time >= result.stats.mining_time);
+    }
+
+    #[test]
+    fn recorded_trace_is_deterministic_and_carries_the_taxonomy() {
+        let gen = generated();
+        let run = || {
+            let (rec, _clock) = Recorder::manual();
+            let result = mfi_blocks_recorded(&gen.dataset, &MfiBlocksConfig::default(), &rec);
+            (yv_obs::chrome_trace(&rec), result.candidate_pairs)
+        };
+        let (trace_a, pairs_a) = run();
+        let (trace_b, pairs_b) = run();
+        assert_eq!(trace_a, trace_b, "manual-clock traces must be byte-identical");
+        assert_eq!(pairs_a, pairs_b);
+        for name in
+            ["blocking", "prune_items", "iteration", "mine", "find_support", "score_blocks", "ng_filter"]
+        {
+            assert!(trace_a.contains(&format!("\"name\":\"{name}\"")), "{name} span missing");
+        }
+        assert!(trace_a.contains("\"minsup\":5"), "iteration spans carry their minsup level");
+        assert!(trace_a.contains("\"name\":\"candidate_pairs\""), "counters are exported");
     }
 
     #[test]

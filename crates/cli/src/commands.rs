@@ -2,14 +2,29 @@
 
 use crate::args::Args;
 use std::io::Write as _;
-use yv_blocking::{audit, mfi_blocks, MfiBlocksConfig};
+use yv_blocking::{audit, mfi_blocks, mfi_blocks_recorded, MfiBlocksConfig};
 use yv_core::{PersonProfile, PersonQuery, Pipeline, PipelineConfig};
 use yv_datagen::{tag_pairs, GenConfig, Generated};
+use yv_obs::{chrome_trace, timings_table, Recorder};
 
 type CliResult = Result<(), String>;
 
 fn err<E: std::fmt::Display>(e: E) -> String {
     e.to_string()
+}
+
+/// Emit the recorder's view of the run: a human table on `--timings`, a
+/// Chrome-trace file on `--trace-json <path>` (open in `about:tracing` or
+/// Perfetto). No-op without either flag.
+fn emit_obs(args: &Args, rec: &Recorder) -> CliResult {
+    if args.flag("timings") {
+        print!("\n{}", timings_table(rec));
+    }
+    if let Some(path) = args.get("trace-json") {
+        std::fs::write(path, chrome_trace(rec)).map_err(err)?;
+        println!("wrote trace to {path}");
+    }
+    Ok(())
 }
 
 /// Build the dataset a command operates on.
@@ -102,7 +117,8 @@ pub fn import(args: &Args) -> CliResult {
 pub fn block(args: &Args) -> CliResult {
     let gen = dataset(args)?;
     let config = blocking_config(args)?;
-    let result = mfi_blocks(&gen.dataset, &config);
+    let rec = Recorder::monotonic();
+    let result = mfi_blocks_recorded(&gen.dataset, &config, &rec);
     let gold: std::collections::HashSet<_> = gen.matching_pairs().into_iter().collect();
     let tp = result.candidate_pairs.iter().filter(|p| gold.contains(*p)).count();
     println!("blocks:          {}", result.blocks.len());
@@ -124,7 +140,7 @@ pub fn block(args: &Args) -> CliResult {
         diag.sparse_fraction * 100.0,
         diag.max_neighbors
     );
-    Ok(())
+    emit_obs(args, &rec)
 }
 
 /// Train a pipeline on oracle-tagged blocking output.
@@ -141,7 +157,8 @@ pub fn resolve(args: &Args) -> CliResult {
     let certainty: f64 = args.parse_or("certainty", 0.0, "number").map_err(err)?;
     let config = PipelineConfig { blocking: blocking_config(args)?, ..PipelineConfig::default() };
     let pipeline = trained(&gen, &config);
-    let resolution = pipeline.resolve(&gen.dataset, &config);
+    let rec = Recorder::monotonic();
+    let resolution = pipeline.resolve_recorded(&gen.dataset, &config, &rec);
     let entities = resolution.entities(certainty);
     let merged: usize = entities.iter().map(Vec::len).sum();
     println!("scored matches:        {}", resolution.matches.len());
@@ -153,7 +170,55 @@ pub fn resolve(args: &Args) -> CliResult {
         100.0 * correct as f64 / above.len().max(1) as f64,
         above.len()
     );
-    Ok(())
+    emit_obs(args, &rec)
+}
+
+/// Run the full pipeline under the recorder and write the stage timings
+/// as machine-readable JSON (fixed field order, so diffs between runs and
+/// commits stay meaningful).
+pub fn bench(args: &Args) -> CliResult {
+    let out = args.get("out").unwrap_or("BENCH_pipeline.json").to_owned();
+    let records: usize = args.parse_or("records", 2_000, "integer").map_err(err)?;
+    let seed: u64 = args.parse_or("seed", 7, "integer").map_err(err)?;
+    let rec = Recorder::monotonic();
+
+    let preprocess = rec.span("preprocess");
+    let gen = dataset(args)?;
+    preprocess.finish();
+
+    let config = PipelineConfig { blocking: blocking_config(args)?, ..PipelineConfig::default() };
+    let train = rec.span("train");
+    let pipeline = trained(&gen, &config);
+    train.finish();
+
+    let resolution = pipeline.resolve_recorded(&gen.dataset, &config, &rec);
+
+    const STAGES: &[&str] =
+        &["preprocess", "train", "blocking", "extract", "score", "resolve"];
+    let mut json = String::from("{\n  \"schema\": \"yv-bench-pipeline/v1\",\n");
+    json.push_str(&format!("  \"records\": {records},\n  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"sources\": {},\n", gen.dataset.sources().len()));
+    json.push_str(&format!("  \"scored_matches\": {},\n", resolution.matches.len()));
+    json.push_str("  \"stages_us\": {\n");
+    for (i, stage) in STAGES.iter().enumerate() {
+        let comma = if i + 1 == STAGES.len() { "" } else { "," };
+        json.push_str(&format!("    \"{stage}\": {}{comma}\n", rec.sum_ns(stage) / 1_000));
+    }
+    json.push_str("  },\n  \"counters\": {\n");
+    let counters = rec.counters();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 == counters.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out, json).map_err(err)?;
+
+    println!("resolved {records} records: {} scored matches", resolution.matches.len());
+    for stage in STAGES {
+        println!("  {:<12} {:>9} us", stage, rec.sum_ns(stage) / 1_000);
+    }
+    println!("wrote {out}");
+    emit_obs(args, &rec)
 }
 
 pub fn query(args: &Args) -> CliResult {
@@ -227,7 +292,11 @@ pub fn serve(args: &Args) -> CliResult {
     };
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
     let workers: usize = args.parse_or("workers", 4, "integer").map_err(err)?;
-    let store = open_or_bootstrap(args, std::path::Path::new(dir))?;
+    let map_cache: usize = args
+        .parse_or("map-cache", yv_store::DEFAULT_ENTITY_MAP_CAPACITY, "integer")
+        .map_err(err)?;
+    let mut store = open_or_bootstrap(args, std::path::Path::new(dir))?;
+    store.set_entity_map_capacity(map_cache);
     let stats = store.stats();
     let listener = std::net::TcpListener::bind(addr).map_err(err)?;
     println!(
@@ -303,6 +372,20 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.lines().count() > 10);
         assert!(content.starts_with("book_id,"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_writes_machine_readable_json() {
+        let path = std::env::temp_dir().join("yv_cli_bench_test.json");
+        let path_str = path.to_string_lossy().into_owned();
+        let args = args_for(&["bench", "--records", "250", "--out", &path_str]);
+        bench(&args).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"schema\": \"yv-bench-pipeline/v1\""));
+        assert!(content.contains("\"stages_us\""));
+        assert!(content.contains("\"blocking\":"));
+        assert!(content.contains("\"pairs_scored\":"));
         std::fs::remove_file(path).ok();
     }
 

@@ -5,12 +5,18 @@
 //! yv export   --records 2000 --seed 7 --path out.csv records as CSV
 //! yv block    --records 2000 [--ng 3.0] [--max-minsup 5] [--italy]
 //! yv resolve  --records 2000 [--certainty 0.0] [--italy]
+//! yv pipeline ...                                    alias for resolve
+//! yv bench    --records 2000 [--out BENCH_pipeline.json]
 //! yv query    --first Guido --last Foa [--certainty 0.0] [--records N]
 //! yv narrate  --records 2000 [--top 3]
 //! yv serve    --dir people.store [--addr 127.0.0.1:7878] [--workers 4]
 //! yv snapshot --dir people.store                     fold the WAL into the snapshot
 //! yv reproduce [--quick]                             all tables & figures
 //! ```
+//!
+//! `block`, `resolve`/`pipeline` and `bench` accept `--timings` (print a
+//! per-stage table) and `--trace-json <path>` (write a Chrome-trace file,
+//! loadable in `about:tracing` / Perfetto).
 
 mod args;
 mod commands;
@@ -28,6 +34,9 @@ COMMANDS:
     import     read a CSV dataset, print statistics and block it (--path required)
     block      run MFIBlocks and print blocks, pairs, and CS/SN diagnostics
     resolve    train the ADT ranker and resolve; print quality vs ground truth
+    pipeline   alias for resolve (the paper's end-to-end pipeline)
+    bench      run the pipeline and write machine-readable stage timings
+               (BENCH_pipeline.json, or --out PATH)
     query      relative search with a certainty knob (--first / --last)
     narrate    print narratives for the best-attested resolved entities
     serve      persistent store + TCP query server (--dir required; bootstraps
@@ -43,10 +52,15 @@ COMMON OPTIONS:
     --max-minsup N  MFIBlocks MaxMinSup (default 5)
     --certainty X   query-time certainty threshold (default 0.0)
 
+OBSERVABILITY OPTIONS (block, resolve/pipeline, bench):
+    --timings          print a per-stage timing table after the run
+    --trace-json PATH  write spans + counters as a Chrome-trace JSON file
+
 SERVING OPTIONS:
     --dir PATH      store directory (snapshot + write-ahead log)
     --addr A:P      listen address (default 127.0.0.1:7878)
     --workers N     worker threads (default 4)
+    --map-cache N   entity-map memo capacity (default 8)
 
 Unknown options are rejected with the list of options the command accepts.
 ";
@@ -58,12 +72,22 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
         "generate" => Some((&["records", "seed"], &["italy"])),
         "import" => Some((&["path"], &[])),
         "export" => Some((&["records", "seed", "path"], &["italy"])),
-        "block" => Some((&["records", "seed", "ng", "max-minsup"], &["italy"])),
-        "resolve" => Some((&["records", "seed", "ng", "max-minsup", "certainty"], &["italy"])),
+        "block" => Some((
+            &["records", "seed", "ng", "max-minsup", "trace-json"],
+            &["italy", "timings"],
+        )),
+        "resolve" | "pipeline" => Some((
+            &["records", "seed", "ng", "max-minsup", "certainty", "trace-json"],
+            &["italy", "timings"],
+        )),
+        "bench" => Some((
+            &["records", "seed", "ng", "max-minsup", "out", "trace-json"],
+            &["italy", "timings"],
+        )),
         "query" => Some((&["records", "seed", "first", "last", "certainty"], &["italy"])),
         "narrate" => Some((&["records", "seed", "top"], &["italy"])),
         "serve" => Some((
-            &["records", "seed", "ng", "max-minsup", "dir", "addr", "workers"],
+            &["records", "seed", "ng", "max-minsup", "dir", "addr", "workers", "map-cache"],
             &["italy"],
         )),
         "snapshot" => Some((&["dir"], &[])),
@@ -74,7 +98,7 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse(raw, &["italy", "quick", "help"]) {
+    let args = match Args::parse(raw, &["italy", "quick", "timings", "help"]) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -92,7 +116,8 @@ fn main() {
         "export" => commands::export(&args),
         "import" => commands::import(&args),
         "block" => commands::block(&args),
-        "resolve" => commands::resolve(&args),
+        "resolve" | "pipeline" => commands::resolve(&args),
+        "bench" => commands::bench(&args),
         "query" => commands::query(&args),
         "narrate" => commands::narrate(&args),
         "serve" => commands::serve(&args),

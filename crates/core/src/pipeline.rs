@@ -4,7 +4,8 @@
 use crate::model::{RankedMatch, SoftCluster};
 use crate::resolution::Resolution;
 use yv_adt::{train, AdTree, TrainConfig, TrainSet};
-use yv_blocking::{mfi_blocks, MfiBlocksConfig};
+use yv_blocking::{mfi_blocks_recorded, MfiBlocksConfig};
+use yv_obs::Recorder;
 use yv_records::{Dataset, RecordId};
 use yv_similarity::{extract, FEATURE_COUNT};
 
@@ -83,7 +84,57 @@ impl Pipeline {
     /// Run the full pipeline over a dataset: block, filter, score, rank.
     #[must_use]
     pub fn resolve(&self, ds: &Dataset, config: &PipelineConfig) -> Resolution {
-        let blocked = mfi_blocks(ds, &config.blocking);
+        self.resolve_recorded(ds, config, &Recorder::monotonic())
+    }
+
+    /// Run the full pipeline, recording stage spans (`blocking` with its
+    /// per-iteration children, then `extract`, `score`, `resolve`) and
+    /// counters (`candidate_pairs`, `pairs_discarded_same_src`,
+    /// `pairs_scored`, `matches_kept`) on `rec`.
+    ///
+    /// Feature extraction and model scoring run fused per pair (keeping
+    /// peak memory at one feature row); their durations are accumulated
+    /// against the recorder's clock and emitted as two adjacent sibling
+    /// spans, so the stage split survives into traces without a
+    /// per-pair span explosion.
+    #[must_use]
+    pub fn resolve_recorded(
+        &self,
+        ds: &Dataset,
+        config: &PipelineConfig,
+        rec: &Recorder,
+    ) -> Resolution {
+        let blocked = mfi_blocks_recorded(ds, &config.blocking, rec);
+
+        let loop_start = rec.now_ns();
+        let mut extract_ns = 0u64;
+        let mut score_ns = 0u64;
+        let mut discarded = 0u64;
+        let mut matches = Vec::with_capacity(blocked.candidate_pairs.len());
+        for &(a, b) in &blocked.candidate_pairs {
+            if config.same_src_discard && ds.same_source(a, b) {
+                discarded += 1;
+                continue;
+            }
+            let t0 = rec.now_ns();
+            let fv = extract(ds.record(a), ds.record(b));
+            let row: Vec<Option<f64>> = (0..FEATURE_COUNT).map(|i| fv.get(i)).collect();
+            let t1 = rec.now_ns();
+            let score = self.model.score(&row);
+            score_ns += rec.now_ns().saturating_sub(t1);
+            extract_ns += t1.saturating_sub(t0);
+            if config.classify && score <= 0.0 {
+                continue;
+            }
+            matches.push(RankedMatch::new(a, b, score));
+        }
+        rec.record_span("extract", loop_start, extract_ns);
+        rec.record_span("score", loop_start.saturating_add(extract_ns), score_ns);
+        rec.incr("pairs_discarded_same_src", discarded);
+        rec.incr("pairs_scored", blocked.candidate_pairs.len() as u64 - discarded);
+        rec.incr("matches_kept", matches.len() as u64);
+
+        let resolve_span = rec.span("resolve");
         let clusters: Vec<SoftCluster> = blocked
             .blocks
             .iter()
@@ -93,24 +144,16 @@ impl Pipeline {
                 cohesion: b.score,
             })
             .collect();
-        let mut matches = Vec::with_capacity(blocked.candidate_pairs.len());
-        for &(a, b) in &blocked.candidate_pairs {
-            if config.same_src_discard && ds.same_source(a, b) {
-                continue;
-            }
-            let score = self.score_pair(ds, a, b);
-            if config.classify && score <= 0.0 {
-                continue;
-            }
-            matches.push(RankedMatch::new(a, b, score));
-        }
-        Resolution::new(matches, clusters)
+        let resolution = Resolution::new(matches, clusters);
+        resolve_span.finish();
+        resolution
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yv_blocking::mfi_blocks;
     use yv_datagen::{tag_pairs, GenConfig, Generated};
 
     fn fixture() -> (Generated, Pipeline, PipelineConfig) {
@@ -188,6 +231,20 @@ mod tests {
         let resolution = pipeline.resolve(&gen.dataset, &config);
         assert!(!resolution.clusters.is_empty());
         assert!(resolution.clusters.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn resolve_recorded_emits_stage_spans_and_counters() {
+        let (gen, pipeline, config) = fixture();
+        let (rec, _clock) = Recorder::manual();
+        let resolution = pipeline.resolve_recorded(&gen.dataset, &config, &rec);
+        assert!(!resolution.matches.is_empty());
+        let names: Vec<String> = rec.spans().into_iter().map(|s| s.name).collect();
+        for stage in ["blocking", "extract", "score", "resolve"] {
+            assert!(names.iter().any(|n| n == stage), "missing stage span {stage}");
+        }
+        assert!(rec.counter("pairs_scored") > 0);
+        assert_eq!(rec.counter("matches_kept"), resolution.matches.len() as u64);
     }
 
     #[test]

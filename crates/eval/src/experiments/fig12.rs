@@ -9,9 +9,9 @@
 
 use crate::experiments::{Report, Scale};
 use crate::table::Table;
-use std::time::Instant;
 use yv_datagen::full_set;
 use yv_mfi::{mine_maximal, prune_common_items};
+use yv_obs::{Clock, MonotonicClock};
 
 /// One measured series point.
 #[derive(Debug, Clone, Copy)]
@@ -23,8 +23,13 @@ pub struct RuntimePoint {
 }
 
 /// Measure all four series. Public so the Criterion bench can reuse it.
+///
+/// Figure 12 is a runtime study, so the clock is the measurement itself —
+/// taken through `yv-obs`'s [`MonotonicClock`], the workspace's one
+/// sanctioned wall-clock source.
 #[must_use]
 pub fn measure(scale: &Scale) -> Vec<RuntimePoint> {
+    let clock = MonotonicClock::new();
     let mut points = Vec::new();
     for &n in &[scale.fig12_large, scale.fig12_small] {
         let gen = full_set(n, scale.seed + 3);
@@ -33,12 +38,9 @@ pub fn measure(scale: &Scale) -> Vec<RuntimePoint> {
         let (pruned_bags, _) = prune_common_items(&raw, 0.05);
         for (pruned, bags) in [(false, &raw), (true, &pruned_bags)] {
             for minsup in [5u64, 4, 3, 2] {
-                // Figure 12 is a runtime study: the clock is the
-                // measurement itself, not an input to any score.
-                // audit:allow(S1)
-                let t = Instant::now();
+                let t0 = clock.now_nanos();
                 let mfis = mine_maximal(bags, minsup);
-                let seconds = t.elapsed().as_secs_f64();
+                let seconds = clock.now_nanos().saturating_sub(t0) as f64 / 1e9;
                 // Keep the optimizer honest.
                 std::hint::black_box(mfis.len());
                 points.push(RuntimePoint { n_records: n, pruned, minsup, seconds });

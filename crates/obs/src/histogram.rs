@@ -1,0 +1,227 @@
+//! Counters and fixed-bucket latency histograms.
+//!
+//! The histogram uses power-of-two microsecond buckets: bucket 0 holds
+//! samples below 1µs and bucket `i` holds samples in `[2^(i-1), 2^i)` µs,
+//! with the last bucket absorbing everything slower. Percentiles are
+//! reported as the upper bound of the bucket the requested rank falls in
+//! — coarse (within 2×) but lock-free, constant-memory, and safe to share
+//! across server workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. The final boundary is `2^26` µs ≈ 67 s;
+/// anything slower lands in the overflow bucket.
+pub const BUCKET_COUNT: usize = 28;
+
+/// A shared monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+}
+
+/// A lock-free fixed-bucket latency histogram (nanosecond samples,
+/// microsecond reporting).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKET_COUNT],
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket a nanosecond sample falls into.
+    #[must_use]
+    pub fn bucket_index(nanos: u64) -> usize {
+        let micros = nanos / 1_000;
+        if micros == 0 {
+            return 0;
+        }
+        let bits = 64 - micros.leading_zeros() as usize;
+        bits.min(BUCKET_COUNT - 1)
+    }
+
+    /// Upper bound of bucket `i` in microseconds (the value percentiles
+    /// report). The overflow bucket reports its lower bound.
+    #[must_use]
+    pub fn bucket_bound_us(i: usize) -> u64 {
+        1u64 << i.min(BUCKET_COUNT - 1)
+    }
+
+    /// Record one latency sample.
+    pub fn record_ns(&self, nanos: u64) {
+        self.counts[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean latency in microseconds (0 before the first sample).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) / n / 1_000
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
+    /// bucket holding that rank, in microseconds. 0 when empty.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &n) in snapshot.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Self::bucket_bound_us(i);
+            }
+        }
+        Self::bucket_bound_us(BUCKET_COUNT - 1)
+    }
+
+    /// Count / mean / p50 / p95 / p99 in one snapshot.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_us: self.mean_us(),
+            p50_us: self.percentile_us(0.50),
+            p95_us: self.percentile_us(0.95),
+            p99_us: self.percentile_us(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const US: u64 = 1_000; // one microsecond in nanoseconds
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two_micros() {
+        // Below 1µs: bucket 0.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(999), 0);
+        // [1µs, 2µs) -> bucket 1, bound 2µs.
+        assert_eq!(Histogram::bucket_index(US), 1);
+        assert_eq!(Histogram::bucket_index(2 * US - 1), 1);
+        // [2µs, 4µs) -> bucket 2.
+        assert_eq!(Histogram::bucket_index(2 * US), 2);
+        // 1ms = 1000µs falls in [512, 1024) -> bucket 10.
+        assert_eq!(Histogram::bucket_index(1_000_000), 10);
+        assert_eq!(Histogram::bucket_bound_us(10), 1_024);
+        // Overflow clamps to the last bucket.
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.percentile_us(0.5), 0);
+        assert_eq!(h.percentile_us(0.99), 0);
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample_sets_every_percentile() {
+        let h = Histogram::new();
+        h.record_ns(3 * US); // bucket 2, bound 4µs
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, 4);
+        assert_eq!(s.p95_us, 4);
+        assert_eq!(s.p99_us, 4);
+        assert_eq!(s.mean_us, 3);
+    }
+
+    #[test]
+    fn skewed_stream_separates_p50_from_p99() {
+        let h = Histogram::new();
+        // 90 fast samples at ~10µs, 10 slow at ~1s.
+        for _ in 0..90 {
+            h.record_ns(10 * US);
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        // p50 rank 50 -> fast bucket [8,16)µs, bound 16µs.
+        assert_eq!(h.percentile_us(0.50), 16);
+        // p99 rank 99 -> slow bucket; 1s = 976_562µs in [2^19, 2^20)µs.
+        assert_eq!(h.percentile_us(0.99), 1 << 20);
+        // p90 rank 90 still lands in the fast bucket.
+        assert_eq!(h.percentile_us(0.90), 16);
+    }
+
+    #[test]
+    fn percentile_clamps_degenerate_quantiles() {
+        let h = Histogram::new();
+        h.record_ns(US);
+        h.record_ns(100 * US);
+        // q=0 clamps to the first sample's bucket, q=1 to the last.
+        assert_eq!(h.percentile_us(0.0), 2);
+        assert_eq!(h.percentile_us(1.0), 128);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+}

@@ -1,0 +1,47 @@
+//! # yv-obs
+//!
+//! Zero-dependency structured tracing and metrics for the uncertain-ER
+//! stack. The paper's whole evaluation (Section 6) is about *measured*
+//! behaviour — blocking quality and mining runtime across minsup levels —
+//! so every pipeline stage and the query server report through this crate.
+//!
+//! Four pieces:
+//!
+//! - [`Clock`] / [`MonotonicClock`] / [`ManualClock`] — clock injection.
+//!   This crate is the **only sanctioned wall-clock owner** in the
+//!   workspace: the yv-audit S1 rule bans `Instant::now` everywhere else,
+//!   so deterministic code can only read time through an injected clock
+//!   (and tests substitute a [`ManualClock`] for byte-identical traces).
+//! - [`Recorder`] / [`Span`] — nested named spans plus counters. Blocking
+//!   records per-minsup-iteration spans (`mine`, `find_support`, `score`,
+//!   `ng_filter`), the pipeline records stage spans (`blocking`,
+//!   `extract`, `score`, `resolve`).
+//! - [`Histogram`] / [`Counter`] — lock-free fixed-bucket latency
+//!   histograms with p50/p95/p99 summaries, shared across `yv serve`
+//!   workers and reported per command kind in `STATS`.
+//! - [`chrome_trace`] / [`timings_table`] — sinks: Chrome-trace JSON
+//!   (`yv block --trace-json out.json`) and a human stage table
+//!   (`yv block --timings`).
+//!
+//! ```
+//! use yv_obs::Recorder;
+//!
+//! let (rec, clock) = Recorder::manual();
+//! {
+//!     let _stage = rec.span("mine");
+//!     clock.advance(1_000_000); // tests control time explicitly
+//! }
+//! rec.incr("mfis_mined", 42);
+//! assert_eq!(rec.sum_ns("mine"), 1_000_000);
+//! assert!(yv_obs::chrome_trace(&rec).contains("\"name\":\"mine\""));
+//! ```
+
+pub mod clock;
+pub mod histogram;
+pub mod recorder;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use histogram::{Counter, Histogram, LatencySummary, BUCKET_COUNT};
+pub use recorder::{Recorder, Span, SpanRecord};
+pub use trace::{chrome_trace, timings_table};

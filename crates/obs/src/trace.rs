@@ -1,0 +1,201 @@
+//! Sink backends: a human timings table and a Chrome-trace-format JSON
+//! emitter (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! Both renderings are pure functions of the recorded spans/counters, so
+//! with a [`ManualClock`](crate::ManualClock) they are byte-identical
+//! across runs — the property the determinism tests pin down.
+
+use crate::recorder::{Recorder, SpanRecord};
+
+/// Render the recorder as Chrome trace JSON: one complete (`"ph":"X"`)
+/// event per span (timestamps in integer microseconds) and one counter
+/// (`"ph":"C"`) event per named counter.
+#[must_use]
+pub fn chrome_trace(rec: &Recorder) -> String {
+    let spans = rec.spans();
+    let last_end_us = spans.iter().map(|s| s.end_ns() / 1_000).max().unwrap_or(0);
+    let mut events = Vec::new();
+    for span in &spans {
+        let mut args = format!("{{\"depth\":{}", span.depth);
+        for (key, value) in &span.args {
+            args.push_str(&format!(",\"{}\":{value}", escape(key)));
+        }
+        args.push('}');
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"yv\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":0,\"args\":{args}}}",
+            escape(&span.name),
+            span.start_ns / 1_000,
+            span.dur_ns / 1_000,
+        ));
+    }
+    for (name, value) in rec.counters() {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"yv\",\"ph\":\"C\",\"ts\":{last_end_us},\
+             \"pid\":0,\"args\":{{\"value\":{value}}}}}",
+            escape(&name),
+        ));
+    }
+    format!("{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n", events.join(","))
+}
+
+/// Render an aggregated per-stage table: calls, total time, mean, and
+/// share of the recorded wall interval. Stages appear in first-start
+/// order, indented by nesting depth.
+#[must_use]
+pub fn timings_table(rec: &Recorder) -> String {
+    let spans = rec.spans();
+    if spans.is_empty() {
+        return "no spans recorded\n".to_owned();
+    }
+    let wall_ns = {
+        let start = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let end = spans.iter().map(SpanRecord::end_ns).max().unwrap_or(0);
+        end.saturating_sub(start)
+    };
+
+    // Aggregate by name, keeping first-start order and minimum depth.
+    struct Agg {
+        name: String,
+        depth: usize,
+        calls: u64,
+        total_ns: u64,
+    }
+    let mut aggs: Vec<Agg> = Vec::new();
+    for span in &spans {
+        match aggs.iter_mut().find(|a| a.name == span.name) {
+            Some(agg) => {
+                agg.calls += 1;
+                agg.total_ns += span.dur_ns;
+                agg.depth = agg.depth.min(span.depth);
+            }
+            None => aggs.push(Agg {
+                name: span.name.clone(),
+                depth: span.depth,
+                calls: 1,
+                total_ns: span.dur_ns,
+            }),
+        }
+    }
+
+    let mut out = format!("{:<28} {:>6} {:>12} {:>12} {:>7}\n", "stage", "calls", "total", "mean", "share");
+    for agg in &aggs {
+        let label = format!("{}{}", "  ".repeat(agg.depth), agg.name);
+        let share = if wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * agg.total_ns as f64 / wall_ns as f64
+        };
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>12} {:>12} {:>6.1}%\n",
+            label,
+            agg.calls,
+            fmt_ns(agg.total_ns),
+            fmt_ns(agg.total_ns / agg.calls.max(1)),
+            share,
+        ));
+    }
+    let counters = rec.counters();
+    if !counters.is_empty() {
+        out.push_str(&format!("\n{:<28} {:>12}\n", "counter", "value"));
+        for (name, value) in counters {
+            out.push_str(&format!("{name:<28} {value:>12}\n"));
+        }
+    }
+    out
+}
+
+/// Human duration: integer nanoseconds rendered at a readable unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{}.{:03}s", ns / 1_000_000_000, (ns % 1_000_000_000) / 1_000_000)
+    } else if ns >= 1_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+    } else if ns >= 1_000 {
+        format!("{}.{:03}us", ns / 1_000, ns % 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Minimal JSON string escaping for span/counter names.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn scripted() -> Recorder {
+        let (rec, clock) = Recorder::manual();
+        let root = rec.span("pipeline");
+        clock.advance(1_000_000);
+        {
+            let mine = rec.span_with("mine", &[("minsup", 5)]);
+            clock.advance(2_000_000);
+            mine.finish();
+        }
+        rec.incr("blocks", 3);
+        root.finish();
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_has_span_and_counter_events() {
+        let trace = chrome_trace(&scripted());
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains(
+            "{\"name\":\"pipeline\",\"cat\":\"yv\",\"ph\":\"X\",\"ts\":0,\"dur\":3000,\
+             \"pid\":0,\"tid\":0,\"args\":{\"depth\":0}}"
+        ));
+        assert!(trace.contains("\"name\":\"mine\""));
+        assert!(trace.contains("\"minsup\":5"));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("\"value\":3"));
+        assert!(trace.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn timings_table_aggregates_and_indents() {
+        let table = timings_table(&scripted());
+        assert!(table.contains("pipeline"));
+        assert!(table.contains("  mine"), "child is indented: {table}");
+        assert!(table.contains("3.000ms"));
+        assert!(table.contains("2.000ms"));
+        assert!(table.contains("blocks"));
+    }
+
+    #[test]
+    fn empty_recorder_renders_gracefully() {
+        let (rec, _clock) = Recorder::manual();
+        assert_eq!(timings_table(&rec), "no spans recorded\n");
+        assert_eq!(chrome_trace(&rec), "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.500us");
+        assert_eq!(fmt_ns(2_030_000), "2.030ms");
+        assert_eq!(fmt_ns(61_001_000_000), "61.001s");
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

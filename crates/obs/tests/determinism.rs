@@ -1,0 +1,81 @@
+//! The acceptance property of the observability layer: under a
+//! [`ManualClock`] the recorder's outputs are deterministic — 20 runs of
+//! the same span script produce byte-identical Chrome traces and timing
+//! tables.
+
+#![allow(clippy::unwrap_used)]
+
+use yv_obs::{chrome_trace, timings_table, Recorder};
+
+/// A scripted multi-stage run shaped like the real pipeline: nested
+/// per-iteration mining spans, an accumulated stage, and counters.
+fn run_script() -> (String, String) {
+    let (rec, clock) = Recorder::manual();
+    let root = rec.span("pipeline");
+    clock.advance(500_000);
+    for (iteration, minsup) in [5u64, 4, 3, 2].into_iter().enumerate() {
+        let iter_span = rec.span_with("iteration", &[("minsup", minsup)]);
+        {
+            let mine = rec.span_with("mine", &[("minsup", minsup)]);
+            clock.advance(1_000_000 * (iteration as u64 + 1));
+            mine.finish();
+        }
+        {
+            let _score = rec.span("score");
+            clock.advance(250_000);
+        }
+        rec.incr("mfis_mined", 10 + minsup);
+        iter_span.finish();
+    }
+    let extract_start = rec.now_ns();
+    clock.advance(750_000);
+    rec.record_span("extract", extract_start, 750_000);
+    rec.incr("candidate_pairs", 1234);
+    root.finish();
+    (chrome_trace(&rec), timings_table(&rec))
+}
+
+#[test]
+fn twenty_runs_are_byte_identical() {
+    let (first_trace, first_table) = run_script();
+    for run in 1..20 {
+        let (trace, table) = run_script();
+        assert_eq!(trace, first_trace, "trace diverged on run {run}");
+        assert_eq!(table, first_table, "table diverged on run {run}");
+    }
+}
+
+#[test]
+fn trace_carries_the_span_taxonomy_and_args() {
+    let (trace, table) = run_script();
+    for name in ["pipeline", "iteration", "mine", "score", "extract"] {
+        assert!(trace.contains(&format!("\"name\":\"{name}\"")), "{name} missing");
+        assert!(table.contains(name), "{name} missing from table");
+    }
+    // Per-iteration minsup arguments survive into the trace.
+    for minsup in [5, 4, 3, 2] {
+        assert!(trace.contains(&format!("\"minsup\":{minsup}")));
+    }
+    // Counters aggregate across iterations: 15+14+13+12.
+    assert!(trace.contains("\"name\":\"mfis_mined\""));
+    assert!(trace.contains("\"value\":54"));
+}
+
+#[test]
+fn span_nesting_depths_are_recorded() {
+    let (rec, clock) = Recorder::manual();
+    let a = rec.span("a");
+    let b = rec.span("b");
+    clock.advance(10);
+    let c = rec.span("c");
+    clock.advance(5);
+    c.finish();
+    b.finish();
+    a.finish();
+    let depths: Vec<(String, usize)> =
+        rec.spans().into_iter().map(|s| (s.name, s.depth)).collect();
+    assert_eq!(
+        depths,
+        vec![("a".to_owned(), 0), ("b".to_owned(), 1), ("c".to_owned(), 2)]
+    );
+}

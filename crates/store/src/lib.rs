@@ -40,7 +40,9 @@ pub mod wal;
 
 pub use error::StoreError;
 pub use index::QueryIndex;
-pub use protocol::Request;
-pub use server::{serve, ServerMetrics};
-pub use store::{Store, StoreStats, SNAPSHOT_FILE, WAL_FILE};
+pub use protocol::{CommandStats, Request};
+pub use server::{serve, CommandMetrics, ServerMetrics};
+pub use store::{
+    Store, StoreStats, DEFAULT_ENTITY_MAP_CAPACITY, SNAPSHOT_FILE, WAL_FILE,
+};
 pub use wal::{Wal, WalEntry};

@@ -16,6 +16,9 @@
 //! < .
 //! > STATS
 //! < OK records=5000 sources=12 matches=10817 wal=1 vocabulary=1943 ...
+//! < CMD QUERY count=240 errors=0 mean_us=412 p50_us=256 p95_us=1024 p99_us=2048
+//! < CMD ADD count=12 errors=1 mean_us=95 p50_us=64 p95_us=256 p99_us=256
+//! < CMD SNAPSHOT count=1 errors=0 mean_us=5210 p50_us=8192 p95_us=8192 p99_us=8192
 //! < .
 //! > SNAPSHOT
 //! < OK snapshot
@@ -173,6 +176,36 @@ pub fn format_status(status: &str) -> String {
     format!("{status}\n{TERMINATOR}\n")
 }
 
+/// One per-command row of the `STATS` response: success/error counts and
+/// a latency summary in integer microseconds (percentiles are histogram
+/// bucket upper bounds, hence powers of two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandStats {
+    pub name: &'static str,
+    pub count: u64,
+    pub errors: u64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+}
+
+/// Render the `STATS` response: the store-wide status line, one `CMD`
+/// data line per command kind, and the terminator.
+#[must_use]
+pub fn format_stats(status: &str, commands: &[CommandStats]) -> String {
+    let mut out = format!("{status}\n");
+    for c in commands {
+        out.push_str(&format!(
+            "CMD {} count={} errors={} mean_us={} p50_us={} p95_us={} p99_us={}\n",
+            c.name, c.count, c.errors, c.mean_us, c.p50_us, c.p95_us, c.p99_us
+        ));
+    }
+    out.push_str(TERMINATOR);
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +252,39 @@ mod tests {
         assert!(parse_request("QUERY color=blue").is_err());
         assert!(parse_request("ADD book=1 source=0 color=blue").is_err());
         assert!(parse_request("STATS now").is_err());
+    }
+
+    #[test]
+    fn stats_render_one_cmd_line_per_command() {
+        let rows = [
+            CommandStats {
+                name: "QUERY",
+                count: 3,
+                errors: 0,
+                mean_us: 40,
+                p50_us: 32,
+                p95_us: 64,
+                p99_us: 64,
+            },
+            CommandStats {
+                name: "ADD",
+                count: 0,
+                errors: 1,
+                mean_us: 0,
+                p50_us: 0,
+                p95_us: 0,
+                p99_us: 0,
+            },
+        ];
+        let rendered = format_stats("OK records=7", &rows);
+        assert_eq!(
+            rendered,
+            "OK records=7\n\
+             CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64\n\
+             CMD ADD count=0 errors=1 mean_us=0 p50_us=0 p95_us=0 p99_us=0\n\
+             .\n"
+        );
+        assert_eq!(format_stats("OK records=7", &[]), "OK records=7\n.\n");
     }
 
     #[test]

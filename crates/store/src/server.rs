@@ -9,40 +9,82 @@
 //! snapshot and the store is handed back to the caller.
 
 use crate::error::StoreError;
-use crate::protocol::{self, Request};
+use crate::protocol::{self, CommandStats, Request};
 use crate::store::Store;
 use parking_lot::RwLock;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use yv_obs::{Clock, Counter, Histogram, MonotonicClock};
 
-/// Per-request counters, shared across workers. Latency is accumulated in
-/// nanoseconds and reported as a mean in `STATS`.
+/// Per-command metrics: success/error counters plus a lock-free latency
+/// histogram (percentiles via [`Histogram::summary`]). Latency covers the
+/// full command — lock acquisition included — so `STATS` reflects what
+/// clients actually wait, not just the critical section.
+#[derive(Debug, Default)]
+pub struct CommandMetrics {
+    pub ok: Counter,
+    pub errors: Counter,
+    pub latency: Histogram,
+}
+
+impl CommandMetrics {
+    fn record(&self, ok: bool, dur_ns: u64) {
+        if ok {
+            self.ok.incr();
+        } else {
+            self.errors.incr();
+        }
+        self.latency.record_ns(dur_ns);
+    }
+
+    fn stats(&self, name: &'static str) -> CommandStats {
+        let summary = self.latency.summary();
+        CommandStats {
+            name,
+            count: self.ok.get(),
+            errors: self.errors.get(),
+            mean_us: summary.mean_us,
+            p50_us: summary.p50_us,
+            p95_us: summary.p95_us,
+            p99_us: summary.p99_us,
+        }
+    }
+}
+
+/// Per-request metrics, split by command kind and shared across workers.
+///
+/// The earlier design kept one latency accumulator and reported a single
+/// mean; a mean over a mixed QUERY/ADD/SNAPSHOT stream is dominated by
+/// whichever command runs most and hides tail latency entirely. Each
+/// command kind now gets its own counters and histogram.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    pub queries: AtomicU64,
-    pub adds: AtomicU64,
-    pub snapshots: AtomicU64,
-    pub errors: AtomicU64,
-    query_nanos: AtomicU64,
+    pub query: CommandMetrics,
+    pub add: CommandMetrics,
+    pub snapshot: CommandMetrics,
+    /// Request lines that never parsed into a command.
+    pub parse_errors: Counter,
 }
 
 impl ServerMetrics {
-    fn record_query(&self, started: Instant) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.query_nanos.fetch_add(nanos, Ordering::Relaxed);
+    /// Per-command stats rows in protocol order (QUERY, ADD, SNAPSHOT).
+    #[must_use]
+    pub fn command_stats(&self) -> [CommandStats; 3] {
+        [
+            self.query.stats("QUERY"),
+            self.add.stats("ADD"),
+            self.snapshot.stats("SNAPSHOT"),
+        ]
     }
 
-    /// Mean query latency in microseconds (0 before the first query).
+    /// Total failed requests (parse failures plus per-command errors).
     #[must_use]
-    pub fn avg_query_us(&self) -> u64 {
-        let n = self.queries.load(Ordering::Relaxed);
-        if n == 0 {
-            return 0;
-        }
-        self.query_nanos.load(Ordering::Relaxed) / n / 1_000
+    pub fn errors(&self) -> u64 {
+        self.parse_errors.get()
+            + self.query.errors.get()
+            + self.add.errors.get()
+            + self.snapshot.errors.get()
     }
 }
 
@@ -53,6 +95,7 @@ pub fn serve(store: Store, listener: TcpListener, workers: usize) -> Result<Stor
     let addr = listener.local_addr()?;
     let lock = RwLock::new(store);
     let metrics = ServerMetrics::default();
+    let clock = MonotonicClock::new();
     let shutdown = AtomicBool::new(false);
     let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
 
@@ -61,10 +104,11 @@ pub fn serve(store: Store, listener: TcpListener, workers: usize) -> Result<Stor
             let rx = rx.clone();
             let lock = &lock;
             let metrics = &metrics;
+            let clock = &clock;
             let shutdown = &shutdown;
             s.spawn(move |_| {
                 for stream in rx.iter() {
-                    handle_connection(stream, lock, metrics, shutdown, addr);
+                    handle_connection(stream, lock, metrics, clock, shutdown, addr);
                 }
             });
         }
@@ -97,6 +141,7 @@ fn handle_connection(
     stream: TcpStream,
     lock: &RwLock<Store>,
     metrics: &ServerMetrics,
+    clock: &MonotonicClock,
     shutdown: &AtomicBool,
     addr: std::net::SocketAddr,
 ) {
@@ -113,54 +158,55 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        let started = clock.now_nanos();
         let response = match protocol::parse_request(&line) {
             Err(msg) => {
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                metrics.parse_errors.incr();
                 protocol::format_status(&format!("ERR {msg}"))
             }
             Ok(Request::Query(query)) => {
-                let started = Instant::now();
                 let hits = lock.read().query(&query);
-                metrics.record_query(started);
+                metrics.query.record(true, clock.now_nanos().saturating_sub(started));
                 protocol::format_hits(&hits)
             }
-            Ok(Request::Add(record)) => match lock.write().add_record(*record) {
-                Ok(matches) => {
-                    metrics.adds.fetch_add(1, Ordering::Relaxed);
-                    protocol::format_status(&format!("OK matches={}", matches.len()))
+            Ok(Request::Add(record)) => {
+                let outcome = lock.write().add_record(*record);
+                metrics.add.record(outcome.is_ok(), clock.now_nanos().saturating_sub(started));
+                match outcome {
+                    Ok(matches) => {
+                        protocol::format_status(&format!("OK matches={}", matches.len()))
+                    }
+                    Err(e) => protocol::format_status(&format!("ERR {e}")),
                 }
-                Err(e) => {
-                    metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    protocol::format_status(&format!("ERR {e}"))
-                }
-            },
+            }
             Ok(Request::Stats) => {
                 let stats = lock.read().stats();
-                protocol::format_status(&format!(
-                    "OK records={} sources={} matches={} wal={} vocabulary={} \
-                     queries={} adds={} snapshots={} errors={} avg_query_us={}",
-                    stats.records,
-                    stats.sources,
-                    stats.matches,
-                    stats.wal_entries,
-                    stats.vocabulary,
-                    metrics.queries.load(Ordering::Relaxed),
-                    metrics.adds.load(Ordering::Relaxed),
-                    metrics.snapshots.load(Ordering::Relaxed),
-                    metrics.errors.load(Ordering::Relaxed),
-                    metrics.avg_query_us(),
-                ))
+                protocol::format_stats(
+                    &format!(
+                        "OK records={} sources={} matches={} wal={} vocabulary={} \
+                         entity_maps={} evictions={} errors={}",
+                        stats.records,
+                        stats.sources,
+                        stats.matches,
+                        stats.wal_entries,
+                        stats.vocabulary,
+                        stats.entity_maps_cached,
+                        stats.entity_map_evictions,
+                        metrics.errors(),
+                    ),
+                    &metrics.command_stats(),
+                )
             }
-            Ok(Request::Snapshot) => match lock.write().snapshot() {
-                Ok(()) => {
-                    metrics.snapshots.fetch_add(1, Ordering::Relaxed);
-                    protocol::format_status("OK snapshot")
+            Ok(Request::Snapshot) => {
+                let outcome = lock.write().snapshot();
+                metrics
+                    .snapshot
+                    .record(outcome.is_ok(), clock.now_nanos().saturating_sub(started));
+                match outcome {
+                    Ok(()) => protocol::format_status("OK snapshot"),
+                    Err(e) => protocol::format_status(&format!("ERR {e}")),
                 }
-                Err(e) => {
-                    metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    protocol::format_status(&format!("ERR {e}"))
-                }
-            },
+            }
             Ok(Request::Shutdown) => {
                 shutdown.store(true, Ordering::SeqCst);
                 let _ = writer.write_all(protocol::format_status("OK bye").as_bytes());

@@ -13,18 +13,24 @@ use crate::index::QueryIndex;
 use crate::snapshot;
 use crate::wal::{self, Wal, WalEntry};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use yv_core::{
     EntityMap, IncrementalResolver, PersonQuery, QueryHit, RankedMatch, Resolution,
 };
+use yv_obs::Counter;
 use yv_records::{Dataset, Record, Source, SourceId};
 
 /// Snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.yvs";
 /// WAL file name inside a store directory.
 pub const WAL_FILE: &str = "wal.yvl";
+
+/// Default number of per-threshold entity maps kept memoized. Each map
+/// holds an entry per record, so an unbounded cache grows linearly in
+/// (distinct thresholds × records); serving workloads rarely use more
+/// than a handful of thresholds at once.
+pub const DEFAULT_ENTITY_MAP_CAPACITY: usize = 8;
 
 /// Point-in-time counters for `STATS`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +42,71 @@ pub struct StoreStats {
     pub wal_entries: usize,
     /// Distinct lowercased names in the query index.
     pub vocabulary: usize,
+    /// Entity maps currently memoized (≤ the configured capacity).
+    pub entity_maps_cached: usize,
+    /// Lifetime LRU evictions from the entity-map cache. Invalidation on
+    /// writes clears the cache without counting here.
+    pub entity_map_evictions: u64,
+}
+
+/// A bounded LRU of entity maps keyed by certainty-threshold bits.
+///
+/// Capacities are small (single digits), so recency is a sequence stamp
+/// per entry and eviction is a linear scan — no linked list needed.
+#[derive(Debug)]
+struct EntityMapCache {
+    capacity: usize,
+    seq: u64,
+    entries: Vec<(u64, Arc<EntityMap>, u64)>,
+}
+
+impl EntityMapCache {
+    fn new(capacity: usize) -> EntityMapCache {
+        EntityMapCache { capacity: capacity.max(1), seq: 0, entries: Vec::new() }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<EntityMap>> {
+        self.seq += 1;
+        let seq = self.seq;
+        self.entries.iter_mut().find(|(k, _, _)| *k == key).map(|entry| {
+            entry.2 = seq;
+            Arc::clone(&entry.1)
+        })
+    }
+
+    /// Insert `map`, evicting the least-recently-used entry when full.
+    /// Returns the number of evictions (0 or 1).
+    fn insert(&mut self, key: u64, map: Arc<EntityMap>) -> u64 {
+        self.seq += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+            entry.1 = map;
+            entry.2 = self.seq;
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(lru);
+                evicted = 1;
+            }
+        }
+        self.entries.push((key, map, self.seq));
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 /// A durable, queryable resolution store rooted at a directory.
@@ -48,8 +119,10 @@ pub struct Store {
     wal_entries: usize,
     /// Ranked-match resolution, rebuilt lazily after writes.
     resolution: Mutex<Option<Arc<Resolution>>>,
-    /// Entity maps keyed by certainty-threshold bits, per resolution.
-    entity_maps: Mutex<HashMap<u64, Arc<EntityMap>>>,
+    /// Bounded per-threshold entity-map memo, keyed by threshold bits.
+    entity_maps: Mutex<EntityMapCache>,
+    /// Lifetime LRU evictions (capacity pressure, not write invalidation).
+    evictions: Counter,
 }
 
 impl Store {
@@ -67,7 +140,8 @@ impl Store {
             dir: dir.to_path_buf(),
             wal_entries: 0,
             resolution: Mutex::new(None),
-            entity_maps: Mutex::new(HashMap::new()),
+            entity_maps: Mutex::new(EntityMapCache::new(DEFAULT_ENTITY_MAP_CAPACITY)),
+            evictions: Counter::new(),
         })
     }
 
@@ -111,8 +185,28 @@ impl Store {
             dir: dir.to_path_buf(),
             wal_entries,
             resolution: Mutex::new(None),
-            entity_maps: Mutex::new(HashMap::new()),
+            entity_maps: Mutex::new(EntityMapCache::new(DEFAULT_ENTITY_MAP_CAPACITY)),
+            evictions: Counter::new(),
         })
+    }
+
+    /// Bound the entity-map memo to `capacity` entries (minimum 1).
+    /// Shrinking below the current population evicts oldest-first.
+    pub fn set_entity_map_capacity(&mut self, capacity: usize) {
+        let mut cache = self.entity_maps.lock();
+        cache.capacity = capacity.max(1);
+        while cache.len() > cache.capacity {
+            if let Some(lru) = cache
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(i, _)| i)
+            {
+                cache.entries.swap_remove(lru);
+                self.evictions.incr();
+            }
+        }
     }
 
     /// The growing dataset.
@@ -135,6 +229,8 @@ impl Store {
             matches: self.resolver.matches().len(),
             wal_entries: self.wal_entries,
             vocabulary: self.index.vocabulary_size(),
+            entity_maps_cached: self.entity_maps.lock().len(),
+            entity_map_evictions: self.evictions.get(),
         }
     }
 
@@ -177,16 +273,19 @@ impl Store {
         fresh
     }
 
-    /// The entity map at a certainty threshold, cached until the next
-    /// write (keyed by the threshold's bit pattern).
+    /// The entity map at a certainty threshold, memoized until the next
+    /// write (keyed by the threshold's bit pattern). The memo is a small
+    /// LRU — see [`DEFAULT_ENTITY_MAP_CAPACITY`] and
+    /// [`Store::set_entity_map_capacity`]; evictions are counted in
+    /// [`StoreStats::entity_map_evictions`].
     #[must_use]
     pub fn entity_map(&self, certainty: f64) -> Arc<EntityMap> {
         let key = certainty.to_bits();
-        if let Some(m) = self.entity_maps.lock().get(&key) {
-            return Arc::clone(m);
+        if let Some(m) = self.entity_maps.lock().get(key) {
+            return m;
         }
         let fresh = Arc::new(self.resolution().entity_map(certainty));
-        self.entity_maps.lock().insert(key, Arc::clone(&fresh));
+        self.evictions.add(self.entity_maps.lock().insert(key, Arc::clone(&fresh)));
         fresh
     }
 

@@ -1,0 +1,117 @@
+//! The entity-map memo is a bounded LRU: capacity is enforced, eviction
+//! picks the least-recently-used threshold, evictions are counted, and a
+//! re-derived map answers queries identically to the memoized one.
+
+// Test-only binary: helper fns outside #[test] may unwrap freely (the
+// workspace unwrap_used deny targets library code).
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use yv_core::{IncrementalConfig, IncrementalResolver, PersonQuery, Pipeline, PipelineConfig};
+use yv_datagen::{tag_pairs, GenConfig};
+use yv_store::{Store, DEFAULT_ENTITY_MAP_CAPACITY};
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("yv-store-lru").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn store(name: &str, n_records: usize, seed: u64) -> Store {
+    let gen = GenConfig::random(n_records, seed).generate();
+    let config = PipelineConfig::default();
+    let blocked = yv_blocking::mfi_blocks(&gen.dataset, &config.blocking);
+    let tags = tag_pairs(&gen, &blocked.candidate_pairs, 3);
+    let labelled: Vec<_> =
+        tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+    let pipeline = Pipeline::train(&gen.dataset, &labelled, &config);
+    let resolver = IncrementalResolver::bootstrap(
+        gen.dataset,
+        pipeline,
+        config,
+        IncrementalConfig::default(),
+    );
+    Store::create(&fresh_dir(name), resolver).unwrap()
+}
+
+/// Distinct thresholds: f64 bit patterns differ, so each is its own key.
+fn threshold(i: usize) -> f64 {
+    0.05 + i as f64 * 0.1
+}
+
+#[test]
+fn cache_population_is_bounded_by_capacity() {
+    let mut store = store("bounded", 150, 7);
+    store.set_entity_map_capacity(4);
+    for i in 0..10 {
+        let _ = store.entity_map(threshold(i));
+    }
+    let stats = store.stats();
+    assert_eq!(stats.entity_maps_cached, 4);
+    assert_eq!(stats.entity_map_evictions, 6, "10 inserts through a 4-slot cache");
+}
+
+#[test]
+fn eviction_is_least_recently_used() {
+    let mut store = store("lru-order", 150, 8);
+    store.set_entity_map_capacity(2);
+    let a = threshold(0);
+    let b = threshold(1);
+    let c = threshold(2);
+    let _ = store.entity_map(a);
+    let _ = store.entity_map(b);
+    // Touch `a` so `b` is now least recently used.
+    let _ = store.entity_map(a);
+    let _ = store.entity_map(c); // evicts b
+    assert_eq!(store.stats().entity_map_evictions, 1);
+    // Hits on a and c must not evict anything further…
+    let _ = store.entity_map(a);
+    let _ = store.entity_map(c);
+    assert_eq!(store.stats().entity_map_evictions, 1, "a and c were retained");
+    // …while b was the one dropped: re-deriving it evicts again.
+    let _ = store.entity_map(b);
+    assert_eq!(store.stats().entity_map_evictions, 2, "b had been evicted");
+}
+
+#[test]
+fn evicted_maps_rebuild_identically() {
+    let store_a = store("rebuild", 150, 9);
+    let query = PersonQuery { certainty: 0.5, ..PersonQuery::default() };
+    let before = store_a.query(&query);
+    // Thrash the cache far past capacity, then ask again.
+    for i in 0..(DEFAULT_ENTITY_MAP_CAPACITY * 3) {
+        let _ = store_a.entity_map(threshold(i));
+    }
+    assert!(store_a.stats().entity_map_evictions > 0);
+    assert_eq!(store_a.query(&query), before, "re-derived map answers identically");
+}
+
+#[test]
+fn writes_invalidate_without_counting_evictions() {
+    let mut s = store("invalidate", 150, 10);
+    let _ = s.entity_map(0.5);
+    let _ = s.entity_map(1.0);
+    assert_eq!(s.stats().entity_maps_cached, 2);
+    let record = yv_records::RecordBuilder::new(900_500, yv_records::SourceId(0))
+        .first_name("Guido")
+        .last_name("Foa")
+        .build();
+    s.add_record(record).unwrap();
+    let stats = s.stats();
+    assert_eq!(stats.entity_maps_cached, 0, "writes clear the memo");
+    assert_eq!(stats.entity_map_evictions, 0, "invalidation is not eviction");
+}
+
+#[test]
+fn shrinking_capacity_evicts_down_to_the_new_bound() {
+    let mut s = store("shrink", 150, 11);
+    for i in 0..5 {
+        let _ = s.entity_map(threshold(i));
+    }
+    assert_eq!(s.stats().entity_maps_cached, 5);
+    s.set_entity_map_capacity(2);
+    let stats = s.stats();
+    assert_eq!(stats.entity_maps_cached, 2);
+    assert_eq!(stats.entity_map_evictions, 3);
+}

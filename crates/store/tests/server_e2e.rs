@@ -104,6 +104,25 @@ fn concurrent_clients_durable_adds_and_restart_identity() {
     assert!(stats[0][0].contains(&format!("records={}", records_before + 2)), "{stats:?}");
     assert!(stats[0][0].contains("wal=2"), "{stats:?}");
 
+    // Per-command metrics: one CMD line per command kind, with counters
+    // and latency percentiles.
+    let cmd_lines: Vec<&String> =
+        stats[0].iter().filter(|l| l.starts_with("CMD ")).collect();
+    assert_eq!(cmd_lines.len(), 3, "{stats:?}");
+    let query_line = cmd_lines
+        .iter()
+        .find(|l| l.starts_with("CMD QUERY "))
+        .unwrap_or_else(|| panic!("{stats:?}"));
+    // 4 concurrent clients ran the 5-query battery, plus one more pass.
+    assert!(query_line.contains(&format!("count={}", 5 * QUERIES.len())), "{query_line}");
+    for field in ["errors=", "mean_us=", "p50_us=", "p95_us=", "p99_us="] {
+        assert!(query_line.contains(field), "{query_line}");
+    }
+    let add_line =
+        cmd_lines.iter().find(|l| l.starts_with("CMD ADD ")).unwrap_or_else(|| panic!());
+    assert!(add_line.contains("count=2"), "{add_line}");
+    assert!(cmd_lines.iter().any(|l| l.starts_with("CMD SNAPSHOT ")), "{stats:?}");
+
     // Protocol errors are reported, not fatal.
     let errs = client(addr, &["FROB", "ADD book=1 source=99999 first=X"]);
     assert!(errs[0][0].starts_with("ERR "));

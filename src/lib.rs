@@ -11,6 +11,7 @@
 //! | [`records`] | `yv-records` | record model, item bags, pattern analysis |
 //! | [`similarity`] | `yv-similarity` | string/geo/date measures, 48-feature extractor |
 //! | [`mfi`] | `yv-mfi` | FP-Growth, maximal frequent itemsets |
+//! | [`obs`] | `yv-obs` | structured tracing, counters, latency histograms |
 //! | [`adt`] | `yv-adt` | alternating decision trees |
 //! | [`blocking`] | `yv-blocking` | the MFIBlocks algorithm |
 //! | [`baselines`] | `yv-baselines` | ten comparison blockers (Table 10) |
@@ -53,6 +54,7 @@ pub use yv_core as core;
 pub use yv_datagen as datagen;
 pub use yv_eval as eval;
 pub use yv_mfi as mfi;
+pub use yv_obs as obs;
 pub use yv_records as records;
 pub use yv_similarity as similarity;
 pub use yv_store as store;
