@@ -27,7 +27,11 @@ echo "audit gate: workspace clean, all seeded violations detected"
 # Observability smoke test: `yv block --trace-json` must emit a valid
 # Chrome-trace file carrying the span taxonomy (DESIGN.md §11).
 trace_file="$(mktemp -t yv-trace-XXXXXX.json)"
-trap 'rm -f "$trace_file"' EXIT
+serve_log="$(mktemp -t yv-serve-XXXXXX.log)"
+store_dir="$(mktemp -d -t yv-ci-store-XXXXXX)"
+bench_base="$(mktemp -t yv-bench-base-XXXXXX.json)"
+bench_slow="$(mktemp -t yv-bench-slow-XXXXXX.json)"
+trap 'rm -f "$trace_file" "$serve_log" "$bench_base" "$bench_slow"; rm -rf "$store_dir"' EXIT
 cargo run -q --release -p yv-cli --bin yv -- \
     block --records 300 --trace-json "$trace_file" > /dev/null
 python3 - "$trace_file" <<'PYEOF'
@@ -42,3 +46,93 @@ counters = {e["name"] for e in events if e.get("ph") == "C"}
 assert "candidate_pairs" in counters, f"missing counter: {sorted(counters)}"
 print(f"trace smoke test: {len(events)} events, span taxonomy present")
 PYEOF
+
+# Metrics exposition smoke test: serve a small store with the Prometheus
+# scrape sidecar and a 1µs slow-request threshold, drive one QUERY, scrape
+# GET /metrics, and validate the text format (DESIGN.md §11). Both
+# listeners bind port 0; the printed startup lines carry the real ports.
+cargo run -q --release -p yv-cli --bin yv -- \
+    serve --dir "$store_dir/store" --records 300 \
+    --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 --slow-us 1 \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 150); do
+    grep -q "^metrics: " "$serve_log" && break
+    sleep 0.2
+done
+python3 - "$serve_log" <<'PYEOF'
+import re, socket, sys, urllib.request
+
+log = open(sys.argv[1]).read()
+addr = re.search(r"on (127\.0\.0\.1:\d+) with \d+ workers", log).group(1)
+url = re.search(r"^metrics: (http://\S+)", log, re.M).group(1)
+host, port = addr.rsplit(":", 1)
+
+sock = socket.create_connection((host, int(port)), timeout=10)
+f = sock.makefile("rw", newline="\n")
+
+def request(line):
+    f.write(line + "\n")
+    f.flush()
+    lines = []
+    while True:
+        got = f.readline()
+        assert got, "server closed mid-response"
+        if got.rstrip("\n") == ".":
+            return lines
+        lines.append(got.rstrip("\n"))
+
+resp = request("QUERY first=Abramo")
+assert resp[0].startswith("OK"), resp[:1]
+
+body = urllib.request.urlopen(url, timeout=10).read().decode()
+for kind in ["query", "add", "stats", "metrics", "snapshot", "shutdown"]:
+    needle = f'yv_cmd_{kind}_latency_us_bucket{{le="+Inf"}}'
+    assert needle in body, f"missing histogram series for {kind}"
+count = [l for l in body.splitlines() if l.startswith("yv_cmd_query_latency_us_count ")]
+assert count and int(count[0].split()[-1]) >= 1, count
+for name in ["yv_store_records", "yv_store_wal_bytes", "yv_store_postings",
+             "yv_alloc_live_bytes", "yv_alloc_peak_bytes"]:
+    assert any(l.startswith(name + " ") for l in body.splitlines()), f"missing {name}"
+total = [l for l in body.splitlines() if l.startswith("yv_alloc_bytes_total ")]
+assert total and int(total[0].split()[-1]) > 0, "counting allocator not installed"
+sample = re.compile(r'^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? \d+$')
+for line in body.splitlines():
+    if line and not line.startswith("#"):
+        assert sample.match(line), f"malformed sample line: {line!r}"
+
+resp = request("SHUTDOWN")
+assert resp[0].startswith("OK"), resp
+print(f"metrics smoke test: scrape ok, {len(body.splitlines())} exposition lines")
+PYEOF
+wait "$serve_pid"
+# --slow-us 1 makes every request slow; the JSONL slow log must have fired.
+grep -q '"slow_request":true' "$serve_log" || {
+    echo "slow-request log never fired despite --slow-us 1" >&2
+    exit 1
+}
+
+# Bench regression gate: a run compared against itself must pass, and a
+# synthetic 2x slowdown injected into its stage timings must fail the
+# compare with a nonzero exit.
+cargo run -q --release -p yv-cli --bin yv -- \
+    bench --records 300 --out "$bench_base" > /dev/null
+cargo run -q --release -p yv-cli --bin yv -- \
+    bench --compare "$bench_base" --against "$bench_base" > /dev/null
+python3 - "$bench_base" "$bench_slow" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+# Double every stage; the +100ms keeps tiny stages above the absolute
+# floor so the gate trips deterministically at CI scale.
+bench["stages_us"] = {k: v * 2 + 100_000 for k, v in bench["stages_us"].items()}
+with open(sys.argv[2], "w") as f:
+    json.dump(bench, f, indent=2)
+    f.write("\n")
+PYEOF
+if cargo run -q --release -p yv-cli --bin yv -- \
+    bench --compare "$bench_base" --against "$bench_slow" > /dev/null 2>&1; then
+    echo "bench gate failure: injected 2x regression passed the compare" >&2
+    exit 1
+fi
+echo "bench regression gate: self-comparison clean, injected regression detected"

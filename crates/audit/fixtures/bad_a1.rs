@@ -1,0 +1,6 @@
+// Known-bad fixture for rule A1: a global allocator installed outside
+// yv-obs. The violation is on line 5.
+use std::alloc::System;
+
+#[global_allocator]
+static ROGUE: System = System;

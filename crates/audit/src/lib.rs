@@ -2,10 +2,11 @@
 //!
 //! The resolver's ranked output (paper §4.2) is only meaningful if scores
 //! and cluster orderings are bit-for-bit reproducible, and the serving
-//! path must not panic. This crate enforces both mechanically with four
+//! path must not panic. This crate enforces both mechanically with five
 //! line-level rules (D1 hash-order determinism, P1 panic-freedom, F1
-//! score/float hygiene, S1 wall-clock hygiene); see [`rules`] for the
-//! exact semantics and `DESIGN.md` §10 for the rationale.
+//! score/float hygiene, S1 wall-clock hygiene, A1 global-allocator
+//! uniqueness); see [`rules`] for the exact semantics and `DESIGN.md` §10
+//! for the rationale.
 //!
 //! Suppression: `// audit:allow(RULE) <justification>` on the offending
 //! line, or alone on the line above it.

@@ -17,6 +17,12 @@ const P1_CRATES: [&str; 7] = ["core", "blocking", "mfi", "store", "similarity", 
 /// everywhere else, and this exemption is the single escape hatch.
 const S1_EXEMPT_CRATES: [&str; 1] = ["obs"];
 
+/// The only crate allowed to install a global allocator (A1): `yv-obs`
+/// hosts the counting allocator behind its `global-alloc` feature, and the
+/// allocator gauges are only attributable if that installation stays
+/// unique in the process.
+const A1_EXEMPT_CRATES: [&str; 1] = ["obs"];
+
 /// File-name fragments marking persistence/protocol code (F1 scope).
 const F1_FILES: [&str; 6] = ["persist", "codec", "snapshot", "wal", "protocol", "csv"];
 
@@ -27,6 +33,7 @@ pub struct FileProfile {
     pub p1: bool,
     pub f1: bool,
     pub s1: bool,
+    pub a1: bool,
     /// Path components identified this as test/bench/example code; all
     /// rules are off.
     pub test_file: bool,
@@ -36,7 +43,7 @@ impl FileProfile {
     /// Every rule on — used for unknown paths and in-memory checks.
     #[must_use]
     pub fn all() -> Self {
-        FileProfile { d1: true, p1: true, f1: true, s1: true, test_file: false }
+        FileProfile { d1: true, p1: true, f1: true, s1: true, a1: true, test_file: false }
     }
 
     /// Classify a workspace-relative path (`/`-separated).
@@ -48,7 +55,14 @@ impl FileProfile {
             .iter()
             .any(|c| matches!(*c, "tests" | "benches" | "examples"))
         {
-            return FileProfile { d1: false, p1: false, f1: false, s1: false, test_file: true };
+            return FileProfile {
+                d1: false,
+                p1: false,
+                f1: false,
+                s1: false,
+                a1: false,
+                test_file: true,
+            };
         }
         // Fixture snippets exercise every rule regardless of which crate
         // hosts them.
@@ -67,6 +81,7 @@ impl FileProfile {
                 p1: P1_CRATES.contains(&name),
                 f1: F1_FILES.iter().any(|f| file_name.contains(f)),
                 s1: !S1_EXEMPT_CRATES.contains(&name),
+                a1: !A1_EXEMPT_CRATES.contains(&name),
                 test_file: false,
             },
             // Root src/, fixtures, anything unrecognized: all rules.
@@ -104,6 +119,16 @@ mod tests {
         for other in ["core", "blocking", "store", "eval", "bench", "cli", "datagen"] {
             let p = FileProfile::for_path(&format!("crates/{other}/src/lib.rs"));
             assert!(p.s1, "{other} must stay under S1");
+        }
+    }
+
+    #[test]
+    fn obs_is_the_sole_a1_exemption() {
+        let p = FileProfile::for_path("crates/obs/src/alloc.rs");
+        assert!(!p.a1, "yv-obs owns the global allocator");
+        for other in ["core", "blocking", "store", "eval", "bench", "cli", "datagen"] {
+            let p = FileProfile::for_path(&format!("crates/{other}/src/lib.rs"));
+            assert!(p.a1, "{other} must stay under A1");
         }
     }
 

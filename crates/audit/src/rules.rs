@@ -12,6 +12,7 @@
 //! | P1   | panic in library code | `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` outside test code |
 //! | F1   | lossy score persistence | fixed-precision float formatting (`{:.17}`) and lossy `as` casts on score values in persistence/protocol files |
 //! | S1   | wall-clock in deterministic pipeline | `Instant::now` / `SystemTime::now` in pipeline crates |
+//! | A1   | rogue global allocator | `global_allocator` in code position outside `yv-obs` (the counting allocator is the single sanctioned installation) |
 
 use crate::lexer::CleanLine;
 use crate::profile::FileProfile;
@@ -30,6 +31,7 @@ pub enum Rule {
     P1,
     F1,
     S1,
+    A1,
 }
 
 impl Rule {
@@ -40,12 +42,13 @@ impl Rule {
             Rule::P1 => "P1",
             Rule::F1 => "F1",
             Rule::S1 => "S1",
+            Rule::A1 => "A1",
         }
     }
 
     #[must_use]
-    pub fn all() -> [Rule; 4] {
-        [Rule::D1, Rule::P1, Rule::F1, Rule::S1]
+    pub fn all() -> [Rule; 5] {
+        [Rule::D1, Rule::P1, Rule::F1, Rule::S1, Rule::A1]
     }
 }
 
@@ -83,6 +86,9 @@ pub fn check_lines(
     }
     if profile.s1 {
         s1(file, lines, &raw_lines, &mut findings);
+    }
+    if profile.a1 {
+        a1(file, lines, &raw_lines, &mut findings);
     }
     findings.retain(|f| !suppressed(lines, f.line, f.rule));
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
@@ -396,6 +402,28 @@ fn s1(file: &str, lines: &[CleanLine], raw_lines: &[&str], findings: &mut Vec<Fi
     }
 }
 
+// ------------------------------------------------------------------- A1
+
+fn a1(file: &str, lines: &[CleanLine], raw_lines: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        // No in_test exemption: a global allocator swaps the allocator
+        // for the entire binary, test module or not.
+        if line.code.contains("global_allocator") {
+            push_finding(
+                findings,
+                Rule::A1,
+                file,
+                idx + 1,
+                raw_lines,
+                "global allocator installed outside yv-obs; the counting allocator \
+                 behind yv-obs's `global-alloc` feature is the single sanctioned \
+                 installation, so memory gauges stay attributable"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +487,23 @@ mod tests {
         let f = check_all("fn f() { let t = std::time::Instant::now(); }\n");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::S1);
+    }
+
+    #[test]
+    fn a1_fires_even_inside_test_modules() {
+        let src = "#[global_allocator]\nstatic A: MyAlloc = MyAlloc;\n";
+        let f = check_all(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (Rule::A1, 1));
+        // Unlike the other rules, #[cfg(test)] provides no cover: the
+        // allocator is process-global.
+        let in_test = "#[cfg(test)]\nmod t {\n#[global_allocator]\nstatic A: M = M;\n}\n";
+        let f = check_all(in_test);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), (Rule::A1, 3));
+        // The identifier in comment or string position never fires.
+        assert!(check_all("// mentions global_allocator in prose\nfn f() {}\n").is_empty());
+        assert!(check_all("fn f() { let s = \"global_allocator\"; }\n").is_empty());
     }
 
     #[test]

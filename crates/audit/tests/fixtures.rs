@@ -46,6 +46,27 @@ fn bad_s1_fires_at_documented_line() {
 }
 
 #[test]
+fn bad_a1_fires_at_documented_line() {
+    assert_eq!(findings_of("bad_a1.rs"), vec![(Rule::A1, 5)]);
+}
+
+#[test]
+fn a1_exemption_profile_sanctions_only_the_obs_crate() {
+    // The same allocator-installing source is fine inside `crates/obs/`
+    // (home of the counting allocator) and an A1 finding anywhere else.
+    let (disk, _) = fixture("bad_a1.rs");
+    let sanctioned =
+        yv_audit::analyze_file(&disk, "crates/obs/src/alloc.rs").expect("fixture readable");
+    assert_eq!(sanctioned, vec![], "yv-obs may install the global allocator");
+    let elsewhere =
+        yv_audit::analyze_file(&disk, "crates/cli/src/main.rs").expect("fixture readable");
+    assert!(
+        elsewhere.iter().any(|f| f.rule == Rule::A1),
+        "every other crate stays under A1: {elsewhere:?}"
+    );
+}
+
+#[test]
 fn s1_exemption_profile_sanctions_only_the_obs_crate() {
     // The same wall-clock-reading source fires S1 anywhere in the
     // workspace — except under `crates/obs/`, the one crate sanctioned
@@ -82,7 +103,7 @@ fn run_cli(args: &[&str]) -> (i32, String) {
 
 #[test]
 fn cli_exits_nonzero_on_every_bad_fixture() {
-    for name in ["bad_d1.rs", "bad_p1.rs", "bad_f1.rs", "bad_s1.rs"] {
+    for name in ["bad_d1.rs", "bad_p1.rs", "bad_f1.rs", "bad_s1.rs", "bad_a1.rs"] {
         let (_, display) = fixture(name);
         let (code, stdout) = run_cli(&["check", &display]);
         assert_eq!(code, 1, "{name} must fail the check");

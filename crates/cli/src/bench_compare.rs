@@ -1,0 +1,306 @@
+//! Regression gating over `yv bench` JSON: parse two benchmark files into
+//! flat key/value lists and compare them metric by metric.
+//!
+//! The bench writer emits one key per line with fixed formatting, so a
+//! line-based parser is enough — no JSON dependency. Nested objects
+//! flatten with dotted keys (`stages_us.blocking`). Metrics fall into two
+//! classes:
+//!
+//! - **noisy** — keys whose last segment ends in `_us`, `_ns` or
+//!   `_bytes`. Timings and memory readings vary run to run, so they gate
+//!   on a ratio threshold with an absolute floor: a regression needs
+//!   `new > old * threshold` *and* `new - old >= min_delta`. Improvements
+//!   always pass.
+//! - **exact** — everything else (counters, match totals, the schema
+//!   string). The pipeline is deterministic for a given `records`/`seed`,
+//!   so any drift in these is a real behaviour change and fails
+//!   immediately.
+//!
+//! `records` and `seed` must match between the two files; comparing
+//! benchmarks of different workloads is an error, not a pass.
+
+/// One parsed benchmark value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Int(u64),
+    Text(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Gate knobs: ratio threshold and absolute floor for noisy metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// A noisy metric regresses when `new > old * threshold` ...
+    pub threshold: f64,
+    /// ... and the absolute delta is at least this many units (µs/bytes),
+    /// so microsecond jitter on tiny stages never trips the gate.
+    pub min_delta: u64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> CompareConfig {
+        CompareConfig { threshold: 1.5, min_delta: 10_000 }
+    }
+}
+
+/// Parse a `yv bench` JSON file into flat `(dotted_key, value)` pairs, in
+/// file order. Only the shape the bench writer emits is accepted: one
+/// `"key": value` per line, nested objects opened by `"key": {`.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut out = Vec::new();
+    let mut path: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" {
+            continue;
+        }
+        if line == "}" {
+            path.pop();
+            continue;
+        }
+        let Some((key_part, value_part)) = line.split_once(':') else {
+            return Err(format!("line {}: expected \"key\": value, got {raw:?}", lineno + 1));
+        };
+        let key = key_part.trim().trim_matches('"').to_owned();
+        let value = value_part.trim();
+        if value == "{" {
+            path.push(key);
+            continue;
+        }
+        let dotted = if path.is_empty() { key } else { format!("{}.{key}", path.join(".")) };
+        let parsed = if let Ok(n) = value.parse::<u64>() {
+            Value::Int(n)
+        } else {
+            Value::Text(value.trim_matches('"').to_owned())
+        };
+        out.push((dotted, parsed));
+    }
+    if !path.is_empty() {
+        return Err(format!("unterminated object {:?}", path.join(".")));
+    }
+    Ok(out)
+}
+
+/// Whether a metric gates on the ratio threshold (timings and byte
+/// counts) rather than exact equality. Any path segment carrying a
+/// noisy-unit suffix marks the whole key: `stages_us.score` is a timing
+/// even though the leaf is just the stage name.
+fn is_noisy(key: &str) -> bool {
+    key.split('.')
+        .any(|seg| seg.ends_with("_us") || seg.ends_with("_ns") || seg.ends_with("_bytes"))
+}
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    pub key: String,
+    pub old: Value,
+    pub new: Value,
+    pub regression: bool,
+    /// Human-readable verdict for the report line.
+    pub note: String,
+}
+
+/// The full comparison: every shared metric plus the regression count.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    pub deltas: Vec<Delta>,
+    pub regressions: usize,
+}
+
+impl CompareReport {
+    /// Render one line per compared metric, regressions first-class.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let marker = if d.regression { "REGRESSION" } else { "ok" };
+            out.push_str(&format!(
+                "{marker:>10}  {:<40} {} -> {}  {}\n",
+                d.key, d.old, d.new, d.note
+            ));
+        }
+        out.push_str(&format!(
+            "{} metric(s) compared, {} regression(s)\n",
+            self.deltas.len(),
+            self.regressions
+        ));
+        out
+    }
+}
+
+fn lookup<'a>(kvs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Compare a new benchmark against a baseline. Returns an error (not a
+/// report) when the files are not comparable at all: different workload
+/// (`records`/`seed`), different schema, or a baseline metric missing
+/// from the new run.
+pub fn compare(
+    baseline: &[(String, Value)],
+    current: &[(String, Value)],
+    config: &CompareConfig,
+) -> Result<CompareReport, String> {
+    for key in ["schema", "records", "seed"] {
+        let old = lookup(baseline, key);
+        let new = lookup(current, key);
+        if old.is_none() || new.is_none() || old != new {
+            return Err(format!(
+                "benchmarks are not comparable: {key} differs ({} vs {})",
+                old.map_or_else(|| "missing".to_owned(), ToString::to_string),
+                new.map_or_else(|| "missing".to_owned(), ToString::to_string),
+            ));
+        }
+    }
+    let mut report = CompareReport::default();
+    for (key, old) in baseline {
+        if ["schema", "records", "seed"].contains(&key.as_str()) {
+            continue;
+        }
+        let Some(new) = lookup(current, key) else {
+            return Err(format!("metric {key} present in baseline but missing from new run"));
+        };
+        let (regression, note) = judge(key, old, new, config);
+        if regression {
+            report.regressions += 1;
+        }
+        report.deltas.push(Delta {
+            key: key.clone(),
+            old: old.clone(),
+            new: new.clone(),
+            regression,
+            note,
+        });
+    }
+    Ok(report)
+}
+
+/// Classify one metric's movement.
+fn judge(key: &str, old: &Value, new: &Value, config: &CompareConfig) -> (bool, String) {
+    match (old, new) {
+        (Value::Int(o), Value::Int(n)) if is_noisy(key) => {
+            if n <= o {
+                return (false, "improved or equal".to_owned());
+            }
+            let delta = n - o;
+            let over_ratio = (*n as f64) > (*o as f64) * config.threshold;
+            if over_ratio && delta >= config.min_delta {
+                (
+                    true,
+                    format!(
+                        "+{delta} exceeds {}x threshold (floor {})",
+                        config.threshold, config.min_delta
+                    ),
+                )
+            } else {
+                (false, format!("+{delta} within threshold"))
+            }
+        }
+        _ => {
+            if old == new {
+                (false, "exact match".to_owned())
+            } else {
+                (true, "deterministic metric changed".to_owned())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "yv-bench-pipeline/v2",
+  "records": 250,
+  "seed": 7,
+  "scored_matches": 812,
+  "peak_alloc_bytes": 1048576,
+  "stages_us": {
+    "blocking": 52000,
+    "score": 9000,
+    "total": 400000
+  },
+  "counters": {
+    "pairs_scored": 3100
+  }
+}
+"#;
+
+    #[test]
+    fn parser_flattens_nested_objects() {
+        let kvs = parse_flat_json(SAMPLE).unwrap();
+        assert_eq!(
+            lookup(&kvs, "schema"),
+            Some(&Value::Text("yv-bench-pipeline/v2".to_owned()))
+        );
+        assert_eq!(lookup(&kvs, "stages_us.blocking"), Some(&Value::Int(52_000)));
+        assert_eq!(lookup(&kvs, "counters.pairs_scored"), Some(&Value::Int(3_100)));
+        assert_eq!(lookup(&kvs, "peak_alloc_bytes"), Some(&Value::Int(1_048_576)));
+        assert!(lookup(&kvs, "stages_us").is_none(), "group keys are not values");
+    }
+
+    #[test]
+    fn self_comparison_has_zero_regressions() {
+        let kvs = parse_flat_json(SAMPLE).unwrap();
+        let report = compare(&kvs, &kvs, &CompareConfig::default()).unwrap();
+        assert_eq!(report.regressions, 0);
+        assert!(!report.deltas.is_empty());
+        assert!(report.render().contains("0 regression(s)"));
+    }
+
+    #[test]
+    fn doubled_timing_past_the_floor_is_a_regression() {
+        let old = parse_flat_json(SAMPLE).unwrap();
+        let doubled = SAMPLE.replace("\"total\": 400000", "\"total\": 800000");
+        let new = parse_flat_json(&doubled).unwrap();
+        let report = compare(&old, &new, &CompareConfig::default()).unwrap();
+        assert_eq!(report.regressions, 1, "{}", report.render());
+        assert!(report.render().contains("REGRESSION"));
+        assert!(report.render().contains("stages_us.total"));
+    }
+
+    #[test]
+    fn small_absolute_jitter_passes_even_past_the_ratio() {
+        // 9000µs -> 15000µs is >1.5x but under the 10ms floor.
+        let old = parse_flat_json(SAMPLE).unwrap();
+        let jitter = SAMPLE.replace("\"score\": 9000", "\"score\": 15000");
+        let new = parse_flat_json(&jitter).unwrap();
+        let report = compare(&old, &new, &CompareConfig::default()).unwrap();
+        assert_eq!(report.regressions, 0, "{}", report.render());
+        // Timing improvements always pass.
+        let faster = SAMPLE.replace("\"blocking\": 52000", "\"blocking\": 1000");
+        let new = parse_flat_json(&faster).unwrap();
+        assert_eq!(compare(&old, &new, &CompareConfig::default()).unwrap().regressions, 0);
+    }
+
+    #[test]
+    fn deterministic_counter_drift_is_a_regression() {
+        let old = parse_flat_json(SAMPLE).unwrap();
+        let drifted = SAMPLE.replace("\"pairs_scored\": 3100", "\"pairs_scored\": 3101");
+        let new = parse_flat_json(&drifted).unwrap();
+        let report = compare(&old, &new, &CompareConfig::default()).unwrap();
+        assert_eq!(report.regressions, 1);
+    }
+
+    #[test]
+    fn different_workloads_are_incomparable() {
+        let old = parse_flat_json(SAMPLE).unwrap();
+        let other = SAMPLE.replace("\"seed\": 7", "\"seed\": 8");
+        let new = parse_flat_json(&other).unwrap();
+        assert!(compare(&old, &new, &CompareConfig::default()).is_err());
+        // A vanished baseline metric is also an error, not a silent pass.
+        let missing = SAMPLE.replace("    \"pairs_scored\": 3100\n", "");
+        let new = parse_flat_json(&missing).unwrap();
+        assert!(compare(&old, &new, &CompareConfig::default()).is_err());
+    }
+}

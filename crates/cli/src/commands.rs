@@ -1,11 +1,12 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use crate::bench_compare::{self, CompareConfig};
 use std::io::Write as _;
 use yv_blocking::{audit, mfi_blocks, mfi_blocks_recorded, MfiBlocksConfig};
 use yv_core::{PersonProfile, PersonQuery, Pipeline, PipelineConfig};
 use yv_datagen::{tag_pairs, GenConfig, Generated};
-use yv_obs::{chrome_trace, timings_table, Recorder};
+use yv_obs::{chrome_trace, timings_table, MetricsRegistry, Recorder};
 
 type CliResult = Result<(), String>;
 
@@ -173,15 +174,46 @@ pub fn resolve(args: &Args) -> CliResult {
     emit_obs(args, &rec)
 }
 
+/// Read two bench JSON files and gate on the comparison: print the
+/// per-metric report, fail (nonzero exit from `main`) when any metric
+/// regresses past the configured threshold.
+fn compare_files(baseline: &str, current: &str, config: &CompareConfig) -> CliResult {
+    let old = bench_compare::parse_flat_json(&std::fs::read_to_string(baseline).map_err(err)?)
+        .map_err(|e| format!("{baseline}: {e}"))?;
+    let new = bench_compare::parse_flat_json(&std::fs::read_to_string(current).map_err(err)?)
+        .map_err(|e| format!("{current}: {e}"))?;
+    let report = bench_compare::compare(&old, &new, config)?;
+    print!("{}", report.render());
+    if report.regressions > 0 {
+        return Err(format!("{} regression(s) vs baseline {baseline}", report.regressions));
+    }
+    Ok(())
+}
+
 /// Run the full pipeline under the recorder and write the stage timings
 /// as machine-readable JSON (fixed field order, so diffs between runs and
-/// commits stay meaningful).
+/// commits stay meaningful). With `--compare OLD.json` the fresh run is
+/// gated against a baseline; with `--compare OLD.json --against NEW.json`
+/// no pipeline runs at all — the two files are compared as they stand.
 pub fn bench(args: &Args) -> CliResult {
+    let threshold: f64 = args.parse_or("threshold", 1.5, "number").map_err(err)?;
+    let min_delta: u64 = args.parse_or("min-delta", 10_000, "integer").map_err(err)?;
+    let gate = CompareConfig { threshold, min_delta };
+    let baseline = args.get("compare").map(str::to_owned);
+    if let Some(current) = args.get("against") {
+        let Some(baseline) = baseline else {
+            return Err("--against requires --compare BASELINE.json".to_owned());
+        };
+        return compare_files(&baseline, current, &gate);
+    }
+
     let out = args.get("out").unwrap_or("BENCH_pipeline.json").to_owned();
     let records: usize = args.parse_or("records", 2_000, "integer").map_err(err)?;
     let seed: u64 = args.parse_or("seed", 7, "integer").map_err(err)?;
     let rec = Recorder::monotonic();
+    let registry = MetricsRegistry::new();
 
+    let total = rec.span("total");
     let preprocess = rec.span("preprocess");
     let gen = dataset(args)?;
     preprocess.finish();
@@ -191,14 +223,17 @@ pub fn bench(args: &Args) -> CliResult {
     let pipeline = trained(&gen, &config);
     train.finish();
 
-    let resolution = pipeline.resolve_recorded(&gen.dataset, &config, &rec);
+    let resolution = pipeline.resolve_published(&gen.dataset, &config, &rec, &registry);
+    total.finish();
+    let peak = registry.gauge("yv_pipeline_peak_alloc_bytes", "").get();
 
     const STAGES: &[&str] =
-        &["preprocess", "train", "blocking", "extract", "score", "resolve"];
-    let mut json = String::from("{\n  \"schema\": \"yv-bench-pipeline/v1\",\n");
+        &["preprocess", "train", "blocking", "extract", "score", "resolve", "total"];
+    let mut json = String::from("{\n  \"schema\": \"yv-bench-pipeline/v2\",\n");
     json.push_str(&format!("  \"records\": {records},\n  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"sources\": {},\n", gen.dataset.sources().len()));
     json.push_str(&format!("  \"scored_matches\": {},\n", resolution.matches.len()));
+    json.push_str(&format!("  \"peak_alloc_bytes\": {peak},\n"));
     json.push_str("  \"stages_us\": {\n");
     for (i, stage) in STAGES.iter().enumerate() {
         let comma = if i + 1 == STAGES.len() { "" } else { "," };
@@ -210,6 +245,12 @@ pub fn bench(args: &Args) -> CliResult {
         let comma = if i + 1 == counters.len() { "" } else { "," };
         json.push_str(&format!("    \"{name}\": {value}{comma}\n"));
     }
+    json.push_str("  },\n  \"metrics\": {\n");
+    let metrics = registry.scalar_values();
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
     json.push_str("  }\n}\n");
     std::fs::write(&out, json).map_err(err)?;
 
@@ -217,8 +258,13 @@ pub fn bench(args: &Args) -> CliResult {
     for stage in STAGES {
         println!("  {:<12} {:>9} us", stage, rec.sum_ns(stage) / 1_000);
     }
+    println!("peak alloc:   {peak} bytes");
     println!("wrote {out}");
-    emit_obs(args, &rec)
+    emit_obs(args, &rec)?;
+    match baseline {
+        Some(baseline) => compare_files(&baseline, &out, &gate),
+        None => Ok(()),
+    }
 }
 
 pub fn query(args: &Args) -> CliResult {
@@ -295,6 +341,16 @@ pub fn serve(args: &Args) -> CliResult {
     let map_cache: usize = args
         .parse_or("map-cache", yv_store::DEFAULT_ENTITY_MAP_CAPACITY, "integer")
         .map_err(err)?;
+    let slow_us = match args.get("slow-us") {
+        Some(v) => Some(v.parse::<u64>().map_err(|_| {
+            "option --slow-us: expects an integer (microseconds)".to_owned()
+        })?),
+        None => None,
+    };
+    let metrics_listener = match args.get("metrics-addr") {
+        Some(a) => Some(std::net::TcpListener::bind(a).map_err(err)?),
+        None => None,
+    };
     let mut store = open_or_bootstrap(args, std::path::Path::new(dir))?;
     store.set_entity_map_capacity(map_cache);
     let stats = store.stats();
@@ -305,8 +361,12 @@ pub fn serve(args: &Args) -> CliResult {
         stats.matches,
         listener.local_addr().map_err(err)?
     );
-    println!("commands: QUERY ADD STATS SNAPSHOT SHUTDOWN");
-    let store = yv_store::serve(store, listener, workers).map_err(err)?;
+    if let Some(l) = &metrics_listener {
+        println!("metrics: http://{}/metrics", l.local_addr().map_err(err)?);
+    }
+    println!("commands: QUERY ADD STATS METRICS SNAPSHOT SHUTDOWN");
+    let options = yv_store::ServeOptions { workers, slow_us, metrics_listener, slow_log: None };
+    let store = yv_store::serve_with(store, listener, options).map_err(err)?;
     println!("shut down cleanly; {} records snapshotted", store.stats().records);
     Ok(())
 }
@@ -382,11 +442,54 @@ mod tests {
         let args = args_for(&["bench", "--records", "250", "--out", &path_str]);
         bench(&args).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
-        assert!(content.contains("\"schema\": \"yv-bench-pipeline/v1\""));
+        assert!(content.contains("\"schema\": \"yv-bench-pipeline/v2\""));
         assert!(content.contains("\"stages_us\""));
         assert!(content.contains("\"blocking\":"));
+        assert!(content.contains("\"total\":"));
+        assert!(content.contains("\"peak_alloc_bytes\":"));
         assert!(content.contains("\"pairs_scored\":"));
+        assert!(content.contains("\"yv_pipeline_stage_blocking_us\":"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_compare_passes_on_self_and_fails_on_injected_regression() {
+        let path = std::env::temp_dir().join("yv_cli_bench_cmp_base.json");
+        let path_str = path.to_string_lossy().into_owned();
+        let args = args_for(&["bench", "--records", "250", "--out", &path_str]);
+        bench(&args).unwrap();
+
+        // Pure-file mode against itself: zero deltas, zero regressions.
+        let args =
+            args_for(&["bench", "--compare", &path_str, "--against", &path_str]);
+        bench(&args).unwrap();
+
+        // Inflate the total stage well past the ratio and the floor.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let prefix = "    \"total\": ";
+        let slowed: String = content
+            .lines()
+            .map(|line| match line.strip_prefix(prefix) {
+                Some(rest) => {
+                    let n: u64 = rest.trim_end_matches(',').parse().unwrap();
+                    let comma = if rest.ends_with(',') { "," } else { "" };
+                    format!("{prefix}{}{comma}\n", n * 3 + 50_000)
+                }
+                None => format!("{line}\n"),
+            })
+            .collect();
+        let slow_path = std::env::temp_dir().join("yv_cli_bench_cmp_slow.json");
+        let slow_str = slow_path.to_string_lossy().into_owned();
+        std::fs::write(&slow_path, slowed).unwrap();
+        let args = args_for(&["bench", "--compare", &path_str, "--against", &slow_str]);
+        let msg = bench(&args).unwrap_err();
+        assert!(msg.contains("regression"), "{msg}");
+
+        // --against without a baseline is a usage error.
+        let args = args_for(&["bench", "--against", &path_str]);
+        assert!(bench(&args).is_err());
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(slow_path).ok();
     }
 
     #[test]

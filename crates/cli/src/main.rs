@@ -6,19 +6,22 @@
 //! yv block    --records 2000 [--ng 3.0] [--max-minsup 5] [--italy]
 //! yv resolve  --records 2000 [--certainty 0.0] [--italy]
 //! yv pipeline ...                                    alias for resolve
-//! yv bench    --records 2000 [--out BENCH_pipeline.json]
+//! yv bench    --records 2000 [--out BENCH_pipeline.json] [--compare OLD.json]
 //! yv query    --first Guido --last Foa [--certainty 0.0] [--records N]
 //! yv narrate  --records 2000 [--top 3]
 //! yv serve    --dir people.store [--addr 127.0.0.1:7878] [--workers 4]
+//!             [--metrics-addr 127.0.0.1:9100] [--slow-us 50000]
 //! yv snapshot --dir people.store                     fold the WAL into the snapshot
 //! yv reproduce [--quick]                             all tables & figures
 //! ```
 //!
 //! `block`, `resolve`/`pipeline` and `bench` accept `--timings` (print a
 //! per-stage table) and `--trace-json <path>` (write a Chrome-trace file,
-//! loadable in `about:tracing` / Perfetto).
+//! loadable in `about:tracing` / Perfetto). `bench --compare` gates the
+//! run against a baseline JSON and exits nonzero on regression.
 
 mod args;
+mod bench_compare;
 mod commands;
 
 use args::Args;
@@ -56,11 +59,21 @@ OBSERVABILITY OPTIONS (block, resolve/pipeline, bench):
     --timings          print a per-stage timing table after the run
     --trace-json PATH  write spans + counters as a Chrome-trace JSON file
 
+BENCH REGRESSION GATE:
+    --compare OLD.json   compare this run against a baseline bench file;
+                         exit nonzero when any metric regresses
+    --against NEW.json   with --compare: skip the run, compare two files
+    --threshold X        ratio gate for _us/_ns/_bytes metrics (default 1.5)
+    --min-delta N        absolute floor in metric units (default 10000)
+
 SERVING OPTIONS:
-    --dir PATH      store directory (snapshot + write-ahead log)
-    --addr A:P      listen address (default 127.0.0.1:7878)
-    --workers N     worker threads (default 4)
-    --map-cache N   entity-map memo capacity (default 8)
+    --dir PATH          store directory (snapshot + write-ahead log)
+    --addr A:P          listen address (default 127.0.0.1:7878)
+    --workers N         worker threads (default 4)
+    --map-cache N       entity-map memo capacity (default 8)
+    --metrics-addr A:P  Prometheus scrape sidecar answering GET /metrics
+    --slow-us N         log requests slower than N microseconds as JSON
+                        lines on stderr (arguments appear only as a digest)
 
 Unknown options are rejected with the list of options the command accepts.
 ";
@@ -81,13 +94,19 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
             &["italy", "timings"],
         )),
         "bench" => Some((
-            &["records", "seed", "ng", "max-minsup", "out", "trace-json"],
+            &[
+                "records", "seed", "ng", "max-minsup", "out", "trace-json", "compare",
+                "against", "threshold", "min-delta",
+            ],
             &["italy", "timings"],
         )),
         "query" => Some((&["records", "seed", "first", "last", "certainty"], &["italy"])),
         "narrate" => Some((&["records", "seed", "top"], &["italy"])),
         "serve" => Some((
-            &["records", "seed", "ng", "max-minsup", "dir", "addr", "workers", "map-cache"],
+            &[
+                "records", "seed", "ng", "max-minsup", "dir", "addr", "workers",
+                "map-cache", "metrics-addr", "slow-us",
+            ],
             &["italy"],
         )),
         "snapshot" => Some((&["dir"], &[])),

@@ -47,6 +47,72 @@ pub struct LatencySummary {
     pub p99_us: u64,
 }
 
+/// An immutable copy of a [`Histogram`]'s bucket counts and sum, taken in
+/// one pass. All derived statistics (count, mean, percentiles) computed
+/// from the same snapshot describe the same instant — unlike calling
+/// [`Histogram::count`] and [`Histogram::percentile_us`] back to back,
+/// which can interleave with concurrent `record_ns` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub counts: [u64; BUCKET_COUNT],
+    pub sum_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { counts: [0; BUCKET_COUNT], sum_ns: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        self.sum_ns / n / 1_000
+    }
+
+    /// The `q`-quantile as the upper bound of the bucket holding that
+    /// rank, in microseconds. 0 when empty.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Histogram::bucket_bound_us(i);
+            }
+        }
+        Histogram::bucket_bound_us(BUCKET_COUNT - 1)
+    }
+
+    /// Count / mean / p50 / p95 / p99, all from this one snapshot.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_us: self.mean_us(),
+            p50_us: self.percentile_us(0.50),
+            p95_us: self.percentile_us(0.95),
+            p99_us: self.percentile_us(0.99),
+        }
+    }
+}
+
 /// A lock-free fixed-bucket latency histogram (nanosecond samples,
 /// microsecond reporting).
 #[derive(Debug)]
@@ -94,52 +160,60 @@ impl Histogram {
         self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// Copy the bucket counts and sum in one pass. Concurrent `record_ns`
+    /// calls may land between bucket loads (the histogram is lock-free by
+    /// design), but every statistic derived from the returned snapshot is
+    /// internally consistent.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold another histogram's samples into this one, bucket by bucket.
+    ///
+    /// Because both histograms share the same fixed bucket boundaries,
+    /// merging is exact: the merged quantiles equal the quantiles of the
+    /// concatenated sample stream (pinned by a property test). This lets
+    /// per-connection histograms be aggregated into a registry-owned one
+    /// without any locking on the recording hot path.
+    pub fn merge(&self, other: &Histogram) {
+        let snap = other.snapshot();
+        for (i, &n) in snap.counts.iter().enumerate() {
+            if n > 0 {
+                self.counts[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if snap.sum_ns > 0 {
+            self.sum_ns.fetch_add(snap.sum_ns, Ordering::Relaxed);
+        }
+    }
+
     /// Total samples recorded.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.snapshot().count()
     }
 
     /// Mean latency in microseconds (0 before the first sample).
     #[must_use]
     pub fn mean_us(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        self.sum_ns.load(Ordering::Relaxed) / n / 1_000
+        self.snapshot().mean_us()
     }
 
     /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
     /// bucket holding that rank, in microseconds. 0 when empty.
     #[must_use]
     pub fn percentile_us(&self, q: f64) -> u64 {
-        let snapshot: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-        let total: u64 = snapshot.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
-        let mut cumulative = 0u64;
-        for (i, &n) in snapshot.iter().enumerate() {
-            cumulative += n;
-            if cumulative >= target {
-                return Self::bucket_bound_us(i);
-            }
-        }
-        Self::bucket_bound_us(BUCKET_COUNT - 1)
+        self.snapshot().percentile_us(q)
     }
 
     /// Count / mean / p50 / p95 / p99 in one snapshot.
     #[must_use]
     pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count(),
-            mean_us: self.mean_us(),
-            p50_us: self.percentile_us(0.50),
-            p95_us: self.percentile_us(0.95),
-            p99_us: self.percentile_us(0.99),
-        }
+        self.snapshot().summary()
     }
 }
 
@@ -215,6 +289,52 @@ mod tests {
         // q=0 clamps to the first sample's bucket, q=1 to the last.
         assert_eq!(h.percentile_us(0.0), 2);
         assert_eq!(h.percentile_us(1.0), 128);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for &ns in &[500, 3 * US, 90 * US, 2_000_000] {
+            a.record_ns(ns);
+            all.record_ns(ns);
+        }
+        for &ns in &[7 * US, 7 * US, 1_000_000_000] {
+            b.record_ns(ns);
+            all.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), all.snapshot());
+        assert_eq!(a.summary(), all.summary());
+    }
+
+    #[test]
+    fn merge_into_empty_copies_everything() {
+        let src = Histogram::new();
+        src.record_ns(10 * US);
+        let dst = Histogram::new();
+        dst.merge(&src);
+        assert_eq!(dst.snapshot(), src.snapshot());
+        // Merging an empty histogram changes nothing.
+        dst.merge(&Histogram::new());
+        assert_eq!(dst.snapshot(), src.snapshot());
+    }
+
+    #[test]
+    fn snapshot_statistics_match_live_statistics() {
+        let h = Histogram::new();
+        for i in 0..100u64 {
+            h.record_ns(i * US);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), h.count());
+        assert_eq!(snap.mean_us(), h.mean_us());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.percentile_us(q), h.percentile_us(q));
+        }
+        assert_eq!(snap.summary(), h.summary());
+        assert_eq!(HistogramSnapshot::default().summary(), LatencySummary::default());
     }
 
     #[test]

@@ -18,7 +18,15 @@
 //!   `extract`, `score`, `resolve`).
 //! - [`Histogram`] / [`Counter`] — lock-free fixed-bucket latency
 //!   histograms with p50/p95/p99 summaries, shared across `yv serve`
-//!   workers and reported per command kind in `STATS`.
+//!   workers and reported per command kind in `STATS`. Histograms take
+//!   consistent [`HistogramSnapshot`]s and [`Histogram::merge`] exactly.
+//! - [`MetricsRegistry`] — a pull-based registry of named counters,
+//!   [`Gauge`]s and histograms with a Prometheus text-format (0.0.4)
+//!   renderer, scraped by `yv serve`'s `METRICS` command and
+//!   `--metrics-addr` sidecar listener.
+//! - [`alloc_stats`] / [`CountingAlloc`] — allocation accounting via a
+//!   counting global allocator, installed by the `global-alloc` feature
+//!   (forwarded by `yv-cli`'s default `alloc-metrics` feature).
 //! - [`chrome_trace`] / [`timings_table`] — sinks: Chrome-trace JSON
 //!   (`yv block --trace-json out.json`) and a human stage table
 //!   (`yv block --timings`).
@@ -36,12 +44,16 @@
 //! assert!(yv_obs::chrome_trace(&rec).contains("\"name\":\"mine\""));
 //! ```
 
+pub mod alloc;
 pub mod clock;
 pub mod histogram;
 pub mod recorder;
+pub mod registry;
 pub mod trace;
 
+pub use alloc::{alloc_stats, reset_peak, AllocStats, CountingAlloc};
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use histogram::{Counter, Histogram, LatencySummary, BUCKET_COUNT};
+pub use histogram::{Counter, Histogram, HistogramSnapshot, LatencySummary, BUCKET_COUNT};
 pub use recorder::{Recorder, Span, SpanRecord};
+pub use registry::{Gauge, MetricsRegistry};
 pub use trace::{chrome_trace, timings_table};

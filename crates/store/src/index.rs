@@ -45,6 +45,14 @@ impl QueryIndex {
         self.first.len() + self.last.len()
     }
 
+    /// Total posting entries across all names — the index's memory-weight
+    /// proxy (each entry is one record occurrence of a distinct name).
+    #[must_use]
+    pub fn postings(&self) -> usize {
+        self.first.values().map(Vec::len).sum::<usize>()
+            + self.last.values().map(Vec::len).sum::<usize>()
+    }
+
     /// Seed records matching the query's name constraints, ascending —
     /// the same set (and order) `PersonQuery::run` derives by scanning.
     #[must_use]

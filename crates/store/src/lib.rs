@@ -15,7 +15,10 @@
 //! - [`wal`] — a write-ahead log of incremental arrivals, appended before
 //!   each record is applied and replayed on restart;
 //! - [`server`] — a line-protocol TCP front end over a shared [`Store`],
-//!   with a scoped worker pool and per-request metrics.
+//!   with a scoped worker pool, per-request metrics in a
+//!   [`yv_obs::MetricsRegistry`] (scraped via the `METRICS` command or a
+//!   `GET /metrics` sidecar listener), and optional slow-request JSON
+//!   logging — see [`ServeOptions`].
 //!
 //! ```no_run
 //! use std::net::TcpListener;
@@ -41,7 +44,7 @@ pub mod wal;
 pub use error::StoreError;
 pub use index::QueryIndex;
 pub use protocol::{CommandStats, Request};
-pub use server::{serve, CommandMetrics, ServerMetrics};
+pub use server::{serve, serve_with, CommandMetrics, ServeOptions, ServerMetrics};
 pub use store::{
     Store, StoreStats, DEFAULT_ENTITY_MAP_CAPACITY, SNAPSHOT_FILE, WAL_FILE,
 };

@@ -15,10 +15,17 @@
 //! < OK matches=3
 //! < .
 //! > STATS
-//! < OK records=5000 sources=12 matches=10817 wal=1 vocabulary=1943 ...
+//! < OK records=5000 sources=12 matches=10817 wal=1 wal_bytes=104 vocabulary=1943 ...
 //! < CMD QUERY count=240 errors=0 mean_us=412 p50_us=256 p95_us=1024 p99_us=2048
 //! < CMD ADD count=12 errors=1 mean_us=95 p50_us=64 p95_us=256 p99_us=256
 //! < CMD SNAPSHOT count=1 errors=0 mean_us=5210 p50_us=8192 p95_us=8192 p99_us=8192
+//! < .
+//! > METRICS
+//! < OK metrics
+//! < # HELP yv_cmd_query_latency_us QUERY latency (microsecond buckets)
+//! < # TYPE yv_cmd_query_latency_us histogram
+//! < yv_cmd_query_latency_us_bucket{le="1"} 0
+//! < ...
 //! < .
 //! > SNAPSHOT
 //! < OK snapshot
@@ -37,8 +44,25 @@ pub enum Request {
     Query(PersonQuery),
     Add(Box<Record>),
     Stats,
+    Metrics,
     Snapshot,
     Shutdown,
+}
+
+impl Request {
+    /// The canonical command name — a static string safe to embed in
+    /// structured logs without escaping.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Request::Query(_) => "QUERY",
+            Request::Add(_) => "ADD",
+            Request::Stats => "STATS",
+            Request::Metrics => "METRICS",
+            Request::Snapshot => "SNAPSHOT",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
 }
 
 /// The response terminator line.
@@ -54,10 +78,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "QUERY" => parse_query(&args).map(Request::Query),
         "ADD" => parse_add(&args).map(|r| Request::Add(Box::new(r))),
         "STATS" => expect_no_args("STATS", &args).map(|()| Request::Stats),
+        "METRICS" => expect_no_args("METRICS", &args).map(|()| Request::Metrics),
         "SNAPSHOT" => expect_no_args("SNAPSHOT", &args).map(|()| Request::Snapshot),
         "SHUTDOWN" => expect_no_args("SHUTDOWN", &args).map(|()| Request::Shutdown),
         other => Err(format!(
-            "unknown command {other}; expected QUERY, ADD, STATS, SNAPSHOT or SHUTDOWN"
+            "unknown command {other}; expected QUERY, ADD, STATS, METRICS, SNAPSHOT or SHUTDOWN"
         )),
     }
 }
@@ -176,9 +201,29 @@ pub fn format_status(status: &str) -> String {
     format!("{status}\n{TERMINATOR}\n")
 }
 
-/// One per-command row of the `STATS` response: success/error counts and
+/// Render a `METRICS` response: status line, the Prometheus text
+/// exposition verbatim as data lines, and the terminator. Exposition
+/// lines are metric samples or `# HELP`/`# TYPE` comments, so none can
+/// collide with the lone-`.` terminator.
+#[must_use]
+pub fn format_metrics(exposition: &str) -> String {
+    let mut out = String::with_capacity(exposition.len() + 16);
+    out.push_str("OK metrics\n");
+    out.push_str(exposition);
+    if !exposition.ends_with('\n') && !exposition.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(TERMINATOR);
+    out.push('\n');
+    out
+}
+
+/// One per-command row of the `STATS` response: request/error counts and
 /// a latency summary in integer microseconds (percentiles are histogram
-/// bucket upper bounds, hence powers of two).
+/// bucket upper bounds, hence powers of two). `count` is the number of
+/// latency-measured requests — successes *and* errors — read from the
+/// same histogram snapshot as the percentiles, so the row always
+/// describes one consistent instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommandStats {
     pub name: &'static str,
@@ -252,6 +297,29 @@ mod tests {
         assert!(parse_request("QUERY color=blue").is_err());
         assert!(parse_request("ADD book=1 source=0 color=blue").is_err());
         assert!(parse_request("STATS now").is_err());
+        assert!(parse_request("METRICS now").is_err());
+    }
+
+    #[test]
+    fn metrics_parses_and_names_are_canonical() {
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
+        assert_eq!(Request::Metrics.name(), "METRICS");
+        assert_eq!(Request::Stats.name(), "STATS");
+        assert_eq!(Request::Shutdown.name(), "SHUTDOWN");
+    }
+
+    #[test]
+    fn metrics_render_exposition_between_status_and_terminator() {
+        let exposition = "# TYPE yv_x counter\nyv_x 3\n";
+        assert_eq!(
+            format_metrics(exposition),
+            "OK metrics\n# TYPE yv_x counter\nyv_x 3\n.\n"
+        );
+        assert_eq!(format_metrics(""), "OK metrics\n.\n");
+        // A missing trailing newline is repaired, keeping the terminator
+        // on its own line.
+        assert_eq!(format_metrics("yv_x 3"), "OK metrics\nyv_x 3\n.\n");
     }
 
     #[test]

@@ -5,30 +5,60 @@
 //! store behind a `parking_lot::RwLock` — queries and stats take the read
 //! lock (and run concurrently), arrivals and snapshots take the write
 //! lock. `SHUTDOWN` sets a flag and self-connects to unblock the
-//! acceptor; once the pool drains, the WAL is flushed into a fresh
+//! acceptor(s); once the pool drains, the WAL is flushed into a fresh
 //! snapshot and the store is handed back to the caller.
+//!
+//! Observability: every command kind registers its counters and latency
+//! histogram in a [`MetricsRegistry`], scraped two ways — the `METRICS`
+//! protocol command, and (via [`ServeOptions::metrics_listener`]) a
+//! sidecar TCP listener answering `GET /metrics` in plain HTTP/1.1 with
+//! the Prometheus text exposition, so a stock Prometheus scraper needs no
+//! protocol client. Requests slower than [`ServeOptions::slow_us`] are
+//! logged as one JSON line each (see [`SlowLog`]).
 
 use crate::error::StoreError;
 use crate::protocol::{self, CommandStats, Request};
 use crate::store::Store;
 use parking_lot::RwLock;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use yv_obs::{Clock, Counter, Histogram, MonotonicClock};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use yv_obs::{Clock, Counter, Histogram, MetricsRegistry, MonotonicClock};
 
 /// Per-command metrics: success/error counters plus a lock-free latency
 /// histogram (percentiles via [`Histogram::summary`]). Latency covers the
 /// full command — lock acquisition included — so `STATS` reflects what
-/// clients actually wait, not just the critical section.
-#[derive(Debug, Default)]
+/// clients actually wait, not just the critical section. The handles are
+/// shared with the server's [`MetricsRegistry`], which renders them as
+/// `yv_cmd_{kind}_ok_total` / `yv_cmd_{kind}_errors_total` /
+/// `yv_cmd_{kind}_latency_us` in the Prometheus exposition.
+#[derive(Debug)]
 pub struct CommandMetrics {
-    pub ok: Counter,
-    pub errors: Counter,
-    pub latency: Histogram,
+    pub ok: Arc<Counter>,
+    pub errors: Arc<Counter>,
+    pub latency: Arc<Histogram>,
 }
 
 impl CommandMetrics {
+    /// Register one command's metric set under `yv_cmd_{kind}_*`.
+    fn register(registry: &MetricsRegistry, kind: &str, display: &str) -> CommandMetrics {
+        CommandMetrics {
+            ok: registry.counter(
+                &format!("yv_cmd_{kind}_ok_total"),
+                &format!("{display} requests answered successfully"),
+            ),
+            errors: registry.counter(
+                &format!("yv_cmd_{kind}_errors_total"),
+                &format!("{display} requests answered with an error"),
+            ),
+            latency: registry.histogram(
+                &format!("yv_cmd_{kind}_latency_us"),
+                &format!("{display} request latency (power-of-two microsecond buckets)"),
+            ),
+        }
+    }
+
     fn record(&self, ok: bool, dur_ns: u64) {
         if ok {
             self.ok.incr();
@@ -38,11 +68,15 @@ impl CommandMetrics {
         self.latency.record_ns(dur_ns);
     }
 
+    /// One `CMD` stats row. Count, mean and percentiles all derive from a
+    /// single histogram snapshot, so the row is internally consistent even
+    /// while other workers keep recording; `count` is therefore the
+    /// measured-request total (successes and errors alike).
     fn stats(&self, name: &'static str) -> CommandStats {
-        let summary = self.latency.summary();
+        let summary = self.latency.snapshot().summary();
         CommandStats {
             name,
-            count: self.ok.get(),
+            count: summary.count,
             errors: self.errors.get(),
             mean_us: summary.mean_us,
             p50_us: summary.p50_us,
@@ -57,24 +91,58 @@ impl CommandMetrics {
 /// The earlier design kept one latency accumulator and reported a single
 /// mean; a mean over a mixed QUERY/ADD/SNAPSHOT stream is dominated by
 /// whichever command runs most and hides tail latency entirely. Each
-/// command kind now gets its own counters and histogram.
-#[derive(Debug, Default)]
+/// command kind now gets its own counters and histogram, all registered
+/// in one [`MetricsRegistry`] so `METRICS` and the scrape sidecar see
+/// exactly what `STATS` reports.
+#[derive(Debug)]
 pub struct ServerMetrics {
+    pub registry: Arc<MetricsRegistry>,
     pub query: CommandMetrics,
     pub add: CommandMetrics,
+    pub stats: CommandMetrics,
+    pub metrics: CommandMetrics,
     pub snapshot: CommandMetrics,
+    pub shutdown: CommandMetrics,
     /// Request lines that never parsed into a command.
-    pub parse_errors: Counter,
+    pub parse_errors: Arc<Counter>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> ServerMetrics {
+        ServerMetrics::new(Arc::new(MetricsRegistry::new()))
+    }
 }
 
 impl ServerMetrics {
-    /// Per-command stats rows in protocol order (QUERY, ADD, SNAPSHOT).
+    /// Register every per-command metric set in `registry`.
     #[must_use]
-    pub fn command_stats(&self) -> [CommandStats; 3] {
+    pub fn new(registry: Arc<MetricsRegistry>) -> ServerMetrics {
+        let cmd = |kind, display| CommandMetrics::register(&registry, kind, display);
+        ServerMetrics {
+            query: cmd("query", "QUERY"),
+            add: cmd("add", "ADD"),
+            stats: cmd("stats", "STATS"),
+            metrics: cmd("metrics", "METRICS"),
+            snapshot: cmd("snapshot", "SNAPSHOT"),
+            shutdown: cmd("shutdown", "SHUTDOWN"),
+            parse_errors: registry.counter(
+                "yv_cmd_parse_errors_total",
+                "Request lines that never parsed into a command",
+            ),
+            registry,
+        }
+    }
+
+    /// Per-command stats rows in protocol order.
+    #[must_use]
+    pub fn command_stats(&self) -> [CommandStats; 6] {
         [
             self.query.stats("QUERY"),
             self.add.stats("ADD"),
+            self.stats.stats("STATS"),
+            self.metrics.stats("METRICS"),
             self.snapshot.stats("SNAPSHOT"),
+            self.shutdown.stats("SHUTDOWN"),
         ]
     }
 
@@ -84,42 +152,157 @@ impl ServerMetrics {
         self.parse_errors.get()
             + self.query.errors.get()
             + self.add.errors.get()
+            + self.stats.errors.get()
+            + self.metrics.errors.get()
             + self.snapshot.errors.get()
+            + self.shutdown.errors.get()
     }
+}
+
+/// Structured slow-request logging: every request at or above the
+/// threshold emits one JSON line (connection id, canonical command name,
+/// FNV-1a 64 digest of the argument text, latency). The command name is a
+/// static protocol string and the digest is hex, so no JSON escaping is
+/// needed and raw client input — which may hold victims' names — never
+/// reaches the log.
+struct SlowLog {
+    threshold_ns: u64,
+    sink: parking_lot::Mutex<Box<dyn Write + Send>>,
+}
+
+impl SlowLog {
+    fn log(&self, conn: u64, command: &'static str, args_digest: u64, dur_ns: u64) {
+        let line = format!(
+            "{{\"slow_request\":true,\"conn\":{conn},\"command\":\"{command}\",\
+             \"args_digest\":\"{args_digest:016x}\",\"latency_us\":{}}}\n",
+            dur_ns / 1_000
+        );
+        let mut sink = self.sink.lock();
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.flush();
+    }
+}
+
+/// Knobs for [`serve_with`]. [`serve`] uses the defaults (no slow log, no
+/// scrape sidecar).
+pub struct ServeOptions {
+    /// Worker threads handling protocol connections (minimum 1).
+    pub workers: usize,
+    /// Log requests at or above this latency (microseconds) as JSON
+    /// lines; `None` disables slow logging.
+    pub slow_us: Option<u64>,
+    /// Already-bound sidecar listener answering `GET /metrics` with the
+    /// Prometheus text exposition over plain HTTP/1.1.
+    pub metrics_listener: Option<TcpListener>,
+    /// Sink for the slow-request log (stderr when `None`). Ignored unless
+    /// `slow_us` is set.
+    pub slow_log: Option<Box<dyn Write + Send>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions { workers: 4, slow_us: None, metrics_listener: None, slow_log: None }
+    }
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("workers", &self.workers)
+            .field("slow_us", &self.slow_us)
+            .field("metrics_listener", &self.metrics_listener)
+            .field("slow_log", &self.slow_log.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
+}
+
+/// Shared per-connection context, bundled so worker closures borrow one
+/// struct instead of six loose references.
+struct ServerCtx<'a> {
+    lock: &'a RwLock<Store>,
+    metrics: &'a ServerMetrics,
+    clock: &'a MonotonicClock,
+    shutdown: &'a AtomicBool,
+    /// The protocol listener's address (self-connect target on shutdown).
+    addr: SocketAddr,
+    /// The scrape sidecar's address, when one is running.
+    metrics_addr: Option<SocketAddr>,
+    slow: Option<&'a SlowLog>,
 }
 
 /// Serve the store on an already-bound listener until a client sends
 /// `SHUTDOWN`. Returns the store after flushing the WAL into a fresh
 /// snapshot, so the caller can keep using (or inspect) the final state.
 pub fn serve(store: Store, listener: TcpListener, workers: usize) -> Result<Store, StoreError> {
+    serve_with(store, listener, ServeOptions { workers, ..ServeOptions::default() })
+}
+
+/// [`serve`] with the full option set: slow-request logging and the
+/// `GET /metrics` scrape sidecar.
+pub fn serve_with(
+    store: Store,
+    listener: TcpListener,
+    options: ServeOptions,
+) -> Result<Store, StoreError> {
     let addr = listener.local_addr()?;
+    let ServeOptions { workers, slow_us, metrics_listener, slow_log } = options;
+    let metrics_addr = match &metrics_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
     let lock = RwLock::new(store);
     let metrics = ServerMetrics::default();
     let clock = MonotonicClock::new();
     let shutdown = AtomicBool::new(false);
-    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+    let slow = slow_us.map(|us| SlowLog {
+        threshold_ns: us.saturating_mul(1_000),
+        sink: parking_lot::Mutex::new(
+            slow_log.unwrap_or_else(|| Box::new(std::io::stderr())),
+        ),
+    });
+    let conn_ids = AtomicU64::new(0);
+    let (tx, rx) = crossbeam::channel::unbounded::<(u64, TcpStream)>();
+    let ctx = ServerCtx {
+        lock: &lock,
+        metrics: &metrics,
+        clock: &clock,
+        shutdown: &shutdown,
+        addr,
+        metrics_addr,
+        slow: slow.as_ref(),
+    };
 
     let result = crossbeam::thread::scope(|s| {
+        let ctx = &ctx;
         for _ in 0..workers.max(1) {
             let rx = rx.clone();
-            let lock = &lock;
-            let metrics = &metrics;
-            let clock = &clock;
-            let shutdown = &shutdown;
             s.spawn(move |_| {
-                for stream in rx.iter() {
-                    handle_connection(stream, lock, metrics, clock, shutdown, addr);
+                for (conn, stream) in rx.iter() {
+                    handle_connection(stream, conn, ctx);
                 }
             });
         }
         drop(rx);
+        if let Some(mlistener) = &metrics_listener {
+            s.spawn(move |_| {
+                for stream in mlistener.incoming() {
+                    if ctx.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        serve_scrape(stream, ctx);
+                    }
+                }
+            });
+        }
         for stream in listener.incoming() {
             if shutdown.load(Ordering::SeqCst) {
                 break;
             }
             if let Ok(stream) = stream {
+                let conn = conn_ids.fetch_add(1, Ordering::Relaxed);
                 // A send only fails if every worker panicked; stop accepting.
-                if tx.send(stream).is_err() {
+                if tx.send((conn, stream)).is_err() {
                     break;
                 }
             }
@@ -135,16 +318,104 @@ pub fn serve(store: Store, listener: TcpListener, workers: usize) -> Result<Stor
     Ok(store)
 }
 
+/// Refresh the store and allocator gauges, then render the whole registry
+/// as Prometheus text exposition (format 0.0.4). Gauges are republished
+/// on every scrape, so the exposition always reflects the current store.
+fn render_metrics(ctx: &ServerCtx<'_>) -> String {
+    let stats = ctx.lock.read().stats();
+    let reg = &ctx.metrics.registry;
+    reg.set_gauge("yv_store_records", "Records resident in the store", stats.records as u64);
+    reg.set_gauge("yv_store_sources", "Sources registered", stats.sources as u64);
+    reg.set_gauge("yv_store_matches", "Ranked matches resident", stats.matches as u64);
+    reg.set_gauge(
+        "yv_store_wal_entries",
+        "Arrivals pending in the WAL since the last snapshot",
+        stats.wal_entries as u64,
+    );
+    reg.set_gauge("yv_store_wal_bytes", "On-disk WAL size in bytes", stats.wal_bytes);
+    reg.set_gauge(
+        "yv_store_vocabulary",
+        "Distinct lowercased names in the query index",
+        stats.vocabulary as u64,
+    );
+    reg.set_gauge(
+        "yv_store_postings",
+        "Total posting entries in the query index",
+        stats.postings as u64,
+    );
+    reg.set_gauge(
+        "yv_store_entity_maps_cached",
+        "Entity maps currently memoized",
+        stats.entity_maps_cached as u64,
+    );
+    reg.counter_value(
+        "yv_store_entity_map_evictions_total",
+        "Lifetime LRU evictions from the entity-map cache",
+    )
+    .set(stats.entity_map_evictions);
+
+    let alloc = yv_obs::alloc_stats();
+    reg.counter_value("yv_alloc_bytes_total", "Bytes allocated since process start")
+        .set(alloc.alloc_bytes);
+    reg.counter_value("yv_dealloc_bytes_total", "Bytes deallocated since process start")
+        .set(alloc.dealloc_bytes);
+    reg.set_gauge("yv_alloc_live_bytes", "Bytes currently allocated", alloc.live_bytes);
+    reg.set_gauge(
+        "yv_alloc_peak_bytes",
+        "High-water mark of live bytes",
+        alloc.peak_bytes,
+    );
+    reg.render_prometheus()
+}
+
+/// Answer one sidecar connection: a hand-rolled HTTP/1.1 exchange — read
+/// the request line, drain headers to the blank line, answer
+/// `GET /metrics` (or `/`) with the exposition and anything else with
+/// 404 — so a stock Prometheus scraper works without any HTTP dependency
+/// in the build.
+fn serve_scrape(stream: TcpStream, ctx: &ServerCtx<'_>) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut request = String::new();
+    match reader.read_line(&mut request) {
+        Ok(0) | Err(_) => return,
+        Ok(_) => {}
+    }
+    // Drain the header block; the blank line ends the request head.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+        }
+    }
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut writer = stream;
+    if method != "GET" || !(path == "/metrics" || path == "/") {
+        let _ = writer.write_all(
+            b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        );
+        return;
+    }
+    let body = render_metrics(ctx);
+    let head = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = writer
+        .write_all(head.as_bytes())
+        .and_then(|()| writer.write_all(body.as_bytes()));
+}
+
 /// Serve one client connection: request lines in, response blocks out,
 /// until the client closes or asks for shutdown.
-fn handle_connection(
-    stream: TcpStream,
-    lock: &RwLock<Store>,
-    metrics: &ServerMetrics,
-    clock: &MonotonicClock,
-    shutdown: &AtomicBool,
-    addr: std::net::SocketAddr,
-) {
+fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
@@ -158,20 +429,24 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let started = clock.now_nanos();
-        let response = match protocol::parse_request(&line) {
+        let started = ctx.clock.now_nanos();
+        let parsed = protocol::parse_request(&line);
+        let command = parsed.as_ref().map_or("INVALID", Request::name);
+        let mut closing = false;
+        let elapsed = || ctx.clock.now_nanos().saturating_sub(started);
+        let response = match parsed {
             Err(msg) => {
-                metrics.parse_errors.incr();
+                ctx.metrics.parse_errors.incr();
                 protocol::format_status(&format!("ERR {msg}"))
             }
             Ok(Request::Query(query)) => {
-                let hits = lock.read().query(&query);
-                metrics.query.record(true, clock.now_nanos().saturating_sub(started));
+                let hits = ctx.lock.read().query(&query);
+                ctx.metrics.query.record(true, elapsed());
                 protocol::format_hits(&hits)
             }
             Ok(Request::Add(record)) => {
-                let outcome = lock.write().add_record(*record);
-                metrics.add.record(outcome.is_ok(), clock.now_nanos().saturating_sub(started));
+                let outcome = ctx.lock.write().add_record(*record);
+                ctx.metrics.add.record(outcome.is_ok(), elapsed());
                 match outcome {
                     Ok(matches) => {
                         protocol::format_status(&format!("OK matches={}", matches.len()))
@@ -180,43 +455,156 @@ fn handle_connection(
                 }
             }
             Ok(Request::Stats) => {
-                let stats = lock.read().stats();
+                let stats = ctx.lock.read().stats();
+                // Record before rendering so this request appears in its
+                // own CMD row.
+                ctx.metrics.stats.record(true, elapsed());
                 protocol::format_stats(
                     &format!(
-                        "OK records={} sources={} matches={} wal={} vocabulary={} \
-                         entity_maps={} evictions={} errors={}",
+                        "OK records={} sources={} matches={} wal={} wal_bytes={} \
+                         vocabulary={} entity_maps={} evictions={} errors={}",
                         stats.records,
                         stats.sources,
                         stats.matches,
                         stats.wal_entries,
+                        stats.wal_bytes,
                         stats.vocabulary,
                         stats.entity_maps_cached,
                         stats.entity_map_evictions,
-                        metrics.errors(),
+                        ctx.metrics.errors(),
                     ),
-                    &metrics.command_stats(),
+                    &ctx.metrics.command_stats(),
                 )
             }
+            Ok(Request::Metrics) => {
+                // Record first so this scrape's own latency sample is in
+                // the exposition it returns.
+                ctx.metrics.metrics.record(true, elapsed());
+                protocol::format_metrics(&render_metrics(ctx))
+            }
             Ok(Request::Snapshot) => {
-                let outcome = lock.write().snapshot();
-                metrics
-                    .snapshot
-                    .record(outcome.is_ok(), clock.now_nanos().saturating_sub(started));
+                let outcome = ctx.lock.write().snapshot();
+                ctx.metrics.snapshot.record(outcome.is_ok(), elapsed());
                 match outcome {
                     Ok(()) => protocol::format_status("OK snapshot"),
                     Err(e) => protocol::format_status(&format!("ERR {e}")),
                 }
             }
             Ok(Request::Shutdown) => {
-                shutdown.store(true, Ordering::SeqCst);
-                let _ = writer.write_all(protocol::format_status("OK bye").as_bytes());
-                // Unblock the acceptor so it observes the flag.
-                let _ = TcpStream::connect(addr);
-                return;
+                ctx.shutdown.store(true, Ordering::SeqCst);
+                ctx.metrics.shutdown.record(true, elapsed());
+                closing = true;
+                protocol::format_status("OK bye")
             }
         };
+        let dur_ns = elapsed();
+        if let Some(slow) = ctx.slow {
+            if dur_ns >= slow.threshold_ns {
+                // Digest the argument text (everything after the command
+                // token) so repeats of one query correlate without the
+                // arguments themselves ever being logged.
+                let args = line
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .map_or("", |(_, rest)| rest);
+                slow.log(conn, command, crate::codec::fnv1a64(args.as_bytes()), dur_ns);
+            }
+        }
         if writer.write_all(response.as_bytes()).is_err() {
             return;
         }
+        if closing {
+            // Unblock the acceptors so they observe the shutdown flag.
+            let _ = TcpStream::connect(ctx.addr);
+            if let Some(maddr) = ctx.metrics_addr {
+                let _ = TcpStream::connect(maddr);
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the `STATS` consistency bug: `count` used to
+    /// come from the `ok` counter while the percentiles came from a
+    /// separately-read histogram, so a row could report `count=0` with
+    /// nonzero percentiles (or vice versa). Both now derive from one
+    /// [`Histogram::snapshot`]; driving the durations through a
+    /// [`yv_obs::ManualClock`] pins the exact row.
+    #[test]
+    fn command_stats_row_derives_from_one_snapshot() {
+        let metrics = ServerMetrics::default();
+        let clock = yv_obs::ManualClock::new();
+        // Three successes and one error, with known latencies.
+        for (us, ok) in [(100u64, true), (200, true), (400, true), (800, false)] {
+            let started = clock.now_nanos();
+            clock.advance(us * 1_000);
+            metrics.query.record(ok, clock.now_nanos().saturating_sub(started));
+        }
+        let row = metrics.query.stats("QUERY");
+        // Count covers every measured request — including the error — and
+        // comes from the same snapshot as the percentiles.
+        assert_eq!(row.count, 4);
+        assert_eq!(row.errors, 1);
+        assert_eq!(row.mean_us, 375);
+        assert_eq!(row.p50_us, 256, "rank 2 of 4: the 200µs sample's bucket bound");
+        assert_eq!(row.p95_us, 1_024, "rank 4 of 4: the 800µs sample's bucket bound");
+        assert_eq!(row.p99_us, 1_024);
+    }
+
+    #[test]
+    fn server_metrics_register_one_set_per_command() {
+        let metrics = ServerMetrics::default();
+        metrics.add.record(true, 5_000);
+        let rendered = metrics.registry.render_prometheus();
+        for kind in ["query", "add", "stats", "metrics", "snapshot", "shutdown"] {
+            assert!(rendered.contains(&format!("# TYPE yv_cmd_{kind}_ok_total counter\n")));
+            assert!(
+                rendered.contains(&format!("# TYPE yv_cmd_{kind}_latency_us histogram\n")),
+                "{kind}"
+            );
+        }
+        assert!(rendered.contains("yv_cmd_add_ok_total 1\n"));
+        assert!(rendered.contains("yv_cmd_add_latency_us_count 1\n"));
+        assert!(rendered.contains("yv_cmd_parse_errors_total 0\n"));
+    }
+
+    #[test]
+    fn errors_sum_every_command_and_parse_failures() {
+        let metrics = ServerMetrics::default();
+        metrics.parse_errors.incr();
+        metrics.add.record(false, 1_000);
+        metrics.snapshot.record(false, 1_000);
+        assert_eq!(metrics.errors(), 3);
+        assert_eq!(metrics.command_stats().len(), 6);
+    }
+
+    #[test]
+    fn slow_log_lines_are_json_with_hex_digest() {
+        let buf = Arc::new(parking_lot::Mutex::new(Vec::<u8>::new()));
+        struct Sink(Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let slow = SlowLog {
+            threshold_ns: 0,
+            sink: parking_lot::Mutex::new(Box::new(Sink(Arc::clone(&buf)))),
+        };
+        slow.log(7, "QUERY", 0xabcd, 1_234_567);
+        let logged = String::from_utf8(buf.lock().clone()).expect("utf8 log line");
+        assert_eq!(
+            logged,
+            "{\"slow_request\":true,\"conn\":7,\"command\":\"QUERY\",\
+             \"args_digest\":\"000000000000abcd\",\"latency_us\":1234}\n"
+        );
     }
 }

@@ -40,8 +40,12 @@ pub struct StoreStats {
     pub matches: usize,
     /// Arrivals applied since the last snapshot (pending WAL entries).
     pub wal_entries: usize,
+    /// On-disk WAL size in bytes (header plus complete frames).
+    pub wal_bytes: u64,
     /// Distinct lowercased names in the query index.
     pub vocabulary: usize,
+    /// Total posting entries in the query index.
+    pub postings: usize,
     /// Entity maps currently memoized (≤ the configured capacity).
     pub entity_maps_cached: usize,
     /// Lifetime LRU evictions from the entity-map cache. Invalidation on
@@ -228,7 +232,9 @@ impl Store {
             sources: self.resolver.dataset().sources().len(),
             matches: self.resolver.matches().len(),
             wal_entries: self.wal_entries,
+            wal_bytes: self.wal.bytes(),
             vocabulary: self.index.vocabulary_size(),
+            postings: self.index.postings(),
             entity_maps_cached: self.entity_maps.lock().len(),
             entity_map_evictions: self.evictions.get(),
         }

@@ -44,10 +44,17 @@ pub enum WalEntry {
     Source(Source),
 }
 
+/// Byte length of the file header (magic + version).
+const HEADER_LEN: u64 = 12;
+
 /// Append handle over a WAL file.
 #[derive(Debug)]
 pub struct Wal {
     file: File,
+    /// On-disk byte length (header plus complete frames), tracked so
+    /// `STATS` and the metrics scrape report WAL growth without a
+    /// filesystem round trip.
+    bytes: u64,
 }
 
 impl Wal {
@@ -58,7 +65,7 @@ impl Wal {
         file.write_all(&MAGIC)?;
         file.write_all(&VERSION.to_le_bytes())?;
         file.sync_all()?;
-        Ok(Wal { file })
+        Ok(Wal { file, bytes: HEADER_LEN })
     }
 
     /// Open an existing log for appending, positioned after the last
@@ -69,7 +76,13 @@ impl Wal {
         let mut file = OpenOptions::new().write(true).open(path)?;
         file.set_len(valid_len as u64)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(Wal { file })
+        Ok(Wal { file, bytes: valid_len as u64 })
+    }
+
+    /// Current on-disk byte length: header plus every complete frame.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     pub fn append_record(&mut self, record: &Record) -> Result<(), StoreError> {
@@ -99,6 +112,7 @@ impl Wal {
         frame.extend_from_slice(&codec::fnv1a64(&hashed).to_le_bytes());
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
+        self.bytes += frame.len() as u64;
         Ok(())
     }
 }
@@ -220,6 +234,21 @@ mod tests {
                 WalEntry::Record(Box::new(r2))
             ]
         );
+    }
+
+    #[test]
+    fn byte_tracking_matches_the_file() {
+        let path = tmp("bytes.wal");
+        let (src, r1, _) = sample_entries();
+        let mut wal = Wal::create(&path).unwrap();
+        assert_eq!(wal.bytes(), 12, "fresh log is just the header");
+        wal.append_source(&src).unwrap();
+        wal.append_record(&r1).unwrap();
+        assert_eq!(wal.bytes(), std::fs::metadata(&path).unwrap().len());
+        drop(wal);
+        // Re-opening recovers the length from the valid prefix.
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.bytes(), std::fs::metadata(&path).unwrap().len());
     }
 
     #[test]

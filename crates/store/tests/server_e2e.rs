@@ -6,7 +6,7 @@
 // workspace unwrap_used deny targets library code).
 #![allow(clippy::unwrap_used)]
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use yv_core::{IncrementalConfig, IncrementalResolver, PersonQuery, Pipeline, PipelineConfig};
@@ -103,12 +103,13 @@ fn concurrent_clients_durable_adds_and_restart_identity() {
     let stats = client(addr, &["STATS"]);
     assert!(stats[0][0].contains(&format!("records={}", records_before + 2)), "{stats:?}");
     assert!(stats[0][0].contains("wal=2"), "{stats:?}");
+    assert!(stats[0][0].contains("wal_bytes="), "{stats:?}");
 
     // Per-command metrics: one CMD line per command kind, with counters
     // and latency percentiles.
     let cmd_lines: Vec<&String> =
         stats[0].iter().filter(|l| l.starts_with("CMD ")).collect();
-    assert_eq!(cmd_lines.len(), 3, "{stats:?}");
+    assert_eq!(cmd_lines.len(), 6, "one row per command kind: {stats:?}");
     let query_line = cmd_lines
         .iter()
         .find(|l| l.starts_with("CMD QUERY "))
@@ -149,6 +150,140 @@ fn concurrent_clients_durable_adds_and_restart_identity() {
     );
     client(addr2, &["SHUTDOWN"]);
     server.join().unwrap();
+}
+
+/// A slow-log sink the test can read back after the server returns.
+#[derive(Clone)]
+struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
+    let dir = fresh_dir("metrics-scrape");
+    let store = Store::create(&dir, trained_resolver(150, 55)).unwrap();
+    let records = store.stats().records;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let metrics_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let metrics_addr = metrics_listener.local_addr().unwrap();
+    let options = yv_store::ServeOptions {
+        workers: 2,
+        metrics_listener: Some(metrics_listener),
+        ..yv_store::ServeOptions::default()
+    };
+    let server =
+        std::thread::spawn(move || yv_store::serve_with(store, listener, options).unwrap());
+
+    // Generate some traffic, then scrape through the protocol command.
+    client(addr, &["QUERY first=Guido", "QUERY last=Levi"]);
+    let metrics = client(addr, &["METRICS"]);
+    assert_eq!(metrics[0][0], "OK metrics");
+    let body = metrics[0][1..].join("\n");
+    // One histogram series per protocol command, with cumulative buckets.
+    for kind in ["query", "add", "stats", "metrics", "snapshot", "shutdown"] {
+        assert!(
+            body.contains(&format!("# TYPE yv_cmd_{kind}_latency_us histogram")),
+            "missing {kind} histogram in:\n{body}"
+        );
+        assert!(body.contains(&format!("yv_cmd_{kind}_latency_us_bucket{{le=\"+Inf\"}}")));
+    }
+    assert!(body.contains("yv_cmd_query_latency_us_count 2"), "{body}");
+    // Store gauges reflect the live store; allocator gauges are present
+    // (zero unless the counting allocator is installed).
+    assert!(body.contains(&format!("yv_store_records {records}")), "{body}");
+    for gauge in [
+        "yv_store_wal_bytes",
+        "yv_store_postings",
+        "yv_store_vocabulary",
+        "yv_store_entity_maps_cached",
+        "yv_alloc_bytes_total",
+        "yv_alloc_live_bytes",
+        "yv_alloc_peak_bytes",
+    ] {
+        assert!(body.contains(&format!("\n{gauge} ")), "missing {gauge} in:\n{body}");
+    }
+
+    // Scrape the sidecar like Prometheus would: plain HTTP/1.1.
+    let mut scrape = TcpStream::connect(metrics_addr).unwrap();
+    scrape.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut http = String::new();
+    BufReader::new(scrape).read_to_string(&mut http).unwrap();
+    assert!(http.starts_with("HTTP/1.1 200 OK\r\n"), "{http}");
+    assert!(http.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"));
+    let http_body = http.split("\r\n\r\n").nth(1).unwrap();
+    assert!(http_body.contains("yv_cmd_query_latency_us_bucket{le=\"+Inf\"}"), "{http}");
+    assert!(http_body.contains("yv_store_records"), "{http}");
+    // The advertised length matches the body exactly.
+    let advertised: usize = http
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(advertised, http_body.len());
+
+    // Unknown paths are 404s, and the server survives them.
+    let mut bad = TcpStream::connect(metrics_addr).unwrap();
+    bad.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+    let mut not_found = String::new();
+    BufReader::new(bad).read_to_string(&mut not_found).unwrap();
+    assert!(not_found.starts_with("HTTP/1.1 404 "), "{not_found}");
+
+    client(addr, &["SHUTDOWN"]);
+    server.join().unwrap();
+}
+
+#[test]
+fn slow_log_emits_one_json_line_per_slow_request() {
+    let dir = fresh_dir("slow-log");
+    let store = Store::create(&dir, trained_resolver(120, 66)).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let sink = SharedSink(std::sync::Arc::new(std::sync::Mutex::new(Vec::new())));
+    let log = sink.clone();
+    let options = yv_store::ServeOptions {
+        workers: 2,
+        // Threshold zero: every request is "slow", making the test
+        // deterministic without timing games.
+        slow_us: Some(0),
+        slow_log: Some(Box::new(log)),
+        ..yv_store::ServeOptions::default()
+    };
+    let server =
+        std::thread::spawn(move || yv_store::serve_with(store, listener, options).unwrap());
+
+    client(addr, &["QUERY first=Guido", "STATS", "FROB"]);
+    client(addr, &["SHUTDOWN"]);
+    server.join().unwrap();
+
+    let logged = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = logged.lines().collect();
+    assert_eq!(lines.len(), 4, "{logged}");
+    for line in &lines {
+        assert!(line.starts_with("{\"slow_request\":true,\"conn\":"), "{line}");
+        for field in ["\"command\":\"", "\"args_digest\":\"", "\"latency_us\":"] {
+            assert!(line.contains(field), "{line}");
+        }
+        assert!(line.ends_with('}'), "{line}");
+    }
+    assert!(lines.iter().any(|l| l.contains("\"command\":\"QUERY\"")), "{logged}");
+    assert!(lines.iter().any(|l| l.contains("\"command\":\"STATS\"")), "{logged}");
+    assert!(lines.iter().any(|l| l.contains("\"command\":\"INVALID\"")), "{logged}");
+    assert!(lines.iter().any(|l| l.contains("\"command\":\"SHUTDOWN\"")), "{logged}");
+    // Identical requests digest identically; the raw arguments never
+    // appear in the log.
+    assert!(!logged.contains("Guido"), "{logged}");
 }
 
 #[test]
