@@ -31,7 +31,9 @@ serve_log="$(mktemp -t yv-serve-XXXXXX.log)"
 store_dir="$(mktemp -d -t yv-ci-store-XXXXXX)"
 bench_base="$(mktemp -t yv-bench-base-XXXXXX.json)"
 bench_slow="$(mktemp -t yv-bench-slow-XXXXXX.json)"
-trap 'rm -f "$trace_file" "$serve_log" "$bench_base" "$bench_slow"; rm -rf "$store_dir"' EXIT
+shard_log_fill="$(mktemp -t yv-shard-fill-XXXXXX.log)"
+shard_log_replay="$(mktemp -t yv-shard-replay-XXXXXX.log)"
+trap 'rm -f "$trace_file" "$serve_log" "$bench_base" "$bench_slow" "$shard_log_fill" "$shard_log_replay"; rm -rf "$store_dir"' EXIT
 cargo run -q --release -p yv-cli --bin yv -- \
     block --records 300 --trace-json "$trace_file" > /dev/null
 python3 - "$trace_file" <<'PYEOF'
@@ -111,6 +113,82 @@ grep -q '"slow_request":true' "$serve_log" || {
     echo "slow-request log never fired despite --slow-us 1" >&2
     exit 1
 }
+
+# Sharded-store smoke test (DESIGN.md §9): bootstrap a 4-shard store,
+# fire concurrent ADDs through the typed client (`yv load`, four
+# connections), shut down (folding the per-shard WALs into the
+# snapshot), restart on the same directory, and require the identical
+# logical state back: same record count, same shard count, and the same
+# query-battery digest.
+serve_on_shard_dir() {
+    cargo run -q --release -p yv-cli --bin yv -- \
+        serve --dir "$store_dir/shards" --records 300 --shards 4 \
+        --addr 127.0.0.1:0 > "$1" 2>&1 &
+    shard_pid=$!
+    for _ in $(seq 1 150); do
+        grep -q "^serving " "$1" && break
+        sleep 0.2
+    done
+    shard_addr="$(sed -n 's/^serving .* on \(127\.0\.0\.1:[0-9]*\) with .*/\1/p' "$1")"
+    if [ -z "$shard_addr" ]; then
+        echo "sharded smoke test: server never came up:" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    grep -q "4 shards" "$1" || {
+        echo "sharded smoke test: store did not come up with 4 shards:" >&2
+        cat "$1" >&2
+        exit 1
+    }
+}
+serve_on_shard_dir "$shard_log_fill"
+fill="$(cargo run -q --release -p yv-cli --bin yv -- \
+    load --addr "$shard_addr" --adds 24 --threads 4 --shutdown)"
+wait "$shard_pid"
+serve_on_shard_dir "$shard_log_replay"
+replay="$(cargo run -q --release -p yv-cli --bin yv -- \
+    load --addr "$shard_addr" --shutdown)"
+wait "$shard_pid"
+for run in fill replay; do
+    grep -q "shards=4" <<< "${!run}" || {
+        echo "sharded smoke test: $run run lost the shard count: ${!run}" >&2
+        exit 1
+    }
+done
+records_fill="$(grep -o 'records=[0-9]*' <<< "$fill")"
+records_replay="$(grep -o 'records=[0-9]*' <<< "$replay")"
+if [ "$records_fill" != "$records_replay" ] || [ "$records_fill" != "records=324" ]; then
+    echo "sharded smoke test: expected records=324 before and after restart," \
+        "got '$records_fill' / '$records_replay'" >&2
+    exit 1
+fi
+digest_fill="$(grep '^battery digest:' <<< "$fill")"
+digest_replay="$(grep '^battery digest:' <<< "$replay")"
+if [ -z "$digest_fill" ] || [ "$digest_fill" != "$digest_replay" ]; then
+    echo "sharded smoke test: query battery diverged across restart:" \
+        "'$digest_fill' vs '$digest_replay'" >&2
+    exit 1
+fi
+echo "sharded smoke test: 24 concurrent ADDs over 4 shards, restart identical ($digest_fill)"
+
+# Shard-routing hash gate: fnv1a64 is the only hash the store may route
+# records with (DESIGN.md §9) — a stray std/fast hasher would re-route
+# records between builds or processes and silently split entities across
+# shards. Comment lines are exempt so docs may *warn* about RandomState.
+if grep -rn "DefaultHasher\|RandomState\|SipHasher\|ahash\|fxhash" crates/store/src \
+        | grep -v ':[0-9]*: *//'; then
+    echo "shard routing gate: a non-fnv hasher is referenced in yv-store" >&2
+    exit 1
+fi
+grep -q "fnv1a64" crates/store/src/shard.rs || {
+    echo "shard routing gate: shard.rs no longer routes with fnv1a64" >&2
+    exit 1
+}
+grep -q 'ROUTING_RULE: &str = "fnv1a64' crates/store/src/shard.rs || {
+    echo "shard routing gate: the manifest routing rule is no longer fnv1a64" >&2
+    exit 1
+}
+echo "shard routing gate: fnv1a64 is the only routing hash"
 
 # Bench regression gate: a run compared against itself must pass, and a
 # synthetic 2x slowdown injected into its stage timings must fail the

@@ -227,6 +227,8 @@ pub fn bench(args: &Args) -> CliResult {
     total.finish();
     let peak = registry.gauge("yv_pipeline_peak_alloc_bytes", "").get();
 
+    let (add_single_us, add_multi_us) = bench_concurrent_adds(&gen, &pipeline, &config, &registry)?;
+
     const STAGES: &[&str] =
         &["preprocess", "train", "blocking", "extract", "score", "resolve", "total"];
     let mut json = String::from("{\n  \"schema\": \"yv-bench-pipeline/v2\",\n");
@@ -259,12 +261,104 @@ pub fn bench(args: &Args) -> CliResult {
         println!("  {:<12} {:>9} us", stage, rec.sum_ns(stage) / 1_000);
     }
     println!("peak alloc:   {peak} bytes");
+    println!(
+        "concurrent ADD (4 threads, {BENCH_ADD_ARRIVALS} arrivals): \
+         1 shard {add_single_us} us, 4 shards {add_multi_us} us"
+    );
     println!("wrote {out}");
     emit_obs(args, &rec)?;
     match baseline {
         Some(baseline) => compare_files(&baseline, &out, &gate),
         None => Ok(()),
     }
+}
+
+/// Writer threads in the concurrent-ADD bench stage, and the shard count
+/// of its multi-shard store.
+const BENCH_ADD_THREADS: usize = 4;
+/// Arrivals each store absorbs in the concurrent-ADD bench stage.
+const BENCH_ADD_ARRIVALS: usize = 120;
+
+/// The store stage of `yv bench`: fill a 1-shard and a 4-shard store
+/// with the same arrivals from 4 writer threads, timing each fill.
+/// Single-shard writers serialize on one WAL (lock + fsync each);
+/// multi-shard writers fsync distinct WALs concurrently — the published
+/// `yv_store_concurrent_add_{single,multi}_us` gauges are the regression
+/// guard on that advantage.
+fn bench_concurrent_adds(
+    gen: &Generated,
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    registry: &MetricsRegistry,
+) -> Result<(u64, u64), String> {
+    use yv_obs::Clock as _;
+    let ds = &gen.dataset;
+    // Arrivals are clones of corpus records under fresh book ids: real
+    // name shapes, so shard routing spreads like production data.
+    let n = u32::try_from(ds.len()).map_err(err)?;
+    let arrivals: Vec<yv_records::Record> = (0..BENCH_ADD_ARRIVALS)
+        .map(|i| {
+            let mut r = ds.record(yv_records::RecordId(i as u32 % n)).clone();
+            r.book_id = 900_000 + i as u64;
+            r
+        })
+        .collect();
+    // Dataset is intentionally not Clone; rebuild it source-by-source so
+    // both stores start from identical resolvers.
+    let clone_ds = || {
+        let mut out = yv_records::Dataset::new();
+        for s in ds.sources() {
+            out.add_source(s.clone());
+        }
+        for rid in ds.record_ids() {
+            out.add_record(ds.record(rid).clone());
+        }
+        out
+    };
+    let clock = yv_obs::MonotonicClock::new();
+    let mut timings = [0u64; 2];
+    for (slot, shards) in [(0usize, 1usize), (1, BENCH_ADD_THREADS)] {
+        let dir = std::env::temp_dir().join("yv-bench-store").join(format!("{shards}-shard"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).map_err(err)?;
+        let resolver = yv_core::IncrementalResolver::bootstrap(
+            clone_ds(),
+            pipeline.clone(),
+            config.clone(),
+            yv_core::IncrementalConfig::default(),
+        );
+        let store = yv_store::Store::create(&dir, resolver, shards).map_err(err)?;
+        let started = clock.now_nanos();
+        std::thread::scope(|scope| {
+            for t in 0..BENCH_ADD_THREADS {
+                let store = &store;
+                let arrivals = &arrivals;
+                scope.spawn(move || {
+                    for record in arrivals.iter().skip(t).step_by(BENCH_ADD_THREADS) {
+                        // Failures surface through the count check below.
+                        let _ = store.add_record(record.clone());
+                    }
+                });
+            }
+        });
+        timings[slot] = clock.now_nanos().saturating_sub(started) / 1_000;
+        if store.stats().wal_entries != BENCH_ADD_ARRIVALS {
+            return Err("concurrent-ADD bench lost arrivals".to_owned());
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    registry.set_gauge(
+        "yv_store_concurrent_add_single_us",
+        "4-thread ADD fill of a 1-shard store",
+        timings[0],
+    );
+    registry.set_gauge(
+        "yv_store_concurrent_add_multi_us",
+        "4-thread ADD fill of a 4-shard store",
+        timings[1],
+    );
+    Ok((timings[0], timings[1]))
 }
 
 pub fn query(args: &Args) -> CliResult {
@@ -313,13 +407,15 @@ pub fn narrate(args: &Args) -> CliResult {
 }
 
 /// Bootstrap or reopen the store behind `yv serve` / `yv snapshot`: an
-/// existing store directory is opened (snapshot + WAL replay); otherwise a
-/// synthetic dataset is generated, a pipeline trained, and a fresh store
-/// initialized at the directory.
+/// existing store directory is opened (snapshot + per-shard WAL replay;
+/// the shard count comes from its manifest, `--shards` is ignored);
+/// otherwise a synthetic dataset is generated, a pipeline trained, and a
+/// fresh store initialized at the directory with `--shards` shards.
 fn open_or_bootstrap(args: &Args, dir: &std::path::Path) -> Result<yv_store::Store, String> {
     if dir.join(yv_store::SNAPSHOT_FILE).exists() {
         return yv_store::Store::open(dir).map_err(err);
     }
+    let shards: usize = args.parse_or("shards", 1, "integer").map_err(err)?;
     let gen = dataset(args)?;
     let config = PipelineConfig { blocking: blocking_config(args)?, ..PipelineConfig::default() };
     let pipeline = trained(&gen, &config);
@@ -329,7 +425,7 @@ fn open_or_bootstrap(args: &Args, dir: &std::path::Path) -> Result<yv_store::Sto
         config,
         yv_core::IncrementalConfig::default(),
     );
-    yv_store::Store::create(dir, resolver).map_err(err)
+    yv_store::Store::create(dir, resolver, shards).map_err(err)
 }
 
 pub fn serve(args: &Args) -> CliResult {
@@ -351,22 +447,30 @@ pub fn serve(args: &Args) -> CliResult {
         Some(a) => Some(std::net::TcpListener::bind(a).map_err(err)?),
         None => None,
     };
-    let mut store = open_or_bootstrap(args, std::path::Path::new(dir))?;
+    let store = open_or_bootstrap(args, std::path::Path::new(dir))?;
     store.set_entity_map_capacity(map_cache);
     let stats = store.stats();
     let listener = std::net::TcpListener::bind(addr).map_err(err)?;
     println!(
-        "serving {} records ({} ranked matches) on {} with {workers} workers",
+        "serving {} records ({} ranked matches, {} shard{}) on {} with {workers} workers",
         stats.records,
         stats.matches,
+        stats.shards.len(),
+        if stats.shards.len() == 1 { "" } else { "s" },
         listener.local_addr().map_err(err)?
     );
     if let Some(l) = &metrics_listener {
         println!("metrics: http://{}/metrics", l.local_addr().map_err(err)?);
     }
     println!("commands: QUERY ADD STATS METRICS SNAPSHOT SHUTDOWN");
-    let options = yv_store::ServeOptions { workers, slow_us, metrics_listener, slow_log: None };
-    let store = yv_store::serve_with(store, listener, options).map_err(err)?;
+    let mut options = yv_store::ServeOptions::new(store).workers(workers);
+    if let Some(us) = slow_us {
+        options = options.slow_us(us);
+    }
+    if let Some(l) = metrics_listener {
+        options = options.metrics_listener(l);
+    }
+    let store = options.serve(listener).map_err(err)?;
     println!("shut down cleanly; {} records snapshotted", store.stats().records);
     Ok(())
 }
@@ -375,7 +479,7 @@ pub fn snapshot(args: &Args) -> CliResult {
     let Some(dir) = args.get("dir") else {
         return Err("snapshot requires --dir <store-directory>".to_owned());
     };
-    let mut store = yv_store::Store::open(std::path::Path::new(dir)).map_err(err)?;
+    let store = yv_store::Store::open(std::path::Path::new(dir)).map_err(err)?;
     let pending = store.stats().wal_entries;
     store.snapshot().map_err(err)?;
     let stats = store.stats();
@@ -386,6 +490,90 @@ pub fn snapshot(args: &Args) -> CliResult {
         stats.records,
         stats.matches
     );
+    Ok(())
+}
+
+/// Deterministic arrival pool for `yv load`: enough last-name variety
+/// that a sharded store routes the batch across every shard.
+fn load_record(book_base: u64, i: usize) -> yv_records::Record {
+    const FIRST: [&str; 6] = ["Guido", "Sara", "Moshe", "Rivka", "David", "Chana"];
+    const LAST: [&str; 11] = [
+        "Foa", "Levi", "Postel", "Roth", "Katz", "Blum", "Stern", "Weiss", "Adler", "Braun",
+        "Segal",
+    ];
+    yv_records::RecordBuilder::new(book_base + i as u64, yv_records::SourceId(0))
+        .first_name(FIRST[i % FIRST.len()])
+        .last_name(LAST[(i * 7) % LAST.len()])
+        .build()
+}
+
+/// The fixed query battery `yv load` digests: the answers depend only on
+/// the store's logical state, so equal digests mean equal states.
+fn load_battery() -> Vec<PersonQuery> {
+    ["Foa", "Levi", "Katz", "Stern", "Segal"]
+        .iter()
+        .flat_map(|last| {
+            [0.0, 0.5].into_iter().map(move |certainty| PersonQuery {
+                last_name: Some((*last).to_owned()),
+                certainty,
+                ..PersonQuery::default()
+            })
+        })
+        .collect()
+}
+
+/// Drive a running `yv serve` instance through the typed TCP client:
+/// optionally fire concurrent ADDs over several connections, then print
+/// the server's stats line and a digest of a fixed query battery (equal
+/// digests ⇔ equal logical state), optionally sending SHUTDOWN. This is
+/// the client half of ci.sh's sharded smoke test.
+pub fn load(args: &Args) -> CliResult {
+    let Some(addr) = args.get("addr") else {
+        return Err("load requires --addr <host:port>".to_owned());
+    };
+    let adds: usize = args.parse_or("adds", 0, "integer").map_err(err)?;
+    let threads: usize = args.parse_or("threads", 4, "integer").map_err(err)?.max(1);
+    let book_base: u64 = args.parse_or("book-base", 900_000, "integer").map_err(err)?;
+    if adds > 0 {
+        let matched = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || -> Result<usize, String> {
+                        let mut client = yv_store::Client::connect(addr).map_err(err)?;
+                        let mut matched = 0;
+                        for i in (t..adds).step_by(threads) {
+                            matched += client.add(&load_record(book_base, i)).map_err(err)?;
+                        }
+                        Ok(matched)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("load worker panicked".to_owned())))
+                .sum::<Result<usize, String>>()
+        })?;
+        println!("added {adds} records over {threads} connections ({matched} matched)");
+    }
+    let mut client = yv_store::Client::connect(addr).map_err(err)?;
+    let stats = client.stats().map_err(err)?;
+    println!(
+        "records={} shards={} wal={} wal_bytes={}",
+        stats.records, stats.shards, stats.wal_entries, stats.wal_bytes
+    );
+    let mut transcript = String::new();
+    for query in load_battery() {
+        for hit in client.query(&query).map_err(err)? {
+            use std::fmt::Write as _;
+            let _ = write!(transcript, "{}:{:?};", hit.seed.0, hit.entity);
+        }
+        transcript.push('\n');
+    }
+    println!("battery digest: {:016x}", yv_store::codec::fnv1a64(transcript.as_bytes()));
+    if args.flag("shutdown") {
+        client.shutdown().map_err(err)?;
+        println!("sent SHUTDOWN");
+    }
     Ok(())
 }
 

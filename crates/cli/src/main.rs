@@ -9,9 +9,10 @@
 //! yv bench    --records 2000 [--out BENCH_pipeline.json] [--compare OLD.json]
 //! yv query    --first Guido --last Foa [--certainty 0.0] [--records N]
 //! yv narrate  --records 2000 [--top 3]
-//! yv serve    --dir people.store [--addr 127.0.0.1:7878] [--workers 4]
-//!             [--metrics-addr 127.0.0.1:9100] [--slow-us 50000]
-//! yv snapshot --dir people.store                     fold the WAL into the snapshot
+//! yv serve    --dir people.store [--shards 4] [--addr 127.0.0.1:7878]
+//!             [--workers 4] [--metrics-addr 127.0.0.1:9100] [--slow-us 50000]
+//! yv snapshot --dir people.store                     fold the WALs into the snapshot
+//! yv load     --addr 127.0.0.1:7878 [--adds 24 --threads 4] [--shutdown]
 //! yv reproduce [--quick]                             all tables & figures
 //! ```
 //!
@@ -43,8 +44,10 @@ COMMANDS:
     query      relative search with a certainty knob (--first / --last)
     narrate    print narratives for the best-attested resolved entities
     serve      persistent store + TCP query server (--dir required; bootstraps
-               a store on first run, reopens snapshot + WAL afterwards)
-    snapshot   fold a store's write-ahead log into a fresh snapshot (--dir)
+               a store on first run, reopens snapshot + per-shard WALs afterwards)
+    snapshot   fold a store's write-ahead logs into a fresh snapshot (--dir)
+    load       typed TCP client for a running server: concurrent ADDs plus a
+               digest of a fixed query battery (--addr required)
     reproduce  regenerate every table and figure of the paper (--quick for a smoke run)
 
 COMMON OPTIONS:
@@ -67,13 +70,21 @@ BENCH REGRESSION GATE:
     --min-delta N        absolute floor in metric units (default 10000)
 
 SERVING OPTIONS:
-    --dir PATH          store directory (snapshot + write-ahead log)
+    --dir PATH          store directory (snapshot segments + per-shard WALs)
+    --shards N          shard count when bootstrapping a new store (default 1;
+                        fixed at creation, existing stores keep theirs)
     --addr A:P          listen address (default 127.0.0.1:7878)
     --workers N         worker threads (default 4)
     --map-cache N       entity-map memo capacity (default 8)
     --metrics-addr A:P  Prometheus scrape sidecar answering GET /metrics
     --slow-us N         log requests slower than N microseconds as JSON
                         lines on stderr (arguments appear only as a digest)
+
+LOAD OPTIONS:
+    --adds N            records to ADD before the battery (default 0)
+    --threads N         concurrent client connections for the ADDs (default 4)
+    --book-base N       first synthetic book id (default 900000)
+    --shutdown          send SHUTDOWN after the battery
 
 Unknown options are rejected with the list of options the command accepts.
 ";
@@ -104,12 +115,13 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
         "narrate" => Some((&["records", "seed", "top"], &["italy"])),
         "serve" => Some((
             &[
-                "records", "seed", "ng", "max-minsup", "dir", "addr", "workers",
-                "map-cache", "metrics-addr", "slow-us",
+                "records", "seed", "ng", "max-minsup", "dir", "shards", "addr",
+                "workers", "map-cache", "metrics-addr", "slow-us",
             ],
             &["italy"],
         )),
         "snapshot" => Some((&["dir"], &[])),
+        "load" => Some((&["addr", "adds", "threads", "book-base"], &["shutdown"])),
         "reproduce" => Some((&[], &["quick"])),
         _ => None,
     }
@@ -117,7 +129,7 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let args = match Args::parse(raw, &["italy", "quick", "timings", "help"]) {
+    let args = match Args::parse(raw, &["italy", "quick", "timings", "help", "shutdown"]) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -141,6 +153,7 @@ fn main() {
         "narrate" => commands::narrate(&args),
         "serve" => commands::serve(&args),
         "snapshot" => commands::snapshot(&args),
+        "load" => commands::load(&args),
         "reproduce" => commands::reproduce(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

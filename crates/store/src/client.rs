@@ -1,0 +1,476 @@
+//! Typed client for the `yv serve` line protocol.
+//!
+//! Wraps one TCP connection and turns protocol exchanges into typed
+//! calls — [`Client::query`] returns [`QueryHit`]s, [`Client::add`] the
+//! match count, [`Client::stats`] a parsed [`StatsReport`] — so callers
+//! (tests, the CLI, load generators) never hand-assemble request lines
+//! or scrape response text:
+//!
+//! ```no_run
+//! # use yv_store::client::Client;
+//! # use yv_core::PersonQuery;
+//! let mut client = Client::connect("127.0.0.1:7878")?;
+//! let query = PersonQuery { last_name: Some("Foa".into()), ..PersonQuery::default() };
+//! for hit in client.query(&query)? {
+//!     println!("seed {} resolves with {} records", hit.seed.0, hit.entity.len());
+//! }
+//! # Ok::<(), yv_store::client::ClientError>(())
+//! ```
+//!
+//! The wire format is `key=value` tokens separated by whitespace, so not
+//! every [`Record`] is expressible: values containing whitespace (or
+//! empty ones), `mothers_maiden`, and places have no encoding. Those
+//! surface as [`ClientError::Unencodable`] *before* anything is sent —
+//! an encoding gap never half-transmits a record.
+
+use crate::protocol::TERMINATOR;
+use crate::shard::ShardStats;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use yv_core::{PersonQuery, QueryHit};
+use yv_records::{Gender, Record, RecordId};
+
+/// Everything that can go wrong talking to a `yv serve` server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection failed or dropped mid-exchange.
+    Io(std::io::Error),
+    /// The server answered, but not in the shape the protocol promises
+    /// (missing terminator, malformed data line). The string names what
+    /// was expected.
+    Protocol(String),
+    /// The server answered with an `ERR ...` status; the string is the
+    /// server's message.
+    Server(String),
+    /// The request has no line-protocol encoding (whitespace or empty
+    /// value, `mothers_maiden`, places). Detected client-side before
+    /// anything is sent.
+    Unencodable(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(what) => write!(f, "malformed server response: {what}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Unencodable(what) => {
+                write!(f, "not expressible in the line protocol: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One `SHARD` row of a `STATS` response. Field-for-field the server's
+/// [`ShardStats`].
+pub type ShardRow = ShardStats;
+
+/// One `CMD` row of a `STATS` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandRow {
+    pub name: String,
+    pub count: u64,
+    pub errors: u64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+}
+
+/// A parsed `STATS` response: the store-wide aggregates from the status
+/// line plus the per-shard and per-command data rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    pub records: usize,
+    pub sources: usize,
+    pub matches: usize,
+    pub shards: usize,
+    pub wal_entries: usize,
+    pub wal_bytes: u64,
+    pub vocabulary: usize,
+    pub entity_maps: usize,
+    pub evictions: u64,
+    pub errors: u64,
+    pub shard_rows: Vec<ShardRow>,
+    pub commands: Vec<CommandRow>,
+}
+
+/// A connected protocol client. One request in flight at a time (the
+/// protocol is strictly request/response per connection).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a `yv serve` server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(read_half), writer: stream })
+    }
+
+    /// Run a `QUERY` and parse the hits.
+    pub fn query(&mut self, query: &PersonQuery) -> Result<Vec<QueryHit>, ClientError> {
+        let line = encode_query(query)?;
+        let (_, data) = self.exchange(&line)?;
+        data.iter().map(|line| parse_hit(line)).collect()
+    }
+
+    /// Run an `ADD`, returning the number of ranked matches the new
+    /// record produced.
+    pub fn add(&mut self, record: &Record) -> Result<usize, ClientError> {
+        let line = encode_add(record)?;
+        let (status, _) = self.exchange(&line)?;
+        status
+            .strip_prefix("OK matches=")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("expected OK matches=N, got {status:?}")))
+    }
+
+    /// Run `STATS` and parse the report.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        let (status, data) = self.exchange("STATS")?;
+        parse_stats(&status, &data)
+    }
+
+    /// Run `METRICS`, returning the Prometheus text exposition verbatim.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let (_, data) = self.exchange("METRICS")?;
+        let mut out = String::new();
+        for line in data {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Ask the server to fold its WALs into a fresh snapshot.
+    pub fn snapshot(&mut self) -> Result<(), ClientError> {
+        self.exchange("SNAPSHOT").map(|_| ())
+    }
+
+    /// Ask the server to shut down (it answers `OK bye` first).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.exchange("SHUTDOWN").map(|_| ())
+    }
+
+    /// One request/response exchange: send the line, read the status
+    /// line and data lines up to the terminator. `ERR` statuses become
+    /// [`ClientError::Server`].
+    fn exchange(&mut self, request: &str) -> Result<(String, Vec<String>), ClientError> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let status = self.read_line()?;
+        let mut data = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == TERMINATOR {
+                break;
+            }
+            data.push(line);
+        }
+        if let Some(msg) = status.strip_prefix("ERR ") {
+            return Err(ClientError::Server(msg.to_owned()));
+        }
+        if !status.starts_with("OK") {
+            return Err(ClientError::Protocol(format!(
+                "expected an OK or ERR status line, got {status:?}"
+            )));
+        }
+        Ok((status, data))
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-response".to_owned(),
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+/// Check a value is wire-safe (non-empty, no whitespace) and return it.
+fn wire_value<'a>(key: &str, value: &'a str) -> Result<&'a str, ClientError> {
+    if value.is_empty() {
+        return Err(ClientError::Unencodable(format!("{key} value is empty")));
+    }
+    if value.chars().any(char::is_whitespace) {
+        return Err(ClientError::Unencodable(format!(
+            "{key} value {value:?} contains whitespace"
+        )));
+    }
+    Ok(value)
+}
+
+fn push_kv(out: &mut String, key: &str, value: &str) -> Result<(), ClientError> {
+    out.push(' ');
+    out.push_str(key);
+    out.push('=');
+    out.push_str(wire_value(key, value)?);
+    Ok(())
+}
+
+/// Encode a query as a request line. Floats use plain `Display` (no
+/// fixed-precision truncation), which round-trips exactly through the
+/// server's `parse`.
+fn encode_query(query: &PersonQuery) -> Result<String, ClientError> {
+    let mut out = String::from("QUERY");
+    if let Some(first) = &query.first_name {
+        push_kv(&mut out, "first", first)?;
+    }
+    if let Some(last) = &query.last_name {
+        push_kv(&mut out, "last", last)?;
+    }
+    push_kv(&mut out, "similarity", &format!("{}", query.name_similarity))?;
+    push_kv(&mut out, "certainty", &format!("{}", query.certainty))?;
+    Ok(out)
+}
+
+/// Encode a record as an `ADD` line, or refuse with
+/// [`ClientError::Unencodable`] if the record holds anything the wire
+/// format cannot carry.
+fn encode_add(record: &Record) -> Result<String, ClientError> {
+    if record.mothers_maiden.is_some() {
+        return Err(ClientError::Unencodable(
+            "mothers_maiden has no ADD key".to_owned(),
+        ));
+    }
+    if record.places.iter().any(Option::is_some) {
+        return Err(ClientError::Unencodable("places have no ADD keys".to_owned()));
+    }
+    let mut out = String::from("ADD");
+    push_kv(&mut out, "book", &record.book_id.to_string())?;
+    push_kv(&mut out, "source", &record.source.0.to_string())?;
+    for first in &record.first_names {
+        push_kv(&mut out, "first", first)?;
+    }
+    for last in &record.last_names {
+        push_kv(&mut out, "last", last)?;
+    }
+    let scalars = [
+        ("maiden", &record.maiden_name),
+        ("father", &record.father_name),
+        ("mother", &record.mother_name),
+        ("spouse", &record.spouse_name),
+        ("profession", &record.profession),
+    ];
+    for (key, value) in scalars {
+        if let Some(value) = value {
+            push_kv(&mut out, key, value)?;
+        }
+    }
+    if let Some(gender) = record.gender {
+        let code = match gender {
+            Gender::Male => "m",
+            Gender::Female => "f",
+        };
+        push_kv(&mut out, "gender", code)?;
+    }
+    if let Some(day) = record.birth.day {
+        push_kv(&mut out, "day", &day.to_string())?;
+    }
+    if let Some(month) = record.birth.month {
+        push_kv(&mut out, "month", &month.to_string())?;
+    }
+    if let Some(year) = record.birth.year {
+        push_kv(&mut out, "year", &year.to_string())?;
+    }
+    Ok(out)
+}
+
+/// Parse one `HIT seed=N entity=A,B,C` data line.
+fn parse_hit(line: &str) -> Result<QueryHit, ClientError> {
+    let malformed = || ClientError::Protocol(format!("malformed HIT line {line:?}"));
+    let rest = line.strip_prefix("HIT seed=").ok_or_else(malformed)?;
+    let (seed, entity) = rest.split_once(" entity=").ok_or_else(malformed)?;
+    let seed = RecordId(seed.parse().map_err(|_| malformed())?);
+    let entity = entity
+        .split(',')
+        .map(|r| r.parse().map(RecordId))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|_| malformed())?;
+    Ok(QueryHit { seed, entity })
+}
+
+/// Pull `key=` out of a whitespace-tokenized line and parse it.
+fn field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, ClientError> {
+    let prefix = format!("{key}=");
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(&prefix))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("no {key}= field in {line:?}")))
+}
+
+/// Parse the `STATS` status line plus `SHARD` / `CMD` data rows.
+fn parse_stats(status: &str, data: &[String]) -> Result<StatsReport, ClientError> {
+    let mut report = StatsReport {
+        records: field(status, "records")?,
+        sources: field(status, "sources")?,
+        matches: field(status, "matches")?,
+        shards: field(status, "shards")?,
+        wal_entries: field(status, "wal")?,
+        wal_bytes: field(status, "wal_bytes")?,
+        vocabulary: field(status, "vocabulary")?,
+        entity_maps: field(status, "entity_maps")?,
+        evictions: field(status, "evictions")?,
+        errors: field(status, "errors")?,
+        ..StatsReport::default()
+    };
+    for line in data {
+        if let Some(rest) = line.strip_prefix("SHARD ") {
+            let shard = rest
+                .split_whitespace()
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ClientError::Protocol(format!("malformed SHARD line {line:?}")))?;
+            report.shard_rows.push(ShardRow {
+                shard,
+                records: field(line, "records")?,
+                vocabulary: field(line, "vocabulary")?,
+                postings: field(line, "postings")?,
+                wal_entries: field(line, "wal")?,
+                wal_bytes: field(line, "wal_bytes")?,
+            });
+        } else if let Some(rest) = line.strip_prefix("CMD ") {
+            let name = rest
+                .split_whitespace()
+                .next()
+                .ok_or_else(|| ClientError::Protocol(format!("malformed CMD line {line:?}")))?
+                .to_owned();
+            report.commands.push(CommandRow {
+                name,
+                count: field(line, "count")?,
+                errors: field(line, "errors")?,
+                mean_us: field(line, "mean_us")?,
+                p50_us: field(line, "p50_us")?,
+                p95_us: field(line, "p95_us")?,
+                p99_us: field(line, "p99_us")?,
+            });
+        } else {
+            return Err(ClientError::Protocol(format!(
+                "unexpected STATS data line {line:?}"
+            )));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+    use yv_records::{DateParts, RecordBuilder, SourceId};
+
+    #[test]
+    fn encoded_add_round_trips_through_the_server_parser() {
+        let record = RecordBuilder::new(99, SourceId(2))
+            .first_name("Sara")
+            .first_name("Sura")
+            .last_name("Levi")
+            .maiden_name("Roth")
+            .father_name("Moshe")
+            .mother_name("Rivka")
+            .spouse_name("David")
+            .profession("tailor")
+            .gender(Gender::Female)
+            .birth(DateParts::full(3, 7, 1921))
+            .build();
+        let line = encode_add(&record).expect("encodable");
+        let Ok(Request::Add(parsed)) = parse_request(&line) else {
+            panic!("server rejected {line:?}")
+        };
+        assert_eq!(*parsed, record);
+    }
+
+    #[test]
+    fn encoded_query_round_trips_through_the_server_parser() {
+        let query = PersonQuery {
+            first_name: Some("Guido".into()),
+            last_name: Some("Foa".into()),
+            name_similarity: 0.91,
+            certainty: 1.25,
+        };
+        let line = encode_query(&query).expect("encodable");
+        let Ok(Request::Query(parsed)) = parse_request(&line) else {
+            panic!("server rejected {line:?}")
+        };
+        assert_eq!(parsed.first_name, query.first_name);
+        assert_eq!(parsed.last_name, query.last_name);
+        assert!((parsed.name_similarity - query.name_similarity).abs() < 1e-12);
+        assert!((parsed.certainty - query.certainty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unencodable_records_are_refused_before_sending() {
+        let spaced = RecordBuilder::new(1, SourceId(0)).first_name("Sara Lea").build();
+        assert!(matches!(encode_add(&spaced), Err(ClientError::Unencodable(_))));
+
+        let empty = RecordBuilder::new(1, SourceId(0)).first_name("").build();
+        assert!(matches!(encode_add(&empty), Err(ClientError::Unencodable(_))));
+
+        let mut with_mm = RecordBuilder::new(1, SourceId(0)).first_name("Sara").build();
+        with_mm.mothers_maiden = Some("Katz".to_owned());
+        assert!(matches!(encode_add(&with_mm), Err(ClientError::Unencodable(_))));
+
+        let spaced_query =
+            PersonQuery { first_name: Some("Sara Lea".into()), ..PersonQuery::default() };
+        assert!(matches!(encode_query(&spaced_query), Err(ClientError::Unencodable(_))));
+    }
+
+    #[test]
+    fn hit_lines_parse() {
+        let hit = parse_hit("HIT seed=17 entity=17,203,5044").expect("well-formed");
+        assert_eq!(hit.seed, RecordId(17));
+        assert_eq!(hit.entity, vec![RecordId(17), RecordId(203), RecordId(5044)]);
+        assert!(parse_hit("HIT seed=17").is_err());
+        assert!(parse_hit("seed=17 entity=1").is_err());
+        assert!(parse_hit("HIT seed=x entity=1").is_err());
+    }
+
+    #[test]
+    fn stats_response_parses_shard_and_cmd_rows() {
+        let status = "OK records=7 sources=2 matches=9 shards=2 wal=1 wal_bytes=104 \
+                      vocabulary=13 entity_maps=1 evictions=0 errors=3";
+        let data = vec![
+            "SHARD 0 records=5 vocabulary=9 postings=11 wal=1 wal_bytes=104".to_owned(),
+            "SHARD 1 records=2 vocabulary=4 postings=4 wal=0 wal_bytes=0".to_owned(),
+            "CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64".to_owned(),
+        ];
+        let report = parse_stats(status, &data).expect("well-formed");
+        assert_eq!(report.records, 7);
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.wal_bytes, 104);
+        assert_eq!(report.errors, 3);
+        assert_eq!(report.shard_rows.len(), 2);
+        assert_eq!(report.shard_rows[1].shard, 1);
+        assert_eq!(report.shard_rows[0].postings, 11);
+        assert_eq!(report.commands.len(), 1);
+        assert_eq!(report.commands[0].name, "QUERY");
+        assert_eq!(report.commands[0].p95_us, 64);
+        assert!(parse_stats("OK records=7", &[]).is_err(), "missing fields rejected");
+    }
+}

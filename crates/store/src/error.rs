@@ -26,6 +26,14 @@ pub enum StoreError {
     /// A value to be encoded exceeds a format limit (e.g. a string or
     /// collection whose length does not fit the u32 prefix).
     LimitExceeded { what: &'static str, len: usize },
+    /// Merging the per-shard WALs left a hole in the global arrival
+    /// sequence: `missing_seq` was logged to `shard` (or lost with its
+    /// torn tail) but never made it to disk intact, while *later*
+    /// arrivals on other shards did. Record ids are assigned in sequence
+    /// order, so replaying past the hole would renumber every subsequent
+    /// record; the store refuses to open instead, naming the shard whose
+    /// log needs attention.
+    ShardWalGap { shard: usize, missing_seq: u64 },
 }
 
 impl fmt::Display for StoreError {
@@ -46,6 +54,14 @@ impl fmt::Display for StoreError {
             }
             StoreError::LimitExceeded { what, len } => {
                 write!(f, "{what} of length {len} exceeds the format's u32 limit")
+            }
+            StoreError::ShardWalGap { shard, missing_seq } => {
+                write!(
+                    f,
+                    "shard {shard} WAL lost arrival seq {missing_seq} (torn or truncated \
+                     tail) while later arrivals on other shards survived; refusing to \
+                     replay past the hole"
+                )
             }
         }
     }

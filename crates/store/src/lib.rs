@@ -7,45 +7,61 @@
 //! durable across restarts, queryable concurrently, and open to the
 //! Pages of Testimony that still arrive.
 //!
-//! Three pieces:
+//! The store is **sharded by name-hash**: records route to one of N
+//! shards by `fnv1a64(lowercase(last name)) % N` (see [`shard`]), each
+//! shard owning its own WAL file, snapshot segment and query index
+//! behind its own lock, so writers on distinct shards never contend.
+//! The pieces:
 //!
-//! - [`snapshot`] — one versioned, checksummed file holding the dataset,
-//!   ranked matches, trained ADT model and pipeline configuration
-//!   (hand-rolled binary, same philosophy as `yv_adt::persist`);
-//! - [`wal`] — a write-ahead log of incremental arrivals, appended before
-//!   each record is applied and replayed on restart;
+//! - [`shard`] — the routing function and the store manifest recording
+//!   the shard count (fixed at [`Store::create`]);
+//! - [`snapshot`] — versioned, checksummed files: one base snapshot
+//!   (sources, matches, trained ADT model, pipeline configuration) plus
+//!   one record segment per shard (hand-rolled binary, same philosophy
+//!   as `yv_adt::persist`);
+//! - [`wal`] — per-shard write-ahead logs of incremental arrivals, each
+//!   frame carrying its global arrival sequence number so restart can
+//!   merge the shard logs back into one deterministic order;
 //! - [`server`] — a line-protocol TCP front end over a shared [`Store`],
-//!   with a scoped worker pool, per-request metrics in a
+//!   with a scoped worker pool, per-request and per-shard metrics in a
 //!   [`yv_obs::MetricsRegistry`] (scraped via the `METRICS` command or a
 //!   `GET /metrics` sidecar listener), and optional slow-request JSON
-//!   logging — see [`ServeOptions`].
+//!   logging — see [`ServeOptions`];
+//! - [`client`] — a typed client for that protocol.
 //!
 //! ```no_run
 //! use std::net::TcpListener;
 //! use std::path::Path;
-//! use yv_store::{serve, Store};
+//! use yv_store::{ServeOptions, Store};
 //!
 //! let store = Store::open(Path::new("people.store"))?;
 //! let listener = TcpListener::bind("127.0.0.1:7878")?;
-//! // Serves until a client sends SHUTDOWN; flushes the WAL on the way out.
-//! let _store = serve(store, listener, 4)?;
+//! // Serves until a client sends SHUTDOWN; flushes the WALs on the way out.
+//! let _store = ServeOptions::new(store).workers(4).serve(listener)?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod client;
 pub mod codec;
 pub mod error;
 pub mod index;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use client::Client;
 pub use error::StoreError;
 pub use index::QueryIndex;
 pub use protocol::{CommandStats, Request};
-pub use server::{serve, serve_with, CommandMetrics, ServeOptions, ServerMetrics};
+#[allow(deprecated)]
+pub use server::{serve, serve_with};
+pub use server::{CommandMetrics, ServeOptions, ServerMetrics};
+pub use shard::{shard_of_name, shard_of_record, Manifest, ShardStats, MANIFEST_FILE, ROUTING_RULE};
 pub use store::{
-    Store, StoreStats, DEFAULT_ENTITY_MAP_CAPACITY, SNAPSHOT_FILE, WAL_FILE,
+    segment_file_name, wal_file_name, Store, StoreStats, DEFAULT_ENTITY_MAP_CAPACITY,
+    SNAPSHOT_FILE,
 };
-pub use wal::{Wal, WalEntry};
+pub use wal::{Wal, WalEntry, WalScan};

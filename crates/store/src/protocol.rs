@@ -15,7 +15,11 @@
 //! < OK matches=3
 //! < .
 //! > STATS
-//! < OK records=5000 sources=12 matches=10817 wal=1 wal_bytes=104 vocabulary=1943 ...
+//! < OK records=5000 sources=12 matches=10817 shards=4 wal=1 wal_bytes=104 vocabulary=1943 ...
+//! < SHARD 0 records=1290 vocabulary=522 postings=2581 wal=1 wal_bytes=104
+//! < SHARD 1 records=1244 vocabulary=489 postings=2487 wal=0 wal_bytes=0
+//! < SHARD 2 records=1267 vocabulary=501 postings=2530 wal=0 wal_bytes=0
+//! < SHARD 3 records=1199 vocabulary=431 postings=2399 wal=0 wal_bytes=0
 //! < CMD QUERY count=240 errors=0 mean_us=412 p50_us=256 p95_us=1024 p99_us=2048
 //! < CMD ADD count=12 errors=1 mean_us=95 p50_us=64 p95_us=256 p99_us=256
 //! < CMD SNAPSHOT count=1 errors=0 mean_us=5210 p50_us=8192 p95_us=8192 p99_us=8192
@@ -103,8 +107,15 @@ fn split_kv<'a>(token: &'a str, command: &str) -> Result<(&'a str, &'a str), Str
 
 fn parse_query(args: &[&str]) -> Result<PersonQuery, String> {
     let mut query = PersonQuery::default();
+    // Every QUERY key is single-valued, so a repeat is a client bug: the
+    // earlier value would be silently discarded and the client would get
+    // an answer to a question it didn't mean to ask. Reject instead.
+    let mut seen: Vec<&str> = Vec::new();
     for token in args {
         let (key, value) = split_kv(token, "QUERY")?;
+        if seen.contains(&key) {
+            return Err(format!("QUERY: duplicate key {key}"));
+        }
         match key {
             "first" => query.first_name = Some(value.to_owned()),
             "last" => query.last_name = Some(value.to_owned()),
@@ -112,6 +123,7 @@ fn parse_query(args: &[&str]) -> Result<PersonQuery, String> {
             "certainty" => query.certainty = parse_f64("certainty", value)?,
             other => return Err(format!("QUERY: unknown key {other}")),
         }
+        seen.push(key);
     }
     Ok(query)
 }
@@ -121,8 +133,18 @@ fn parse_add(args: &[&str]) -> Result<Record, String> {
     let mut source: Option<u32> = None;
     let mut builder: Option<RecordBuilder> = None;
     let mut pending: Vec<(String, String)> = Vec::new();
+    // `first` and `last` legitimately repeat (records carry name lists);
+    // every other ADD key is single-valued in the record schema, so a
+    // repeat would silently drop the earlier value. Reject those.
+    let mut seen: Vec<&str> = Vec::new();
     for token in args {
         let (key, value) = split_kv(token, "ADD")?;
+        if !matches!(key, "first" | "last") {
+            if seen.contains(&key) {
+                return Err(format!("ADD: duplicate key {key}"));
+            }
+            seen.push(key);
+        }
         match key {
             "book" => {
                 book = Some(value.parse().map_err(|_| format!("ADD: bad book id {value:?}"))?);
@@ -235,11 +257,22 @@ pub struct CommandStats {
     pub p99_us: u64,
 }
 
-/// Render the `STATS` response: the store-wide status line, one `CMD`
-/// data line per command kind, and the terminator.
+/// Render the `STATS` response: the store-wide status line, one `SHARD`
+/// data line per shard, one `CMD` data line per command kind, and the
+/// terminator.
 #[must_use]
-pub fn format_stats(status: &str, commands: &[CommandStats]) -> String {
+pub fn format_stats(
+    status: &str,
+    shards: &[crate::shard::ShardStats],
+    commands: &[CommandStats],
+) -> String {
     let mut out = format!("{status}\n");
+    for s in shards {
+        out.push_str(&format!(
+            "SHARD {} records={} vocabulary={} postings={} wal={} wal_bytes={}\n",
+            s.shard, s.records, s.vocabulary, s.postings, s.wal_entries, s.wal_bytes
+        ));
+    }
     for c in commands {
         out.push_str(&format!(
             "CMD {} count={} errors={} mean_us={} p50_us={} p95_us={} p99_us={}\n",
@@ -288,6 +321,41 @@ mod tests {
     fn add_requires_book_and_source() {
         assert!(parse_request("ADD first=Sara").is_err());
         assert!(parse_request("ADD book=1 first=Sara").is_err());
+    }
+
+    #[test]
+    fn duplicate_single_valued_keys_are_protocol_errors() {
+        // QUERY: every key is single-valued; last-wins used to silently
+        // answer a different question than the client asked.
+        for line in [
+            "QUERY first=Guido first=Moshe",
+            "QUERY last=Foa last=Foy",
+            "QUERY similarity=0.9 similarity=0.8",
+            "QUERY certainty=1.0 first=Guido certainty=0.5",
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains("duplicate key"), "{line}: {err}");
+        }
+        // ADD: scalar record fields reject repeats...
+        for line in [
+            "ADD book=1 book=2 source=0 first=Sara",
+            "ADD book=1 source=0 source=1 first=Sara",
+            "ADD book=1 source=0 gender=f gender=m",
+            "ADD book=1 source=0 maiden=Roth maiden=Katz",
+            "ADD book=1 source=0 year=1921 year=1922",
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains("duplicate key"), "{line}: {err}");
+        }
+        // ...while first/last repeat legitimately (records carry name
+        // lists).
+        let Ok(Request::Add(r)) =
+            parse_request("ADD book=1 source=0 first=Sara first=Sura last=Levi last=Lewi")
+        else {
+            panic!()
+        };
+        assert_eq!(r.first_names, vec!["Sara".to_owned(), "Sura".to_owned()]);
+        assert_eq!(r.last_names, vec!["Levi".to_owned(), "Lewi".to_owned()]);
     }
 
     #[test]
@@ -344,15 +412,35 @@ mod tests {
                 p99_us: 0,
             },
         ];
-        let rendered = format_stats("OK records=7", &rows);
+        let shards = [
+            crate::shard::ShardStats {
+                shard: 0,
+                records: 5,
+                vocabulary: 9,
+                postings: 11,
+                wal_entries: 1,
+                wal_bytes: 104,
+            },
+            crate::shard::ShardStats {
+                shard: 1,
+                records: 2,
+                vocabulary: 4,
+                postings: 4,
+                wal_entries: 0,
+                wal_bytes: 0,
+            },
+        ];
+        let rendered = format_stats("OK records=7", &shards, &rows);
         assert_eq!(
             rendered,
             "OK records=7\n\
+             SHARD 0 records=5 vocabulary=9 postings=11 wal=1 wal_bytes=104\n\
+             SHARD 1 records=2 vocabulary=4 postings=4 wal=0 wal_bytes=0\n\
              CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64\n\
              CMD ADD count=0 errors=1 mean_us=0 p50_us=0 p95_us=0 p99_us=0\n\
              .\n"
         );
-        assert_eq!(format_stats("OK records=7", &[]), "OK records=7\n.\n");
+        assert_eq!(format_stats("OK records=7", &[], &[]), "OK records=7\n.\n");
     }
 
     #[test]

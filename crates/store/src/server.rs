@@ -1,25 +1,42 @@
 //! Concurrent line-protocol server over a [`Store`].
 //!
 //! Architecture: the calling thread accepts connections and feeds them
-//! through a crossbeam channel to a scoped worker pool. Workers share the
-//! store behind a `parking_lot::RwLock` — queries and stats take the read
-//! lock (and run concurrently), arrivals and snapshots take the write
-//! lock. `SHUTDOWN` sets a flag and self-connects to unblock the
-//! acceptor(s); once the pool drains, the WAL is flushed into a fresh
-//! snapshot and the store is handed back to the caller.
+//! through a crossbeam channel to a scoped worker pool. Workers share
+//! the store as a plain `&Store` — the store's own per-shard and
+//! resolver locks (see [`Store`]) replace the whole-store `RwLock` an
+//! earlier design used, so `ADD`s routed to distinct shards overlap
+//! their WAL fsyncs instead of serializing. `SHUTDOWN` sets a flag and
+//! self-connects to unblock the acceptor(s); once the pool drains, the
+//! WALs are flushed into a fresh snapshot and the store is handed back
+//! to the caller.
+//!
+//! Configuration is the [`ServeOptions`] builder:
+//!
+//! ```no_run
+//! # use yv_store::{ServeOptions, Store};
+//! # use std::net::TcpListener;
+//! # let store = Store::open(std::path::Path::new("people.store"))?;
+//! let listener = TcpListener::bind("127.0.0.1:7878")?;
+//! let store = ServeOptions::new(store)
+//!     .workers(8)
+//!     .slow_us(5_000)
+//!     .serve(listener)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! Observability: every command kind registers its counters and latency
 //! histogram in a [`MetricsRegistry`], scraped two ways — the `METRICS`
-//! protocol command, and (via [`ServeOptions::metrics_listener`]) a
-//! sidecar TCP listener answering `GET /metrics` in plain HTTP/1.1 with
-//! the Prometheus text exposition, so a stock Prometheus scraper needs no
-//! protocol client. Requests slower than [`ServeOptions::slow_us`] are
+//! protocol command, and (via [`ServeOptions::metrics_listener`] or
+//! [`ServeOptions::metrics_addr`]) a sidecar TCP listener answering
+//! `GET /metrics` in plain HTTP/1.1 with the Prometheus text exposition,
+//! so a stock Prometheus scraper needs no protocol client. Per-shard
+//! gauges (`yv_shard_<i>_records` / `_postings` / `_wal_bytes`) expose
+//! the shard balance. Requests slower than [`ServeOptions::slow_us`] are
 //! logged as one JSON line each (see [`SlowLog`]).
 
 use crate::error::StoreError;
 use crate::protocol::{self, CommandStats, Request};
 use crate::store::Store;
-use parking_lot::RwLock;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -183,25 +200,99 @@ impl SlowLog {
     }
 }
 
-/// Knobs for [`serve_with`]. [`serve`] uses the defaults (no slow log, no
-/// scrape sidecar).
+/// Builder-style server configuration, owning the [`Store`] it will
+/// serve. Construct with [`ServeOptions::new`], chain the knobs, finish
+/// with [`ServeOptions::serve`]:
+///
+/// ```no_run
+/// # use yv_store::{ServeOptions, Store};
+/// # use std::net::TcpListener;
+/// # let store = Store::open(std::path::Path::new("people.store"))?;
+/// # let listener = TcpListener::bind("127.0.0.1:0")?;
+/// let store = ServeOptions::new(store).workers(4).serve(listener)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub struct ServeOptions {
-    /// Worker threads handling protocol connections (minimum 1).
-    pub workers: usize,
-    /// Log requests at or above this latency (microseconds) as JSON
-    /// lines; `None` disables slow logging.
-    pub slow_us: Option<u64>,
-    /// Already-bound sidecar listener answering `GET /metrics` with the
-    /// Prometheus text exposition over plain HTTP/1.1.
-    pub metrics_listener: Option<TcpListener>,
-    /// Sink for the slow-request log (stderr when `None`). Ignored unless
-    /// `slow_us` is set.
-    pub slow_log: Option<Box<dyn Write + Send>>,
+    store: Option<Store>,
+    workers: usize,
+    slow_us: Option<u64>,
+    metrics_listener: Option<TcpListener>,
+    metrics_addr: Option<SocketAddr>,
+    slow_log: Option<Box<dyn Write + Send>>,
 }
 
-impl Default for ServeOptions {
-    fn default() -> ServeOptions {
-        ServeOptions { workers: 4, slow_us: None, metrics_listener: None, slow_log: None }
+impl ServeOptions {
+    /// Start configuring a server over `store`, with the defaults: 4
+    /// workers, no slow log, no scrape sidecar.
+    #[must_use]
+    pub fn new(store: Store) -> ServeOptions {
+        ServeOptions {
+            store: Some(store),
+            workers: 4,
+            slow_us: None,
+            metrics_listener: None,
+            metrics_addr: None,
+            slow_log: None,
+        }
+    }
+
+    /// Worker threads handling protocol connections (minimum 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> ServeOptions {
+        self.workers = workers;
+        self
+    }
+
+    /// Log requests at or above this latency (microseconds) as JSON
+    /// lines (to stderr unless [`ServeOptions::slow_log`] overrides).
+    #[must_use]
+    pub fn slow_us(mut self, slow_us: u64) -> ServeOptions {
+        self.slow_us = Some(slow_us);
+        self
+    }
+
+    /// Bind the `GET /metrics` scrape sidecar to `addr` when serving
+    /// starts. For port-0 flows where the caller needs the bound port up
+    /// front, bind it yourself and use
+    /// [`ServeOptions::metrics_listener`] (which takes precedence).
+    #[must_use]
+    pub fn metrics_addr(mut self, addr: SocketAddr) -> ServeOptions {
+        self.metrics_addr = Some(addr);
+        self
+    }
+
+    /// Serve the `GET /metrics` scrape sidecar on an already-bound
+    /// listener.
+    #[must_use]
+    pub fn metrics_listener(mut self, listener: TcpListener) -> ServeOptions {
+        self.metrics_listener = Some(listener);
+        self
+    }
+
+    /// Redirect the slow-request log away from stderr. Ignored unless
+    /// [`ServeOptions::slow_us`] is set.
+    #[must_use]
+    pub fn slow_log(mut self, sink: Box<dyn Write + Send>) -> ServeOptions {
+        self.slow_log = Some(sink);
+        self
+    }
+
+    /// Serve the store on an already-bound listener until a client sends
+    /// `SHUTDOWN`. Returns the store after flushing the WALs into a
+    /// fresh snapshot, so the caller can keep using (or inspect) the
+    /// final state.
+    pub fn serve(self, listener: TcpListener) -> Result<Store, StoreError> {
+        let ServeOptions { store, workers, slow_us, metrics_listener, metrics_addr, slow_log } =
+            self;
+        let Some(store) = store else {
+            return Err(StoreError::Corrupt("ServeOptions has no store".into()));
+        };
+        let metrics_listener = match (metrics_listener, metrics_addr) {
+            (Some(l), _) => Some(l),
+            (None, Some(addr)) => Some(TcpListener::bind(addr)?),
+            (None, None) => None,
+        };
+        serve_inner(store, listener, workers, slow_us, metrics_listener, slow_log)
     }
 }
 
@@ -211,15 +302,16 @@ impl std::fmt::Debug for ServeOptions {
             .field("workers", &self.workers)
             .field("slow_us", &self.slow_us)
             .field("metrics_listener", &self.metrics_listener)
+            .field("metrics_addr", &self.metrics_addr)
             .field("slow_log", &self.slow_log.as_ref().map(|_| "<sink>"))
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
 /// Shared per-connection context, bundled so worker closures borrow one
 /// struct instead of six loose references.
 struct ServerCtx<'a> {
-    lock: &'a RwLock<Store>,
+    store: &'a Store,
     metrics: &'a ServerMetrics,
     clock: &'a MonotonicClock,
     shutdown: &'a AtomicBool,
@@ -230,27 +322,37 @@ struct ServerCtx<'a> {
     slow: Option<&'a SlowLog>,
 }
 
-/// Serve the store on an already-bound listener until a client sends
-/// `SHUTDOWN`. Returns the store after flushing the WAL into a fresh
-/// snapshot, so the caller can keep using (or inspect) the final state.
+/// Positional-argument shim for the builder.
+#[deprecated(note = "use ServeOptions::new(store).workers(n).serve(listener)")]
 pub fn serve(store: Store, listener: TcpListener, workers: usize) -> Result<Store, StoreError> {
-    serve_with(store, listener, ServeOptions { workers, ..ServeOptions::default() })
+    ServeOptions::new(store).workers(workers).serve(listener)
 }
 
-/// [`serve`] with the full option set: slow-request logging and the
-/// `GET /metrics` scrape sidecar.
+/// Shim for the old (store, listener, options) calling convention: folds
+/// `store` into `options` (replacing any store already there) and serves.
+#[deprecated(note = "fold the store into ServeOptions::new(store) and call .serve(listener)")]
 pub fn serve_with(
     store: Store,
     listener: TcpListener,
-    options: ServeOptions,
+    mut options: ServeOptions,
+) -> Result<Store, StoreError> {
+    options.store = Some(store);
+    options.serve(listener)
+}
+
+fn serve_inner(
+    store: Store,
+    listener: TcpListener,
+    workers: usize,
+    slow_us: Option<u64>,
+    metrics_listener: Option<TcpListener>,
+    slow_log: Option<Box<dyn Write + Send>>,
 ) -> Result<Store, StoreError> {
     let addr = listener.local_addr()?;
-    let ServeOptions { workers, slow_us, metrics_listener, slow_log } = options;
     let metrics_addr = match &metrics_listener {
         Some(l) => Some(l.local_addr()?),
         None => None,
     };
-    let lock = RwLock::new(store);
     let metrics = ServerMetrics::default();
     let clock = MonotonicClock::new();
     let shutdown = AtomicBool::new(false);
@@ -263,7 +365,7 @@ pub fn serve_with(
     let conn_ids = AtomicU64::new(0);
     let (tx, rx) = crossbeam::channel::unbounded::<(u64, TcpStream)>();
     let ctx = ServerCtx {
-        lock: &lock,
+        store: &store,
         metrics: &metrics,
         clock: &clock,
         shutdown: &shutdown,
@@ -313,36 +415,62 @@ pub fn serve_with(
         return Err(StoreError::Corrupt("a server worker panicked".into()));
     }
 
-    let mut store = lock.into_inner();
     store.snapshot()?;
     Ok(store)
 }
 
-/// Refresh the store and allocator gauges, then render the whole registry
-/// as Prometheus text exposition (format 0.0.4). Gauges are republished
-/// on every scrape, so the exposition always reflects the current store.
+/// Refresh the store, shard and allocator gauges, then render the whole
+/// registry as Prometheus text exposition (format 0.0.4). Gauges are
+/// republished on every scrape, so the exposition always reflects the
+/// current store.
 fn render_metrics(ctx: &ServerCtx<'_>) -> String {
-    let stats = ctx.lock.read().stats();
+    let stats = ctx.store.stats();
     let reg = &ctx.metrics.registry;
     reg.set_gauge("yv_store_records", "Records resident in the store", stats.records as u64);
     reg.set_gauge("yv_store_sources", "Sources registered", stats.sources as u64);
     reg.set_gauge("yv_store_matches", "Ranked matches resident", stats.matches as u64);
     reg.set_gauge(
         "yv_store_wal_entries",
-        "Arrivals pending in the WAL since the last snapshot",
+        "Arrivals pending in the WALs since the last snapshot",
         stats.wal_entries as u64,
     );
-    reg.set_gauge("yv_store_wal_bytes", "On-disk WAL size in bytes", stats.wal_bytes);
+    reg.set_gauge(
+        "yv_store_wal_bytes",
+        "On-disk WAL size in bytes, all shards",
+        stats.wal_bytes,
+    );
     reg.set_gauge(
         "yv_store_vocabulary",
-        "Distinct lowercased names in the query index",
+        "Distinct lowercased names in the query indexes",
         stats.vocabulary as u64,
     );
     reg.set_gauge(
         "yv_store_postings",
-        "Total posting entries in the query index",
+        "Total posting entries in the query indexes",
         stats.postings as u64,
     );
+    reg.set_gauge("yv_store_shards", "Shard count (fixed at create)", stats.shards.len() as u64);
+    // The registry has no label support (it renders plain name→value
+    // pairs deterministically), so per-shard gauges mangle the shard
+    // index into the metric name.
+    for s in &stats.shards {
+        let i = s.shard;
+        reg.set_gauge(
+            &format!("yv_shard_{i}_records"),
+            "Records routed to this shard",
+            s.records as u64,
+        );
+        reg.set_gauge(
+            &format!("yv_shard_{i}_postings"),
+            "Posting entries in this shard's query index",
+            s.postings as u64,
+        );
+        reg.set_gauge(
+            &format!("yv_shard_{i}_wal_bytes"),
+            "On-disk size of this shard's WAL in bytes",
+            s.wal_bytes,
+        );
+    }
     reg.set_gauge(
         "yv_store_entity_maps_cached",
         "Entity maps currently memoized",
@@ -440,12 +568,12 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                 protocol::format_status(&format!("ERR {msg}"))
             }
             Ok(Request::Query(query)) => {
-                let hits = ctx.lock.read().query(&query);
+                let hits = ctx.store.query(&query);
                 ctx.metrics.query.record(true, elapsed());
                 protocol::format_hits(&hits)
             }
             Ok(Request::Add(record)) => {
-                let outcome = ctx.lock.write().add_record(*record);
+                let outcome = ctx.store.add_record(*record);
                 ctx.metrics.add.record(outcome.is_ok(), elapsed());
                 match outcome {
                     Ok(matches) => {
@@ -455,17 +583,18 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                 }
             }
             Ok(Request::Stats) => {
-                let stats = ctx.lock.read().stats();
+                let stats = ctx.store.stats();
                 // Record before rendering so this request appears in its
                 // own CMD row.
                 ctx.metrics.stats.record(true, elapsed());
                 protocol::format_stats(
                     &format!(
-                        "OK records={} sources={} matches={} wal={} wal_bytes={} \
+                        "OK records={} sources={} matches={} shards={} wal={} wal_bytes={} \
                          vocabulary={} entity_maps={} evictions={} errors={}",
                         stats.records,
                         stats.sources,
                         stats.matches,
+                        stats.shards.len(),
                         stats.wal_entries,
                         stats.wal_bytes,
                         stats.vocabulary,
@@ -473,6 +602,7 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                         stats.entity_map_evictions,
                         ctx.metrics.errors(),
                     ),
+                    &stats.shards,
                     &ctx.metrics.command_stats(),
                 )
             }
@@ -483,7 +613,7 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                 protocol::format_metrics(&render_metrics(ctx))
             }
             Ok(Request::Snapshot) => {
-                let outcome = ctx.lock.write().snapshot();
+                let outcome = ctx.store.snapshot();
                 ctx.metrics.snapshot.record(outcome.is_ok(), elapsed());
                 match outcome {
                     Ok(()) => protocol::format_status("OK snapshot"),

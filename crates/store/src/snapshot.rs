@@ -1,49 +1,81 @@
-//! Versioned on-disk snapshot of the full serving state: dataset,
-//! accumulated ranked matches, trained ADT model and pipeline
-//! configuration, in one file.
+//! Versioned on-disk snapshot of the full serving state, split for the
+//! sharded store: one *base* file holding everything shard-independent
+//! (sources, ranked matches, trained ADT model, pipeline configuration,
+//! and the record count), plus one *segment* file per shard holding that
+//! shard's records with their global record ids.
 //!
-//! Layout (all integers little-endian):
+//! Base file (`snapshot.yvs`) layout, all integers little-endian:
 //!
 //! ```text
 //! 8 bytes   magic  "YVSTORE\0"
-//! u32       format version (currently 1)
+//! u32       format version (currently 2)
 //! u64       payload length in bytes
-//! payload   see below
+//! payload   sources, record count, ranked matches, ADT model text,
+//!           pipeline + incremental configuration
 //! u64       FNV-1a 64 checksum of the payload
 //! ```
 //!
-//! Payload: sources, records, ranked matches, the ADT model as the
-//! length-prefixed `yv-adt v1` text of [`yv_adt::persist`], then pipeline
-//! and incremental configuration. The encoding is deterministic (floats as
-//! IEEE bits, insertion-ordered collections), so re-snapshotting a loaded
-//! store reproduces the file byte for byte.
+//! Segment file (`snapshot.<shard>.yvs`) layout:
+//!
+//! ```text
+//! 8 bytes   magic  "YVSTSEG\0"
+//! u32       format version (currently 2)
+//! u64       payload length in bytes
+//! payload   u32 shard index, u32 entry count, then per entry:
+//!           u32 record id + codec-encoded record
+//! u64       FNV-1a 64 checksum of the payload
+//! ```
+//!
+//! The encoding is deterministic (floats as IEEE bits, insertion-ordered
+//! collections), so re-snapshotting a loaded store reproduces every file
+//! byte for byte — and [`state_bytes`] exposes the same determinism as a
+//! single canonical byte string covering the *whole* store state, which
+//! is how the shard-identity tests compare an N-shard store against a
+//! 1-shard control without caring how the records were partitioned.
 
 use crate::codec::{self, Reader, Writer};
 use crate::error::StoreError;
 use std::path::Path;
 use yv_blocking::{MfiBlocksConfig, ScoreFunction};
 use yv_core::{IncrementalConfig, IncrementalResolver, Pipeline, PipelineConfig, RankedMatch};
-use yv_records::{Dataset, RecordId};
+use yv_records::{Record, RecordId, Source};
 
-/// File magic: identifies a yv-store snapshot.
+/// File magic: identifies a yv-store base snapshot.
 pub const MAGIC: [u8; 8] = *b"YVSTORE\0";
-/// The snapshot format version this build reads and writes.
-pub const VERSION: u32 = 1;
+/// File magic: identifies a per-shard snapshot segment.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"YVSTSEG\0";
+/// The snapshot format version this build reads and writes. Version 1
+/// was a single monolithic file with the records inline.
+pub const VERSION: u32 = 2;
 
-/// Serialize a resolver's full state to snapshot bytes. Oversized
-/// collections (lengths past the u32 prefix) surface as typed errors.
-pub fn to_bytes(resolver: &IncrementalResolver) -> Result<Vec<u8>, StoreError> {
+/// The shard-independent half of a snapshot, as read back from the base
+/// file. Records live in the per-shard segments; `n_records` is recorded
+/// here so reassembly can verify the segments cover the dataset exactly.
+#[derive(Debug)]
+pub struct BaseSnapshot {
+    pub sources: Vec<Source>,
+    pub n_records: usize,
+    pub matches: Vec<RankedMatch>,
+    pub pipeline: Pipeline,
+    pub config: PipelineConfig,
+    pub inc: IncrementalConfig,
+}
+
+/// Serialize the shard-independent state to base-file bytes.
+pub fn base_to_bytes(resolver: &IncrementalResolver) -> Result<Vec<u8>, StoreError> {
     let mut p = Writer::new();
+    write_base_payload(&mut p, resolver)?;
+    Ok(frame(MAGIC, p.into_bytes()))
+}
+
+fn write_base_payload(p: &mut Writer, resolver: &IncrementalResolver) -> Result<(), StoreError> {
     let ds = resolver.dataset();
     let sources = ds.sources();
     p.u32(len_u32(sources.len(), "source count")?);
     for s in sources {
-        codec::write_source(&mut p, s)?;
+        codec::write_source(p, s)?;
     }
     p.u32(len_u32(ds.len(), "record count")?);
-    for rid in ds.record_ids() {
-        codec::write_record(&mut p, ds.record(rid))?;
-    }
     let matches = resolver.matches();
     p.u32(len_u32(matches.len(), "match count")?);
     for m in matches {
@@ -52,42 +84,59 @@ pub fn to_bytes(resolver: &IncrementalResolver) -> Result<Vec<u8>, StoreError> {
         p.f64(m.score);
     }
     p.str(&yv_adt::to_text(&resolver.pipeline().model))?;
-    write_pipeline_config(&mut p, resolver.config());
+    write_pipeline_config(p, resolver.config());
     let inc = resolver.inc_config();
     p.u64(inc.min_shared_items as u64);
     p.f64(inc.common_fraction);
+    Ok(())
+}
 
-    let payload = p.into_bytes();
+/// Serialize one shard's records (with their global record ids) to
+/// segment-file bytes. Entries must already be in ascending-rid order —
+/// that is the order the store iterates them in, and keeping the file in
+/// that order makes re-snapshotting byte-stable.
+pub fn segment_to_bytes(
+    shard: usize,
+    entries: &[(RecordId, &Record)],
+) -> Result<Vec<u8>, StoreError> {
+    let mut p = Writer::new();
+    p.u32(len_u32(shard, "shard index")?);
+    p.u32(len_u32(entries.len(), "segment entry count")?);
+    for (rid, record) in entries {
+        p.u32(rid.0);
+        codec::write_record(&mut p, record)?;
+    }
+    Ok(frame(SEGMENT_MAGIC, p.into_bytes()))
+}
+
+/// Wrap a payload in the magic/version/length/checksum frame shared by
+/// the base and segment formats.
+fn frame(magic: [u8; 8], payload: Vec<u8>) -> Vec<u8> {
     let mut out = Writer::new();
-    out_magic(&mut out);
+    for b in magic {
+        out.u8(b);
+    }
+    out.u32(VERSION);
     out.u64(payload.len() as u64);
     let checksum = codec::fnv1a64(&payload);
     let mut bytes = out.into_bytes();
     bytes.extend_from_slice(&payload);
     bytes.extend_from_slice(&checksum.to_le_bytes());
-    Ok(bytes)
+    bytes
 }
 
 fn len_u32(len: usize, what: &'static str) -> Result<u32, StoreError> {
     u32::try_from(len).map_err(|_| StoreError::LimitExceeded { what, len })
 }
 
-fn out_magic(w: &mut Writer) {
-    for b in MAGIC {
-        w.u8(b);
-    }
-    w.u32(VERSION);
-}
-
-/// Deserialize snapshot bytes back into a resolver. Rejects bad magic,
-/// unsupported versions and checksum mismatches with typed errors.
-pub fn from_bytes(bytes: &[u8]) -> Result<IncrementalResolver, StoreError> {
+/// Unwrap the magic/version/length/checksum frame, returning the payload.
+fn unframe<'a>(bytes: &'a [u8], magic: &[u8; 8]) -> Result<&'a [u8], StoreError> {
     let mut r = Reader::new(bytes);
-    let mut magic = [0u8; 8];
-    for slot in &mut magic {
+    let mut found = [0u8; 8];
+    for slot in &mut found {
         *slot = r.u8("magic")?;
     }
-    if magic != MAGIC {
+    if &found != magic {
         return Err(StoreError::BadMagic);
     }
     let version = r.u32("version")?;
@@ -109,32 +158,34 @@ pub fn from_bytes(bytes: &[u8]) -> Result<IncrementalResolver, StoreError> {
     if expected != actual {
         return Err(StoreError::ChecksumMismatch { expected, actual });
     }
+    if trailer.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after checksum",
+            trailer.remaining()
+        )));
+    }
+    Ok(payload)
+}
 
+/// Deserialize base-file bytes. Rejects bad magic, unsupported versions,
+/// checksum mismatches and matches referencing records beyond the
+/// declared count, all with typed errors.
+pub fn base_from_bytes(bytes: &[u8]) -> Result<BaseSnapshot, StoreError> {
+    let payload = unframe(bytes, &MAGIC)?;
     let mut p = Reader::new(payload);
     let n_sources = p.u32("source count")?;
-    let mut ds = Dataset::new();
+    let mut sources = Vec::with_capacity((n_sources as usize).min(p.remaining()));
     for _ in 0..n_sources {
-        ds.add_source(codec::read_source(&mut p)?);
+        sources.push(codec::read_source(&mut p)?);
     }
-    let n_records = p.u32("record count")?;
-    let n_sources = ds.sources().len();
-    for _ in 0..n_records {
-        let rec = codec::read_record(&mut p)?;
-        if rec.source.0 as usize >= n_sources {
-            return Err(StoreError::Corrupt(format!(
-                "record {} references unknown source {}",
-                rec.book_id, rec.source.0
-            )));
-        }
-        ds.add_record(rec);
-    }
+    let n_records = p.u32("record count")? as usize;
     let n_matches = p.u32("match count")?;
     let mut matches = Vec::with_capacity((n_matches as usize).min(p.remaining()));
     for _ in 0..n_matches {
         let a = RecordId(p.u32("match a")?);
         let b = RecordId(p.u32("match b")?);
         let score = p.f64("match score")?;
-        if a.index() >= ds.len() || b.index() >= ds.len() {
+        if a.index() >= n_records || b.index() >= n_records {
             return Err(StoreError::Corrupt(format!(
                 "match ({}, {}) references records beyond the dataset",
                 a.0, b.0
@@ -155,7 +206,55 @@ pub fn from_bytes(bytes: &[u8]) -> Result<IncrementalResolver, StoreError> {
             p.remaining()
         )));
     }
-    Ok(IncrementalResolver::from_parts(ds, Pipeline::with_model(model), config, inc, matches))
+    Ok(BaseSnapshot {
+        sources,
+        n_records,
+        matches,
+        pipeline: Pipeline::with_model(model),
+        config,
+        inc,
+    })
+}
+
+/// Deserialize segment-file bytes into the shard index it claims and its
+/// `(rid, record)` entries, in file order.
+pub fn segment_from_bytes(
+    bytes: &[u8],
+) -> Result<(usize, Vec<(RecordId, Record)>), StoreError> {
+    let payload = unframe(bytes, &SEGMENT_MAGIC)?;
+    let mut p = Reader::new(payload);
+    let shard = p.u32("shard index")? as usize;
+    let count = p.u32("segment entry count")?;
+    let mut entries = Vec::with_capacity((count as usize).min(p.remaining()));
+    for _ in 0..count {
+        let rid = RecordId(p.u32("record id")?);
+        let record = codec::read_record(&mut p)?;
+        entries.push((rid, record));
+    }
+    if p.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after segment payload",
+            p.remaining()
+        )));
+    }
+    Ok((shard, entries))
+}
+
+/// One canonical byte string covering the resolver's *entire* state:
+/// the base payload plus every record in ascending-rid order. Two stores
+/// hold identical logical state exactly when their `state_bytes` agree —
+/// regardless of how many shards each scattered its records across. This
+/// is the comparison the shard-identity property test and the ci smoke
+/// test are built on.
+pub fn state_bytes(resolver: &IncrementalResolver) -> Result<Vec<u8>, StoreError> {
+    let mut p = Writer::new();
+    write_base_payload(&mut p, resolver)?;
+    let ds = resolver.dataset();
+    for rid in ds.record_ids() {
+        p.u32(rid.0);
+        codec::write_record(&mut p, ds.record(rid))?;
+    }
+    Ok(p.into_bytes())
 }
 
 fn write_pipeline_config(w: &mut Writer, c: &PipelineConfig) {
@@ -226,18 +325,23 @@ fn bool_flag(v: u8, what: &str) -> Result<bool, StoreError> {
     }
 }
 
-/// Write a snapshot atomically: to a sibling temp file, then rename over
-/// the target, so a crash mid-write never leaves a torn snapshot behind.
-pub fn write_file(path: &Path, resolver: &IncrementalResolver) -> Result<(), StoreError> {
-    let bytes = to_bytes(resolver)?;
+/// Write bytes atomically: to a sibling temp file, then rename over the
+/// target, so a crash mid-write never leaves a torn file behind.
+pub fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, &bytes)?;
+    std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
-/// Load a snapshot file.
-pub fn read_file(path: &Path) -> Result<IncrementalResolver, StoreError> {
+/// Load and parse a base snapshot file.
+pub fn read_base_file(path: &Path) -> Result<BaseSnapshot, StoreError> {
     let bytes = std::fs::read(path)?;
-    from_bytes(&bytes)
+    base_from_bytes(&bytes)
+}
+
+/// Load and parse a segment file.
+pub fn read_segment_file(path: &Path) -> Result<(usize, Vec<(RecordId, Record)>), StoreError> {
+    let bytes = std::fs::read(path)?;
+    segment_from_bytes(&bytes)
 }

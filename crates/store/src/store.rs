@@ -1,30 +1,59 @@
 //! The persistent resolution store: an [`IncrementalResolver`] wrapped
-//! with durability (snapshot + WAL) and serving-speed lookups (name
-//! postings + per-threshold entity maps).
+//! with durability (snapshot + WAL), serving-speed lookups (name
+//! postings and per-threshold entity maps), and name-hash sharding so
+//! concurrent writers on distinct shards never contend on the
+//! durability path.
 //!
-//! Durability protocol: `create` writes a full snapshot and an empty WAL.
-//! Every arrival is appended to the WAL *before* it is applied in memory.
-//! `open` loads the snapshot and replays the WAL, reconstructing exactly
-//! the pre-crash state; `snapshot` folds the WAL into a fresh snapshot
-//! and truncates it.
+//! Sharding: the store is partitioned into N shards fixed at `create`
+//! time (see [`crate::shard::Manifest`]). Each shard owns its own query
+//! index, WAL file and snapshot segment behind a per-shard lock. A
+//! record belongs to the shard of its first last name
+//! ([`crate::shard::shard_of_record`]); sources — global, shard-less
+//! state — are logged to shard 0 by convention.
+//!
+//! Durability protocol: `create` writes a full snapshot (base + one
+//! segment per shard) and empty WALs. Every arrival takes a global
+//! arrival sequence number *under its shard's write lock*, is appended
+//! (and fsynced) to that shard's WAL — fsyncs on distinct shards run in
+//! parallel — and is then applied to the shared resolver strictly in
+//! sequence order (a condvar sequencer hands applies out in ticket
+//! order). `open` replays the shard WALs in parallel, merges the frames
+//! by sequence number, and refuses to open if the merge has a hole
+//! ([`StoreError::ShardWalGap`]): record ids are assigned in apply
+//! order, so replaying past a hole would renumber every later record. A
+//! torn tail on the globally *last* arrival is the ordinary
+//! crash-mid-append case and recovers cleanly. `snapshot` quiesces all
+//! shards, folds the WALs into fresh snapshot files and truncates them.
 
 use crate::error::StoreError;
 use crate::index::QueryIndex;
+use crate::shard::{self, Manifest, ShardStats};
 use crate::snapshot;
-use crate::wal::{self, Wal, WalEntry};
-use parking_lot::Mutex;
+use crate::wal::{Wal, WalEntry, WalScan};
+use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use yv_core::{
     EntityMap, IncrementalResolver, PersonQuery, QueryHit, RankedMatch, Resolution,
 };
 use yv_obs::Counter;
-use yv_records::{Dataset, Record, Source, SourceId};
+use yv_records::{Dataset, Record, RecordId, Source, SourceId};
 
-/// Snapshot file name inside a store directory.
+/// Base snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.yvs";
-/// WAL file name inside a store directory.
-pub const WAL_FILE: &str = "wal.yvl";
+
+/// Per-shard WAL file name inside a store directory.
+#[must_use]
+pub fn wal_file_name(shard: usize) -> String {
+    format!("wal.{shard}.yvl")
+}
+
+/// Per-shard snapshot segment file name inside a store directory.
+#[must_use]
+pub fn segment_file_name(shard: usize) -> String {
+    format!("snapshot.{shard}.yvs")
+}
 
 /// Default number of per-threshold entity maps kept memoized. Each map
 /// holds an entry per record, so an unbounded cache grows linearly in
@@ -32,28 +61,40 @@ pub const WAL_FILE: &str = "wal.yvl";
 /// than a handful of thresholds at once.
 pub const DEFAULT_ENTITY_MAP_CAPACITY: usize = 8;
 
-/// Point-in-time counters for `STATS`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Point-in-time counters for `STATS`: store-wide totals plus one
+/// [`ShardStats`] row per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreStats {
     pub records: usize,
     pub sources: usize,
     pub matches: usize,
-    /// Arrivals applied since the last snapshot (pending WAL entries).
+    /// Arrivals applied since the last snapshot (pending WAL entries,
+    /// summed over shards).
     pub wal_entries: usize,
-    /// On-disk WAL size in bytes (header plus complete frames).
+    /// On-disk WAL size in bytes, summed over shards.
     pub wal_bytes: u64,
-    /// Distinct lowercased names in the query index.
+    /// Distinct lowercased names, summed over shard indexes. A name
+    /// spanning shards counts once per shard holding it.
     pub vocabulary: usize,
-    /// Total posting entries in the query index.
+    /// Total posting entries, summed over shard indexes.
     pub postings: usize,
     /// Entity maps currently memoized (≤ the configured capacity).
     pub entity_maps_cached: usize,
-    /// Lifetime LRU evictions from the entity-map cache. Invalidation on
-    /// writes clears the cache without counting here.
+    /// Lifetime LRU evictions from the entity-map cache.
     pub entity_map_evictions: u64,
+    /// Per-shard breakdown, ascending by shard index.
+    pub shards: Vec<ShardStats>,
 }
 
-/// A bounded LRU of entity maps keyed by certainty-threshold bits.
+/// A bounded LRU of entity maps keyed by (write generation, certainty
+/// bits).
+///
+/// The generation component replaces the old clear-on-write
+/// invalidation: with queries and writes running concurrently under
+/// different locks, a clear could race a query that was already
+/// computing a map from pre-write state and re-inserting it *after* the
+/// clear. Keying by generation makes stale entries unreachable instead
+/// — they age out of the LRU naturally.
 ///
 /// Capacities are small (single digits), so recency is a sequence stamp
 /// per entry and eviction is a linear scan — no linked list needed.
@@ -61,7 +102,7 @@ pub struct StoreStats {
 struct EntityMapCache {
     capacity: usize,
     seq: u64,
-    entries: Vec<(u64, Arc<EntityMap>, u64)>,
+    entries: Vec<((u64, u64), Arc<EntityMap>, u64)>,
 }
 
 impl EntityMapCache {
@@ -69,7 +110,7 @@ impl EntityMapCache {
         EntityMapCache { capacity: capacity.max(1), seq: 0, entries: Vec::new() }
     }
 
-    fn get(&mut self, key: u64) -> Option<Arc<EntityMap>> {
+    fn get(&mut self, key: (u64, u64)) -> Option<Arc<EntityMap>> {
         self.seq += 1;
         let seq = self.seq;
         self.entries.iter_mut().find(|(k, _, _)| *k == key).map(|entry| {
@@ -80,7 +121,7 @@ impl EntityMapCache {
 
     /// Insert `map`, evicting the least-recently-used entry when full.
     /// Returns the number of evictions (0 or 1).
-    fn insert(&mut self, key: u64, map: Arc<EntityMap>) -> u64 {
+    fn insert(&mut self, key: (u64, u64), map: Arc<EntityMap>) -> u64 {
         self.seq += 1;
         if let Some(entry) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
             entry.1 = map;
@@ -104,99 +145,386 @@ impl EntityMapCache {
         evicted
     }
 
-    fn clear(&mut self) {
-        self.entries.clear();
-    }
-
     fn len(&self) -> usize {
         self.entries.len()
     }
 }
 
-/// A durable, queryable resolution store rooted at a directory.
+/// Hands the global arrival order out as tickets and serializes the
+/// in-memory applies behind it.
+///
+/// A writer takes its ticket *while holding its shard's write lock* (so
+/// sequence numbers within one WAL file are strictly increasing), does
+/// its WAL fsync — the part that parallelizes across shards — and then
+/// waits its turn to apply to the shared resolver. Because a shard's
+/// write lock admits one writer at a time, at most one ticket per shard
+/// is ever in flight, and the ticket a writer waits on is always held by
+/// a writer on a *different* shard that needs no lock the waiter holds:
+/// no deadlock. An errored writer must still consume its ticket
+/// ([`Sequencer::finish`]) or every later arrival stalls forever.
+///
+/// Built on `std::sync` because the workspace's vendored `parking_lot`
+/// stub has no condvar; poisoning is recovered (the protected state is a
+/// bare counter, always valid).
+#[derive(Debug)]
+struct Sequencer {
+    /// Next ticket to hand out.
+    next: AtomicU64,
+    /// Next ticket allowed to apply.
+    turn: StdMutex<u64>,
+    cv: Condvar,
+}
+
+impl Sequencer {
+    fn new(start: u64) -> Sequencer {
+        Sequencer { next: AtomicU64::new(start), turn: StdMutex::new(start), cv: Condvar::new() }
+    }
+
+    fn ticket(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn wait_turn(&self, ticket: u64) {
+        let mut turn = self.turn.lock().unwrap_or_else(PoisonError::into_inner);
+        while *turn != ticket {
+            turn = self.cv.wait(turn).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn finish(&self) {
+        let mut turn = self.turn.lock().unwrap_or_else(PoisonError::into_inner);
+        *turn += 1;
+        self.cv.notify_all();
+    }
+
+    /// Rewind after a snapshot truncated the WALs. Only sound while every
+    /// shard is quiesced (no ticket in flight).
+    fn reset(&self, to: u64) {
+        let mut turn = self.turn.lock().unwrap_or_else(PoisonError::into_inner);
+        self.next.store(to, Ordering::SeqCst);
+        *turn = to;
+    }
+}
+
+/// Everything one shard owns, behind its per-shard lock.
+#[derive(Debug)]
+struct ShardState {
+    wal: Wal,
+    index: QueryIndex,
+    /// Arrivals logged to this shard since the last snapshot.
+    wal_entries: usize,
+}
+
+/// A durable, queryable, sharded resolution store rooted at a directory.
+///
+/// All methods take `&self`: interior locks (per-shard + resolver)
+/// replace the old whole-store `RwLock<Store>`, so the server's workers
+/// share a plain reference and `ADD`s on distinct shards overlap their
+/// WAL fsyncs.
 #[derive(Debug)]
 pub struct Store {
-    resolver: IncrementalResolver,
-    index: QueryIndex,
-    wal: Wal,
+    resolver: RwLock<IncrementalResolver>,
+    shards: Vec<RwLock<ShardState>>,
+    seq: Sequencer,
     dir: PathBuf,
-    wal_entries: usize,
-    /// Ranked-match resolution, rebuilt lazily after writes.
-    resolution: Mutex<Option<Arc<Resolution>>>,
-    /// Bounded per-threshold entity-map memo, keyed by threshold bits.
+    /// Bumped under the resolver write lock on every applied write;
+    /// keys the resolution and entity-map caches.
+    generation: AtomicU64,
+    /// Ranked-match resolution memo for the generation that built it.
+    resolution: Mutex<Option<(u64, Arc<Resolution>)>>,
+    /// Bounded per-(generation, threshold) entity-map memo.
     entity_maps: Mutex<EntityMapCache>,
-    /// Lifetime LRU evictions (capacity pressure, not write invalidation).
+    /// Lifetime LRU evictions (capacity pressure).
     evictions: Counter,
+}
+
+/// Partition a dataset's records by shard, ascending rid within each.
+fn partition(ds: &Dataset, n_shards: usize) -> Vec<Vec<(RecordId, &Record)>> {
+    let mut parts: Vec<Vec<(RecordId, &Record)>> = vec![Vec::new(); n_shards];
+    for rid in ds.record_ids() {
+        let record = ds.record(rid);
+        parts[shard::shard_of_record(record, n_shards)].push((rid, record));
+    }
+    parts
+}
+
+/// Write the full snapshot file set: per-shard segments first, base
+/// last, each atomically. The base file doubles as the commit marker —
+/// `open` validates segment coverage against its record count, so a
+/// crash mid-way leaves a detectably inconsistent (not silently wrong)
+/// directory.
+fn write_snapshot_files(
+    dir: &Path,
+    resolver: &IncrementalResolver,
+    n_shards: usize,
+) -> Result<(), StoreError> {
+    for (s, entries) in partition(resolver.dataset(), n_shards).iter().enumerate() {
+        let bytes = snapshot::segment_to_bytes(s, entries)?;
+        snapshot::write_atomically(&dir.join(segment_file_name(s)), &bytes)?;
+    }
+    let base = snapshot::base_to_bytes(resolver)?;
+    snapshot::write_atomically(&dir.join(SNAPSHOT_FILE), &base)?;
+    Ok(())
+}
+
+/// What one shard contributes to `open`, loaded in parallel.
+struct ShardLoad {
+    index: QueryIndex,
+    records: Vec<(RecordId, Record)>,
+    scan: WalScan,
+}
+
+/// Load one shard's segment and WAL (the parallel part of `open`).
+fn load_shard(dir: &Path, s: usize) -> Result<ShardLoad, StoreError> {
+    let (claimed, records) = snapshot::read_segment_file(&dir.join(segment_file_name(s)))?;
+    if claimed != s {
+        return Err(StoreError::Corrupt(format!(
+            "segment file {} claims shard {claimed}",
+            segment_file_name(s)
+        )));
+    }
+    let mut index = QueryIndex::default();
+    let mut prev: Option<RecordId> = None;
+    for (rid, record) in &records {
+        if prev.is_some_and(|p| p >= *rid) {
+            return Err(StoreError::Corrupt(format!(
+                "shard {s} segment records out of order at rid {}",
+                rid.0
+            )));
+        }
+        prev = Some(*rid);
+        index.add_record(*rid, record);
+    }
+    let wal_path = dir.join(wal_file_name(s));
+    if !wal_path.exists() {
+        return Err(StoreError::Corrupt(format!(
+            "shard {s} WAL ({}) is missing",
+            wal_file_name(s)
+        )));
+    }
+    let scan = crate::wal::scan_file(&wal_path)?;
+    Ok(ShardLoad { index, records, scan })
 }
 
 impl Store {
     /// Initialize a store directory from a bootstrapped resolver: writes
-    /// the initial snapshot and an empty WAL.
-    pub fn create(dir: &Path, resolver: IncrementalResolver) -> Result<Store, StoreError> {
+    /// the manifest, the initial snapshot (base + `shards` segments) and
+    /// one empty WAL per shard.
+    pub fn create(
+        dir: &Path,
+        resolver: IncrementalResolver,
+        shards: usize,
+    ) -> Result<Store, StoreError> {
+        let manifest = Manifest::new(shards)?;
         std::fs::create_dir_all(dir)?;
-        snapshot::write_file(&dir.join(SNAPSHOT_FILE), &resolver)?;
-        let wal = Wal::create(&dir.join(WAL_FILE))?;
-        let index = QueryIndex::build(resolver.dataset());
+        write_snapshot_files(dir, &resolver, shards)?;
+        manifest.write(dir)?;
+        let mut shard_states = Vec::with_capacity(shards);
+        let parts = partition(resolver.dataset(), shards);
+        for (s, entries) in parts.iter().enumerate() {
+            let wal = Wal::create(&dir.join(wal_file_name(s)))?;
+            let mut index = QueryIndex::default();
+            for (rid, record) in entries {
+                index.add_record(*rid, record);
+            }
+            shard_states.push(RwLock::new(ShardState { wal, index, wal_entries: 0 }));
+        }
         Ok(Store {
-            resolver,
-            index,
-            wal,
+            resolver: RwLock::new(resolver),
+            shards: shard_states,
+            seq: Sequencer::new(0),
             dir: dir.to_path_buf(),
-            wal_entries: 0,
+            generation: AtomicU64::new(0),
             resolution: Mutex::new(None),
             entity_maps: Mutex::new(EntityMapCache::new(DEFAULT_ENTITY_MAP_CAPACITY)),
             evictions: Counter::new(),
         })
     }
 
-    /// Open an existing store directory: load the snapshot, replay the
-    /// WAL over it, and position the WAL for further appends.
+    /// Open an existing store directory: load the manifest and base
+    /// snapshot, load every shard's segment and WAL in parallel, merge
+    /// the WAL frames back into global arrival order, replay them, and
+    /// position the WALs for further appends.
     pub fn open(dir: &Path) -> Result<Store, StoreError> {
         let snap_path = dir.join(SNAPSHOT_FILE);
         if !snap_path.exists() {
             return Err(StoreError::MissingSnapshot(dir.to_path_buf()));
         }
-        let mut resolver = snapshot::read_file(&snap_path)?;
-        let wal_path = dir.join(WAL_FILE);
-        let entries = if wal_path.exists() { wal::replay(&wal_path)? } else { Vec::new() };
-        let wal_entries = entries.len();
-        for entry in entries {
+        let manifest = Manifest::read(dir)?;
+        let n_shards = manifest.shards;
+        let base = snapshot::read_base_file(&snap_path)?;
+
+        // Parallel phase: segment read + index build + WAL scan per shard.
+        let mut loads: Vec<Option<Result<ShardLoad, StoreError>>> =
+            (0..n_shards).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (s, slot) in loads.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    *slot = Some(load_shard(dir, s));
+                });
+            }
+        });
+        // Surface errors in shard order, so a multi-shard failure reports
+        // deterministically.
+        let mut shard_loads = Vec::with_capacity(n_shards);
+        for (s, slot) in loads.into_iter().enumerate() {
+            match slot {
+                Some(Ok(load)) => shard_loads.push(load),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(StoreError::Corrupt(format!("shard {s} loader panicked")))
+                }
+            }
+        }
+
+        // Reassemble the dataset: segments must cover 0..n_records
+        // exactly, each record in the shard its name routes to.
+        let mut slots: Vec<Option<Record>> = (0..base.n_records).map(|_| None).collect();
+        for (s, load) in shard_loads.iter_mut().enumerate() {
+            for (rid, record) in load.records.drain(..) {
+                if shard::shard_of_record(&record, n_shards) != s {
+                    return Err(StoreError::Corrupt(format!(
+                        "record {} (rid {}) found in shard {s} segment but routes elsewhere",
+                        record.book_id, rid.0
+                    )));
+                }
+                let slot = slots.get_mut(rid.index()).ok_or_else(|| {
+                    StoreError::Corrupt(format!(
+                        "segment record id {} beyond declared count {}",
+                        rid.0, base.n_records
+                    ))
+                })?;
+                if slot.replace(record).is_some() {
+                    return Err(StoreError::Corrupt(format!(
+                        "record id {} appears in more than one segment",
+                        rid.0
+                    )));
+                }
+            }
+        }
+        let mut ds = Dataset::new();
+        for source in base.sources {
+            ds.add_source(source);
+        }
+        let n_sources = ds.sources().len();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let record = slot.ok_or_else(|| {
+                StoreError::Corrupt(format!("no segment carries record id {i}"))
+            })?;
+            if record.source.index() >= n_sources {
+                return Err(StoreError::Corrupt(format!(
+                    "record {} references unknown source {}",
+                    record.book_id, record.source.0
+                )));
+            }
+            ds.add_record(record);
+        }
+        let mut resolver =
+            IncrementalResolver::from_parts(ds, base.pipeline, base.config, base.inc, base.matches);
+
+        // Merge the shard WALs back into global arrival order and demand
+        // the sequence is gapless from 0 — see [`StoreError::ShardWalGap`].
+        let mut merged: Vec<(u64, usize, WalEntry)> = Vec::new();
+        for (s, load) in shard_loads.iter_mut().enumerate() {
+            for (seq, entry) in load.scan.entries.drain(..) {
+                merged.push((seq, s, entry));
+            }
+        }
+        merged.sort_by_key(|(seq, _, _)| *seq);
+        for (expected, (seq, _, _)) in merged.iter().enumerate() {
+            let expected = expected as u64;
+            match seq.cmp(&expected) {
+                std::cmp::Ordering::Equal => {}
+                std::cmp::Ordering::Less => {
+                    return Err(StoreError::Corrupt(format!(
+                        "arrival seq {seq} appears in more than one WAL frame"
+                    )))
+                }
+                std::cmp::Ordering::Greater => {
+                    // A hole. Blame the shard that demonstrably lost its
+                    // tail; without one, the loss is unattributable.
+                    let torn =
+                        shard_loads.iter().position(|l| l.scan.torn).ok_or_else(|| {
+                            StoreError::Corrupt(format!(
+                                "WAL merge is missing arrival seq {expected} and no shard \
+                                 has a torn tail"
+                            ))
+                        })?;
+                    return Err(StoreError::ShardWalGap {
+                        shard: torn,
+                        missing_seq: expected,
+                    });
+                }
+            }
+        }
+
+        // Replay in arrival order, re-deriving each record's id exactly
+        // as the original apply did.
+        let wal_entries_total = merged.len() as u64;
+        let mut wal_entries_per_shard = vec![0usize; n_shards];
+        for (_, s, entry) in merged {
+            wal_entries_per_shard[s] += 1;
             match entry {
                 WalEntry::Source(source) => {
+                    if s != 0 {
+                        return Err(StoreError::Corrupt(format!(
+                            "source frame in shard {s} WAL; sources are logged to shard 0"
+                        )));
+                    }
                     resolver.add_source(source);
                 }
                 WalEntry::Record(record) => {
+                    if shard::shard_of_record(&record, n_shards) != s {
+                        return Err(StoreError::Corrupt(format!(
+                            "WAL record {} found in shard {s} but routes elsewhere",
+                            record.book_id
+                        )));
+                    }
                     if record.source.index() >= resolver.dataset().sources().len() {
                         return Err(StoreError::Corrupt(format!(
                             "WAL record {} references unknown source {}",
                             record.book_id, record.source.0
                         )));
                     }
+                    let rid = RecordId(resolver.len() as u32);
                     resolver.insert(*record);
+                    shard_loads[s].index.add_record(rid, resolver.dataset().record(rid));
                 }
             }
         }
-        let wal = if wal_path.exists() {
-            Wal::open(&wal_path)?
-        } else {
-            Wal::create(&wal_path)?
-        };
-        let index = QueryIndex::build(resolver.dataset());
+
+        let mut shard_states = Vec::with_capacity(n_shards);
+        for (s, load) in shard_loads.into_iter().enumerate() {
+            // `Wal::open` truncates any torn tail, so the next append
+            // lands after the last complete frame.
+            let wal = Wal::open(&dir.join(wal_file_name(s)))?;
+            shard_states.push(RwLock::new(ShardState {
+                wal,
+                index: load.index,
+                wal_entries: wal_entries_per_shard[s],
+            }));
+        }
         Ok(Store {
-            resolver,
-            index,
-            wal,
+            resolver: RwLock::new(resolver),
+            shards: shard_states,
+            seq: Sequencer::new(wal_entries_total),
             dir: dir.to_path_buf(),
-            wal_entries,
+            generation: AtomicU64::new(0),
             resolution: Mutex::new(None),
             entity_maps: Mutex::new(EntityMapCache::new(DEFAULT_ENTITY_MAP_CAPACITY)),
             evictions: Counter::new(),
         })
     }
 
+    /// Number of shards, fixed at `create` time.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Bound the entity-map memo to `capacity` entries (minimum 1).
     /// Shrinking below the current population evicts oldest-first.
-    pub fn set_entity_map_capacity(&mut self, capacity: usize) {
+    pub fn set_entity_map_capacity(&self, capacity: usize) {
         let mut cache = self.entity_maps.lock();
         cache.capacity = capacity.max(1);
         while cache.len() > cache.capacity {
@@ -213,111 +541,204 @@ impl Store {
         }
     }
 
-    /// The growing dataset.
-    #[must_use]
-    pub fn dataset(&self) -> &Dataset {
-        self.resolver.dataset()
+    /// Run `f` against the growing dataset, under the resolver read
+    /// lock. (References cannot escape the lock, hence the closure.)
+    pub fn with_dataset<R>(&self, f: impl FnOnce(&Dataset) -> R) -> R {
+        f(self.resolver.read().dataset())
     }
 
-    /// The underlying resolver.
-    #[must_use]
-    pub fn resolver(&self) -> &IncrementalResolver {
-        &self.resolver
+    /// Run `f` against the underlying resolver, under the read lock.
+    pub fn with_resolver<R>(&self, f: impl FnOnce(&IncrementalResolver) -> R) -> R {
+        f(&self.resolver.read())
     }
 
     #[must_use]
     pub fn stats(&self) -> StoreStats {
+        let (records, sources, matches) = {
+            let r = self.resolver.read();
+            (r.len(), r.dataset().sources().len(), r.matches().len())
+        };
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (i, s) in self.shards.iter().enumerate() {
+            let s = s.read();
+            shards.push(ShardStats {
+                shard: i,
+                records: s.index.len(),
+                vocabulary: s.index.vocabulary_size(),
+                postings: s.index.postings(),
+                wal_entries: s.wal_entries,
+                wal_bytes: s.wal.bytes(),
+            });
+        }
         StoreStats {
-            records: self.resolver.len(),
-            sources: self.resolver.dataset().sources().len(),
-            matches: self.resolver.matches().len(),
-            wal_entries: self.wal_entries,
-            wal_bytes: self.wal.bytes(),
-            vocabulary: self.index.vocabulary_size(),
-            postings: self.index.postings(),
+            records,
+            sources,
+            matches,
+            wal_entries: shards.iter().map(|s| s.wal_entries).sum(),
+            wal_bytes: shards.iter().map(|s| s.wal_bytes).sum(),
+            vocabulary: shards.iter().map(|s| s.vocabulary).sum(),
+            postings: shards.iter().map(|s| s.postings).sum(),
             entity_maps_cached: self.entity_maps.lock().len(),
             entity_map_evictions: self.evictions.get(),
+            shards,
         }
     }
 
-    /// Register an arriving source, durably (WAL first).
-    pub fn add_source(&mut self, source: Source) -> Result<SourceId, StoreError> {
-        self.wal.append_source(&source)?;
-        self.wal_entries += 1;
-        Ok(self.resolver.add_source(source))
+    /// Register an arriving source, durably (WAL first). Sources are
+    /// global state and serialize through shard 0's lock and WAL.
+    pub fn add_source(&self, source: Source) -> Result<SourceId, StoreError> {
+        let mut shard = self.shards[0].write();
+        let ticket = self.seq.ticket();
+        let logged = shard.wal.append_source(ticket, &source);
+        self.seq.wait_turn(ticket);
+        let outcome = match logged {
+            Err(e) => Err(e),
+            Ok(()) => {
+                shard.wal_entries += 1;
+                let mut resolver = self.resolver.write();
+                let id = resolver.add_source(source);
+                self.generation.fetch_add(1, Ordering::SeqCst);
+                Ok(id)
+            }
+        };
+        self.seq.finish();
+        outcome
     }
 
     /// Apply one arriving record, durably (WAL first); returns the new
     /// ranked matches it produced. Unknown sources are a typed error, not
     /// a panic, because arrivals come over the wire.
-    pub fn add_record(&mut self, record: Record) -> Result<Vec<RankedMatch>, StoreError> {
-        if record.source.index() >= self.resolver.dataset().sources().len() {
-            return Err(StoreError::Corrupt(format!(
-                "record {} references unknown source {}",
-                record.book_id, record.source.0
-            )));
+    ///
+    /// Concurrency: only the owning shard's write lock is held across
+    /// the WAL fsync, so arrivals routed to distinct shards overlap
+    /// their disk waits; the in-memory applies then run one at a time in
+    /// ticket order, keeping record-id assignment identical to a
+    /// single-threaded arrival stream.
+    pub fn add_record(&self, record: Record) -> Result<Vec<RankedMatch>, StoreError> {
+        {
+            let resolver = self.resolver.read();
+            if record.source.index() >= resolver.dataset().sources().len() {
+                return Err(StoreError::Corrupt(format!(
+                    "record {} references unknown source {}",
+                    record.book_id, record.source.0
+                )));
+            }
         }
-        self.wal.append_record(&record)?;
-        self.wal_entries += 1;
-        let rid = yv_records::RecordId(self.resolver.len() as u32);
-        let matches = self.resolver.insert(record);
-        self.index.add_record(rid, self.resolver.dataset().record(rid));
-        *self.resolution.lock() = None;
-        self.entity_maps.lock().clear();
-        Ok(matches)
+        let s = shard::shard_of_record(&record, self.shards.len());
+        let mut shard = self.shards[s].write();
+        let ticket = self.seq.ticket();
+        let logged = shard.wal.append_record(ticket, &record);
+        self.seq.wait_turn(ticket);
+        // Even a failed append must consume its ticket, or every later
+        // arrival waits forever.
+        let outcome = match logged {
+            Err(e) => Err(e),
+            Ok(()) => {
+                shard.wal_entries += 1;
+                let mut resolver = self.resolver.write();
+                let rid = RecordId(resolver.len() as u32);
+                let matches = resolver.insert(record);
+                shard.index.add_record(rid, resolver.dataset().record(rid));
+                self.generation.fetch_add(1, Ordering::SeqCst);
+                Ok(matches)
+            }
+        };
+        self.seq.finish();
+        outcome
     }
 
-    /// The current resolution, cached until the next write.
+    /// The current resolution and the write generation it reflects,
+    /// memoized per generation.
+    fn resolution_at(&self) -> (u64, Arc<Resolution>) {
+        let mut cached = self.resolution.lock();
+        let generation = self.generation.load(Ordering::SeqCst);
+        if let Some((cached_gen, r)) = cached.as_ref() {
+            if *cached_gen == generation {
+                return (generation, Arc::clone(r));
+            }
+        }
+        let resolver = self.resolver.read();
+        // Re-read under the resolver lock: the generation only moves
+        // under the resolver *write* lock, so this value is pinned for
+        // as long as we hold the read lock — the memo key is honest.
+        let generation = self.generation.load(Ordering::SeqCst);
+        let fresh = Arc::new(resolver.resolution());
+        *cached = Some((generation, Arc::clone(&fresh)));
+        (generation, fresh)
+    }
+
+    /// The current resolution, memoized until the next applied write.
     #[must_use]
     pub fn resolution(&self) -> Arc<Resolution> {
-        let mut cached = self.resolution.lock();
-        if let Some(r) = cached.as_ref() {
-            return Arc::clone(r);
-        }
-        let fresh = Arc::new(self.resolver.resolution());
-        *cached = Some(Arc::clone(&fresh));
-        fresh
+        self.resolution_at().1
     }
 
-    /// The entity map at a certainty threshold, memoized until the next
-    /// write (keyed by the threshold's bit pattern). The memo is a small
-    /// LRU — see [`DEFAULT_ENTITY_MAP_CAPACITY`] and
+    /// The entity map at a certainty threshold, memoized per (write
+    /// generation, threshold bits). The memo is a small LRU — see
+    /// [`DEFAULT_ENTITY_MAP_CAPACITY`] and
     /// [`Store::set_entity_map_capacity`]; evictions are counted in
     /// [`StoreStats::entity_map_evictions`].
     #[must_use]
     pub fn entity_map(&self, certainty: f64) -> Arc<EntityMap> {
-        let key = certainty.to_bits();
+        let (generation, resolution) = self.resolution_at();
+        let key = (generation, certainty.to_bits());
         if let Some(m) = self.entity_maps.lock().get(key) {
             return m;
         }
-        let fresh = Arc::new(self.resolution().entity_map(certainty));
+        let fresh = Arc::new(resolution.entity_map(certainty));
         self.evictions.add(self.entity_maps.lock().insert(key, Arc::clone(&fresh)));
         fresh
     }
 
-    /// Answer a person query through the index — same hits, same order,
+    /// Answer a person query: fan the seed lookup out over every shard's
+    /// index, merge deterministically (ascending [`RecordId`]; shards
+    /// hold disjoint records, so the merge is a sort, not a dedup), then
+    /// expand each seed through the entity map — same hits, same order,
     /// as `PersonQuery::run` over the full dataset.
     #[must_use]
     pub fn query(&self, query: &PersonQuery) -> Vec<QueryHit> {
+        let mut seeds: Vec<RecordId> = Vec::new();
+        for shard in &self.shards {
+            seeds.extend(shard.read().index.seeds(query));
+        }
+        seeds.sort_unstable();
         let entity_map = self.entity_map(query.certainty);
-        self.index
-            .seeds(query)
+        seeds
             .into_iter()
             .map(|seed| QueryHit {
                 seed,
                 entity: entity_map
                     .entity_of(seed)
-                    .map_or_else(|| vec![seed], <[yv_records::RecordId]>::to_vec),
+                    .map_or_else(|| vec![seed], <[RecordId]>::to_vec),
             })
             .collect()
     }
 
-    /// Fold the WAL into a fresh snapshot and truncate it.
-    pub fn snapshot(&mut self) -> Result<(), StoreError> {
-        snapshot::write_file(&self.dir.join(SNAPSHOT_FILE), &self.resolver)?;
-        self.wal = Wal::create(&self.dir.join(WAL_FILE))?;
-        self.wal_entries = 0;
+    /// Fold the WALs into a fresh snapshot file set and truncate them.
+    ///
+    /// Quiesce protocol: take every shard's write lock in ascending
+    /// order (writers hold their shard lock from ticket to apply, so
+    /// once all locks are held no arrival is in flight anywhere), write
+    /// segments + base, truncate each WAL, rewind the sequencer.
+    pub fn snapshot(&self) -> Result<(), StoreError> {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        let resolver = self.resolver.read();
+        write_snapshot_files(&self.dir, &resolver, guards.len())?;
+        for (s, guard) in guards.iter_mut().enumerate() {
+            guard.wal = Wal::create(&self.dir.join(wal_file_name(s)))?;
+            guard.wal_entries = 0;
+        }
+        self.seq.reset(0);
         Ok(())
+    }
+
+    /// One canonical byte string covering the store's entire logical
+    /// state — see [`snapshot::state_bytes`]. Two stores are
+    /// byte-identical here exactly when they hold the same records (in
+    /// the same arrival order), matches, model and configuration,
+    /// *regardless of shard count*.
+    pub fn state_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        snapshot::state_bytes(&self.resolver.read())
     }
 
     /// The store's root directory.

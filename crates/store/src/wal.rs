@@ -1,26 +1,36 @@
-//! Write-ahead log of incremental arrivals.
+//! Write-ahead log of incremental arrivals — one log per shard.
 //!
 //! Every `ADD` is appended (and flushed) here *before* it is applied to
 //! the in-memory resolver, so a crash between append and apply replays
-//! the arrival on restart instead of losing it. `SNAPSHOT` folds the log
-//! into a fresh snapshot and truncates it.
+//! the arrival on restart instead of losing it. `SNAPSHOT` folds the logs
+//! into a fresh snapshot and truncates them.
+//!
+//! Since the store is sharded, arrivals scatter across N WAL files
+//! (`wal.<shard>.yvl`), so each frame carries the arrival's *global
+//! sequence number*: the position the arrival held in the store-wide
+//! apply order. Replaying a sharded store merges every shard's frames
+//! back into that order by sorting on `seq` — and because record ids are
+//! assigned in apply order, the merge must be gapless (see
+//! [`crate::StoreError::ShardWalGap`]).
 //!
 //! Layout:
 //!
 //! ```text
 //! 8 bytes   magic  "YVWAL\0\0\0"
-//! u32       format version (currently 1)
+//! u32       format version (currently 2)
 //! frames:
 //!   u8      entry tag (1 = record, 2 = source)
+//!   u64     global arrival sequence number
 //!   u32     payload length
 //!   bytes   payload (codec-encoded record / source)
-//!   u64     FNV-1a 64 checksum of tag + payload
+//!   u64     FNV-1a 64 checksum of tag + seq + payload
 //! ```
 //!
 //! A *truncated* final frame is how a crash mid-append looks; replay
-//! treats it as a clean stop and the next append overwrites it. A frame
-//! that is complete but fails its checksum is real corruption and
-//! surfaces as a typed error.
+//! treats it as a clean stop (surfaced via [`WalScan::torn`] so the store
+//! can tell a harmless torn tail from a cross-shard sequence gap) and the
+//! next append overwrites it. A frame that is complete but fails its
+//! checksum is real corruption and surfaces as a typed error.
 
 use crate::codec::{self, Reader, Writer};
 use crate::error::StoreError;
@@ -31,13 +41,14 @@ use yv_records::{Record, Source};
 
 /// File magic: identifies a yv-store write-ahead log.
 pub const MAGIC: [u8; 8] = *b"YVWAL\0\0\0";
-/// The WAL format version this build reads and writes.
-pub const VERSION: u32 = 1;
+/// The WAL format version this build reads and writes. Version 1 frames
+/// carried no sequence number and cannot be merged across shards.
+pub const VERSION: u32 = 2;
 
 const TAG_RECORD: u8 = 1;
 const TAG_SOURCE: u8 = 2;
 
-/// One replayed WAL entry, in append order.
+/// One replayed WAL entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalEntry {
     Record(Box<Record>),
@@ -46,6 +57,16 @@ pub enum WalEntry {
 
 /// Byte length of the file header (magic + version).
 const HEADER_LEN: u64 = 12;
+
+/// Result of scanning one WAL file: the complete frames (with their
+/// global sequence numbers, in file order), the byte length of the valid
+/// prefix, and whether a torn (incomplete) final frame followed it.
+#[derive(Debug)]
+pub struct WalScan {
+    pub entries: Vec<(u64, WalEntry)>,
+    pub valid_len: usize,
+    pub torn: bool,
+}
 
 /// Append handle over a WAL file.
 #[derive(Debug)]
@@ -72,7 +93,7 @@ impl Wal {
     /// complete frame (a torn tail from a crash is overwritten).
     pub fn open(path: &Path) -> Result<Wal, StoreError> {
         let bytes = std::fs::read(path)?;
-        let valid_len = scan(&bytes)?.1;
+        let valid_len = scan(&bytes)?.valid_len;
         let mut file = OpenOptions::new().write(true).open(path)?;
         file.set_len(valid_len as u64)?;
         file.seek(SeekFrom::End(0))?;
@@ -85,31 +106,31 @@ impl Wal {
         self.bytes
     }
 
-    pub fn append_record(&mut self, record: &Record) -> Result<(), StoreError> {
+    /// Append a record frame stamped with its global arrival sequence.
+    pub fn append_record(&mut self, seq: u64, record: &Record) -> Result<(), StoreError> {
         let mut w = Writer::new();
         codec::write_record(&mut w, record)?;
-        self.append_frame(TAG_RECORD, &w.into_bytes())
+        self.append_frame(TAG_RECORD, seq, &w.into_bytes())
     }
 
-    pub fn append_source(&mut self, source: &Source) -> Result<(), StoreError> {
+    /// Append a source frame stamped with its global arrival sequence.
+    pub fn append_source(&mut self, seq: u64, source: &Source) -> Result<(), StoreError> {
         let mut w = Writer::new();
         codec::write_source(&mut w, source)?;
-        self.append_frame(TAG_SOURCE, &w.into_bytes())
+        self.append_frame(TAG_SOURCE, seq, &w.into_bytes())
     }
 
-    fn append_frame(&mut self, tag: u8, payload: &[u8]) -> Result<(), StoreError> {
+    fn append_frame(&mut self, tag: u8, seq: u64, payload: &[u8]) -> Result<(), StoreError> {
         let len = u32::try_from(payload.len()).map_err(|_| StoreError::LimitExceeded {
             what: "WAL frame payload",
             len: payload.len(),
         })?;
-        let mut frame = Vec::with_capacity(payload.len() + 13);
+        let mut frame = Vec::with_capacity(payload.len() + 21);
         frame.push(tag);
+        frame.extend_from_slice(&seq.to_le_bytes());
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(payload);
-        let mut hashed = Vec::with_capacity(payload.len() + 1);
-        hashed.push(tag);
-        hashed.extend_from_slice(payload);
-        frame.extend_from_slice(&codec::fnv1a64(&hashed).to_le_bytes());
+        frame.extend_from_slice(&frame_checksum(tag, seq, payload).to_le_bytes());
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
         self.bytes += frame.len() as u64;
@@ -117,17 +138,32 @@ impl Wal {
     }
 }
 
-/// Replay a WAL file into its entries, in append order. A truncated tail
-/// is tolerated; checksum failures on complete frames are errors.
-pub fn replay(path: &Path) -> Result<Vec<WalEntry>, StoreError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
-    Ok(scan(&bytes)?.0)
+/// The frame checksum covers the tag, the sequence number and the
+/// payload, so a bitflip in any of them is caught.
+fn frame_checksum(tag: u8, seq: u64, payload: &[u8]) -> u64 {
+    let mut hashed = Vec::with_capacity(payload.len() + 9);
+    hashed.push(tag);
+    hashed.extend_from_slice(&seq.to_le_bytes());
+    hashed.extend_from_slice(payload);
+    codec::fnv1a64(&hashed)
 }
 
-/// Parse the log, returning the entries plus the byte length of the valid
-/// prefix (header + complete frames).
-fn scan(bytes: &[u8]) -> Result<(Vec<WalEntry>, usize), StoreError> {
+/// Replay a WAL file into `(seq, entry)` pairs, in file order. A
+/// truncated tail is tolerated; checksum failures on complete frames are
+/// errors.
+pub fn replay(path: &Path) -> Result<Vec<(u64, WalEntry)>, StoreError> {
+    Ok(scan_file(path)?.entries)
+}
+
+/// Scan a WAL file: entries, valid prefix length, torn-tail flag.
+pub fn scan_file(path: &Path) -> Result<WalScan, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    scan(&bytes)
+}
+
+/// Parse the log bytes.
+fn scan(bytes: &[u8]) -> Result<WalScan, StoreError> {
     if bytes.len() < 12 {
         return Err(StoreError::BadMagic);
     }
@@ -145,21 +181,19 @@ fn scan(bytes: &[u8]) -> Result<(Vec<WalEntry>, usize), StoreError> {
         if rest.is_empty() {
             break;
         }
-        // Frame header: tag + length. Shorter than that = torn tail.
-        if rest.len() < 5 {
+        // Frame header: tag + seq + length. Shorter than that = torn tail.
+        if rest.len() < 13 {
             break;
         }
         let tag = rest[0];
-        let len = le_u32(&rest[1..5], "frame length")? as usize;
-        let Some(frame_rest) = rest.get(5..5 + len + 8) else {
+        let seq = le_u64(&rest[1..9], "frame seq")?;
+        let len = le_u32(&rest[9..13], "frame length")? as usize;
+        let Some(frame_rest) = rest.get(13..13 + len + 8) else {
             break; // torn tail: payload or checksum incomplete
         };
         let payload = &frame_rest[..len];
         let expected = le_u64(&frame_rest[len..], "frame checksum")?;
-        let mut hashed = Vec::with_capacity(len + 1);
-        hashed.push(tag);
-        hashed.extend_from_slice(payload);
-        let actual = codec::fnv1a64(&hashed);
+        let actual = frame_checksum(tag, seq, payload);
         if expected != actual {
             return Err(StoreError::ChecksumMismatch { expected, actual });
         }
@@ -175,10 +209,10 @@ fn scan(bytes: &[u8]) -> Result<(Vec<WalEntry>, usize), StoreError> {
                 r.remaining()
             )));
         }
-        entries.push(entry);
-        pos += 5 + len + 8;
+        entries.push((seq, entry));
+        pos += 13 + len + 8;
     }
-    Ok((entries, pos))
+    Ok(WalScan { entries, valid_len: pos, torn: pos < bytes.len() })
 }
 
 /// Little-endian u32 from an exactly-sized slice; callers bound-check for
@@ -218,20 +252,22 @@ mod tests {
     }
 
     #[test]
-    fn append_then_replay_round_trips() {
+    fn append_then_replay_round_trips_with_seqs() {
         let path = tmp("roundtrip.wal");
         let (src, r1, r2) = sample_entries();
         let mut wal = Wal::create(&path).unwrap();
-        wal.append_source(&src).unwrap();
-        wal.append_record(&r1).unwrap();
-        wal.append_record(&r2).unwrap();
+        wal.append_source(0, &src).unwrap();
+        wal.append_record(1, &r1).unwrap();
+        // Shard WALs hold a sparse subset of the global sequence: gaps
+        // within one file are normal (the missing seqs live elsewhere).
+        wal.append_record(7, &r2).unwrap();
         let entries = replay(&path).unwrap();
         assert_eq!(
             entries,
             vec![
-                WalEntry::Source(src),
-                WalEntry::Record(Box::new(r1)),
-                WalEntry::Record(Box::new(r2))
+                (0, WalEntry::Source(src)),
+                (1, WalEntry::Record(Box::new(r1))),
+                (7, WalEntry::Record(Box::new(r2)))
             ]
         );
     }
@@ -242,8 +278,8 @@ mod tests {
         let (src, r1, _) = sample_entries();
         let mut wal = Wal::create(&path).unwrap();
         assert_eq!(wal.bytes(), 12, "fresh log is just the header");
-        wal.append_source(&src).unwrap();
-        wal.append_record(&r1).unwrap();
+        wal.append_source(0, &src).unwrap();
+        wal.append_record(1, &r1).unwrap();
         assert_eq!(wal.bytes(), std::fs::metadata(&path).unwrap().len());
         drop(wal);
         // Re-opening recovers the length from the valid prefix.
@@ -252,22 +288,25 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_a_clean_stop() {
+    fn torn_tail_is_a_clean_stop_and_flagged() {
         let path = tmp("torn.wal");
         let (src, r1, _) = sample_entries();
         let mut wal = Wal::create(&path).unwrap();
-        wal.append_source(&src).unwrap();
-        wal.append_record(&r1).unwrap();
+        wal.append_source(0, &src).unwrap();
+        wal.append_record(1, &r1).unwrap();
         drop(wal);
         let full = std::fs::read(&path).unwrap();
         // Cut into the middle of the last frame.
         std::fs::write(&path, &full[..full.len() - 7]).unwrap();
-        let entries = replay(&path).unwrap();
-        assert_eq!(entries, vec![WalEntry::Source(src.clone())]);
+        let scan = scan_file(&path).unwrap();
+        assert_eq!(scan.entries, vec![(0, WalEntry::Source(src.clone()))]);
+        assert!(scan.torn, "the incomplete final frame must be flagged");
         // Re-opening for append truncates the torn tail and continues.
         let mut wal = Wal::open(&path).unwrap();
-        wal.append_record(&r1).unwrap();
-        assert_eq!(replay(&path).unwrap().len(), 2);
+        wal.append_record(1, &r1).unwrap();
+        let scan = scan_file(&path).unwrap();
+        assert_eq!(scan.entries.len(), 2);
+        assert!(!scan.torn);
     }
 
     #[test]
@@ -275,12 +314,12 @@ mod tests {
         let path = tmp("bitflip.wal");
         let (src, r1, _) = sample_entries();
         let mut wal = Wal::create(&path).unwrap();
-        wal.append_source(&src).unwrap();
-        wal.append_record(&r1).unwrap();
+        wal.append_source(0, &src).unwrap();
+        wal.append_record(1, &r1).unwrap();
         drop(wal);
         let mut bytes = std::fs::read(&path).unwrap();
         // Flip a byte inside the first frame's payload.
-        bytes[20] ^= 0xff;
+        bytes[28] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             replay(&path),
@@ -289,12 +328,29 @@ mod tests {
     }
 
     #[test]
+    fn bitflip_in_seq_field_is_checksum_error() {
+        let path = tmp("seqflip.wal");
+        let (src, _, _) = sample_entries();
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append_source(3, &src).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Byte 13 is inside the first frame's seq field (12 header + tag).
+        bytes[13] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            matches!(replay(&path), Err(StoreError::ChecksumMismatch { .. })),
+            "a corrupted sequence number must not replay as a different position"
+        );
+    }
+
+    #[test]
     fn pathological_inputs_are_errors_or_clean_stops_never_panics() {
         let path = tmp("pathological.wal");
         let (src, r1, _) = sample_entries();
         let mut wal = Wal::create(&path).unwrap();
-        wal.append_source(&src).unwrap();
-        wal.append_record(&r1).unwrap();
+        wal.append_source(0, &src).unwrap();
+        wal.append_record(1, &r1).unwrap();
         drop(wal);
         let good = std::fs::read(&path).unwrap();
 
@@ -302,13 +358,14 @@ mod tests {
         // declared bytes are not there, so replay stops cleanly.
         let mut huge = good[..12].to_vec();
         huge.push(1); // TAG_RECORD
+        huge.extend_from_slice(&0u64.to_le_bytes());
         huge.extend_from_slice(&u32::MAX.to_le_bytes());
         huge.extend_from_slice(&[0xab; 64]);
         std::fs::write(&path, &huge).unwrap();
         assert_eq!(replay(&path).unwrap(), vec![]);
         // And re-opening for append truncates it back to the header.
         let mut wal = Wal::open(&path).unwrap();
-        wal.append_source(&src).unwrap();
+        wal.append_source(0, &src).unwrap();
         assert_eq!(replay(&path).unwrap().len(), 1);
 
         // A complete frame with an unknown tag is typed corruption.
@@ -316,11 +373,10 @@ mod tests {
         let tag = 9u8;
         let payload = b"junk";
         payload_frame.push(tag);
+        payload_frame.extend_from_slice(&0u64.to_le_bytes());
         payload_frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         payload_frame.extend_from_slice(payload);
-        let mut hashed = vec![tag];
-        hashed.extend_from_slice(payload);
-        payload_frame.extend_from_slice(&codec::fnv1a64(&hashed).to_le_bytes());
+        payload_frame.extend_from_slice(&frame_checksum(tag, 0, payload).to_le_bytes());
         std::fs::write(&path, &payload_frame).unwrap();
         assert!(matches!(replay(&path), Err(StoreError::Corrupt(_))));
 
@@ -351,6 +407,14 @@ mod tests {
         assert!(matches!(
             replay(&path),
             Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+        // Version 1 logs (no seq field) are explicitly unsupported.
+        let mut v1 = MAGIC.to_vec();
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &v1).unwrap();
+        assert!(matches!(
+            replay(&path),
+            Err(StoreError::UnsupportedVersion { found: 1, supported: 2 })
         ));
     }
 }

@@ -32,7 +32,7 @@ fn store(name: &str, n_records: usize, seed: u64) -> Store {
         config,
         IncrementalConfig::default(),
     );
-    Store::create(&fresh_dir(name), resolver).unwrap()
+    Store::create(&fresh_dir(name), resolver, 2).unwrap()
 }
 
 /// Distinct thresholds: f64 bit patterns differ, so each is its own key.
@@ -42,7 +42,7 @@ fn threshold(i: usize) -> f64 {
 
 #[test]
 fn cache_population_is_bounded_by_capacity() {
-    let mut store = store("bounded", 150, 7);
+    let store = store("bounded", 150, 7);
     store.set_entity_map_capacity(4);
     for i in 0..10 {
         let _ = store.entity_map(threshold(i));
@@ -54,7 +54,7 @@ fn cache_population_is_bounded_by_capacity() {
 
 #[test]
 fn eviction_is_least_recently_used() {
-    let mut store = store("lru-order", 150, 8);
+    let store = store("lru-order", 150, 8);
     store.set_entity_map_capacity(2);
     let a = threshold(0);
     let b = threshold(1);
@@ -88,24 +88,42 @@ fn evicted_maps_rebuild_identically() {
 }
 
 #[test]
-fn writes_invalidate_without_counting_evictions() {
-    let mut s = store("invalidate", 150, 10);
+fn writes_never_serve_stale_maps() {
+    // The memo keys on (write generation, threshold): a write makes the
+    // pre-write entries unreachable rather than clearing them (a clear
+    // could race a concurrent query re-inserting a stale map), so they
+    // linger in the LRU until aged out.
+    let s = store("invalidate", 150, 10);
     let _ = s.entity_map(0.5);
     let _ = s.entity_map(1.0);
     assert_eq!(s.stats().entity_maps_cached, 2);
+    let new_rid = yv_records::RecordId(s.stats().records as u32);
     let record = yv_records::RecordBuilder::new(900_500, yv_records::SourceId(0))
         .first_name("Guido")
         .last_name("Foa")
         .build();
     s.add_record(record).unwrap();
-    let stats = s.stats();
-    assert_eq!(stats.entity_maps_cached, 0, "writes clear the memo");
-    assert_eq!(stats.entity_map_evictions, 0, "invalidation is not eviction");
+    // Same threshold, new generation: a fresh entry is derived (the
+    // stale one still occupies its slot) and the new record is visible
+    // through it.
+    let _ = s.entity_map(0.5);
+    assert_eq!(s.stats().entity_maps_cached, 3, "post-write lookup re-derives");
+    assert_eq!(s.stats().entity_map_evictions, 0, "staleness is not eviction");
+    // The query path goes through the same memo and sees the new record.
+    let query = PersonQuery {
+        first_name: Some("Guido".into()),
+        certainty: 0.5,
+        ..PersonQuery::default()
+    };
+    assert!(
+        s.query(&query).iter().any(|h| h.seed == new_rid),
+        "the new record is visible post-write"
+    );
 }
 
 #[test]
 fn shrinking_capacity_evicts_down_to_the_new_bound() {
-    let mut s = store("shrink", 150, 11);
+    let s = store("shrink", 150, 11);
     for i in 0..5 {
         let _ = s.entity_map(threshold(i));
     }

@@ -1,6 +1,8 @@
 //! End-to-end serving: concurrent TCP clients, durable arrivals, and
 //! kill/restart identity (snapshot + WAL replay reproduce exactly the
-//! pre-crash query results).
+//! pre-crash query results). Exercises the typed [`Client`] against a
+//! live server throughout — the client and server halves of the
+//! protocol are tested as one conversation, not against fixtures.
 
 // Test-only binary: helper fns outside #[test] may unwrap freely (the
 // workspace unwrap_used deny targets library code).
@@ -9,9 +11,12 @@
 use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use yv_core::{IncrementalConfig, IncrementalResolver, PersonQuery, Pipeline, PipelineConfig};
+use yv_core::{
+    IncrementalConfig, IncrementalResolver, PersonQuery, Pipeline, PipelineConfig, QueryHit,
+};
 use yv_datagen::{tag_pairs, GenConfig};
-use yv_store::{serve, Store};
+use yv_store::client::{Client, ClientError};
+use yv_store::{ServeOptions, Store};
 
 fn fresh_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("yv-store-e2e").join(name);
@@ -31,124 +36,133 @@ fn trained_resolver(n_records: usize, seed: u64) -> IncrementalResolver {
     IncrementalResolver::bootstrap(gen.dataset, pipeline, config, IncrementalConfig::default())
 }
 
-/// Send one request line, read the full response block (through the `.`
-/// terminator).
-fn roundtrip(stream: &mut TcpStream, request: &str) -> Vec<String> {
-    stream.write_all(format!("{request}\n").as_bytes()).unwrap();
-    let mut reader = BufReader::new(stream.try_clone().unwrap());
-    let mut lines = Vec::new();
-    loop {
-        let mut line = String::new();
-        assert!(reader.read_line(&mut line).unwrap() > 0, "server closed mid-response");
-        let line = line.trim_end().to_owned();
-        if line == "." {
-            return lines;
-        }
-        lines.push(line);
-    }
-}
-
-/// One-shot client: connect, run requests in order, return all responses.
-fn client(addr: std::net::SocketAddr, requests: &[&str]) -> Vec<Vec<String>> {
-    let mut stream = TcpStream::connect(addr).unwrap();
-    requests.iter().map(|r| roundtrip(&mut stream, r)).collect()
-}
-
 /// The query battery whose answers must survive a restart.
-const QUERIES: &[&str] = &[
-    "QUERY first=Guido",
-    "QUERY last=Foa certainty=1.0",
-    "QUERY first=Sara last=Levi",
-    "QUERY certainty=0.5",
-    "QUERY first=Moshe similarity=0.8",
-];
+fn queries() -> Vec<PersonQuery> {
+    vec![
+        PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() },
+        PersonQuery { last_name: Some("Foa".into()), certainty: 1.0, ..PersonQuery::default() },
+        PersonQuery {
+            first_name: Some("Sara".into()),
+            last_name: Some("Levi".into()),
+            ..PersonQuery::default()
+        },
+        PersonQuery { certainty: 0.5, ..PersonQuery::default() },
+        PersonQuery {
+            first_name: Some("Moshe".into()),
+            name_similarity: 0.8,
+            ..PersonQuery::default()
+        },
+    ]
+}
+
+/// Run the battery over one connection.
+fn run_battery(addr: std::net::SocketAddr) -> Vec<Vec<QueryHit>> {
+    let mut client = Client::connect(addr).unwrap();
+    queries().iter().map(|q| client.query(q).unwrap()).collect()
+}
 
 #[test]
 fn concurrent_clients_durable_adds_and_restart_identity() {
     let dir = fresh_dir("serve-restart");
-    let store = Store::create(&dir, trained_resolver(250, 21)).unwrap();
+    let store = Store::create(&dir, trained_resolver(250, 21), 4).unwrap();
     let records_before = store.stats().records;
 
     // ---- first server lifetime -------------------------------------
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || serve(store, listener, 6).unwrap());
+    let server =
+        std::thread::spawn(move || ServeOptions::new(store).workers(6).serve(listener).unwrap());
 
     // Four clients hammer queries concurrently.
-    let concurrent: Vec<_> = (0..4)
-        .map(|_| std::thread::spawn(move || client(addr, QUERIES)))
-        .collect();
-    let concurrent_answers: Vec<Vec<Vec<String>>> =
+    let concurrent: Vec<_> =
+        (0..4).map(|_| std::thread::spawn(move || run_battery(addr))).collect();
+    let concurrent_answers: Vec<Vec<Vec<QueryHit>>> =
         concurrent.into_iter().map(|t| t.join().unwrap()).collect();
     // Same battery, same store — every client saw identical answers.
     for other in &concurrent_answers[1..] {
         assert_eq!(&concurrent_answers[0], other);
     }
-    for (query, answer) in QUERIES.iter().zip(&concurrent_answers[0]) {
-        assert!(answer[0].starts_with("OK "), "{query} -> {answer:?}");
-    }
 
-    // A writer adds two records (durable via WAL), then the battery again.
-    let adds = client(
-        addr,
-        &[
-            "ADD book=900001 source=0 first=Guido last=Foa gender=m year=1936",
-            "ADD book=900002 source=0 first=Sara last=Levi gender=f year=1921",
-        ],
+    // A writer adds two records (durable via the WALs), then the battery
+    // again.
+    let mut writer = Client::connect(addr).unwrap();
+    for record in [
+        yv_records::RecordBuilder::new(900_001, yv_records::SourceId(0))
+            .first_name("Guido")
+            .last_name("Foa")
+            .gender(yv_records::Gender::Male)
+            .birth(yv_records::DateParts { year: Some(1936), ..Default::default() })
+            .build(),
+        yv_records::RecordBuilder::new(900_002, yv_records::SourceId(0))
+            .first_name("Sara")
+            .last_name("Levi")
+            .gender(yv_records::Gender::Female)
+            .birth(yv_records::DateParts { year: Some(1921), ..Default::default() })
+            .build(),
+    ] {
+        writer.add(&record).unwrap();
+    }
+    let after_adds = run_battery(addr);
+
+    let stats = writer.stats().unwrap();
+    assert_eq!(stats.records, records_before + 2);
+    assert_eq!(stats.shards, 4);
+    assert_eq!(stats.wal_entries, 2);
+    assert!(stats.wal_bytes > 0);
+    // Per-shard rows cover every shard exactly once and sum to the
+    // aggregates.
+    assert_eq!(stats.shard_rows.len(), 4);
+    for (i, row) in stats.shard_rows.iter().enumerate() {
+        assert_eq!(row.shard, i);
+    }
+    assert_eq!(
+        stats.shard_rows.iter().map(|r| r.records).sum::<usize>(),
+        stats.records,
+        "{stats:?}"
     );
-    for response in &adds {
-        assert!(response[0].starts_with("OK matches="), "{response:?}");
-    }
-    let after_adds = client(addr, QUERIES);
-    let stats = client(addr, &["STATS"]);
-    assert!(stats[0][0].contains(&format!("records={}", records_before + 2)), "{stats:?}");
-    assert!(stats[0][0].contains("wal=2"), "{stats:?}");
-    assert!(stats[0][0].contains("wal_bytes="), "{stats:?}");
+    assert_eq!(stats.shard_rows.iter().map(|r| r.wal_entries).sum::<usize>(), 2);
+    assert_eq!(stats.shard_rows.iter().map(|r| r.wal_bytes).sum::<u64>(), stats.wal_bytes);
 
-    // Per-command metrics: one CMD line per command kind, with counters
+    // Per-command metrics: one CMD row per command kind, with counters
     // and latency percentiles.
-    let cmd_lines: Vec<&String> =
-        stats[0].iter().filter(|l| l.starts_with("CMD ")).collect();
-    assert_eq!(cmd_lines.len(), 6, "one row per command kind: {stats:?}");
-    let query_line = cmd_lines
-        .iter()
-        .find(|l| l.starts_with("CMD QUERY "))
-        .unwrap_or_else(|| panic!("{stats:?}"));
+    assert_eq!(stats.commands.len(), 6, "{stats:?}");
+    let query_row = stats.commands.iter().find(|c| c.name == "QUERY").unwrap();
     // 4 concurrent clients ran the 5-query battery, plus one more pass.
-    assert!(query_line.contains(&format!("count={}", 5 * QUERIES.len())), "{query_line}");
-    for field in ["errors=", "mean_us=", "p50_us=", "p95_us=", "p99_us="] {
-        assert!(query_line.contains(field), "{query_line}");
-    }
-    let add_line =
-        cmd_lines.iter().find(|l| l.starts_with("CMD ADD ")).unwrap_or_else(|| panic!());
-    assert!(add_line.contains("count=2"), "{add_line}");
-    assert!(cmd_lines.iter().any(|l| l.starts_with("CMD SNAPSHOT ")), "{stats:?}");
+    assert_eq!(query_row.count as usize, 5 * queries().len(), "{query_row:?}");
+    let add_row = stats.commands.iter().find(|c| c.name == "ADD").unwrap();
+    assert_eq!(add_row.count, 2);
+    assert!(stats.commands.iter().any(|c| c.name == "SNAPSHOT"));
 
-    // Protocol errors are reported, not fatal.
-    let errs = client(addr, &["FROB", "ADD book=1 source=99999 first=X"]);
-    assert!(errs[0][0].starts_with("ERR "));
-    assert!(errs[1][0].starts_with("ERR "));
+    // Server-side errors surface as typed client errors, not broken
+    // connections.
+    let unknown_source = yv_records::RecordBuilder::new(1, yv_records::SourceId(99_999))
+        .first_name("X")
+        .build();
+    assert!(matches!(writer.add(&unknown_source), Err(ClientError::Server(_))));
+    // The connection survives the error.
+    assert!(writer.stats().is_ok());
 
-    // Graceful shutdown flushes the WAL into a fresh snapshot.
-    let bye = client(addr, &["SHUTDOWN"]);
-    assert_eq!(bye[0][0], "OK bye");
+    // Graceful shutdown flushes the WALs into fresh snapshots.
+    writer.shutdown().unwrap();
     let store = server.join().unwrap();
     assert_eq!(store.stats().records, records_before + 2);
-    assert_eq!(store.stats().wal_entries, 0, "shutdown folds the WAL");
+    assert_eq!(store.stats().wal_entries, 0, "shutdown folds the WALs");
     drop(store);
 
     // ---- second lifetime: reopen from disk -------------------------
     let store = Store::open(&dir).unwrap();
     assert_eq!(store.stats().records, records_before + 2);
+    assert_eq!(store.n_shards(), 4, "shard count persists in the manifest");
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr2 = listener.local_addr().unwrap();
-    let server = std::thread::spawn(move || serve(store, listener, 4).unwrap());
-    let after_restart = client(addr2, QUERIES);
+    let server =
+        std::thread::spawn(move || ServeOptions::new(store).workers(4).serve(listener).unwrap());
+    let after_restart = run_battery(addr2);
     assert_eq!(
         after_adds, after_restart,
         "restarted server must answer the battery identically"
     );
-    client(addr2, &["SHUTDOWN"]);
+    Client::connect(addr2).unwrap().shutdown().unwrap();
     server.join().unwrap();
 }
 
@@ -169,26 +183,30 @@ impl Write for SharedSink {
 #[test]
 fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
     let dir = fresh_dir("metrics-scrape");
-    let store = Store::create(&dir, trained_resolver(150, 55)).unwrap();
+    let store = Store::create(&dir, trained_resolver(150, 55), 2).unwrap();
     let records = store.stats().records;
 
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let metrics_listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let metrics_addr = metrics_listener.local_addr().unwrap();
-    let options = yv_store::ServeOptions {
-        workers: 2,
-        metrics_listener: Some(metrics_listener),
-        ..yv_store::ServeOptions::default()
-    };
-    let server =
-        std::thread::spawn(move || yv_store::serve_with(store, listener, options).unwrap());
+    let server = std::thread::spawn(move || {
+        ServeOptions::new(store)
+            .workers(2)
+            .metrics_listener(metrics_listener)
+            .serve(listener)
+            .unwrap()
+    });
 
     // Generate some traffic, then scrape through the protocol command.
-    client(addr, &["QUERY first=Guido", "QUERY last=Levi"]);
-    let metrics = client(addr, &["METRICS"]);
-    assert_eq!(metrics[0][0], "OK metrics");
-    let body = metrics[0][1..].join("\n");
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .query(&PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() })
+        .unwrap();
+    client
+        .query(&PersonQuery { last_name: Some("Levi".into()), ..PersonQuery::default() })
+        .unwrap();
+    let body = client.metrics().unwrap();
     // One histogram series per protocol command, with cumulative buckets.
     for kind in ["query", "add", "stats", "metrics", "snapshot", "shutdown"] {
         assert!(
@@ -198,14 +216,22 @@ fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
         assert!(body.contains(&format!("yv_cmd_{kind}_latency_us_bucket{{le=\"+Inf\"}}")));
     }
     assert!(body.contains("yv_cmd_query_latency_us_count 2"), "{body}");
-    // Store gauges reflect the live store; allocator gauges are present
-    // (zero unless the counting allocator is installed).
+    // Store gauges reflect the live store; per-shard gauges cover every
+    // shard; allocator gauges are present (zero unless the counting
+    // allocator is installed).
     assert!(body.contains(&format!("yv_store_records {records}")), "{body}");
+    assert!(body.contains("yv_store_shards 2"), "{body}");
     for gauge in [
         "yv_store_wal_bytes",
         "yv_store_postings",
         "yv_store_vocabulary",
         "yv_store_entity_maps_cached",
+        "yv_shard_0_records",
+        "yv_shard_0_postings",
+        "yv_shard_0_wal_bytes",
+        "yv_shard_1_records",
+        "yv_shard_1_postings",
+        "yv_shard_1_wal_bytes",
         "yv_alloc_bytes_total",
         "yv_alloc_live_bytes",
         "yv_alloc_peak_bytes",
@@ -223,6 +249,7 @@ fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
     let http_body = http.split("\r\n\r\n").nth(1).unwrap();
     assert!(http_body.contains("yv_cmd_query_latency_us_bucket{le=\"+Inf\"}"), "{http}");
     assert!(http_body.contains("yv_store_records"), "{http}");
+    assert!(http_body.contains("yv_shard_1_records"), "{http}");
     // The advertised length matches the body exactly.
     let advertised: usize = http
         .lines()
@@ -240,31 +267,44 @@ fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
     BufReader::new(bad).read_to_string(&mut not_found).unwrap();
     assert!(not_found.starts_with("HTTP/1.1 404 "), "{not_found}");
 
-    client(addr, &["SHUTDOWN"]);
+    client.shutdown().unwrap();
     server.join().unwrap();
 }
 
 #[test]
 fn slow_log_emits_one_json_line_per_slow_request() {
     let dir = fresh_dir("slow-log");
-    let store = Store::create(&dir, trained_resolver(120, 66)).unwrap();
+    let store = Store::create(&dir, trained_resolver(120, 66), 1).unwrap();
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let sink = SharedSink(std::sync::Arc::new(std::sync::Mutex::new(Vec::new())));
     let log = sink.clone();
-    let options = yv_store::ServeOptions {
-        workers: 2,
-        // Threshold zero: every request is "slow", making the test
-        // deterministic without timing games.
-        slow_us: Some(0),
-        slow_log: Some(Box::new(log)),
-        ..yv_store::ServeOptions::default()
-    };
-    let server =
-        std::thread::spawn(move || yv_store::serve_with(store, listener, options).unwrap());
+    let server = std::thread::spawn(move || {
+        ServeOptions::new(store)
+            .workers(2)
+            // Threshold zero: every request is "slow", making the test
+            // deterministic without timing games.
+            .slow_us(0)
+            .slow_log(Box::new(log))
+            .serve(listener)
+            .unwrap()
+    });
 
-    client(addr, &["QUERY first=Guido", "STATS", "FROB"]);
-    client(addr, &["SHUTDOWN"]);
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .query(&PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() })
+        .unwrap();
+    client.stats().unwrap();
+    // A raw malformed request still gets logged (as INVALID) — sent
+    // outside the typed client, which cannot produce one.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"FROB\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(raw.try_clone().unwrap()).read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR "), "{line}");
+    }
+    client.shutdown().unwrap();
     server.join().unwrap();
 
     let logged = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
@@ -289,7 +329,7 @@ fn slow_log_emits_one_json_line_per_slow_request() {
 #[test]
 fn kill_without_snapshot_replays_the_wal() {
     let dir = fresh_dir("kill-replay");
-    let mut store = Store::create(&dir, trained_resolver(200, 33)).unwrap();
+    let store = Store::create(&dir, trained_resolver(200, 33), 3).unwrap();
 
     // Apply arrivals through the durable path, then record the answers.
     let extra = yv_records::RecordBuilder::new(900_100, yv_records::SourceId(0))
@@ -316,8 +356,8 @@ fn kill_without_snapshot_replays_the_wal() {
 fn store_queries_match_person_query_run() {
     let dir = fresh_dir("index-equivalence");
     let resolver = trained_resolver(250, 44);
-    let store = Store::create(&dir, resolver).unwrap();
-    let resolution = store.resolver().resolution();
+    let store = Store::create(&dir, resolver, 4).unwrap();
+    let resolution = store.resolution();
     let queries = [
         PersonQuery::default(),
         PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() },
@@ -336,8 +376,8 @@ fn store_queries_match_person_query_run() {
     for q in queries {
         assert_eq!(
             store.query(&q),
-            q.run(store.dataset(), &resolution),
-            "indexed query must equal the linear scan for {q:?}"
+            store.with_dataset(|ds| q.run(ds, &resolution)),
+            "sharded fan-out must equal the linear scan for {q:?}"
         );
     }
 }

@@ -1,10 +1,16 @@
 //! Snapshot format guarantees: lossless round-trips, byte-identical
-//! re-snapshots, and typed rejection of damaged or incompatible files.
+//! re-snapshots (base file and every per-shard segment), and typed
+//! rejection of damaged or incompatible files.
+
+// Test-only binary: helper fns outside #[test] may unwrap freely (the
+// workspace unwrap_used deny targets library code).
+#![allow(clippy::unwrap_used)]
 
 use proptest::prelude::*;
+use std::path::PathBuf;
 use yv_core::{IncrementalConfig, IncrementalResolver, Pipeline, PipelineConfig};
 use yv_datagen::{tag_pairs, GenConfig};
-use yv_store::{snapshot, StoreError};
+use yv_store::{segment_file_name, snapshot, Store, StoreError, SNAPSHOT_FILE};
 
 /// A small trained resolver over a synthetic dataset.
 fn resolver(n_records: usize, seed: u64) -> IncrementalResolver {
@@ -18,47 +24,83 @@ fn resolver(n_records: usize, seed: u64) -> IncrementalResolver {
     IncrementalResolver::bootstrap(gen.dataset, pipeline, config, IncrementalConfig::default())
 }
 
-#[test]
-fn save_load_save_is_byte_identical() {
-    let original = resolver(300, 11);
-    let bytes = snapshot::to_bytes(&original).unwrap();
-    let reloaded = snapshot::from_bytes(&bytes).expect("snapshot loads");
-    let bytes_again = snapshot::to_bytes(&reloaded).unwrap();
-    assert_eq!(bytes, bytes_again, "save(load(save(x))) must equal save(x)");
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("yv-store-snapshot").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
 
-    // The reloaded resolver serves identical state.
-    assert_eq!(reloaded.len(), original.len());
-    assert_eq!(reloaded.matches(), original.matches());
-    for rid in original.dataset().record_ids() {
-        assert_eq!(original.dataset().record(rid), reloaded.dataset().record(rid));
+/// Read the base file plus every shard segment.
+fn snapshot_files(dir: &std::path::Path, shards: usize) -> Vec<Vec<u8>> {
+    let mut files = vec![std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap()];
+    for s in 0..shards {
+        files.push(std::fs::read(dir.join(segment_file_name(s))).unwrap());
     }
-    assert_eq!(original.dataset().sources(), reloaded.dataset().sources());
+    files
 }
 
 #[test]
-fn reloaded_resolver_keeps_resolving_incrementally() {
+fn save_load_save_is_byte_identical() {
+    let dir = fresh_dir("save-load-save");
+    let original = resolver(300, 11);
+    let expected_state = snapshot::state_bytes(&original).unwrap();
+    let store = Store::create(&dir, original, 3).unwrap();
+    let first = snapshot_files(&dir, 3);
+    drop(store);
+
+    // Reload from disk and snapshot again: every file must be
+    // byte-identical (sources, matches, model, config, and each shard's
+    // records in ascending-rid order).
+    let reloaded = Store::open(&dir).unwrap();
+    reloaded.snapshot().unwrap();
+    let second = snapshot_files(&dir, 3);
+    assert_eq!(first, second, "save(load(save(x))) must equal save(x)");
+
+    // The reloaded store serves identical logical state.
+    assert_eq!(reloaded.state_bytes().unwrap(), expected_state);
+}
+
+#[test]
+fn reloaded_store_keeps_resolving_incrementally() {
+    let dir = fresh_dir("keeps-resolving");
     let original = resolver(300, 13);
     let probe = original.dataset().record(yv_records::RecordId(0)).clone();
-    let mut reloaded =
-        snapshot::from_bytes(&snapshot::to_bytes(&original).unwrap()).expect("snapshot loads");
+    drop(Store::create(&dir, original, 2).unwrap());
+    let reloaded = Store::open(&dir).unwrap();
     // The rebuilt postings index must find the copy's original, like a
     // resolver that never left memory.
-    let matches = reloaded.insert(probe);
+    let matches = reloaded.add_record(probe).unwrap();
     assert!(
         matches.iter().any(|m| m.a == yv_records::RecordId(0)
             || m.b == yv_records::RecordId(0)),
-        "reloaded resolver must match the re-inserted copy; got {matches:?}"
+        "reloaded store must match the re-inserted copy; got {matches:?}"
     );
 }
 
 #[test]
+fn segment_bytes_round_trip() {
+    let r = resolver(80, 7);
+    let ds = r.dataset();
+    let entries: Vec<_> = ds.record_ids().map(|rid| (rid, ds.record(rid))).collect();
+    let bytes = snapshot::segment_to_bytes(5, &entries).unwrap();
+    let (shard, decoded) = snapshot::segment_from_bytes(&bytes).unwrap();
+    assert_eq!(shard, 5, "the segment remembers which shard it belongs to");
+    assert_eq!(decoded.len(), entries.len());
+    for ((rid, record), (drid, drecord)) in entries.iter().zip(&decoded) {
+        assert_eq!(rid, drid);
+        assert_eq!(*record, drecord);
+    }
+}
+
+#[test]
 fn corrupt_checksum_is_a_typed_error() {
-    let bytes = snapshot::to_bytes(&resolver(120, 5)).unwrap();
+    let bytes = snapshot::base_to_bytes(&resolver(120, 5)).unwrap();
     // Flip one payload byte (after the 20-byte header).
     let mut damaged = bytes.clone();
     damaged[60] ^= 0x01;
     assert!(matches!(
-        snapshot::from_bytes(&damaged),
+        snapshot::base_from_bytes(&damaged),
         Err(StoreError::ChecksumMismatch { .. })
     ));
     // Flip a trailer byte instead.
@@ -66,31 +108,34 @@ fn corrupt_checksum_is_a_typed_error() {
     let last = damaged.len() - 1;
     damaged[last] ^= 0xff;
     assert!(matches!(
-        snapshot::from_bytes(&damaged),
+        snapshot::base_from_bytes(&damaged),
         Err(StoreError::ChecksumMismatch { .. })
     ));
 }
 
 #[test]
 fn wrong_version_and_magic_are_typed_errors() {
-    let bytes = snapshot::to_bytes(&resolver(120, 5)).unwrap();
+    let bytes = snapshot::base_to_bytes(&resolver(120, 5)).unwrap();
     let mut wrong_version = bytes.clone();
     wrong_version[8..12].copy_from_slice(&999u32.to_le_bytes());
     assert!(matches!(
-        snapshot::from_bytes(&wrong_version),
+        snapshot::base_from_bytes(&wrong_version),
         Err(StoreError::UnsupportedVersion { found: 999, .. })
     ));
-    let mut wrong_magic = bytes;
+    let mut wrong_magic = bytes.clone();
     wrong_magic[0] = b'X';
-    assert!(matches!(snapshot::from_bytes(&wrong_magic), Err(StoreError::BadMagic)));
+    assert!(matches!(snapshot::base_from_bytes(&wrong_magic), Err(StoreError::BadMagic)));
+    // A segment is not a base file and vice versa: the magics differ on
+    // purpose, so misfiled bytes surface as BadMagic, not garbage parses.
+    assert!(matches!(snapshot::segment_from_bytes(&bytes), Err(StoreError::BadMagic)));
 }
 
 #[test]
 fn truncations_never_panic() {
-    let bytes = snapshot::to_bytes(&resolver(120, 5)).unwrap();
+    let bytes = snapshot::base_to_bytes(&resolver(120, 5)).unwrap();
     for cut in [0, 7, 8, 12, 19, 20, 21, bytes.len() / 2, bytes.len() - 1] {
         assert!(
-            snapshot::from_bytes(&bytes[..cut]).is_err(),
+            snapshot::base_from_bytes(&bytes[..cut]).is_err(),
             "truncation at {cut} must be an error"
         );
     }
@@ -104,13 +149,13 @@ proptest! {
     /// input panics.
     #[test]
     fn single_byte_corruption_is_always_rejected(seed in 0u64..1000, pos_frac in 0.0f64..1.0) {
-        let bytes = snapshot::to_bytes(&resolver(60, seed)).unwrap();
+        let bytes = snapshot::base_to_bytes(&resolver(60, seed)).unwrap();
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         let mut damaged = bytes.clone();
         damaged[pos] ^= 0x5a;
         // Skip positions where the flip lands in the (unchecksummed)
         // declared-length field yet still parses — it cannot: length
         // changes either truncate (error) or leave trailing bytes (error).
-        prop_assert!(snapshot::from_bytes(&damaged).is_err());
+        prop_assert!(snapshot::base_from_bytes(&damaged).is_err());
     }
 }
