@@ -88,7 +88,7 @@ resp = request("QUERY first=Abramo")
 assert resp[0].startswith("OK"), resp[:1]
 
 body = urllib.request.urlopen(url, timeout=10).read().decode()
-for kind in ["query", "add", "stats", "metrics", "snapshot", "shutdown"]:
+for kind in ["query", "resolve", "add", "stats", "metrics", "snapshot", "shutdown"]:
     needle = f'yv_cmd_{kind}_latency_us_bucket{{le="+Inf"}}'
     assert needle in body, f"missing histogram series for {kind}"
 count = [l for l in body.splitlines() if l.startswith("yv_cmd_query_latency_us_count ")]
@@ -143,7 +143,26 @@ serve_on_shard_dir() {
 }
 serve_on_shard_dir "$shard_log_fill"
 fill="$(cargo run -q --release -p yv-cli --bin yv -- \
-    load --addr "$shard_addr" --adds 24 --threads 4 --shutdown)"
+    load --addr "$shard_addr" --adds 24 --threads 4)"
+# Fuzzy-resolution smoke test (DESIGN.md §12): the load battery planted
+# "Levi" records; a misspelled RESOLVE must surface that entity in the
+# top 3 ranked candidates, and k=0 misuse must be refused with a typed
+# protocol error (nonzero exit).
+resolve_out="$(cargo run -q --release -p yv-cli --bin yv -- \
+    resolve --addr "$shard_addr" --name Lewi --k 3)"
+grep -q "levi" <<< "$resolve_out" || {
+    echo "resolve smoke test: 'Lewi' did not surface the levi entity in the" \
+        "top 3: $resolve_out" >&2
+    exit 1
+}
+if cargo run -q --release -p yv-cli --bin yv -- \
+    resolve --addr "$shard_addr" --name Lewi --k 0 > /dev/null 2>&1; then
+    echo "resolve smoke test: k=0 must be refused as a protocol error" >&2
+    exit 1
+fi
+echo "resolve smoke test: misspelled RESOLVE ranked the gold entity, k=0 refused"
+cargo run -q --release -p yv-cli --bin yv -- \
+    load --addr "$shard_addr" --shutdown > /dev/null
 wait "$shard_pid"
 serve_on_shard_dir "$shard_log_replay"
 replay="$(cargo run -q --release -p yv-cli --bin yv -- \

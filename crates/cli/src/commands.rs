@@ -153,7 +153,45 @@ fn trained(gen: &Generated, config: &PipelineConfig) -> Pipeline {
     Pipeline::train(&gen.dataset, &labelled, config)
 }
 
+/// Client mode of `yv resolve`: ask a running server to fuzzy-resolve a
+/// (possibly misspelled) name into ranked person candidates.
+fn resolve_remote(args: &Args) -> CliResult {
+    let Some(name) = args.get("name") else {
+        return Err("resolve --addr mode requires --name <query>".to_owned());
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let k = match args.get("k") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| "option --k: expects a positive integer".to_owned())?,
+        ),
+        None => None,
+    };
+    let min = match args.get("min") {
+        Some(v) => {
+            Some(v.parse::<f64>().map_err(|_| "option --min: expects a number".to_owned())?)
+        }
+        None => None,
+    };
+    let mut client = yv_store::Client::connect(addr).map_err(err)?;
+    let hits = client.resolve(name, k, min).map_err(err)?;
+    println!("{} candidate(s) for {name:?}", hits.len());
+    for (rank, hit) in hits.iter().enumerate() {
+        println!(
+            "  #{:<2} score={:.4}  {:<16} entity of {} report(s)",
+            rank + 1,
+            hit.score,
+            hit.name,
+            hit.members.len()
+        );
+    }
+    Ok(())
+}
+
 pub fn resolve(args: &Args) -> CliResult {
+    if args.get("name").is_some() || args.get("addr").is_some() {
+        return resolve_remote(args);
+    }
     let gen = dataset(args)?;
     let certainty: f64 = args.parse_or("certainty", 0.0, "number").map_err(err)?;
     let config = PipelineConfig { blocking: blocking_config(args)?, ..PipelineConfig::default() };
@@ -228,6 +266,8 @@ pub fn bench(args: &Args) -> CliResult {
     let peak = registry.gauge("yv_pipeline_peak_alloc_bytes", "").get();
 
     let (add_single_us, add_multi_us) = bench_concurrent_adds(&gen, &pipeline, &config, &registry)?;
+    let (resolve_summary, resolve_candidates) =
+        bench_resolve(&gen, &pipeline, &config, &registry)?;
 
     const STAGES: &[&str] =
         &["preprocess", "train", "blocking", "extract", "score", "resolve", "total"];
@@ -264,6 +304,10 @@ pub fn bench(args: &Args) -> CliResult {
     println!(
         "concurrent ADD (4 threads, {BENCH_ADD_ARRIVALS} arrivals): \
          1 shard {add_single_us} us, 4 shards {add_multi_us} us"
+    );
+    println!(
+        "RESOLVE ({} queries): p50 {} us, p99 {} us, {resolve_candidates} candidates examined",
+        resolve_summary.count, resolve_summary.p50_us, resolve_summary.p99_us
     );
     println!("wrote {out}");
     emit_obs(args, &rec)?;
@@ -303,18 +347,7 @@ fn bench_concurrent_adds(
             r
         })
         .collect();
-    // Dataset is intentionally not Clone; rebuild it source-by-source so
-    // both stores start from identical resolvers.
-    let clone_ds = || {
-        let mut out = yv_records::Dataset::new();
-        for s in ds.sources() {
-            out.add_source(s.clone());
-        }
-        for rid in ds.record_ids() {
-            out.add_record(ds.record(rid).clone());
-        }
-        out
-    };
+    let clone_ds = || clone_dataset(ds);
     let clock = yv_obs::MonotonicClock::new();
     let mut timings = [0u64; 2];
     for (slot, shards) in [(0usize, 1usize), (1, BENCH_ADD_THREADS)] {
@@ -359,6 +392,106 @@ fn bench_concurrent_adds(
         timings[1],
     );
     Ok((timings[0], timings[1]))
+}
+
+/// Dataset is intentionally not Clone; rebuild it source-by-source so a
+/// bench store starts from a resolver identical to the pipeline's.
+fn clone_dataset(ds: &yv_records::Dataset) -> yv_records::Dataset {
+    let mut out = yv_records::Dataset::new();
+    for s in ds.sources() {
+        out.add_source(s.clone());
+    }
+    for rid in ds.record_ids() {
+        out.add_record(ds.record(rid).clone());
+    }
+    out
+}
+
+/// Rounds the resolve bench replays its probe battery for, so the
+/// latency histogram has enough samples for stable percentiles.
+const BENCH_RESOLVE_ROUNDS: usize = 3;
+
+/// The RESOLVE stage of `yv bench`: build a 4-shard store over the bench
+/// corpus and time fuzzy resolution of deterministically misspelled
+/// corpus names. Publishes `yv_resolve_p50_us` / `yv_resolve_p99_us`
+/// (ratio-gated latency) and `yv_resolve_candidates` (candidate names
+/// examined — a pure function of the corpus, so the compare gate pins
+/// the pruning behaviour exactly).
+fn bench_resolve(
+    gen: &Generated,
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    registry: &MetricsRegistry,
+) -> Result<(yv_obs::LatencySummary, u64), String> {
+    use yv_obs::Clock as _;
+    let ds = &gen.dataset;
+    // One probe per stride-th record: its first last name, lowercased,
+    // with one deterministic edit (substitute or delete the middle
+    // character, alternating) — the clerical-error shapes the fuzzy
+    // index is built to absorb.
+    let stride = (ds.len() / 16).max(1);
+    let mut probes: Vec<String> = Vec::new();
+    for i in (0..ds.len()).step_by(stride) {
+        let record = ds.record(yv_records::RecordId(i as u32));
+        let Some(last) = record.last_names.first() else { continue };
+        let mut chars: Vec<char> = last.to_lowercase().chars().collect();
+        let mid = chars.len() / 2;
+        if chars.len() > 2 {
+            if probes.len().is_multiple_of(2) {
+                chars[mid] = 'x';
+            } else {
+                chars.remove(mid);
+            }
+        }
+        probes.push(chars.into_iter().collect());
+    }
+    if probes.is_empty() {
+        return Err("resolve bench found no probe names".to_owned());
+    }
+
+    let dir = std::env::temp_dir().join("yv-bench-store").join("resolve");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).map_err(err)?;
+    let resolver = yv_core::IncrementalResolver::bootstrap(
+        clone_dataset(ds),
+        pipeline.clone(),
+        config.clone(),
+        yv_core::IncrementalConfig::default(),
+    );
+    let store = yv_store::Store::create(&dir, resolver, BENCH_ADD_THREADS).map_err(err)?;
+
+    let clock = yv_obs::MonotonicClock::new();
+    let hist = yv_obs::Histogram::new();
+    let options = yv_store::ResolveOptions::default();
+    let mut candidates = 0u64;
+    for _ in 0..BENCH_RESOLVE_ROUNDS {
+        for probe in &probes {
+            let started = clock.now_nanos();
+            let outcome = store.resolve(probe, &options);
+            hist.record_ns(clock.now_nanos().saturating_sub(started));
+            candidates += outcome.examined;
+        }
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let summary = hist.summary();
+    registry.set_gauge(
+        "yv_resolve_p50_us",
+        "Median RESOLVE latency over the misspelled-probe battery",
+        summary.p50_us,
+    );
+    registry.set_gauge(
+        "yv_resolve_p99_us",
+        "p99 RESOLVE latency over the misspelled-probe battery",
+        summary.p99_us,
+    );
+    registry.set_gauge(
+        "yv_resolve_candidates",
+        "Candidate names examined across the battery (deterministic)",
+        candidates,
+    );
+    Ok((summary, candidates))
 }
 
 pub fn query(args: &Args) -> CliResult {
@@ -462,7 +595,7 @@ pub fn serve(args: &Args) -> CliResult {
     if let Some(l) = &metrics_listener {
         println!("metrics: http://{}/metrics", l.local_addr().map_err(err)?);
     }
-    println!("commands: QUERY ADD STATS METRICS SNAPSHOT SHUTDOWN");
+    println!("commands: QUERY RESOLVE ADD STATS METRICS SNAPSHOT SHUTDOWN");
     let mut options = yv_store::ServeOptions::new(store).workers(workers);
     if let Some(us) = slow_us {
         options = options.slow_us(us);
@@ -637,6 +770,9 @@ mod tests {
         assert!(content.contains("\"peak_alloc_bytes\":"));
         assert!(content.contains("\"pairs_scored\":"));
         assert!(content.contains("\"yv_pipeline_stage_blocking_us\":"));
+        assert!(content.contains("\"yv_resolve_p50_us\":"));
+        assert!(content.contains("\"yv_resolve_p99_us\":"));
+        assert!(content.contains("\"yv_resolve_candidates\":"));
         std::fs::remove_file(path).ok();
     }
 

@@ -5,6 +5,7 @@
 //! yv export   --records 2000 --seed 7 --path out.csv records as CSV
 //! yv block    --records 2000 [--ng 3.0] [--max-minsup 5] [--italy]
 //! yv resolve  --records 2000 [--certainty 0.0] [--italy]
+//! yv resolve  --addr 127.0.0.1:7878 --name Lewi [--k 5] [--min 0.3]
 //! yv pipeline ...                                    alias for resolve
 //! yv bench    --records 2000 [--out BENCH_pipeline.json] [--compare OLD.json]
 //! yv query    --first Guido --last Foa [--certainty 0.0] [--records N]
@@ -37,7 +38,9 @@ COMMANDS:
     export     write generated records to a CSV file (--path required)
     import     read a CSV dataset, print statistics and block it (--path required)
     block      run MFIBlocks and print blocks, pairs, and CS/SN diagnostics
-    resolve    train the ADT ranker and resolve; print quality vs ground truth
+    resolve    train the ADT ranker and resolve; print quality vs ground truth —
+               or, with --name (and optionally --addr), ask a running server to
+               fuzzy-resolve a possibly misspelled name into ranked candidates
     pipeline   alias for resolve (the paper's end-to-end pipeline)
     bench      run the pipeline and write machine-readable stage timings
                (BENCH_pipeline.json, or --out PATH)
@@ -80,6 +83,12 @@ SERVING OPTIONS:
     --slow-us N         log requests slower than N microseconds as JSON
                         lines on stderr (arguments appear only as a digest)
 
+RESOLVE CLIENT OPTIONS (yv resolve --name ...):
+    --name X            the (possibly misspelled) name to resolve (client mode)
+    --addr A:P          server address (default 127.0.0.1:7878)
+    --k N               candidates to return (default 10)
+    --min X             minimum blended score (inclusive floor)
+
 LOAD OPTIONS:
     --adds N            records to ADD before the battery (default 0)
     --threads N         concurrent client connections for the ADDs (default 4)
@@ -101,7 +110,10 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
             &["italy", "timings"],
         )),
         "resolve" | "pipeline" => Some((
-            &["records", "seed", "ng", "max-minsup", "certainty", "trace-json"],
+            &[
+                "records", "seed", "ng", "max-minsup", "certainty", "trace-json", "addr",
+                "name", "k", "min",
+            ],
             &["italy", "timings"],
         )),
         "bench" => Some((

@@ -13,6 +13,7 @@ pub mod conditions;
 pub mod data_stats;
 pub mod fig12;
 pub mod fig8;
+pub mod resolve_quality;
 pub mod sweep;
 
 use crate::goldstandard::{build_tagged_standard, TaggedStandard};
@@ -128,6 +129,7 @@ pub fn run_all(scale: &Scale) -> Vec<Report> {
     reports.push(conditions::run(&ctx));
     reports.push(blocking_comparison::run(&ctx));
     reports.push(ablation::run(&ctx));
+    reports.push(resolve_quality::run(&ctx.scale));
     reports
 }
 

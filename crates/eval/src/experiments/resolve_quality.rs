@@ -1,0 +1,234 @@
+//! Fuzzy-resolution quality: blend-weight sweep of the `yv-fuzzy`
+//! ranked resolver against datagen gold.
+//!
+//! The deployment section's use case — a searcher types a half-remembered,
+//! possibly misspelled name and expects the person behind it near the top
+//! of the list — has no table in the paper, but it is the property the
+//! RESOLVE command exists for. This experiment perturbs corpus surnames
+//! with datagen's single-edit clerical errors, runs each typo through the
+//! q-gram candidate index and the blended ranker, and scores how often the
+//! true name's entities land at rank 1 / within the top 5, plus the mean
+//! reciprocal ranks at both the name and the gold-person level — once per
+//! blend weighting, so the default blend's place in the trade-off space is
+//! visible rather than asserted.
+
+use crate::experiments::{Report, Scale};
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yv_core::{Pipeline, PipelineConfig};
+use yv_datagen::{corrupt::clerical_error, tag_pairs, GenConfig};
+use yv_fuzzy::{rank_entities, FuzzyIndex, ScoreBlend, DEFAULT_QGRAM_BOUND};
+use yv_records::RecordId;
+
+/// Quality of one blend weighting over the full typo battery.
+///
+/// `recall_at_1` / `recall_at_5` / `mrr` are **name-level**: the rank of
+/// the first entity carrying the true (unperturbed) surname. That is the
+/// property a typo can break and the fuzzy index exists to restore. A
+/// bare surname cannot distinguish the 7–16 distinct persons who
+/// legitimately share it in the corpus, so person-level quality is
+/// reported separately as `person_mrr` — the reciprocal rank of the gold
+/// person's own entity — rather than folded into the recall floor.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    pub label: String,
+    pub blend: ScoreBlend,
+    pub queries: usize,
+    pub recall_at_1: f64,
+    pub recall_at_5: f64,
+    pub mrr: f64,
+    pub person_mrr: f64,
+}
+
+/// The swept blend weightings: each similarity signal alone, the default,
+/// and an evidence-heavy variant that overweights report count and
+/// resolver certainty.
+#[must_use]
+pub fn blends() -> Vec<(String, ScoreBlend)> {
+    vec![
+        (
+            "jw-only".to_owned(),
+            ScoreBlend { name_weight: 1.0, qgram_weight: 0.0, prior_weight: 0.0, certainty_weight: 0.0 },
+        ),
+        (
+            "qgram-only".to_owned(),
+            ScoreBlend { name_weight: 0.0, qgram_weight: 1.0, prior_weight: 0.0, certainty_weight: 0.0 },
+        ),
+        (
+            "jw+qgram".to_owned(),
+            ScoreBlend { name_weight: 0.6, qgram_weight: 0.4, prior_weight: 0.0, certainty_weight: 0.0 },
+        ),
+        ("default".to_owned(), ScoreBlend::default()),
+        (
+            "heavy-prior".to_owned(),
+            ScoreBlend { name_weight: 0.2, qgram_weight: 0.1, prior_weight: 0.4, certainty_weight: 0.3 },
+        ),
+    ]
+}
+
+/// Run the sweep. Public so tests can assert on the numbers directly.
+#[must_use]
+pub fn measure(scale: &Scale) -> Vec<SweepPoint> {
+    // A dedicated corpus sized between quick and full scale: big enough
+    // for surname collisions to matter, small enough to train in-process.
+    let n = (scale.random_n / 4).clamp(400, 5_000);
+    let gen = GenConfig::random(n, scale.seed + 11).generate();
+    let ds = &gen.dataset;
+    let config = PipelineConfig::default();
+    let blocked = yv_blocking::mfi_blocks(ds, &config.blocking);
+    let tags = tag_pairs(&gen, &blocked.candidate_pairs, 1);
+    let labelled: Vec<_> =
+        tags.iter().filter_map(|t| t.simplified().map(|m| (t.a, t.b, m))).collect();
+    let pipeline = Pipeline::train(ds, &labelled, &config);
+    let resolution = pipeline.resolve(ds, &config);
+    let entity_map = resolution.entity_map(0.0);
+
+    // Per-record certainty: the best incident match score, as the store
+    // feeds the ranker.
+    let mut certainty = vec![0.0f64; ds.len()];
+    for m in &resolution.matches {
+        for rid in [m.a, m.b] {
+            let slot = &mut certainty[rid.index()];
+            *slot = slot.max(m.score);
+        }
+    }
+
+    let mut index = FuzzyIndex::new();
+    for rid in ds.record_ids() {
+        index.add_record(rid, ds.record(rid));
+    }
+
+    // The typo battery: every stride-th record's first surname through
+    // datagen's clerical-error channel (substitute / delete / duplicate —
+    // at most one edit). Each query remembers the true surname (the
+    // name-level gold) and the probed record (the person-level gold).
+    let target_queries = 200usize.min(n / 2);
+    let stride = (n / target_queries).max(1);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x0f22);
+    let queries: Vec<(String, String, RecordId)> = (0..ds.len())
+        .step_by(stride)
+        .filter_map(|i| {
+            let rid = RecordId(u32::try_from(i).unwrap_or(0));
+            let last = ds.record(rid).last_names.first()?;
+            Some((clerical_error(&mut rng, last).to_lowercase(), last.to_lowercase(), rid))
+        })
+        .collect();
+
+    let entity_of = |rid: RecordId| {
+        entity_map.entity_of(rid).map_or_else(|| vec![rid], <[RecordId]>::to_vec)
+    };
+    let certainty_of = |rid: RecordId| certainty.get(rid.index()).copied().unwrap_or(0.0);
+
+    blends()
+        .into_iter()
+        .map(|(label, blend)| {
+            let (mut hits1, mut hits5, mut mrr, mut person_mrr) =
+                (0usize, 0usize, 0.0f64, 0.0f64);
+            for (query, true_name, gold_rid) in &queries {
+                let gold_person = gen.person_of(*gold_rid);
+                let (cands, _) = index.candidates(query, DEFAULT_QGRAM_BOUND);
+                let ranked = rank_entities(
+                    query,
+                    cands.iter().map(|c| (c.name, c.jaccard, c.records)),
+                    entity_of,
+                    certainty_of,
+                    &blend,
+                    usize::MAX,
+                    f64::NEG_INFINITY,
+                );
+                if let Some(pos) = ranked.iter().position(|e| e.name == *true_name) {
+                    hits1 += usize::from(pos == 0);
+                    hits5 += usize::from(pos < 5);
+                    mrr += 1.0 / (pos + 1) as f64;
+                }
+                if let Some(pos) = ranked.iter().position(|e| {
+                    e.members.iter().any(|&r| gen.person_of(r) == gold_person)
+                }) {
+                    person_mrr += 1.0 / (pos + 1) as f64;
+                }
+            }
+            let q = queries.len().max(1) as f64;
+            SweepPoint {
+                label,
+                blend,
+                queries: queries.len(),
+                recall_at_1: hits1 as f64 / q,
+                recall_at_5: hits5 as f64 / q,
+                mrr: mrr / q,
+                person_mrr: person_mrr / q,
+            }
+        })
+        .collect()
+}
+
+#[must_use]
+pub fn run(scale: &Scale) -> Report {
+    let points = measure(scale);
+    let queries = points.first().map_or(0, |p| p.queries);
+    let mut t = Table::new(
+        format!("RESOLVE blend sweep ({queries} single-edit typo queries)"),
+        &["Blend", "name/qgram/prior/cert", "recall@1", "recall@5", "MRR", "person-MRR"],
+    );
+    for p in &points {
+        t.row(vec![
+            p.label.clone(),
+            format!(
+                "{:.2}/{:.2}/{:.2}/{:.2}",
+                p.blend.name_weight, p.blend.qgram_weight, p.blend.prior_weight,
+                p.blend.certainty_weight
+            ),
+            format!("{:.3}", p.recall_at_1),
+            format!("{:.3}", p.recall_at_5),
+            format!("{:.3}", p.mrr),
+            format!("{:.3}", p.person_mrr),
+        ]);
+    }
+    Report {
+        id: "Table F1".into(),
+        title: "Fuzzy resolution quality vs blend weights".into(),
+        body: t.render(),
+        notes: "Shape: name-similarity signals dominate — the default blend \
+                keeps name-level recall@5 at or above 0.9 on single-edit \
+                typos (the true surname's entities reach the top of the \
+                list), while the evidence-heavy weighting trades top-1 \
+                precision for recall of well-attested entities. person-MRR \
+                is context: a bare surname query cannot distinguish the many \
+                distinct persons who legitimately share it. Not a paper \
+                artifact; this table backs the store's RESOLVE command \
+                (DESIGN.md section 12)."
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_blend_meets_the_recall_floor() {
+        let points = measure(&Scale::quick());
+        let default = points.iter().find(|p| p.label == "default").expect("default is swept");
+        assert!(default.queries >= 100, "{default:?}");
+        assert!(
+            default.recall_at_5 >= 0.9,
+            "single-edit typos must keep the true name in the top 5: {default:?}"
+        );
+        assert!(default.mrr >= default.recall_at_1, "MRR bounds recall@1: {default:?}");
+        assert!(default.person_mrr > 0.0, "{default:?}");
+        for p in &points {
+            assert!(p.recall_at_1 <= p.recall_at_5, "{p:?}");
+            assert!((0.0..=1.0).contains(&p.mrr), "{p:?}");
+            assert!((0.0..=1.0).contains(&p.person_mrr), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn report_has_one_row_per_blend() {
+        let report = run(&Scale::quick());
+        // title + header + rule + five blend rows
+        assert_eq!(report.body.lines().count(), 8, "{}", report.body);
+        assert!(report.body.contains("default"));
+        assert!(report.body.contains("heavy-prior"));
+    }
+}

@@ -49,6 +49,34 @@ pub enum ClientError {
     Unencodable(String),
 }
 
+impl ClientError {
+    /// True when the server itself answered `ERR ...` — the request
+    /// reached the store and was refused (bad arguments, unknown
+    /// source). Protocol misuse is testable through this predicate
+    /// without string-matching transport failures.
+    #[must_use]
+    pub fn is_server(&self) -> bool {
+        matches!(self, ClientError::Server(_))
+    }
+
+    /// True when the failure happened *around* the server rather than
+    /// in it: the connection dropped, the response was malformed, or
+    /// the request could not be encoded at all.
+    #[must_use]
+    pub fn is_transport(&self) -> bool {
+        !self.is_server()
+    }
+
+    /// The server's `ERR` message, if this is a server-side refusal.
+    #[must_use]
+    pub fn server_message(&self) -> Option<&str> {
+        match self {
+            ClientError::Server(msg) => Some(msg),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -81,6 +109,19 @@ impl From<std::io::Error> for ClientError {
 /// [`ShardStats`].
 pub type ShardRow = ShardStats;
 
+/// One `CAND` row of a `RESOLVE` response: a ranked entity candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolveRow {
+    /// Entity representative (smallest member record id).
+    pub entity: RecordId,
+    /// Blended score in `[0, 1]`.
+    pub score: f64,
+    /// The indexed name that matched the query best.
+    pub name: String,
+    /// Entity members, ascending.
+    pub members: Vec<RecordId>,
+}
+
 /// One `CMD` row of a `STATS` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommandRow {
@@ -106,6 +147,11 @@ pub struct StatsReport {
     pub vocabulary: usize,
     pub entity_maps: usize,
     pub evictions: u64,
+    pub fuzzy_names: usize,
+    pub fuzzy_grams: usize,
+    pub fuzzy_postings: usize,
+    pub fuzzy_examined: u64,
+    pub fuzzy_pruned: u64,
     pub errors: u64,
     pub shard_rows: Vec<ShardRow>,
     pub commands: Vec<CommandRow>,
@@ -143,6 +189,28 @@ impl Client {
             .strip_prefix("OK matches=")
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| ClientError::Protocol(format!("expected OK matches=N, got {status:?}")))
+    }
+
+    /// Run a `RESOLVE` and parse the ranked candidates. `k` and `min`
+    /// are optional protocol options (`k=N`, `min=SCORE`); the server
+    /// defaults apply when absent.
+    pub fn resolve(
+        &mut self,
+        name: &str,
+        k: Option<usize>,
+        min: Option<f64>,
+    ) -> Result<Vec<ResolveRow>, ClientError> {
+        let mut line = String::from("RESOLVE");
+        line.push(' ');
+        line.push_str(wire_value("name", name)?);
+        if let Some(k) = k {
+            push_kv(&mut line, "k", &k.to_string())?;
+        }
+        if let Some(min) = min {
+            push_kv(&mut line, "min", &format!("{min}"))?;
+        }
+        let (_, data) = self.exchange(&line)?;
+        data.iter().map(|line| parse_cand(line)).collect()
     }
 
     /// Run `STATS` and parse the report.
@@ -316,6 +384,26 @@ fn parse_hit(line: &str) -> Result<QueryHit, ClientError> {
     Ok(QueryHit { seed, entity })
 }
 
+/// Parse one `CAND entity=N score=S name=X members=A,B,C` data line.
+fn parse_cand(line: &str) -> Result<ResolveRow, ClientError> {
+    let malformed = || ClientError::Protocol(format!("malformed CAND line {line:?}"));
+    if !line.starts_with("CAND ") {
+        return Err(malformed());
+    }
+    let members: String = field(line, "members")?;
+    let members = members
+        .split(',')
+        .map(|r| r.parse().map(RecordId))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|_| malformed())?;
+    Ok(ResolveRow {
+        entity: RecordId(field(line, "entity")?),
+        score: field(line, "score")?,
+        name: field::<String>(line, "name")?,
+        members,
+    })
+}
+
 /// Pull `key=` out of a whitespace-tokenized line and parse it.
 fn field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, ClientError> {
     let prefix = format!("{key}=");
@@ -337,6 +425,11 @@ fn parse_stats(status: &str, data: &[String]) -> Result<StatsReport, ClientError
         vocabulary: field(status, "vocabulary")?,
         entity_maps: field(status, "entity_maps")?,
         evictions: field(status, "evictions")?,
+        fuzzy_names: field(status, "fuzzy_names")?,
+        fuzzy_grams: field(status, "fuzzy_grams")?,
+        fuzzy_postings: field(status, "fuzzy_postings")?,
+        fuzzy_examined: field(status, "fuzzy_examined")?,
+        fuzzy_pruned: field(status, "fuzzy_pruned")?,
         errors: field(status, "errors")?,
         ..StatsReport::default()
     };
@@ -354,6 +447,9 @@ fn parse_stats(status: &str, data: &[String]) -> Result<StatsReport, ClientError
                 postings: field(line, "postings")?,
                 wal_entries: field(line, "wal")?,
                 wal_bytes: field(line, "wal_bytes")?,
+                fuzzy_names: field(line, "fuzzy_names")?,
+                fuzzy_grams: field(line, "fuzzy_grams")?,
+                fuzzy_postings: field(line, "fuzzy_postings")?,
             });
         } else if let Some(rest) = line.strip_prefix("CMD ") {
             let name = rest
@@ -452,12 +548,46 @@ mod tests {
     }
 
     #[test]
+    fn cand_lines_parse() {
+        let row = parse_cand("CAND entity=17 score=0.6125 name=levi members=17,203")
+            .expect("well-formed");
+        assert_eq!(row.entity, RecordId(17));
+        assert!((row.score - 0.6125).abs() < 1e-12);
+        assert_eq!(row.name, "levi");
+        assert_eq!(row.members, vec![RecordId(17), RecordId(203)]);
+        assert!(parse_cand("CAND entity=17 score=0.5 name=levi").is_err());
+        assert!(parse_cand("HIT seed=17 entity=1").is_err());
+        assert!(parse_cand("CAND entity=17 score=x name=levi members=17").is_err());
+    }
+
+    #[test]
+    fn error_predicates_separate_server_refusals_from_transport() {
+        let server = ClientError::Server("RESOLVE: k must be at least 1".to_owned());
+        assert!(server.is_server());
+        assert!(!server.is_transport());
+        assert_eq!(server.server_message(), Some("RESOLVE: k must be at least 1"));
+
+        let protocol = ClientError::Protocol("missing terminator".to_owned());
+        assert!(protocol.is_transport());
+        assert_eq!(protocol.server_message(), None);
+
+        let io = ClientError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionReset));
+        assert!(io.is_transport());
+        assert!(!io.is_server());
+    }
+
+    #[test]
     fn stats_response_parses_shard_and_cmd_rows() {
         let status = "OK records=7 sources=2 matches=9 shards=2 wal=1 wal_bytes=104 \
-                      vocabulary=13 entity_maps=1 evictions=0 errors=3";
+                      vocabulary=13 entity_maps=1 evictions=0 fuzzy_names=13 fuzzy_grams=48 \
+                      fuzzy_postings=58 fuzzy_examined=21 fuzzy_pruned=6 errors=3";
         let data = vec![
-            "SHARD 0 records=5 vocabulary=9 postings=11 wal=1 wal_bytes=104".to_owned(),
-            "SHARD 1 records=2 vocabulary=4 postings=4 wal=0 wal_bytes=0".to_owned(),
+            "SHARD 0 records=5 vocabulary=9 postings=11 wal=1 wal_bytes=104 \
+             fuzzy_names=9 fuzzy_grams=31 fuzzy_postings=40"
+                .to_owned(),
+            "SHARD 1 records=2 vocabulary=4 postings=4 wal=0 wal_bytes=0 \
+             fuzzy_names=4 fuzzy_grams=17 fuzzy_postings=18"
+                .to_owned(),
             "CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64".to_owned(),
         ];
         let report = parse_stats(status, &data).expect("well-formed");
@@ -468,6 +598,10 @@ mod tests {
         assert_eq!(report.shard_rows.len(), 2);
         assert_eq!(report.shard_rows[1].shard, 1);
         assert_eq!(report.shard_rows[0].postings, 11);
+        assert_eq!(report.fuzzy_names, 13);
+        assert_eq!(report.fuzzy_pruned, 6);
+        assert_eq!(report.shard_rows[0].fuzzy_grams, 31);
+        assert_eq!(report.shard_rows[1].fuzzy_postings, 18);
         assert_eq!(report.commands.len(), 1);
         assert_eq!(report.commands[0].name, "QUERY");
         assert_eq!(report.commands[0].p95_us, 64);

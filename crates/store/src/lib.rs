@@ -52,7 +52,7 @@ pub mod snapshot;
 pub mod store;
 pub mod wal;
 
-pub use client::Client;
+pub use client::{Client, ClientError, ResolveRow};
 pub use error::StoreError;
 pub use index::QueryIndex;
 pub use protocol::{CommandStats, Request};
@@ -61,7 +61,8 @@ pub use server::{serve, serve_with};
 pub use server::{CommandMetrics, ServeOptions, ServerMetrics};
 pub use shard::{shard_of_name, shard_of_record, Manifest, ShardStats, MANIFEST_FILE, ROUTING_RULE};
 pub use store::{
-    segment_file_name, wal_file_name, Store, StoreStats, DEFAULT_ENTITY_MAP_CAPACITY,
-    SNAPSHOT_FILE,
+    segment_file_name, wal_file_name, ResolveOptions, ResolveOutcome, Store, StoreStats,
+    DEFAULT_ENTITY_MAP_CAPACITY, DEFAULT_RESOLVE_K, SNAPSHOT_FILE,
 };
+pub use yv_fuzzy::{RankedEntity, ScoreBlend};
 pub use wal::{Wal, WalEntry, WalScan};

@@ -14,6 +14,11 @@
 //! > ADD book=99 source=0 first=Sara last=Levi gender=f year=1921
 //! < OK matches=3
 //! < .
+//! > RESOLVE Lewi k=3 min=0.5
+//! < OK 2
+//! < CAND entity=17 score=0.93110290407 name=levi members=17,203,5044
+//! < CAND entity=88 score=0.71842 name=lewin members=88
+//! < .
 //! > STATS
 //! < OK records=5000 sources=12 matches=10817 shards=4 wal=1 wal_bytes=104 vocabulary=1943 ...
 //! < SHARD 0 records=1290 vocabulary=522 postings=2581 wal=1 wal_bytes=104
@@ -39,13 +44,24 @@
 //! < .
 //! ```
 
+use crate::store::DEFAULT_RESOLVE_K;
 use yv_core::{PersonQuery, QueryHit};
+use yv_fuzzy::RankedEntity;
 use yv_records::{DateParts, Gender, Record, RecordBuilder, SourceId};
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     Query(PersonQuery),
+    Resolve {
+        /// The (possibly misspelled) name to resolve.
+        name: String,
+        /// Maximum candidates returned (defaults to
+        /// [`DEFAULT_RESOLVE_K`], never 0).
+        k: usize,
+        /// Minimum blended score, if the client set one.
+        min: Option<f64>,
+    },
     Add(Box<Record>),
     Stats,
     Metrics,
@@ -60,6 +76,7 @@ impl Request {
     pub const fn name(&self) -> &'static str {
         match self {
             Request::Query(_) => "QUERY",
+            Request::Resolve { .. } => "RESOLVE",
             Request::Add(_) => "ADD",
             Request::Stats => "STATS",
             Request::Metrics => "METRICS",
@@ -80,15 +97,59 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let args: Vec<&str> = tokens.collect();
     match command.to_ascii_uppercase().as_str() {
         "QUERY" => parse_query(&args).map(Request::Query),
+        "RESOLVE" => parse_resolve(&args),
         "ADD" => parse_add(&args).map(|r| Request::Add(Box::new(r))),
         "STATS" => expect_no_args("STATS", &args).map(|()| Request::Stats),
         "METRICS" => expect_no_args("METRICS", &args).map(|()| Request::Metrics),
         "SNAPSHOT" => expect_no_args("SNAPSHOT", &args).map(|()| Request::Snapshot),
         "SHUTDOWN" => expect_no_args("SHUTDOWN", &args).map(|()| Request::Shutdown),
         other => Err(format!(
-            "unknown command {other}; expected QUERY, ADD, STATS, METRICS, SNAPSHOT or SHUTDOWN"
+            "unknown command {other}; expected QUERY, RESOLVE, ADD, STATS, METRICS, SNAPSHOT \
+             or SHUTDOWN"
         )),
     }
+}
+
+/// Parse `RESOLVE <name> [k=N] [min=SCORE]`. The name comes first as a
+/// bare token; the options follow as `key=value` with the same
+/// duplicate-key discipline as `QUERY`. `k=0` is rejected with a
+/// dedicated message — it would silently answer nothing — as are
+/// non-numeric `k`/`min` values.
+fn parse_resolve(args: &[&str]) -> Result<Request, String> {
+    let Some((&name, options)) = args.split_first() else {
+        return Err("RESOLVE: a name argument is required".to_owned());
+    };
+    if name.contains('=') {
+        return Err(format!("RESOLVE: the name must come before options, got {name:?}"));
+    }
+    let mut k = DEFAULT_RESOLVE_K;
+    let mut min = None;
+    let mut seen: Vec<&str> = Vec::new();
+    for token in options {
+        let (key, value) = split_kv(token, "RESOLVE")?;
+        if seen.contains(&key) {
+            return Err(format!("RESOLVE: duplicate key {key}"));
+        }
+        match key {
+            "k" => {
+                let parsed: usize = value.parse().map_err(|_| {
+                    format!("RESOLVE: bad k value {value:?} (expected a positive integer)")
+                })?;
+                if parsed == 0 {
+                    return Err("RESOLVE: k must be at least 1".to_owned());
+                }
+                k = parsed;
+            }
+            "min" => {
+                min = Some(value.parse().map_err(|_| {
+                    format!("RESOLVE: bad min value {value:?} (expected a number)")
+                })?);
+            }
+            other => return Err(format!("RESOLVE: unknown key {other}")),
+        }
+        seen.push(key);
+    }
+    Ok(Request::Resolve { name: name.to_owned(), k, min })
 }
 
 fn expect_no_args(command: &str, args: &[&str]) -> Result<(), String> {
@@ -217,6 +278,28 @@ pub fn format_hits(hits: &[QueryHit]) -> String {
     out
 }
 
+/// Render ranked `RESOLVE` candidates as response lines (status, one
+/// `CAND` line per hit, terminator). Scores use plain `Display` — no
+/// fixed-precision rounding — so identical rankings render to identical
+/// bytes and the restart-identity tests can compare responses directly.
+#[must_use]
+pub fn format_candidates(hits: &[RankedEntity]) -> String {
+    let mut out = format!("OK {}\n", hits.len());
+    for hit in hits {
+        let members: Vec<String> = hit.members.iter().map(|r| r.0.to_string()).collect();
+        out.push_str(&format!(
+            "CAND entity={} score={} name={} members={}\n",
+            hit.entity.0,
+            hit.score,
+            hit.name,
+            members.join(",")
+        ));
+    }
+    out.push_str(TERMINATOR);
+    out.push('\n');
+    out
+}
+
 /// Render a single-status response (`OK ...` / `ERR ...`).
 #[must_use]
 pub fn format_status(status: &str) -> String {
@@ -269,8 +352,17 @@ pub fn format_stats(
     let mut out = format!("{status}\n");
     for s in shards {
         out.push_str(&format!(
-            "SHARD {} records={} vocabulary={} postings={} wal={} wal_bytes={}\n",
-            s.shard, s.records, s.vocabulary, s.postings, s.wal_entries, s.wal_bytes
+            "SHARD {} records={} vocabulary={} postings={} wal={} wal_bytes={} \
+             fuzzy_names={} fuzzy_grams={} fuzzy_postings={}\n",
+            s.shard,
+            s.records,
+            s.vocabulary,
+            s.postings,
+            s.wal_entries,
+            s.wal_bytes,
+            s.fuzzy_names,
+            s.fuzzy_grams,
+            s.fuzzy_postings
         ));
     }
     for c in commands {
@@ -420,6 +512,9 @@ mod tests {
                 postings: 11,
                 wal_entries: 1,
                 wal_bytes: 104,
+                fuzzy_names: 9,
+                fuzzy_grams: 31,
+                fuzzy_postings: 40,
             },
             crate::shard::ShardStats {
                 shard: 1,
@@ -428,19 +523,95 @@ mod tests {
                 postings: 4,
                 wal_entries: 0,
                 wal_bytes: 0,
+                fuzzy_names: 4,
+                fuzzy_grams: 17,
+                fuzzy_postings: 18,
             },
         ];
         let rendered = format_stats("OK records=7", &shards, &rows);
         assert_eq!(
             rendered,
             "OK records=7\n\
-             SHARD 0 records=5 vocabulary=9 postings=11 wal=1 wal_bytes=104\n\
-             SHARD 1 records=2 vocabulary=4 postings=4 wal=0 wal_bytes=0\n\
+             SHARD 0 records=5 vocabulary=9 postings=11 wal=1 wal_bytes=104 \
+             fuzzy_names=9 fuzzy_grams=31 fuzzy_postings=40\n\
+             SHARD 1 records=2 vocabulary=4 postings=4 wal=0 wal_bytes=0 \
+             fuzzy_names=4 fuzzy_grams=17 fuzzy_postings=18\n\
              CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64\n\
              CMD ADD count=0 errors=1 mean_us=0 p50_us=0 p95_us=0 p99_us=0\n\
              .\n"
         );
         assert_eq!(format_stats("OK records=7", &[], &[]), "OK records=7\n.\n");
+    }
+
+    #[test]
+    fn resolve_parses_name_and_options() {
+        let Ok(Request::Resolve { name, k, min }) = parse_request("RESOLVE Lewi") else {
+            panic!()
+        };
+        assert_eq!(name, "Lewi");
+        assert_eq!(k, DEFAULT_RESOLVE_K);
+        assert_eq!(min, None);
+
+        let Ok(Request::Resolve { name, k, min }) = parse_request("resolve Foa k=3 min=0.5")
+        else {
+            panic!()
+        };
+        assert_eq!(name, "Foa");
+        assert_eq!(k, 3);
+        assert!((min.expect("min set") - 0.5).abs() < 1e-12);
+        // Negative thresholds are legal: scores are unbounded below.
+        let Ok(Request::Resolve { min, .. }) = parse_request("RESOLVE Foa min=-1.5") else {
+            panic!()
+        };
+        assert!((min.expect("min set") + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolve_misuse_gets_dedicated_errors() {
+        let err = parse_request("RESOLVE").expect_err("name required");
+        assert!(err.contains("name argument is required"), "{err}");
+        let err = parse_request("RESOLVE k=3").expect_err("name before options");
+        assert!(err.contains("name must come before options"), "{err}");
+        let err = parse_request("RESOLVE Foa k=0").expect_err("k=0");
+        assert!(err.contains("k must be at least 1"), "{err}");
+        for bad_k in ["RESOLVE Foa k=three", "RESOLVE Foa k=-1", "RESOLVE Foa k=1.5"] {
+            let err = parse_request(bad_k).expect_err(bad_k);
+            assert!(err.contains("bad k value"), "{bad_k}: {err}");
+        }
+        let err = parse_request("RESOLVE Foa min=high").expect_err("bad min");
+        assert!(err.contains("bad min value"), "{err}");
+        let err = parse_request("RESOLVE Foa k=1 k=2").expect_err("duplicate k");
+        assert!(err.contains("duplicate key k"), "{err}");
+        let err = parse_request("RESOLVE Foa min=0.1 min=0.2").expect_err("duplicate min");
+        assert!(err.contains("duplicate key min"), "{err}");
+        let err = parse_request("RESOLVE Foa color=blue").expect_err("unknown key");
+        assert!(err.contains("unknown key color"), "{err}");
+    }
+
+    #[test]
+    fn candidates_render_with_plain_display_scores() {
+        let hits = vec![
+            RankedEntity {
+                entity: RecordId(17),
+                score: 0.612_5,
+                name: "levi".to_owned(),
+                members: vec![RecordId(17), RecordId(203)],
+            },
+            RankedEntity {
+                entity: RecordId(88),
+                score: 0.25,
+                name: "lewin".to_owned(),
+                members: vec![RecordId(88)],
+            },
+        ];
+        assert_eq!(
+            format_candidates(&hits),
+            "OK 2\n\
+             CAND entity=17 score=0.6125 name=levi members=17,203\n\
+             CAND entity=88 score=0.25 name=lewin members=88\n\
+             .\n"
+        );
+        assert_eq!(format_candidates(&[]), "OK 0\n.\n");
     }
 
     #[test]

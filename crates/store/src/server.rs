@@ -115,6 +115,7 @@ impl CommandMetrics {
 pub struct ServerMetrics {
     pub registry: Arc<MetricsRegistry>,
     pub query: CommandMetrics,
+    pub resolve: CommandMetrics,
     pub add: CommandMetrics,
     pub stats: CommandMetrics,
     pub metrics: CommandMetrics,
@@ -137,6 +138,7 @@ impl ServerMetrics {
         let cmd = |kind, display| CommandMetrics::register(&registry, kind, display);
         ServerMetrics {
             query: cmd("query", "QUERY"),
+            resolve: cmd("resolve", "RESOLVE"),
             add: cmd("add", "ADD"),
             stats: cmd("stats", "STATS"),
             metrics: cmd("metrics", "METRICS"),
@@ -152,9 +154,10 @@ impl ServerMetrics {
 
     /// Per-command stats rows in protocol order.
     #[must_use]
-    pub fn command_stats(&self) -> [CommandStats; 6] {
+    pub fn command_stats(&self) -> [CommandStats; 7] {
         [
             self.query.stats("QUERY"),
+            self.resolve.stats("RESOLVE"),
             self.add.stats("ADD"),
             self.stats.stats("STATS"),
             self.metrics.stats("METRICS"),
@@ -168,6 +171,7 @@ impl ServerMetrics {
     pub fn errors(&self) -> u64 {
         self.parse_errors.get()
             + self.query.errors.get()
+            + self.resolve.errors.get()
             + self.add.errors.get()
             + self.stats.errors.get()
             + self.metrics.errors.get()
@@ -450,6 +454,31 @@ fn render_metrics(ctx: &ServerCtx<'_>) -> String {
         stats.postings as u64,
     );
     reg.set_gauge("yv_store_shards", "Shard count (fixed at create)", stats.shards.len() as u64);
+    reg.set_gauge(
+        "yv_store_fuzzy_names",
+        "Distinct lowercased names in the fuzzy q-gram indexes",
+        stats.fuzzy_names as u64,
+    );
+    reg.set_gauge(
+        "yv_store_fuzzy_grams",
+        "Distinct q-grams in the fuzzy indexes",
+        stats.fuzzy_grams as u64,
+    );
+    reg.set_gauge(
+        "yv_store_fuzzy_postings",
+        "Gram-to-name posting entries in the fuzzy indexes",
+        stats.fuzzy_postings as u64,
+    );
+    reg.counter_value(
+        "yv_store_fuzzy_examined_total",
+        "Lifetime candidate names examined by RESOLVE",
+    )
+    .set(stats.fuzzy_examined);
+    reg.counter_value(
+        "yv_store_fuzzy_pruned_total",
+        "Lifetime candidate names pruned by the RESOLVE length and count filters",
+    )
+    .set(stats.fuzzy_pruned);
     // The registry has no label support (it renders plain name→value
     // pairs deterministically), so per-shard gauges mangle the shard
     // index into the metric name.
@@ -572,6 +601,16 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                 ctx.metrics.query.record(true, elapsed());
                 protocol::format_hits(&hits)
             }
+            Ok(Request::Resolve { name, k, min }) => {
+                let options = crate::store::ResolveOptions {
+                    k,
+                    min_score: min.unwrap_or(f64::NEG_INFINITY),
+                    ..crate::store::ResolveOptions::default()
+                };
+                let outcome = ctx.store.resolve(&name, &options);
+                ctx.metrics.resolve.record(true, elapsed());
+                protocol::format_candidates(&outcome.hits)
+            }
             Ok(Request::Add(record)) => {
                 let outcome = ctx.store.add_record(*record);
                 ctx.metrics.add.record(outcome.is_ok(), elapsed());
@@ -590,7 +629,9 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                 protocol::format_stats(
                     &format!(
                         "OK records={} sources={} matches={} shards={} wal={} wal_bytes={} \
-                         vocabulary={} entity_maps={} evictions={} errors={}",
+                         vocabulary={} entity_maps={} evictions={} \
+                         fuzzy_names={} fuzzy_grams={} fuzzy_postings={} \
+                         fuzzy_examined={} fuzzy_pruned={} errors={}",
                         stats.records,
                         stats.sources,
                         stats.matches,
@@ -600,6 +641,11 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                         stats.vocabulary,
                         stats.entity_maps_cached,
                         stats.entity_map_evictions,
+                        stats.fuzzy_names,
+                        stats.fuzzy_grams,
+                        stats.fuzzy_postings,
+                        stats.fuzzy_examined,
+                        stats.fuzzy_pruned,
                         ctx.metrics.errors(),
                     ),
                     &stats.shards,
@@ -690,7 +736,7 @@ mod tests {
         let metrics = ServerMetrics::default();
         metrics.add.record(true, 5_000);
         let rendered = metrics.registry.render_prometheus();
-        for kind in ["query", "add", "stats", "metrics", "snapshot", "shutdown"] {
+        for kind in ["query", "resolve", "add", "stats", "metrics", "snapshot", "shutdown"] {
             assert!(rendered.contains(&format!("# TYPE yv_cmd_{kind}_ok_total counter\n")));
             assert!(
                 rendered.contains(&format!("# TYPE yv_cmd_{kind}_latency_us histogram\n")),
@@ -709,7 +755,7 @@ mod tests {
         metrics.add.record(false, 1_000);
         metrics.snapshot.record(false, 1_000);
         assert_eq!(metrics.errors(), 3);
-        assert_eq!(metrics.command_stats().len(), 6);
+        assert_eq!(metrics.command_stats().len(), 7);
     }
 
     #[test]

@@ -164,6 +164,12 @@ pub struct ShardStats {
     pub wal_entries: usize,
     /// On-disk size of this shard's WAL in bytes.
     pub wal_bytes: u64,
+    /// Distinct names in this shard's fuzzy (q-gram) index.
+    pub fuzzy_names: usize,
+    /// Distinct q-grams in this shard's fuzzy index.
+    pub fuzzy_grams: usize,
+    /// Gram → name posting entries in this shard's fuzzy index.
+    pub fuzzy_postings: usize,
 }
 
 #[cfg(test)]

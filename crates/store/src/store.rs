@@ -37,6 +37,7 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use yv_core::{
     EntityMap, IncrementalResolver, PersonQuery, QueryHit, RankedMatch, Resolution,
 };
+use yv_fuzzy::{rank_entities, FuzzyIndex, RankedEntity, ScoreBlend, DEFAULT_QGRAM_BOUND};
 use yv_obs::Counter;
 use yv_records::{Dataset, Record, RecordId, Source, SourceId};
 
@@ -82,8 +83,61 @@ pub struct StoreStats {
     pub entity_maps_cached: usize,
     /// Lifetime LRU evictions from the entity-map cache.
     pub entity_map_evictions: u64,
+    /// Distinct names in the fuzzy indexes, summed over shards.
+    pub fuzzy_names: usize,
+    /// Distinct q-grams in the fuzzy indexes, summed over shards.
+    pub fuzzy_grams: usize,
+    /// Gram → name posting entries in the fuzzy indexes, summed over
+    /// shards.
+    pub fuzzy_postings: usize,
+    /// Lifetime candidate names examined by `RESOLVE` scans.
+    pub fuzzy_examined: u64,
+    /// Lifetime candidate names pruned by the `RESOLVE` filters.
+    pub fuzzy_pruned: u64,
     /// Per-shard breakdown, ascending by shard index.
     pub shards: Vec<ShardStats>,
+}
+
+/// Tuning knobs for [`Store::resolve`]. The defaults serve the protocol
+/// command; the blend and bound are exposed for the eval sweep and for
+/// callers embedding the store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolveOptions {
+    /// Maximum candidates returned.
+    pub k: usize,
+    /// Drop candidates scoring below this (inclusive bound).
+    pub min_score: f64,
+    /// Q-gram Jaccard bound for candidate generation.
+    pub bound: f64,
+    /// Signal weights for the ranked scorer.
+    pub blend: ScoreBlend,
+}
+
+impl Default for ResolveOptions {
+    fn default() -> ResolveOptions {
+        ResolveOptions {
+            k: DEFAULT_RESOLVE_K,
+            min_score: f64::NEG_INFINITY,
+            bound: DEFAULT_QGRAM_BOUND,
+            blend: ScoreBlend::default(),
+        }
+    }
+}
+
+/// Default `k` when a `RESOLVE` query does not name one.
+pub const DEFAULT_RESOLVE_K: usize = 10;
+
+/// The answer to one fuzzy resolution: ranked entities plus the filter
+/// telemetry for this scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolveOutcome {
+    /// Ranked candidates, best first — score `total_cmp` descending,
+    /// ties toward the smaller entity id.
+    pub hits: Vec<RankedEntity>,
+    /// Candidate names sharing at least one gram with the query.
+    pub examined: u64,
+    /// Candidate names the length/Jaccard filters pruned.
+    pub pruned: u64,
 }
 
 /// A bounded LRU of entity maps keyed by (write generation, certainty
@@ -211,6 +265,9 @@ impl Sequencer {
 struct ShardState {
     wal: Wal,
     index: QueryIndex,
+    /// Secondary q-gram index over this shard's names, maintained in
+    /// lockstep with `index` (create, open, WAL replay, add).
+    fuzzy: FuzzyIndex,
     /// Arrivals logged to this shard since the last snapshot.
     wal_entries: usize,
 }
@@ -234,8 +291,15 @@ pub struct Store {
     resolution: Mutex<Option<(u64, Arc<Resolution>)>>,
     /// Bounded per-(generation, threshold) entity-map memo.
     entity_maps: Mutex<EntityMapCache>,
+    /// Per-record best incident match score, memoized per generation
+    /// (the `RESOLVE` certainty signal).
+    certainties: Mutex<Option<(u64, Arc<Vec<f64>>)>>,
     /// Lifetime LRU evictions (capacity pressure).
     evictions: Counter,
+    /// Lifetime candidate names examined by `RESOLVE` scans.
+    fuzzy_examined: Counter,
+    /// Lifetime candidate names pruned by the `RESOLVE` filters.
+    fuzzy_pruned: Counter,
 }
 
 /// Partition a dataset's records by shard, ascending rid within each.
@@ -270,6 +334,7 @@ fn write_snapshot_files(
 /// What one shard contributes to `open`, loaded in parallel.
 struct ShardLoad {
     index: QueryIndex,
+    fuzzy: FuzzyIndex,
     records: Vec<(RecordId, Record)>,
     scan: WalScan,
 }
@@ -284,6 +349,7 @@ fn load_shard(dir: &Path, s: usize) -> Result<ShardLoad, StoreError> {
         )));
     }
     let mut index = QueryIndex::default();
+    let mut fuzzy = FuzzyIndex::new();
     let mut prev: Option<RecordId> = None;
     for (rid, record) in &records {
         if prev.is_some_and(|p| p >= *rid) {
@@ -294,6 +360,7 @@ fn load_shard(dir: &Path, s: usize) -> Result<ShardLoad, StoreError> {
         }
         prev = Some(*rid);
         index.add_record(*rid, record);
+        fuzzy.add_record(*rid, record);
     }
     let wal_path = dir.join(wal_file_name(s));
     if !wal_path.exists() {
@@ -303,7 +370,7 @@ fn load_shard(dir: &Path, s: usize) -> Result<ShardLoad, StoreError> {
         )));
     }
     let scan = crate::wal::scan_file(&wal_path)?;
-    Ok(ShardLoad { index, records, scan })
+    Ok(ShardLoad { index, fuzzy, records, scan })
 }
 
 impl Store {
@@ -324,10 +391,12 @@ impl Store {
         for (s, entries) in parts.iter().enumerate() {
             let wal = Wal::create(&dir.join(wal_file_name(s)))?;
             let mut index = QueryIndex::default();
+            let mut fuzzy = FuzzyIndex::new();
             for (rid, record) in entries {
                 index.add_record(*rid, record);
+                fuzzy.add_record(*rid, record);
             }
-            shard_states.push(RwLock::new(ShardState { wal, index, wal_entries: 0 }));
+            shard_states.push(RwLock::new(ShardState { wal, index, fuzzy, wal_entries: 0 }));
         }
         Ok(Store {
             resolver: RwLock::new(resolver),
@@ -337,7 +406,10 @@ impl Store {
             generation: AtomicU64::new(0),
             resolution: Mutex::new(None),
             entity_maps: Mutex::new(EntityMapCache::new(DEFAULT_ENTITY_MAP_CAPACITY)),
+            certainties: Mutex::new(None),
             evictions: Counter::new(),
+            fuzzy_examined: Counter::new(),
+            fuzzy_pruned: Counter::new(),
         })
     }
 
@@ -489,6 +561,7 @@ impl Store {
                     let rid = RecordId(resolver.len() as u32);
                     resolver.insert(*record);
                     shard_loads[s].index.add_record(rid, resolver.dataset().record(rid));
+                    shard_loads[s].fuzzy.add_record(rid, resolver.dataset().record(rid));
                 }
             }
         }
@@ -501,6 +574,7 @@ impl Store {
             shard_states.push(RwLock::new(ShardState {
                 wal,
                 index: load.index,
+                fuzzy: load.fuzzy,
                 wal_entries: wal_entries_per_shard[s],
             }));
         }
@@ -512,7 +586,10 @@ impl Store {
             generation: AtomicU64::new(0),
             resolution: Mutex::new(None),
             entity_maps: Mutex::new(EntityMapCache::new(DEFAULT_ENTITY_MAP_CAPACITY)),
+            certainties: Mutex::new(None),
             evictions: Counter::new(),
+            fuzzy_examined: Counter::new(),
+            fuzzy_pruned: Counter::new(),
         })
     }
 
@@ -568,6 +645,9 @@ impl Store {
                 postings: s.index.postings(),
                 wal_entries: s.wal_entries,
                 wal_bytes: s.wal.bytes(),
+                fuzzy_names: s.fuzzy.names(),
+                fuzzy_grams: s.fuzzy.grams(),
+                fuzzy_postings: s.fuzzy.postings(),
             });
         }
         StoreStats {
@@ -580,6 +660,11 @@ impl Store {
             postings: shards.iter().map(|s| s.postings).sum(),
             entity_maps_cached: self.entity_maps.lock().len(),
             entity_map_evictions: self.evictions.get(),
+            fuzzy_names: shards.iter().map(|s| s.fuzzy_names).sum(),
+            fuzzy_grams: shards.iter().map(|s| s.fuzzy_grams).sum(),
+            fuzzy_postings: shards.iter().map(|s| s.fuzzy_postings).sum(),
+            fuzzy_examined: self.fuzzy_examined.get(),
+            fuzzy_pruned: self.fuzzy_pruned.get(),
             shards,
         }
     }
@@ -639,6 +724,7 @@ impl Store {
                 let rid = RecordId(resolver.len() as u32);
                 let matches = resolver.insert(record);
                 shard.index.add_record(rid, resolver.dataset().record(rid));
+                shard.fuzzy.add_record(rid, resolver.dataset().record(rid));
                 self.generation.fetch_add(1, Ordering::SeqCst);
                 Ok(matches)
             }
@@ -712,6 +798,78 @@ impl Store {
                     .map_or_else(|| vec![seed], <[RecordId]>::to_vec),
             })
             .collect()
+    }
+
+    /// Per-record best incident ranked-match score — the resolver's own
+    /// confidence that a record belongs to a multi-report person —
+    /// memoized per write generation alongside the resolution.
+    fn certainties_at(&self) -> Arc<Vec<f64>> {
+        let (generation, resolution) = self.resolution_at();
+        let mut cached = self.certainties.lock();
+        if let Some((cached_gen, c)) = cached.as_ref() {
+            if *cached_gen == generation {
+                return Arc::clone(c);
+            }
+        }
+        let mut best: Vec<f64> = Vec::new();
+        for m in &resolution.matches {
+            for rid in [m.a, m.b] {
+                let i = rid.index();
+                if i >= best.len() {
+                    best.resize(i + 1, 0.0);
+                }
+                if m.score > best[i] {
+                    best[i] = m.score;
+                }
+            }
+        }
+        let fresh = Arc::new(best);
+        *cached = Some((generation, Arc::clone(&fresh)));
+        fresh
+    }
+
+    /// Fuzzily resolve a (possibly misspelled) name into ranked
+    /// entities: scan every shard's q-gram index for candidate names
+    /// within `options.bound`, then rank the union with
+    /// [`yv_fuzzy::rank_entities`] against the current resolution.
+    ///
+    /// Determinism: the per-shard phase applies only the pure per-name
+    /// Jaccard predicate — no per-shard truncation — so the candidate
+    /// union, and therefore the ranking, depends only on the store's
+    /// logical state, never on the shard count, arrival interleaving, or
+    /// a restart.
+    #[must_use]
+    pub fn resolve(&self, name: &str, options: &ResolveOptions) -> ResolveOutcome {
+        let query = name.to_lowercase();
+        // Collect owned candidates so the shard read locks drop before
+        // ranking (which may take the resolver lock via the memos).
+        let mut names: Vec<(String, f64, Vec<RecordId>)> = Vec::new();
+        let mut examined = 0;
+        let mut pruned = 0;
+        for shard in &self.shards {
+            let s = shard.read();
+            let (candidates, stats) = s.fuzzy.candidates(&query, options.bound);
+            examined += stats.examined;
+            pruned += stats.pruned_length + stats.pruned_jaccard;
+            for c in candidates {
+                names.push((c.name.to_owned(), c.jaccard, c.records.to_vec()));
+            }
+        }
+        self.fuzzy_examined.add(examined);
+        self.fuzzy_pruned.add(pruned);
+
+        let entity_map = self.entity_map(0.0);
+        let certainties = self.certainties_at();
+        let hits = rank_entities(
+            &query,
+            names.iter().map(|(n, j, rs)| (n.as_str(), *j, rs.as_slice())),
+            |rid| entity_map.entity_of(rid).map_or_else(|| vec![rid], <[RecordId]>::to_vec),
+            |rid| certainties.get(rid.index()).copied().unwrap_or(0.0),
+            &options.blend,
+            options.k,
+            options.min_score,
+        );
+        ResolveOutcome { hits, examined, pruned }
     }
 
     /// Fold the WALs into a fresh snapshot file set and truncate them.

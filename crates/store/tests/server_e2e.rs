@@ -125,7 +125,7 @@ fn concurrent_clients_durable_adds_and_restart_identity() {
 
     // Per-command metrics: one CMD row per command kind, with counters
     // and latency percentiles.
-    assert_eq!(stats.commands.len(), 6, "{stats:?}");
+    assert_eq!(stats.commands.len(), 7, "{stats:?}");
     let query_row = stats.commands.iter().find(|c| c.name == "QUERY").unwrap();
     // 4 concurrent clients ran the 5-query battery, plus one more pass.
     assert_eq!(query_row.count as usize, 5 * queries().len(), "{query_row:?}");
@@ -163,6 +163,89 @@ fn concurrent_clients_durable_adds_and_restart_identity() {
         "restarted server must answer the battery identically"
     );
     Client::connect(addr2).unwrap().shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn resolve_serves_ranked_candidates_and_typed_errors() {
+    let dir = fresh_dir("resolve-e2e");
+    let store = Store::create(&dir, trained_resolver(200, 77), 3).unwrap();
+    let records_before = store.stats().records;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server =
+        std::thread::spawn(move || ServeOptions::new(store).workers(2).serve(listener).unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    // Plant a known name, then resolve a one-edit misspelling of it.
+    let planted = yv_records::RecordBuilder::new(900_010, yv_records::SourceId(0))
+        .first_name("Guido")
+        .last_name("Postel")
+        .build();
+    client.add(&planted).unwrap();
+    let planted_rid = yv_records::RecordId(u32::try_from(records_before).unwrap());
+
+    let hits = client.resolve("Postl", Some(5), None).unwrap();
+    assert!(!hits.is_empty(), "a one-edit typo must surface candidates");
+    assert!(
+        hits.iter().is_sorted_by(|a, b| a.score >= b.score),
+        "candidates arrive ranked: {hits:?}"
+    );
+    let postel = hits.iter().find(|h| h.name == "postel").expect("planted name surfaces");
+    assert!(postel.members.contains(&planted_rid), "{postel:?}");
+    assert!(postel.score > 0.0 && postel.score <= 1.0, "{postel:?}");
+
+    // min= filters, k= truncates.
+    let all = client.resolve("Postl", Some(100), None).unwrap();
+    let top = client.resolve("Postl", Some(1), None).unwrap();
+    assert_eq!(top.len(), 1);
+    assert_eq!(top[0], all[0]);
+    let min = all[0].score;
+    for hit in client.resolve("Postl", Some(100), Some(min)).unwrap() {
+        assert!(hit.score >= min, "min= is an inclusive floor: {hit:?}");
+    }
+
+    // Misuse surfaces as a typed server error with a dedicated message —
+    // and the connection survives it.
+    let err = client.resolve("Postl", Some(0), None).unwrap_err();
+    assert!(err.is_server(), "{err:?}");
+    assert_eq!(err.server_message(), Some("RESOLVE: k must be at least 1"));
+    let err = client.resolve("k=3", None, None).unwrap_err();
+    assert!(err.is_server() && !err.is_transport(), "{err:?}");
+    assert!(err.server_message().unwrap().contains("name must come before options"), "{err:?}");
+    // Non-numeric k=/min= can't be produced through the typed client;
+    // send them raw and pin the dedicated messages.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        for (request, expect) in [
+            ("RESOLVE Postl k=three\n", "ERR RESOLVE: bad k value \"three\""),
+            ("RESOLVE Postl min=high\n", "ERR RESOLVE: bad min value \"high\""),
+        ] {
+            raw.write_all(request.as_bytes()).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with(expect), "{request:?} -> {line:?}");
+            let mut dot = String::new();
+            reader.read_line(&mut dot).unwrap();
+            assert_eq!(dot, ".\n");
+        }
+    }
+    assert!(client.resolve("Postl", None, None).is_ok(), "connection survives misuse");
+
+    // The STATS report accounts for the fuzzy index and the RESOLVE
+    // traffic above.
+    let stats = client.stats().unwrap();
+    assert!(stats.fuzzy_names > 0 && stats.fuzzy_postings >= stats.fuzzy_names);
+    assert!(stats.fuzzy_examined > 0, "{stats:?}");
+    assert_eq!(
+        stats.shard_rows.iter().map(|r| r.fuzzy_postings).sum::<usize>(),
+        stats.fuzzy_postings
+    );
+    let resolve_row = stats.commands.iter().find(|c| c.name == "RESOLVE").unwrap();
+    assert_eq!(resolve_row.count, 5, "{resolve_row:?}");
+
+    client.shutdown().unwrap();
     server.join().unwrap();
 }
 
@@ -208,7 +291,7 @@ fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
         .unwrap();
     let body = client.metrics().unwrap();
     // One histogram series per protocol command, with cumulative buckets.
-    for kind in ["query", "add", "stats", "metrics", "snapshot", "shutdown"] {
+    for kind in ["query", "resolve", "add", "stats", "metrics", "snapshot", "shutdown"] {
         assert!(
             body.contains(&format!("# TYPE yv_cmd_{kind}_latency_us histogram")),
             "missing {kind} histogram in:\n{body}"
@@ -226,6 +309,11 @@ fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
         "yv_store_postings",
         "yv_store_vocabulary",
         "yv_store_entity_maps_cached",
+        "yv_store_fuzzy_names",
+        "yv_store_fuzzy_grams",
+        "yv_store_fuzzy_postings",
+        "yv_store_fuzzy_examined_total",
+        "yv_store_fuzzy_pruned_total",
         "yv_shard_0_records",
         "yv_shard_0_postings",
         "yv_shard_0_wal_bytes",

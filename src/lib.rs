@@ -15,6 +15,7 @@
 //! | [`adt`] | `yv-adt` | alternating decision trees |
 //! | [`blocking`] | `yv-blocking` | the MFIBlocks algorithm |
 //! | [`baselines`] | `yv-baselines` | ten comparison blockers (Table 10) |
+//! | [`fuzzy`] | `yv-fuzzy` | q-gram candidate index + ranked fuzzy resolution |
 //! | [`datagen`] | `yv-datagen` | synthetic Names-Project data + tagging oracle |
 //! | [`core`] | `yv-core` | the uncertain-ER pipeline, conditions, queries |
 //! | [`store`] | `yv-store` | persistent resolution store + `yv serve` query server |
@@ -53,6 +54,7 @@ pub use yv_blocking as blocking;
 pub use yv_core as core;
 pub use yv_datagen as datagen;
 pub use yv_eval as eval;
+pub use yv_fuzzy as fuzzy;
 pub use yv_mfi as mfi;
 pub use yv_obs as obs;
 pub use yv_records as records;
