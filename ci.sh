@@ -10,19 +10,50 @@ cargo test -q
 # surfaced for review but not yet a build failure; everything else is -D.
 cargo clippy --workspace --all-targets -- -D warnings -A clippy::cast_possible_truncation
 
-# Workspace invariant audit (determinism / panic-freedom / score hygiene —
-# DESIGN.md §10). The workspace itself must be clean...
-cargo run -q -p yv-audit -- check
+# Workspace invariant audit (determinism / panic-freedom / score hygiene /
+# lock discipline / privacy taint / cast safety — DESIGN.md §10). The
+# workspace itself must be clean, and the parallel run must finish inside
+# a generous wall-time bound (the incremental cache plus scoped threads
+# are what keep this gate cheap).
+audit_started="$(date +%s)"
+cargo run -q -p yv-audit -- check --jobs 8
+audit_elapsed="$(( $(date +%s) - audit_started ))"
+if [ "$audit_elapsed" -gt 120 ]; then
+    echo "audit gate failure: workspace check took ${audit_elapsed}s (>120s)" >&2
+    exit 1
+fi
 
 # ...and the auditor must still catch seeded violations: every known-bad
-# fixture has to fail the check, or the gate is dead.
+# fixture has to fail the check, or the gate is dead...
 for fixture in crates/audit/fixtures/bad_*.rs; do
     if cargo run -q -p yv-audit -- check "$fixture" > /dev/null; then
         echo "audit gate failure: $fixture passed but must be detected" >&2
         exit 1
     fi
 done
-echo "audit gate: workspace clean, all seeded violations detected"
+# ...while every known-good twin passes — the rules must separate the
+# pairs, not blanket-fail the directory.
+for fixture in crates/audit/fixtures/good_*.rs; do
+    if ! cargo run -q -p yv-audit -- check "$fixture" > /dev/null; then
+        echo "audit gate failure: $fixture failed but must be clean" >&2
+        exit 1
+    fi
+done
+
+# Stale-baseline gate: an accepted finding that no longer occurs must
+# fail the check until the baseline is regenerated — the committed
+# baseline can only shrink deliberately, never rot.
+stale_baseline="$(mktemp -t yv-audit-baseline-XXXXXX)"
+cp audit.baseline "$stale_baseline"
+echo "P1 deadbeefdeadbeef crates/ghost/src/lib.rs" >> "$stale_baseline"
+if cargo run -q -p yv-audit -- check --no-cache --baseline "$stale_baseline" \
+        > /dev/null 2>&1; then
+    rm -f "$stale_baseline"
+    echo "audit gate failure: a stale baseline entry passed the check" >&2
+    exit 1
+fi
+rm -f "$stale_baseline"
+echo "audit gate: workspace clean in ${audit_elapsed}s, seeded violations detected, good twins pass, stale baseline refused"
 
 # Observability smoke test: `yv block --trace-json` must emit a valid
 # Chrome-trace file carrying the span taxonomy (DESIGN.md §11).

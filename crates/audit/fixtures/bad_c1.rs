@@ -1,0 +1,10 @@
+// Known-bad fixture for rule C1: lossy `as` narrowing of sequence and
+// length values in a persisted frame header (lines 5 and 6).
+pub fn frame_header(seq: u64, payload: &[u8]) -> [u8; 8] {
+    let mut out = [0u8; 8];
+    let short_seq = seq as u32;
+    let len = payload.len() as u16;
+    out[..4].copy_from_slice(&short_seq.to_le_bytes());
+    out[4..6].copy_from_slice(&len.to_le_bytes());
+    out
+}

@@ -1,0 +1,17 @@
+// Known-bad fixture for rule L1: a shard guard held across blocking WAL
+// I/O (line 8), and shard locks acquired out of index order (line 14).
+use std::fs::File;
+use std::io::Write;
+
+pub fn append(file: &mut File, shards: &[std::sync::RwLock<u32>], payload: &[u8]) {
+    let guard = shards[3].write();
+    file.write_all(payload);
+    drop(guard);
+}
+
+pub fn quiesce_pair(shards: &[std::sync::RwLock<u32>]) {
+    let hi = shards[1].write();
+    let lo = shards[0].write();
+    drop(lo);
+    drop(hi);
+}

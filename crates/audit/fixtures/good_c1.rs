@@ -1,0 +1,17 @@
+// Known-good fixture for rule C1: persisted values narrow through
+// `try_from` with a typed error; widening conversions stay implicit, and
+// identifiers like `wide_len` do not trip the word-boundary matcher.
+pub enum FrameError {
+    Oversized,
+}
+
+pub fn frame_header(seq: u64, payload: &[u8]) -> Result<[u8; 8], FrameError> {
+    let mut out = [0u8; 8];
+    let short_seq = u32::try_from(seq).map_err(|_| FrameError::Oversized)?;
+    let len = u16::try_from(payload.len()).map_err(|_| FrameError::Oversized)?;
+    let wide_len = u64::from(len) + u64::from(short_seq);
+    out[..4].copy_from_slice(&short_seq.to_le_bytes());
+    out[4..6].copy_from_slice(&len.to_le_bytes());
+    out[7] = wide_len.count_ones() as u8;
+    Ok(out)
+}

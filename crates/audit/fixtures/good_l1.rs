@@ -1,0 +1,17 @@
+// Known-good fixture for rule L1: the guard is block-confined so the data
+// is staged before the blocking I/O, and shard locks ascend by index.
+use std::fs::File;
+use std::io::Write;
+
+pub fn append(file: &mut File, shards: &[std::sync::RwLock<Vec<u8>>]) {
+    let staged = { let queue = shards[2].read(); queue.clone() };
+    file.write_all(&staged);
+    file.flush();
+}
+
+pub fn quiesce(shards: &[std::sync::RwLock<Vec<u8>>]) {
+    let lo = shards[0].write();
+    let hi = shards[1].write();
+    drop(hi);
+    drop(lo);
+}

@@ -80,6 +80,25 @@ pub fn clean_lines(source: &str) -> Vec<CleanLine> {
                         mode = Mode::BlockComment { depth: 1 };
                         i += 2;
                     }
+                    'b' if is_raw_byte_string_start(&chars, i) => {
+                        // Raw byte string `br"..."` / `br#"..."#`: the `b`
+                        // prefix must not hide the raw opener, or the
+                        // contents get escape-processed and desync the
+                        // stripper on `br"\"`.
+                        let hashes = count_hashes(&chars, i + 2);
+                        code.push('"');
+                        text.push('"');
+                        mode = Mode::RawStr { hashes };
+                        i += 3 + hashes; // b, r, hashes, opening quote
+                    }
+                    'b' | 'c' if chars.get(i + 1) == Some(&'"') && is_ident_boundary(&chars, i) => {
+                        // Byte string `b"..."` / C string `c"..."`: normal
+                        // escape rules, contents blanked like any string.
+                        code.push('"');
+                        text.push('"');
+                        mode = Mode::Str;
+                        i += 2;
+                    }
                     'r' if is_raw_string_start(&chars, i) => {
                         let hashes = count_hashes(&chars, i + 1);
                         code.push('"');
@@ -212,13 +231,28 @@ fn char_offset(chars: &[char], i: usize) -> usize {
 /// True when `chars[i]` begins `r"` or `r#...#"` (and is not part of an
 /// identifier such as `for` or `attr`).
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    if i > 0 {
-        let prev = chars[i - 1];
-        if prev.is_alphanumeric() || prev == '_' {
-            return false;
-        }
+    if chars.get(i) != Some(&'r') || !is_ident_boundary(chars, i) {
+        return false;
     }
     let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// True when no identifier continues into `chars[i]` from the left, i.e.
+/// `chars[i]` can begin a literal prefix (`r`, `b`, `br`, `c`).
+fn is_ident_boundary(chars: &[char], i: usize) -> bool {
+    i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// True when `chars[i]` begins `br"` / `br#...#"`.
+fn is_raw_byte_string_start(chars: &[char], i: usize) -> bool {
+    if !is_ident_boundary(chars, i) || chars.get(i + 1) != Some(&'r') {
+        return false;
+    }
+    let mut j = i + 2;
     while chars.get(j) == Some(&'#') {
         j += 1;
     }
@@ -242,12 +276,13 @@ fn closes_raw(chars: &[char], quote_at: usize, hashes: usize) -> bool {
 fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
     match chars.get(i + 1)? {
         '\\' => {
-            // Escaped char: scan to the next unescaped quote.
-            let mut j = i + 2;
+            // Escaped char: the character after the backslash is consumed
+            // unconditionally (it may itself be a quote, `'\''`), then scan
+            // to the closing quote (`\u{...}` escapes span several chars).
+            let mut j = i + 3;
             while j < chars.len() {
                 match chars[j] {
                     '\'' => return Some(j),
-                    '\\' => j += 2,
                     _ => j += 1,
                 }
             }
@@ -319,6 +354,48 @@ mod tests {
         let lines = clean_lines("let r = r#\"contains \"quotes\" and .unwrap()\"#; f();\n");
         assert!(!lines[0].code.contains("unwrap"));
         assert!(lines[0].code.contains("f();"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_desync() {
+        // `'\''` ends at the *second* quote; mistaking the escaped quote
+        // for the closer would re-lex the real closer and blind the
+        // stripper to everything after it.
+        let lines = clean_lines("let q = '\\''; x.unwrap();\n");
+        assert!(lines[0].code.contains(".unwrap()"), "{:?}", lines[0].code);
+        let lines = clean_lines("let t = '\\t'; let u = '\\u{1F600}'; y.unwrap();\n");
+        assert!(lines[0].code.contains(".unwrap()"), "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked_like_strings() {
+        let lines = clean_lines("let b = b\"bytes .unwrap()\"; f();\n");
+        assert!(!lines[0].code.contains("unwrap"), "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("f();"));
+        // `br"\"` must not escape-process the backslash: the string closes
+        // at the quote and `g()` is code.
+        let lines = clean_lines("let rb = br\"\\\"; g();\n");
+        assert!(lines[0].code.contains("g();"), "{:?}", lines[0].code);
+        let lines = clean_lines("let rb = br#\"raw \"quoted\" .unwrap()\"#; h();\n");
+        assert!(!lines[0].code.contains("unwrap"), "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("h();"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_stay_open_across_lines() {
+        let src = "let r = r#\"first\nsecond .unwrap() // not a comment\nlast\"#; tail();\n";
+        let lines = clean_lines(src);
+        assert!(!lines[1].code.contains("unwrap"), "{:?}", lines[1].code);
+        assert!(lines[1].comment.is_empty(), "string text is not comment text");
+        assert!(lines[2].code.contains("tail();"), "{:?}", lines[2].code);
+    }
+
+    #[test]
+    fn raw_string_with_inner_hash_quote_sequences() {
+        // `"#` inside an `r##"..."##` literal does not close it.
+        let src = "let r = r##\"has \"# inside\"##; k();\n";
+        let lines = clean_lines(src);
+        assert!(lines[0].code.contains("k();"), "{:?}", lines[0].code);
     }
 
     #[test]

@@ -1,35 +1,50 @@
 //! yv-audit: static analysis over the workspace's own sources.
 //!
 //! The resolver's ranked output (paper §4.2) is only meaningful if scores
-//! and cluster orderings are bit-for-bit reproducible, and the serving
-//! path must not panic. This crate enforces both mechanically with five
-//! line-level rules (D1 hash-order determinism, P1 panic-freedom, F1
-//! score/float hygiene, S1 wall-clock hygiene, A1 global-allocator
-//! uniqueness); see [`rules`] for the exact semantics and `DESIGN.md` §10
-//! for the rationale.
+//! and cluster orderings are bit-for-bit reproducible, the serving path
+//! must not panic, and victim names must never leak into operator-visible
+//! logs. This crate enforces those invariants mechanically with eight
+//! rules: five line-level (D1 hash-order determinism, P1 panic-freedom,
+//! F1 score/float hygiene, S1 wall-clock hygiene, A1 global-allocator
+//! uniqueness) and three scope-aware (L1 lock discipline, N1
+//! privacy-taint, C1 cast safety) built on the [`scope`] tracker and the
+//! interprocedural [`symbols`] pass. See [`rules`] for exact semantics
+//! and `DESIGN.md` §10 for the rationale.
+//!
+//! The [`engine`] runs the rules workspace-wide in parallel with an
+//! incremental cache and a committed findings baseline; [`cli`] is the
+//! shared driver behind both the `yv-audit` binary and `yv audit`.
 //!
 //! Suppression: `// audit:allow(RULE) <justification>` on the offending
 //! line, or alone on the line above it.
 
+pub mod cli;
+pub mod engine;
 pub mod lexer;
 pub mod profile;
 pub mod report;
 pub mod rules;
+pub mod scope;
+pub mod symbols;
 pub mod walk;
 
 use std::path::Path;
 
+pub use engine::{AuditOutcome, EngineOptions};
 pub use profile::FileProfile;
 pub use rules::{Finding, Rule};
 
-/// Analyze in-memory source text under an explicit profile.
+/// Analyze in-memory source text under an explicit profile. The symbol
+/// index is built from this file alone — cross-file call edges need the
+/// [`engine`].
 #[must_use]
 pub fn analyze_source(display_path: &str, source: &str, profile: &FileProfile) -> Vec<Finding> {
     if profile.test_file {
         return Vec::new();
     }
     let lines = lexer::clean_lines(source);
-    rules::check_lines(display_path, source, &lines, profile)
+    let symbols = symbols::single_file_index(&lines);
+    rules::check_lines(display_path, source, &lines, profile, &symbols)
 }
 
 /// Analyze one file on disk; the profile is derived from `display_path`.
@@ -39,18 +54,10 @@ pub fn analyze_file(path: &Path, display_path: &str) -> std::io::Result<Vec<Find
     Ok(analyze_source(display_path, &source, &profile))
 }
 
-/// Analyze every workspace source under `root`. Findings come back sorted
-/// by (file, line, rule).
+/// Analyze every workspace source under `root` with full interprocedural
+/// symbols, no cache, no baseline. Findings come back sorted by
+/// (file, line, rule).
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for path in walk::workspace_sources(root)? {
-        let display = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        findings.extend(analyze_file(&path, &display)?);
-    }
-    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(findings)
+    let opts = EngineOptions { jobs: 0, cache_path: None, baseline_path: None };
+    Ok(engine::run_workspace(root, &opts)?.findings)
 }

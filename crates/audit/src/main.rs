@@ -1,101 +1,9 @@
-//! `yv-audit` — audit the workspace sources for determinism, panic and
-//! score-hygiene hazards.
-//!
-//! ```text
-//! yv-audit check [PATH...] [--format=json] [--root=DIR]
-//! ```
-//!
-//! With no PATHs the whole workspace is scanned (rule scope derived from
-//! each file's crate). Explicit PATHs are checked with every rule enabled
-//! unless their path identifies a crate — this is what the fixture tests
-//! and the CI seeded-violation loop use.
-//!
-//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//! `yv-audit` — thin shim over the shared [`yv_audit::cli`] driver, which
+//! also backs `yv audit`. See that module for the full CLI contract.
 
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-use yv_audit::{analyze_file, analyze_workspace, report, Finding};
-
-struct Options {
-    json: bool,
-    root: PathBuf,
-    paths: Vec<String>,
-}
-
-fn usage() -> ExitCode {
-    eprintln!("usage: yv-audit check [PATH...] [--format=json] [--root=DIR]");
-    ExitCode::from(2)
-}
-
-fn workspace_root() -> PathBuf {
-    // The binary lives in crates/audit; the workspace root is two up from
-    // its manifest. Fall back to the current directory when the layout
-    // does not match (e.g. an installed copy run ad hoc).
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
-}
-
-fn parse_args(args: &[String]) -> Option<Options> {
-    let mut opts =
-        Options { json: false, root: workspace_root(), paths: Vec::new() };
-    let mut it = args.iter();
-    if it.next().map(String::as_str) != Some("check") {
-        return None;
-    }
-    for arg in it {
-        if arg == "--format=json" {
-            opts.json = true;
-        } else if let Some(dir) = arg.strip_prefix("--root=") {
-            opts.root = PathBuf::from(dir);
-        } else if arg.starts_with("--") {
-            return None;
-        } else {
-            opts.paths.push(arg.clone());
-        }
-    }
-    Some(opts)
-}
-
-fn run(opts: &Options) -> std::io::Result<Vec<Finding>> {
-    if opts.paths.is_empty() {
-        return analyze_workspace(&opts.root);
-    }
-    let mut findings = Vec::new();
-    for p in &opts.paths {
-        let path = Path::new(p);
-        let resolved = if path.is_absolute() { path.to_path_buf() } else { opts.root.join(path) };
-        findings.extend(analyze_file(&resolved, p)?);
-    }
-    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(findings)
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(opts) = parse_args(&args) else {
-        return usage();
-    };
-    match run(&opts) {
-        Ok(findings) => {
-            let rendered = if opts.json {
-                report::render_json(&findings)
-            } else {
-                report::render_human(&findings)
-            };
-            print!("{rendered}");
-            if findings.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
-        Err(e) => {
-            eprintln!("yv-audit: {e}");
-            ExitCode::from(2)
-        }
-    }
+    ExitCode::from(yv_audit::cli::run(&args))
 }

@@ -23,8 +23,15 @@ const S1_EXEMPT_CRATES: [&str; 1] = ["obs"];
 /// unique in the process.
 const A1_EXEMPT_CRATES: [&str; 1] = ["obs"];
 
-/// File-name fragments marking persistence/protocol code (F1 scope).
+/// File-name fragments marking persistence/protocol code (F1 and C1
+/// scope: the files whose bytes outlive the process or cross the wire).
 const F1_FILES: [&str; 6] = ["persist", "codec", "snapshot", "wal", "protocol", "csv"];
+
+/// Crates in the privacy-taint (N1) scope: the serving and observability
+/// layers, where a stray `println!`/log line is operator-visible output
+/// that must never carry raw victim names. The batch CLI prints names to
+/// the operator's own terminal by design and stays out of scope.
+const N1_CRATES: [&str; 3] = ["store", "obs", "fuzzy"];
 
 /// Which rules apply to a given file.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +41,12 @@ pub struct FileProfile {
     pub f1: bool,
     pub s1: bool,
     pub a1: bool,
+    /// Lock-discipline: guards across blocking I/O, shard lock order.
+    pub l1: bool,
+    /// Privacy-taint: name-derived values into log/metrics sinks.
+    pub n1: bool,
+    /// Cast-safety: integer narrowing in persisted formats.
+    pub c1: bool,
     /// Path components identified this as test/bench/example code; all
     /// rules are off.
     pub test_file: bool,
@@ -43,7 +56,31 @@ impl FileProfile {
     /// Every rule on — used for unknown paths and in-memory checks.
     #[must_use]
     pub fn all() -> Self {
-        FileProfile { d1: true, p1: true, f1: true, s1: true, a1: true, test_file: false }
+        FileProfile {
+            d1: true,
+            p1: true,
+            f1: true,
+            s1: true,
+            a1: true,
+            l1: true,
+            n1: true,
+            c1: true,
+            test_file: false,
+        }
+    }
+
+    fn none_test() -> Self {
+        FileProfile {
+            d1: false,
+            p1: false,
+            f1: false,
+            s1: false,
+            a1: false,
+            l1: false,
+            n1: false,
+            c1: false,
+            test_file: true,
+        }
     }
 
     /// Classify a workspace-relative path (`/`-separated).
@@ -55,14 +92,7 @@ impl FileProfile {
             .iter()
             .any(|c| matches!(*c, "tests" | "benches" | "examples"))
         {
-            return FileProfile {
-                d1: false,
-                p1: false,
-                f1: false,
-                s1: false,
-                a1: false,
-                test_file: true,
-            };
+            return FileProfile::none_test();
         }
         // Fixture snippets exercise every rule regardless of which crate
         // hosts them.
@@ -75,13 +105,19 @@ impl FileProfile {
             .and_then(|i| components.get(i + 1))
             .copied();
         let file_name = components.last().copied().unwrap_or_default();
+        let persisted = F1_FILES.iter().any(|f| file_name.contains(f));
         match crate_name {
             Some(name) => FileProfile {
                 d1: true,
                 p1: P1_CRATES.contains(&name),
-                f1: F1_FILES.iter().any(|f| file_name.contains(f)),
+                f1: persisted,
                 s1: !S1_EXEMPT_CRATES.contains(&name),
                 a1: !A1_EXEMPT_CRATES.contains(&name),
+                // Lock discipline holds everywhere non-test code takes a
+                // lock; the rule is inert in lock-free crates.
+                l1: true,
+                n1: N1_CRATES.contains(&name),
+                c1: persisted,
                 test_file: false,
             },
             // Root src/, fixtures, anything unrecognized: all rules.

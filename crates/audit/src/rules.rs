@@ -13,9 +13,14 @@
 //! | F1   | lossy score persistence | fixed-precision float formatting (`{:.17}`) and lossy `as` casts on score values in persistence/protocol files |
 //! | S1   | wall-clock in deterministic pipeline | `Instant::now` / `SystemTime::now` in pipeline crates |
 //! | A1   | rogue global allocator | `global_allocator` in code position outside `yv-obs` (the counting allocator is the single sanctioned installation) |
+//! | L1   | lock held across blocking I/O / lock-order inversion | a `lock()`/`write()`/`read()` guard binding live (scope tracker) across a blocking call — [`crate::symbols::DIRECT_IO`] patterns or a call into a function the symbol pass proved blocking — or two indexed shard locks acquired in non-ascending index order |
+//! | N1   | victim-name leak into logs/metrics | an identifier tainted from a name field (`last_names`, `first_names`, ..., `read_line` input, a `name` argument) reaching a logging sink (`println!`/`eprintln!`, `write!`/`writeln!` to a log-like target, `.log(...)`) or a `format!`-built metrics label, without passing through the sanctioned `fnv1a` digest |
+//! | C1   | lossy integer narrowing in persisted formats | `as u8/u16/u32/i8/i16/i32` on seq/len/offset/id-like values — or `u64 as usize` — in codec/WAL/snapshot/protocol files; the sanctioned pattern is `try_from` with a typed error (generalizes F1 beyond floats) |
 
 use crate::lexer::CleanLine;
 use crate::profile::FileProfile;
+use crate::scope::{self, FileScopes};
+use crate::symbols::SymbolIndex;
 
 /// Lines after a hash iteration within which a sink makes the iteration a
 /// D1 hazard.
@@ -32,6 +37,9 @@ pub enum Rule {
     F1,
     S1,
     A1,
+    L1,
+    N1,
+    C1,
 }
 
 impl Rule {
@@ -43,12 +51,30 @@ impl Rule {
             Rule::F1 => "F1",
             Rule::S1 => "S1",
             Rule::A1 => "A1",
+            Rule::L1 => "L1",
+            Rule::N1 => "N1",
+            Rule::C1 => "C1",
+        }
+    }
+
+    /// One-line hazard summary (SARIF rule metadata).
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D1 => "hash-order iteration feeds an order-sensitive sink",
+            Rule::P1 => "panicking call in library code",
+            Rule::F1 => "lossy float formatting or cast in a persistence/protocol path",
+            Rule::S1 => "wall-clock read in a deterministic pipeline crate",
+            Rule::A1 => "global allocator installed outside yv-obs",
+            Rule::L1 => "lock guard held across blocking I/O, or shard locks out of order",
+            Rule::N1 => "name-derived value reaches a log/metrics sink undigested",
+            Rule::C1 => "lossy integer narrowing on a seq/len/offset/id value",
         }
     }
 
     #[must_use]
-    pub fn all() -> [Rule; 5] {
-        [Rule::D1, Rule::P1, Rule::F1, Rule::S1, Rule::A1]
+    pub fn all() -> [Rule; 8] {
+        [Rule::D1, Rule::P1, Rule::F1, Rule::S1, Rule::A1, Rule::L1, Rule::N1, Rule::C1]
     }
 }
 
@@ -65,13 +91,16 @@ pub struct Finding {
     pub snippet: String,
 }
 
-/// Run every applicable rule over one lexed file.
+/// Run every applicable rule over one lexed file. `symbols` carries the
+/// interprocedural blocking-call knowledge L1 needs (use
+/// [`crate::symbols::single_file_index`] for isolated checks).
 #[must_use]
 pub fn check_lines(
     file: &str,
     raw: &str,
     lines: &[CleanLine],
     profile: &FileProfile,
+    symbols: &SymbolIndex,
 ) -> Vec<Finding> {
     let raw_lines: Vec<&str> = raw.lines().collect();
     let mut findings = Vec::new();
@@ -89,6 +118,18 @@ pub fn check_lines(
     }
     if profile.a1 {
         a1(file, lines, &raw_lines, &mut findings);
+    }
+    if profile.l1 || profile.n1 {
+        let scopes = scope::file_scopes(lines);
+        if profile.l1 {
+            l1(file, lines, &raw_lines, &scopes, symbols, &mut findings);
+        }
+        if profile.n1 {
+            n1(file, lines, &raw_lines, &scopes, &mut findings);
+        }
+    }
+    if profile.c1 {
+        c1(file, lines, &raw_lines, &mut findings);
     }
     findings.retain(|f| !suppressed(lines, f.line, f.rule));
     findings.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(&b.rule)));
@@ -424,15 +465,313 @@ fn a1(file: &str, lines: &[CleanLine], raw_lines: &[&str], findings: &mut Vec<Fi
     }
 }
 
+// ------------------------------------------------------------------- L1
+
+/// Guard-acquisition markers in a binding's initializer. `.write()` /
+/// `.read()` are the `parking_lot::RwLock` methods (argless, unlike
+/// `io::Write::write`), `.lock()` covers both mutex families.
+const GUARD_INITS: [&str; 5] =
+    [".lock()", ".write()", ".read()", "MutexGuard", "RwLockWriteGuard"];
+
+/// Is this binding a lock guard? Block-expression initializers (`let x =
+/// { let g = m.lock(); ... };`) are skipped: the guard they *contain* is
+/// tracked as its own inner binding with the block's tighter scope.
+fn is_guard(binding: &scope::Binding) -> bool {
+    let init = binding.init.trim_start_matches(|c: char| c != '=');
+    if init.trim_start_matches('=').trim_start().starts_with('{') {
+        return false;
+    }
+    GUARD_INITS.iter().any(|g| binding.init.contains(g))
+}
+
+/// `shards[3].write()`-style acquisition: (collection name, index).
+fn indexed_guard(init: &str) -> Option<(String, usize)> {
+    let bytes = init.as_bytes();
+    let open = init.find('[')?;
+    let close = init[open..].find(']')? + open;
+    let idx: usize = init[open + 1..close].trim().parse().ok()?;
+    let after = &init[close + 1..];
+    if !(after.starts_with(".write()") || after.starts_with(".read()") || after.starts_with(".lock()"))
+    {
+        return None;
+    }
+    let name: String = init[..open]
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    let _ = bytes;
+    (!name.is_empty()).then_some((name, idx))
+}
+
+/// The guard's effective last live line: its scope end, or an earlier
+/// explicit `drop(name)`.
+fn guard_end(lines: &[CleanLine], binding: &scope::Binding) -> usize {
+    let drop_pat = format!("drop({})", binding.name);
+    (binding.line..=binding.scope_end.min(lines.len() - 1))
+        .find(|&j| lines[j].code.contains(&drop_pat))
+        .unwrap_or(binding.scope_end)
+}
+
+fn l1(
+    file: &str,
+    lines: &[CleanLine],
+    raw_lines: &[&str],
+    scopes: &FileScopes,
+    symbols: &SymbolIndex,
+    findings: &mut Vec<Finding>,
+) {
+    let guards: Vec<&scope::Binding> = scopes
+        .bindings
+        .iter()
+        .filter(|b| is_guard(b) && !lines.get(b.line).is_none_or(|l| l.in_test))
+        .collect();
+    for g in &guards {
+        let end = guard_end(lines, g);
+        let last = end.min(lines.len() - 1);
+        for (j, line) in lines.iter().enumerate().take(last + 1).skip(g.line) {
+            if line.in_test {
+                continue;
+            }
+            // The acquisition statement itself is not "I/O under the
+            // lock" — `let g = file_mutex.lock()` may sit on a line whose
+            // tail the init text already covers.
+            let code = if j == g.line { after_init(&line.code) } else { line.code.as_str() };
+            if symbols.blocking_call(code) {
+                push_finding(
+                    findings,
+                    Rule::L1,
+                    file,
+                    j + 1,
+                    raw_lines,
+                    format!(
+                        "blocking I/O with lock guard `{}` (acquired line {}) still held; \
+                         stage the data and drop the guard before the I/O, or justify with \
+                         an audit:allow(L1) marker",
+                        g.name,
+                        g.line + 1
+                    ),
+                );
+                break;
+            }
+        }
+    }
+    // Lock-order: two indexed acquisitions on the same collection while
+    // the first is still live must ascend strictly.
+    for (a_pos, a) in guards.iter().enumerate() {
+        let Some((a_coll, a_idx)) = indexed_guard(&a.init) else { continue };
+        let a_end = guard_end(lines, a);
+        for b in guards.iter().skip(a_pos + 1) {
+            let Some((b_coll, b_idx)) = indexed_guard(&b.init) else { continue };
+            if a_coll == b_coll && b.line > a.line && b.line <= a_end && b_idx <= a_idx {
+                push_finding(
+                    findings,
+                    Rule::L1,
+                    file,
+                    b.line + 1,
+                    raw_lines,
+                    format!(
+                        "`{b_coll}[{b_idx}]` locked while `{a_coll}[{a_idx}]` (line {}) is \
+                         still held — shard locks must be acquired in ascending index order \
+                         to keep the quiesce protocol deadlock-free",
+                        a.line + 1
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The portion of a binding's own line after the `=` of its initializer
+/// (so the acquisition call itself is not scanned for blocking I/O).
+fn after_init(code: &str) -> &str {
+    code.find(';').map_or("", |at| &code[at + 1..])
+}
+
+// ------------------------------------------------------------------- N1
+
+/// Identifier roots carrying victim names. `name` (the resolve/query
+/// argument) is deliberately included: in the serving crates a bare
+/// `name` *is* request data.
+const NAME_ROOTS: [&str; 9] = [
+    "name",
+    "first_names",
+    "last_names",
+    "first_name",
+    "last_name",
+    "maiden_name",
+    "father_name",
+    "mother_name",
+    "spouse_name",
+];
+
+/// Initializer fragments that launder a name into something loggable: the
+/// sanctioned digest, or aggregate/numeric derivations.
+const SANITIZERS: [&str; 5] = ["fnv1a", ".len()", ".count()", ".is_empty()", "digest("];
+
+fn is_sanitized(text: &str) -> bool {
+    SANITIZERS.iter().any(|s| text.contains(s))
+}
+
+/// Logging sink on this line? Checks `code` for the macro/call shape; the
+/// `write!`/`writeln!` target must look like a log (first argument
+/// mentions log/stderr/sink/slow) so protocol-response formatting into an
+/// `out` buffer stays out of scope.
+fn n1_sink(line: &CleanLine) -> bool {
+    let code = &line.code;
+    if ["println!(", "print!(", "eprintln!(", "eprint!("].iter().any(|m| code.contains(m)) {
+        return true;
+    }
+    if code.contains(".log(") {
+        return true;
+    }
+    for m in ["write!(", "writeln!("] {
+        if let Some(at) = code.find(m) {
+            let args = &code[at + m.len()..];
+            let target = args.split(',').next().unwrap_or("").to_lowercase();
+            if ["log", "stderr", "sink", "slow"].iter().any(|t| target.contains(t)) {
+                return true;
+            }
+        }
+    }
+    // Metrics label position: a format!-built series name.
+    ["set_gauge(", ".counter(", ".histogram(", ".observe("]
+        .iter()
+        .any(|m| code.contains(m))
+        && code.contains("format!")
+}
+
+fn n1(
+    file: &str,
+    lines: &[CleanLine],
+    raw_lines: &[&str],
+    scopes: &FileScopes,
+    findings: &mut Vec<Finding>,
+) {
+    for (fidx, f) in scopes.functions.iter().enumerate() {
+        // Taint fixpoint over the function's bindings: a binding is
+        // tainted when its initializer mentions a name root or a tainted
+        // binding — unless the initializer sanitizes (digest / count).
+        // `read_line(&mut x)` also taints x (raw request text).
+        let mut tainted: Vec<String> = Vec::new();
+        for line in lines.iter().take(f.end + 1).skip(f.start) {
+            if let Some(at) = line.code.find(".read_line(&mut ") {
+                let name: String = line.code[at + ".read_line(&mut ".len()..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && !tainted.contains(&name) {
+                    tainted.push(name);
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for b in scopes.bindings_of(fidx) {
+                if tainted.contains(&b.name) || is_sanitized(&b.init) {
+                    continue;
+                }
+                let from_root = NAME_ROOTS.iter().any(|r| scope::mentions(&b.init, r));
+                let from_taint = tainted.iter().any(|t| scope::mentions(&b.init, t));
+                if from_root || from_taint {
+                    tainted.push(b.name.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (j, line) in lines.iter().enumerate().take(f.end + 1).skip(f.start) {
+            if line.in_test || !n1_sink(line) {
+                continue;
+            }
+            // Mentions are matched against `text` (string contents kept)
+            // because inline format captures — `"{name}"` — live inside
+            // the literal.
+            let carries = NAME_ROOTS.iter().any(|r| scope::mentions(&line.text, r))
+                || tainted.iter().any(|t| scope::mentions(&line.text, t));
+            if carries && !line.text.contains("fnv1a") {
+                push_finding(
+                    findings,
+                    Rule::N1,
+                    file,
+                    j + 1,
+                    raw_lines,
+                    "name-derived value reaches a logging/metrics sink without the \
+                     sanctioned fnv1a digest; log the digest (or a count), never the raw \
+                     name — victim data must not leak into logs"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- C1
+
+/// Narrowing targets C1 polices (beyond F1's float focus).
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Words marking a value whose silent truncation corrupts persisted or
+/// wire data.
+const VALUE_WORDS: [&str; 11] =
+    ["seq", "len", "length", "offset", "pos", "count", "idx", "index", "id", "size", "ticket"];
+
+fn c1(file: &str, lines: &[CleanLine], raw_lines: &[&str], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(" as ") {
+            let abs = from + rel;
+            let target: String = code[abs + 4..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            from = abs + 4;
+            let narrow = NARROW_TARGETS.contains(&target.as_str())
+                && VALUE_WORDS.iter().any(|w| scope::mentions(code, w));
+            // `u64 as usize` truncates on 32-bit targets; `u32 as usize`
+            // does not (the workspace's minimum usize), so the usize arm
+            // only fires when a 64-bit source is visible on the line.
+            let to_usize = target == "usize" && scope::mentions(code, "u64");
+            if narrow || to_usize {
+                push_finding(
+                    findings,
+                    Rule::C1,
+                    file,
+                    idx + 1,
+                    raw_lines,
+                    format!(
+                        "lossy `as {target}` narrowing on a sequence/length/offset/id value \
+                         in a persisted format; use `{target}::try_from` with a typed error \
+                         so corruption is detected, not silently truncated"
+                    ),
+                );
+                break; // one finding per line
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lexer::clean_lines;
     use crate::profile::FileProfile;
+    use crate::symbols::single_file_index;
 
     fn check_all(src: &str) -> Vec<Finding> {
         let lines = clean_lines(src);
-        check_lines("mem.rs", src, &lines, &FileProfile::all())
+        let symbols = single_file_index(&lines);
+        check_lines("mem.rs", src, &lines, &FileProfile::all(), &symbols)
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Scope tracking over the [`CleanLine`] stream.
+//!
+//! The lexer reduces a file to per-line cleaned code; this pass recovers
+//! the *structure* the scope-aware rules need: function spans, block
+//! extents, and `let`-bound identifiers with their initializer text and
+//! enclosing-scope end line. That is enough for rules to answer "what is
+//! held / tainted at this line" without a full parser — guard live ranges
+//! (L1) are bindings whose initializer takes a lock, taint ranges (N1) are
+//! bindings whose initializer mentions a name source, and both end where
+//! the binding's block closes (or at an explicit `drop(name)`).
+//!
+//! Everything here works on `CleanLine::code`, so braces and `let`
+//! keywords inside strings or comments never confuse the tracker.
+
+use crate::lexer::CleanLine;
+
+/// How many lines a multi-line `let` initializer is followed before
+/// giving up on finding its terminating `;`.
+const INIT_SCAN_LINES: usize = 8;
+
+/// One function item: the `fn` keyword's line through the body's closing
+/// brace (0-based, inclusive).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// One `let` binding (including simple tuple destructures, which yield
+/// one `Binding` per bound name sharing a statement).
+#[derive(Debug, Clone)]
+pub struct Binding {
+    pub name: String,
+    /// 0-based line of the `let`.
+    pub line: usize,
+    /// 0-based last line of the enclosing block (the binding's lexical
+    /// scope; rules additionally honor `drop(name)` to end it early).
+    pub scope_end: usize,
+    /// Cleaned statement text from the `let` through its terminating `;`
+    /// (clamped to [`INIT_SCAN_LINES`] lines).
+    pub init: String,
+    /// Index into [`FileScopes::functions`] of the enclosing function.
+    pub fn_idx: Option<usize>,
+}
+
+/// The scope structure of one file.
+#[derive(Debug, Default)]
+pub struct FileScopes {
+    pub functions: Vec<FnSpan>,
+    pub bindings: Vec<Binding>,
+}
+
+impl FileScopes {
+    /// Bindings whose enclosing function is `fn_idx`.
+    pub fn bindings_of(&self, fn_idx: usize) -> impl Iterator<Item = &Binding> {
+        self.bindings.iter().filter(move |b| b.fn_idx == Some(fn_idx))
+    }
+}
+
+/// A block opened by `{`; its close line is resolved when the matching
+/// `}` is seen (or the file ends).
+#[derive(Debug)]
+struct Block {
+    close: Option<usize>,
+}
+
+/// A binding before its owning block's close line is known.
+struct RawBinding {
+    name: String,
+    line: usize,
+    init: String,
+    owner: Option<usize>,
+    fn_idx: Option<usize>,
+}
+
+/// Build the scope structure for one lexed file.
+#[must_use]
+pub fn file_scopes(lines: &[CleanLine]) -> FileScopes {
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    // (function index, its body block id) for every fn whose body is open.
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    // A `fn name` has been seen and its body `{` is still ahead.
+    let mut pending_fn: Option<String> = None;
+    let mut functions: Vec<FnSpan> = Vec::new();
+    let mut fn_starts: Vec<usize> = Vec::new();
+    // Owning block ids are resolved to scope_end lines at the end.
+    let mut raw_bindings: Vec<RawBinding> = Vec::new();
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if let Some(name) = fn_name(code) {
+            pending_fn = Some(name);
+            fn_starts.push(i);
+        }
+        // Bracket depth (parens + square brackets) so a `;` inside
+        // `fn f(x: [u8; 4])` does not cancel the pending fn.
+        let mut bracket: i32 = 0;
+        let bytes = code.as_bytes();
+        for (at, &b) in bytes.iter().enumerate() {
+            match b {
+                b'(' | b'[' => bracket += 1,
+                b')' | b']' => bracket -= 1,
+                b'{' => {
+                    let id = blocks.len();
+                    blocks.push(Block { close: None });
+                    stack.push(id);
+                    if let Some(name) = pending_fn.take() {
+                        let start = fn_starts.last().copied().unwrap_or(i);
+                        functions.push(FnSpan { name, start, end: i });
+                        fn_stack.push((functions.len() - 1, id));
+                    }
+                }
+                b'}' => {
+                    if let Some(id) = stack.pop() {
+                        blocks[id].close = Some(i);
+                        if fn_stack.last().is_some_and(|&(_, body)| body == id) {
+                            if let Some((fidx, _)) = fn_stack.pop() {
+                                functions[fidx].end = i;
+                            }
+                        }
+                    }
+                }
+                b';' if bracket <= 0 => {
+                    // `fn f() -> T;` — a bodyless declaration consumes the
+                    // pending fn.
+                    pending_fn = None;
+                }
+                b'l' if bytes[at..].starts_with(b"let ")
+                    && (at == 0 || !is_ident_byte(bytes[at - 1])) =>
+                {
+                    let names = binding_names(&code[at..]);
+                    if !names.is_empty() {
+                        let init = statement_text(lines, i, at);
+                        let owner = stack.last().copied();
+                        let fidx = fn_stack.last().map(|&(f, _)| f);
+                        for name in names {
+                            raw_bindings.push(RawBinding {
+                                name,
+                                line: i,
+                                init: init.clone(),
+                                owner,
+                                fn_idx: fidx,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let last = lines.len().saturating_sub(1);
+    let bindings = raw_bindings
+        .into_iter()
+        .map(|r| Binding {
+            name: r.name,
+            line: r.line,
+            scope_end: r.owner.and_then(|id| blocks[id].close).unwrap_or(last),
+            init: r.init,
+            fn_idx: r.fn_idx,
+        })
+        .collect();
+    FileScopes { functions, bindings }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `fn name` on this line (declaration or definition), if any.
+fn fn_name(code: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(at) = code[from..].find("fn ") {
+        let abs = from + at;
+        let bounded = abs == 0 || !is_ident_byte(code.as_bytes()[abs - 1]);
+        if bounded {
+            let name: String = code[abs + 3..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        from = abs + 3;
+    }
+    None
+}
+
+/// Names bound by a `let` statement starting at `stmt` (which begins with
+/// `let `). Simple identifiers and flat tuple patterns are supported;
+/// struct patterns yield nothing.
+fn binding_names(stmt: &str) -> Vec<String> {
+    let rest = stmt.trim_start_matches("let ").trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    if let Some(tuple) = rest.strip_prefix('(') {
+        let inner = tuple.split(')').next().unwrap_or("");
+        return inner
+            .split(',')
+            .map(|p| p.trim().trim_start_matches("mut ").trim())
+            .filter(|p| !p.is_empty() && p.chars().all(|c| c.is_alphanumeric() || c == '_'))
+            .filter(|p| plain_ident(p))
+            .map(str::to_owned)
+            .collect();
+    }
+    let name: String =
+        rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if plain_ident(&name) {
+        vec![name]
+    } else {
+        Vec::new()
+    }
+}
+
+/// A bindable variable name: nonempty, not `_`, and not an
+/// uppercase-initial pattern constructor (`if let Some(x)` binds `x`, not
+/// `Some`).
+fn plain_ident(name: &str) -> bool {
+    name.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') && name != "_"
+}
+
+/// Cleaned statement text from byte `at` of line `i` through the first
+/// line carrying a `;` (clamped). Block-expression initializers are
+/// returned as far as the first `;` — enough for the substring checks the
+/// rules perform.
+fn statement_text(lines: &[CleanLine], i: usize, at: usize) -> String {
+    let mut out = String::new();
+    for (k, line) in lines.iter().enumerate().skip(i).take(INIT_SCAN_LINES) {
+        let piece = if k == i { &line.code[at..] } else { line.code.as_str() };
+        out.push_str(piece);
+        out.push(' ');
+        if piece.contains(';') {
+            break;
+        }
+    }
+    out
+}
+
+/// Word-boundary mention of `ident` in `hay` (underscores count as
+/// identifier characters, so `name` does not match `yv_fuzzy_names`).
+#[must_use]
+pub fn mentions(hay: &str, ident: &str) -> bool {
+    if ident.is_empty() {
+        return false;
+    }
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(ident) {
+        let abs = from + rel;
+        let before_ok = abs == 0 || !is_ident_byte(bytes[abs - 1]);
+        let end = abs + ident.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = abs + ident.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::clean_lines;
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn a() {\n    x();\n}\n\npub fn b(v: u32) -> u32 {\n    v\n}\n";
+        let s = file_scopes(&clean_lines(src));
+        assert_eq!(s.functions.len(), 2);
+        assert_eq!((s.functions[0].name.as_str(), s.functions[0].start, s.functions[0].end), ("a", 0, 2));
+        assert_eq!((s.functions[1].name.as_str(), s.functions[1].start, s.functions[1].end), ("b", 4, 6));
+    }
+
+    #[test]
+    fn bodyless_declarations_do_not_capture_the_next_block() {
+        let src = "trait T {\n    fn decl(&self) -> u32;\n}\nfn real() {\n    y();\n}\n";
+        let s = file_scopes(&clean_lines(src));
+        let real = s.functions.iter().find(|f| f.name == "real").expect("real fn");
+        assert_eq!((real.start, real.end), (3, 5));
+    }
+
+    #[test]
+    fn bindings_carry_scope_and_init() {
+        let src = "fn f() {\n    let mut g = m.lock();\n    {\n        let inner = 1;\n    }\n    g.use_it();\n}\n";
+        let s = file_scopes(&clean_lines(src));
+        let g = s.bindings.iter().find(|b| b.name == "g").expect("g bound");
+        assert_eq!(g.line, 1);
+        assert_eq!(g.scope_end, 6, "g lives to the fn body close");
+        assert!(g.init.contains(".lock()"));
+        let inner = s.bindings.iter().find(|b| b.name == "inner").expect("inner bound");
+        assert_eq!(inner.scope_end, 4, "inner dies with its block");
+    }
+
+    #[test]
+    fn one_line_blocks_confine_their_bindings() {
+        let src = "fn f() {\n    let staged = { let q = m.lock(); q.clone() };\n    io(&staged);\n}\n";
+        let s = file_scopes(&clean_lines(src));
+        let q = s.bindings.iter().find(|b| b.name == "q").expect("q bound");
+        assert_eq!(q.scope_end, 1, "q's block opens and closes on its own line");
+    }
+
+    #[test]
+    fn tuple_patterns_bind_each_name() {
+        let src = "fn f() {\n    let (cmd, args) = line.split_once(' ').unwrap_or((line, \"\"));\n}\n";
+        let s = file_scopes(&clean_lines(src));
+        let names: Vec<&str> = s.bindings.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(names, ["cmd", "args"]);
+    }
+
+    #[test]
+    fn multiline_initializers_are_concatenated() {
+        let src = "fn f() {\n    let v = base\n        .chain()\n        .lock();\n    v.go();\n}\n";
+        let s = file_scopes(&clean_lines(src));
+        let v = s.bindings.iter().find(|b| b.name == "v").expect("v bound");
+        assert!(v.init.contains(".lock()"), "{:?}", v.init);
+    }
+
+    #[test]
+    fn mentions_respects_word_boundaries() {
+        assert!(mentions("log(name)", "name"));
+        assert!(mentions("x + name", "name"));
+        assert!(!mentions("fuzzy_names", "name"));
+        assert!(!mentions("rename(a)", "name"));
+        assert!(!mentions("names", "name"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Engine-level end-to-end tests: parallel determinism, the incremental
+//! cache, baseline semantics, and the self-audit property — run against
+//! small synthetic workspaces so cache/baseline files never touch the
+//! real repository root.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use yv_audit::engine::{self, EngineOptions};
+use yv_audit::Rule;
+
+/// A throwaway workspace under the system temp dir, rebuilt per test.
+fn workspace(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join("yv-audit-engine").join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, body) in files {
+        let path = root.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("mkdir");
+        }
+        std::fs::write(&path, body).expect("write source");
+    }
+    root
+}
+
+const PANICKY: &str = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+const CLEAN: &str = "pub fn g(x: u32) -> u32 {\n    x + 1\n}\n";
+
+fn opts(root: &Path) -> EngineOptions {
+    EngineOptions {
+        jobs: 2,
+        cache_path: Some(root.join(engine::CACHE_FILE)),
+        baseline_path: Some(root.join(engine::BASELINE_FILE)),
+    }
+}
+
+#[test]
+fn jobs_do_not_change_findings() {
+    let files: Vec<(String, String)> = (0..12)
+        .map(|i| {
+            let body = if i % 3 == 0 { PANICKY } else { CLEAN };
+            (format!("c{i}/src/lib.rs"), body.to_owned())
+        })
+        .collect();
+    let borrowed: Vec<(&str, &str)> =
+        files.iter().map(|(p, b)| (p.as_str(), b.as_str())).collect();
+    let root = workspace("jobs", &borrowed);
+    let base = EngineOptions { jobs: 1, cache_path: None, baseline_path: None };
+    let serial = engine::run_workspace(&root, &base).expect("serial run");
+    let parallel = engine::run_workspace(
+        &root,
+        &EngineOptions { jobs: 8, ..base },
+    )
+    .expect("parallel run");
+    assert_eq!(serial.findings, parallel.findings, "findings are job-count invariant");
+    assert_eq!(serial.findings.len(), 4, "each panicky crate fires P1 once");
+}
+
+#[test]
+fn cache_is_honored_and_invalidated_by_edits() {
+    let root = workspace(
+        "cache",
+        &[("a/src/lib.rs", PANICKY), ("b/src/lib.rs", CLEAN)],
+    );
+    let o = opts(&root);
+    let first = engine::run_workspace(&root, &o).expect("first run");
+    assert_eq!(first.cache_hits, 0, "cold cache");
+    assert_eq!(first.findings.len(), 1);
+
+    let second = engine::run_workspace(&root, &o).expect("second run");
+    assert_eq!(second.cache_hits, 2, "warm cache covers every non-test file");
+    assert_eq!(second.findings, first.findings, "cached findings replay exactly");
+
+    // Edit one file: only it re-analyzes, and its finding disappears.
+    std::fs::write(root.join("a/src/lib.rs"), CLEAN).expect("edit");
+    let third = engine::run_workspace(&root, &o).expect("third run");
+    assert_eq!(third.cache_hits, 1, "the edited file missed the cache");
+    assert_eq!(third.findings, vec![], "the edit removed the P1");
+}
+
+#[test]
+fn cache_is_invalidated_when_a_callee_changes_blockingness() {
+    // caller.rs never changes, but its finding depends on whether
+    // callee.rs's `persist_batch` blocks — the symbol digest must carry
+    // that dependency into the cache key.
+    let caller = "pub fn apply(m: &std::sync::Mutex<u32>) {\n    \
+                  let g = m.lock();\n    persist_batch();\n    drop(g);\n}\n";
+    let pure_callee = "pub fn persist_batch() {\n    let _x = 1;\n}\n";
+    let blocking_callee = "pub fn persist_batch() {\n    \
+                           std::fs::write(\"p\", b\"x\");\n}\n";
+    let root = workspace(
+        "symbol-digest",
+        &[("crates/a/src/caller.rs", caller), ("crates/a/src/callee.rs", pure_callee)],
+    );
+    let o = opts(&root);
+    let first = engine::run_workspace(&root, &o).expect("first run");
+    assert_eq!(first.findings, vec![], "pure callee: no L1");
+
+    std::fs::write(root.join("crates/a/src/callee.rs"), blocking_callee).expect("edit");
+    let second = engine::run_workspace(&root, &o).expect("second run");
+    assert_eq!(second.cache_hits, 0, "digest change drops the whole cache");
+    assert_eq!(second.findings.len(), 1, "{:?}", second.findings);
+    assert_eq!(second.findings[0].rule, Rule::L1);
+    assert!(second.findings[0].file.ends_with("caller.rs"));
+}
+
+#[test]
+fn baseline_accepts_known_findings_and_flags_stale_ones() {
+    let root = workspace("baseline", &[("a/src/lib.rs", PANICKY)]);
+    let o = opts(&root);
+
+    let before = engine::run_workspace(&root, &o).expect("pre-baseline");
+    assert_eq!(before.fresh.len(), 1, "unbaselined finding is fresh");
+    assert!(!before.clean());
+
+    engine::fix_baseline(&root, &o).expect("fix-baseline");
+    let after = engine::run_workspace(&root, &o).expect("post-baseline");
+    assert_eq!(after.fresh, vec![], "baselined finding no longer fails");
+    assert_eq!(after.baselined, 1);
+    assert!(after.clean());
+
+    // Fixing the code makes the baseline entry stale — the check fails
+    // until the baseline is regenerated.
+    std::fs::write(root.join("a/src/lib.rs"), CLEAN).expect("fix code");
+    let stale = engine::run_workspace(&root, &o).expect("stale run");
+    assert_eq!(stale.findings, vec![]);
+    assert_eq!(stale.stale.len(), 1, "fixed finding leaves a stale entry");
+    assert!(!stale.clean());
+
+    engine::fix_baseline(&root, &o).expect("regenerate");
+    let regenerated = engine::run_workspace(&root, &o).expect("final run");
+    assert!(regenerated.clean());
+}
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_yv-audit"))
+        .args(args)
+        .output()
+        .expect("yv-audit binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_workspace_stdout_is_byte_identical_across_jobs_and_cache_states() {
+    let (c1, out1, _) = run_cli(&["check", "--jobs", "1", "--no-cache"]);
+    let (c8, out8, _) = run_cli(&["check", "--jobs", "8", "--no-cache"]);
+    let (cc, outc, err) = run_cli(&["check", "--jobs", "8"]);
+    assert_eq!(c1, 0, "workspace stays clean: {out1}");
+    assert_eq!(c8, 0);
+    assert_eq!(cc, 0);
+    assert_eq!(out1, out8, "stdout must not depend on --jobs");
+    assert_eq!(out1, outc, "stdout must not depend on the cache");
+    assert!(err.contains("files"), "stats go to stderr: {err}");
+}
+
+#[test]
+fn self_audit_is_clean() {
+    // The analyzer passes its own rules: every finding it would raise on
+    // crates/audit has been fixed or justified, with no baseline help.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.parent().and_then(Path::parent).expect("workspace root");
+    let mut findings = Vec::new();
+    for path in yv_audit::walk::workspace_sources(&manifest.join("src")).expect("walk src") {
+        let display = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(yv_audit::analyze_file(&path, &display).expect("readable"));
+    }
+    assert_eq!(findings, vec![], "the auditor must satisfy its own rules");
+}

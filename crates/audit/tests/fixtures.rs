@@ -84,6 +84,36 @@ fn s1_exemption_profile_sanctions_only_the_obs_crate() {
 }
 
 #[test]
+fn bad_l1_fires_on_held_guard_and_lock_order() {
+    assert_eq!(findings_of("bad_l1.rs"), vec![(Rule::L1, 8), (Rule::L1, 14)]);
+}
+
+#[test]
+fn good_l1_staged_io_and_ascending_locks_are_clean() {
+    assert_eq!(findings_of("good_l1.rs"), vec![]);
+}
+
+#[test]
+fn bad_n1_fires_on_slow_log_and_metrics_label() {
+    assert_eq!(findings_of("bad_n1.rs"), vec![(Rule::N1, 7), (Rule::N1, 9)]);
+}
+
+#[test]
+fn good_n1_digest_and_counts_are_clean() {
+    assert_eq!(findings_of("good_n1.rs"), vec![]);
+}
+
+#[test]
+fn bad_c1_fires_on_seq_and_len_narrowing() {
+    assert_eq!(findings_of("bad_c1.rs"), vec![(Rule::C1, 5), (Rule::C1, 6)]);
+}
+
+#[test]
+fn good_c1_try_from_is_clean() {
+    assert_eq!(findings_of("good_c1.rs"), vec![]);
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     assert_eq!(findings_of("clean.rs"), vec![]);
 }
@@ -103,7 +133,16 @@ fn run_cli(args: &[&str]) -> (i32, String) {
 
 #[test]
 fn cli_exits_nonzero_on_every_bad_fixture() {
-    for name in ["bad_d1.rs", "bad_p1.rs", "bad_f1.rs", "bad_s1.rs", "bad_a1.rs"] {
+    for name in [
+        "bad_d1.rs",
+        "bad_p1.rs",
+        "bad_f1.rs",
+        "bad_s1.rs",
+        "bad_a1.rs",
+        "bad_l1.rs",
+        "bad_n1.rs",
+        "bad_c1.rs",
+    ] {
         let (_, display) = fixture(name);
         let (code, stdout) = run_cli(&["check", &display]);
         assert_eq!(code, 1, "{name} must fail the check");
@@ -113,7 +152,7 @@ fn cli_exits_nonzero_on_every_bad_fixture() {
 
 #[test]
 fn cli_exits_zero_on_clean_and_suppressed() {
-    for name in ["clean.rs", "allowed.rs"] {
+    for name in ["clean.rs", "allowed.rs", "good_l1.rs", "good_n1.rs", "good_c1.rs"] {
         let (_, display) = fixture(name);
         let (code, stdout) = run_cli(&["check", &display]);
         assert_eq!(code, 0, "{name} must pass: {stdout}");
@@ -130,6 +169,17 @@ fn cli_json_output_is_machine_readable() {
     assert!(stdout.contains("\"line\":5"));
     assert!(stdout.contains("\"count\":1"));
     assert!(stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn cli_sarif_output_names_rule_and_location() {
+    let (_, display) = fixture("bad_l1.rs");
+    let (code, stdout) = run_cli(&["check", &display, "--format", "sarif"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"version\":\"2.1.0\""));
+    assert!(stdout.contains("\"ruleId\":\"L1\""));
+    assert!(stdout.contains("\"startLine\":8"));
+    assert!(stdout.contains(&format!("\"uri\":\"{display}\"")));
 }
 
 #[test]

@@ -199,6 +199,7 @@ impl SlowLog {
             dur_ns / 1_000
         );
         let mut sink = self.sink.lock();
+        // audit:allow(L1) the line is formatted before acquisition; the lock exists to serialize exactly this write+flush pair into the JSONL sink
         let _ = sink.write_all(line.as_bytes());
         let _ = sink.flush();
     }

@@ -143,7 +143,8 @@ fn unframe<'a>(bytes: &'a [u8], magic: &[u8; 8]) -> Result<&'a [u8], StoreError>
     if version != VERSION {
         return Err(StoreError::UnsupportedVersion { found: version, supported: VERSION });
     }
-    let payload_len = r.u64("payload length")? as usize;
+    let payload_len = usize::try_from(r.u64("payload length")?)
+        .map_err(|_| StoreError::Corrupt("declared payload length overflows usize".to_owned()))?;
     if r.remaining() < payload_len + 8 {
         return Err(StoreError::Corrupt(format!(
             "file shorter than declared payload: need {} bytes, have {}",

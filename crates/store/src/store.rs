@@ -674,6 +674,7 @@ impl Store {
     pub fn add_source(&self, source: Source) -> Result<SourceId, StoreError> {
         let mut shard = self.shards[0].write();
         let ticket = self.seq.ticket();
+        // audit:allow(L1) WAL fsync under the shard lock is the arrival-ordering invariant (the lock spans ticket to apply)
         let logged = shard.wal.append_source(ticket, &source);
         self.seq.wait_turn(ticket);
         let outcome = match logged {
@@ -712,6 +713,7 @@ impl Store {
         let s = shard::shard_of_record(&record, self.shards.len());
         let mut shard = self.shards[s].write();
         let ticket = self.seq.ticket();
+        // audit:allow(L1) WAL fsync under the shard lock is the arrival-ordering invariant (the lock spans ticket to apply)
         let logged = shard.wal.append_record(ticket, &record);
         self.seq.wait_turn(ticket);
         // Even a failed append must consume its ticket, or every later
@@ -880,8 +882,14 @@ impl Store {
     /// segments + base, truncate each WAL, rewind the sequencer.
     pub fn snapshot(&self) -> Result<(), StoreError> {
         let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
-        let resolver = self.resolver.read();
-        write_snapshot_files(&self.dir, &resolver, guards.len())?;
+        {
+            let resolver = self.resolver.read();
+            // audit:allow(L1) the quiesce protocol writes the segment files while every shard (and the resolver) is pinned — this hold is the point
+            write_snapshot_files(&self.dir, &resolver, guards.len())?;
+        }
+        // The resolver read lock is released before the WAL churn below:
+        // recreating the per-shard WALs needs only the shard guards, and
+        // resolve() calls may proceed concurrently with those fsyncs.
         for (s, guard) in guards.iter_mut().enumerate() {
             guard.wal = Wal::create(&self.dir.join(wal_file_name(s)))?;
             guard.wal_entries = 0;
