@@ -119,14 +119,24 @@ resp = request("QUERY first=Abramo")
 assert resp[0].startswith("OK"), resp[:1]
 
 body = urllib.request.urlopen(url, timeout=10).read().decode()
-for kind in ["query", "resolve", "add", "stats", "metrics", "snapshot", "shutdown"]:
+for kind in ["query", "resolve", "add", "stats", "metrics", "top", "trace",
+             "snapshot", "shutdown"]:
     needle = f'yv_cmd_{kind}_latency_us_bucket{{le="+Inf"}}'
     assert needle in body, f"missing histogram series for {kind}"
 count = [l for l in body.splitlines() if l.startswith("yv_cmd_query_latency_us_count ")]
 assert count and int(count[0].split()[-1]) >= 1, count
 for name in ["yv_store_records", "yv_store_wal_bytes", "yv_store_postings",
-             "yv_alloc_live_bytes", "yv_alloc_peak_bytes"]:
+             "yv_alloc_live_bytes", "yv_alloc_peak_bytes",
+             "yv_trace_ring_capacity", "yv_trace_ring_occupancy",
+             "yv_trace_ring_captured_total", "yv_trace_ring_evicted_total",
+             "yv_trace_ring_sampled_total", "yv_trace_last_slow_id"]:
     assert any(l.startswith(name + " ") for l in body.splitlines()), f"missing {name}"
+# --slow-us 1 makes the QUERY above slow, so the tail sampler must have
+# retained it and published its id.
+captured = [l for l in body.splitlines() if l.startswith("yv_trace_ring_captured_total ")]
+assert captured and int(captured[0].split()[-1]) >= 1, captured
+last_slow = [l for l in body.splitlines() if l.startswith("yv_trace_last_slow_id ")]
+assert last_slow and int(last_slow[0].split()[-1]) != 0, last_slow
 total = [l for l in body.splitlines() if l.startswith("yv_alloc_bytes_total ")]
 assert total and int(total[0].split()[-1]) > 0, "counting allocator not installed"
 sample = re.compile(r'^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? \d+$')
@@ -192,6 +202,56 @@ if cargo run -q --release -p yv-cli --bin yv -- \
     exit 1
 fi
 echo "resolve smoke test: misspelled RESOLVE ranked the gold entity, k=0 refused"
+# Trace smoke test (DESIGN.md §11): every RESOLVE hands back a trace id
+# on its status line; TRACE <id> must replay the accept→fan-out→merge
+# span tree, the fan-out must include the shard that owns the queried
+# name (fnv1a64(lowercase last) % shards — the routing rule), and the
+# raw name must never appear in the trace.
+python3 - "$shard_addr" <<'PYEOF'
+import socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=10)
+f = sock.makefile("rw", newline="\n")
+
+def request(line):
+    f.write(line + "\n")
+    f.flush()
+    lines = []
+    while True:
+        got = f.readline()
+        assert got, "server closed mid-response"
+        if got.rstrip("\n") == ".":
+            return lines
+        lines.append(got.rstrip("\n"))
+
+status = request("RESOLVE Levi k=3")[0]
+assert status.startswith("OK"), status
+token = [t for t in status.split() if t.startswith("trace=")]
+assert token, f"RESOLVE status line carries no trace id: {status!r}"
+trace_id = token[0].split("=", 1)[1]
+assert trace_id != "0" * 16, "trace ids must never be zero"
+
+def fnv1a64(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+owner = fnv1a64(b"levi") % 4
+lines = request(f"TRACE {trace_id}")
+assert lines[0].startswith(f"OK trace={trace_id}"), lines[0]
+spans = [l for l in lines[1:] if l.lstrip().startswith("SPAN ")]
+names = [s.split()[1].split("=", 1)[1] for s in spans]
+for name in ["accept", "parse", "shard_fanout", "shard", "merge", "reply"]:
+    assert name in names, f"span tree missing {name!r}: {names}"
+assert any(f"shard={owner}" in s.split() for s in spans), \
+    f"no SPAN names owning shard {owner}: {spans}"
+assert "Levi" not in "\n".join(lines), "raw query name leaked into the trace"
+print(f"trace smoke test: trace {trace_id} replays {len(spans)} spans,"
+      f" owner shard {owner} in the fan-out")
+PYEOF
 cargo run -q --release -p yv-cli --bin yv -- \
     load --addr "$shard_addr" --shutdown > /dev/null
 wait "$shard_pid"

@@ -1,10 +1,11 @@
 // Known-bad fixture for rule N1: a victim name flows into the slow-query
-// log (line 7) and into a metrics label (line 9) without the digest.
+// log (line 7), a metrics label (line 9) and a trace annotation (line 10).
 use std::io::Write;
 
-pub fn report(slow_log: &mut std::fs::File, last_names: &str, metrics: &Metrics) {
+pub fn report(slow_log: &mut std::fs::File, last_names: &str, metrics: &Metrics, trace: &mut TraceCtx) {
     let shown = last_names.trim();
     writeln!(slow_log, "slow resolve for {}", shown);
     let hits = 3;
     metrics.set_gauge(&format!("yv_resolve_{}_hits", shown), hits);
+    trace.annotate("resolve_name", shown);
 }

@@ -2,9 +2,10 @@
 // the sanctioned fnv1a digest and aggregate widths, never the raw value.
 use std::io::Write;
 
-pub fn report(slow_log: &mut std::fs::File, last_names: &str, metrics: &Metrics) {
+pub fn report(slow_log: &mut std::fs::File, last_names: &str, metrics: &Metrics, trace: &mut TraceCtx) {
     let digest = fnv1a64(last_names.as_bytes());
     writeln!(slow_log, "slow resolve for {:016x}", digest);
     let width = last_names.len();
     metrics.set_gauge(&format!("yv_resolve_width_{}", width), 1);
+    trace.annotate("name_digest", fnv1a64(last_names.as_bytes()));
 }

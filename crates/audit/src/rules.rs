@@ -14,7 +14,7 @@
 //! | S1   | wall-clock in deterministic pipeline | `Instant::now` / `SystemTime::now` in pipeline crates |
 //! | A1   | rogue global allocator | `global_allocator` in code position outside `yv-obs` (the counting allocator is the single sanctioned installation) |
 //! | L1   | lock held across blocking I/O / lock-order inversion | a `lock()`/`write()`/`read()` guard binding live (scope tracker) across a blocking call — [`crate::symbols::DIRECT_IO`] patterns or a call into a function the symbol pass proved blocking — or two indexed shard locks acquired in non-ascending index order |
-//! | N1   | victim-name leak into logs/metrics | an identifier tainted from a name field (`last_names`, `first_names`, ..., `read_line` input, a `name` argument) reaching a logging sink (`println!`/`eprintln!`, `write!`/`writeln!` to a log-like target, `.log(...)`) or a `format!`-built metrics label, without passing through the sanctioned `fnv1a` digest |
+//! | N1   | victim-name leak into logs/metrics | an identifier tainted from a name field (`last_names`, `first_names`, ..., `read_line` input, a `name` argument) reaching a logging sink (`println!`/`eprintln!`, `write!`/`writeln!` to a log-like target, `.log(...)`, a `.annotate(...)` trace annotation) or a `format!`-built metrics label, without passing through the sanctioned `fnv1a` digest |
 //! | C1   | lossy integer narrowing in persisted formats | `as u8/u16/u32/i8/i16/i32` on seq/len/offset/id-like values — or `u64 as usize` — in codec/WAL/snapshot/protocol files; the sanctioned pattern is `try_from` with a typed error (generalizes F1 beyond floats) |
 
 use crate::lexer::CleanLine;
@@ -626,6 +626,12 @@ fn n1_sink(line: &CleanLine) -> bool {
         return true;
     }
     if code.contains(".log(") {
+        return true;
+    }
+    // Trace annotations are capture sinks too: span/request args end up
+    // rendered by TRACE/TOP, so a raw name reaching `.annotate(` leaks
+    // exactly like a log line would.
+    if code.contains(".annotate(") {
         return true;
     }
     for m in ["write!(", "writeln!("] {

@@ -94,8 +94,11 @@ fn good_l1_staged_io_and_ascending_locks_are_clean() {
 }
 
 #[test]
-fn bad_n1_fires_on_slow_log_and_metrics_label() {
-    assert_eq!(findings_of("bad_n1.rs"), vec![(Rule::N1, 7), (Rule::N1, 9)]);
+fn bad_n1_fires_on_slow_log_metrics_label_and_trace_annotation() {
+    assert_eq!(
+        findings_of("bad_n1.rs"),
+        vec![(Rule::N1, 7), (Rule::N1, 9), (Rule::N1, 10)]
+    );
 }
 
 #[test]

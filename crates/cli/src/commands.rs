@@ -268,6 +268,8 @@ pub fn bench(args: &Args) -> CliResult {
     let (add_single_us, add_multi_us) = bench_concurrent_adds(&gen, &pipeline, &config, &registry)?;
     let (resolve_summary, resolve_candidates) =
         bench_resolve(&gen, &pipeline, &config, &registry)?;
+    let (trace_disabled_us, trace_enabled_us) =
+        bench_trace_overhead(&gen, &pipeline, &config, &registry)?;
 
     const STAGES: &[&str] =
         &["preprocess", "train", "blocking", "extract", "score", "resolve", "total"];
@@ -306,8 +308,14 @@ pub fn bench(args: &Args) -> CliResult {
          1 shard {add_single_us} us, 4 shards {add_multi_us} us"
     );
     println!(
-        "RESOLVE ({} queries): p50 {} us, p99 {} us, {resolve_candidates} candidates examined",
-        resolve_summary.count, resolve_summary.p50_us, resolve_summary.p99_us
+        "RESOLVE ({} queries): p50 {} us, p99 {} us, max {} us, \
+         {resolve_candidates} candidates examined",
+        resolve_summary.count, resolve_summary.p50_us, resolve_summary.p99_us,
+        resolve_summary.max_us
+    );
+    println!(
+        "trace capture overhead: QUERY p50 {trace_enabled_us} us traced \
+         vs {trace_disabled_us} us untraced"
     );
     println!("wrote {out}");
     emit_obs(args, &rec)?;
@@ -487,11 +495,133 @@ fn bench_resolve(
         summary.p99_us,
     );
     registry.set_gauge(
+        "yv_resolve_max_us",
+        "Worst single RESOLVE latency over the misspelled-probe battery",
+        summary.max_us,
+    );
+    registry.set_gauge(
         "yv_resolve_candidates",
         "Candidate names examined across the battery (deterministic)",
         candidates,
     );
     Ok((summary, candidates))
+}
+
+/// Rounds of the trace-overhead stage; the per-mode p50 is the best
+/// across rounds, squeezing out scheduler noise.
+const BENCH_TRACE_ROUNDS: usize = 3;
+/// Battery repetitions per round, so each round's histogram has enough
+/// samples for a stable median.
+const BENCH_TRACE_REPS: usize = 4;
+
+/// The tracing stage of `yv bench`: run the same QUERY battery against a
+/// 4-shard store with request-trace capture enabled (span recording plus
+/// a push into the lock-free ring, exactly the server's hot path) and
+/// with a disabled [`yv_obs::TraceCtx`] (every trace call early-returns).
+/// Publishes `yv_trace_overhead_{enabled,disabled}_p50_us` and fails the
+/// bench when capture costs more than 5% of the untraced QUERY p50
+/// (plus an absolute floor so micro-latency jitter cannot flake).
+fn bench_trace_overhead(
+    gen: &Generated,
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    registry: &MetricsRegistry,
+) -> Result<(u64, u64), String> {
+    use yv_obs::Clock as _;
+    let ds = &gen.dataset;
+    // Last-name queries over corpus names: the same shard fan-out shape
+    // the server traces in production.
+    let stride = (ds.len() / 16).max(1);
+    let battery: Vec<PersonQuery> = (0..ds.len())
+        .step_by(stride)
+        .filter_map(|i| {
+            let record = ds.record(yv_records::RecordId(i as u32));
+            record.last_names.first().map(|last| PersonQuery {
+                last_name: Some(last.clone()),
+                ..PersonQuery::default()
+            })
+        })
+        .collect();
+    if battery.is_empty() {
+        return Err("trace-overhead bench found no query names".to_owned());
+    }
+
+    let dir = std::env::temp_dir().join("yv-bench-store").join("trace-overhead");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).map_err(err)?;
+    let resolver = yv_core::IncrementalResolver::bootstrap(
+        clone_dataset(ds),
+        pipeline.clone(),
+        config.clone(),
+        yv_core::IncrementalConfig::default(),
+    );
+    let store = yv_store::Store::create(&dir, resolver, BENCH_ADD_THREADS).map_err(err)?;
+
+    let clock = yv_obs::MonotonicClock::new();
+    let trace_clock: std::sync::Arc<dyn yv_obs::Clock> =
+        std::sync::Arc::new(yv_obs::MonotonicClock::new());
+    // Tail threshold u64::MAX: the ring still takes every capture, the
+    // reservoir copies nothing — the steady-state fast path.
+    let sink = yv_obs::TraceSink::new(
+        yv_store::DEFAULT_TRACE_CAPACITY,
+        u64::MAX,
+        yv_store::DEFAULT_TRACE_SEED,
+        true,
+    );
+    // best[0] = capture disabled, best[1] = capture enabled.
+    let mut best = [u64::MAX; 2];
+    for _ in 0..BENCH_TRACE_ROUNDS {
+        for (slot, enabled) in [(0usize, false), (1, true)] {
+            let hist = yv_obs::Histogram::new();
+            for _ in 0..BENCH_TRACE_REPS {
+                for query in &battery {
+                    let started = clock.now_nanos();
+                    if enabled {
+                        let mut trace = yv_obs::TraceCtx::start(
+                            sink.next_id(),
+                            0,
+                            std::sync::Arc::clone(&trace_clock),
+                        );
+                        trace.set_command("QUERY");
+                        let hits = store.query_traced(query, &mut trace);
+                        trace.annotate("hits", hits.len() as u64);
+                        if let Some(done) = trace.finish(true) {
+                            sink.capture(done);
+                        }
+                    } else {
+                        let mut trace = yv_obs::TraceCtx::disabled();
+                        let _hits = store.query_traced(query, &mut trace);
+                    }
+                    hist.record_ns(clock.now_nanos().saturating_sub(started));
+                }
+            }
+            best[slot] = best[slot].min(hist.summary().p50_us);
+        }
+    }
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+
+    registry.set_gauge(
+        "yv_trace_overhead_disabled_p50_us",
+        "QUERY p50 with trace capture disabled (battery, best of 3)",
+        best[0],
+    );
+    registry.set_gauge(
+        "yv_trace_overhead_enabled_p50_us",
+        "QUERY p50 with trace capture + ring push enabled (battery, best of 3)",
+        best[1],
+    );
+    // 5% of the untraced p50, floored at 100us: capture is a bounded
+    // stack write plus one seqlock slot copy, and must stay invisible.
+    let allowed = best[0] + (best[0] / 20).max(100);
+    if best[1] > allowed {
+        return Err(format!(
+            "trace capture overhead regression: QUERY p50 {} us traced vs {} us untraced \
+             (allowed {} us)",
+            best[1], best[0], allowed
+        ));
+    }
+    Ok((best[0], best[1]))
 }
 
 pub fn query(args: &Args) -> CliResult {
@@ -576,6 +706,9 @@ pub fn serve(args: &Args) -> CliResult {
         })?),
         None => None,
     };
+    let trace_ring: usize = args
+        .parse_or("trace-ring", yv_store::DEFAULT_TRACE_CAPACITY, "integer")
+        .map_err(err)?;
     let metrics_listener = match args.get("metrics-addr") {
         Some(a) => Some(std::net::TcpListener::bind(a).map_err(err)?),
         None => None,
@@ -595,8 +728,11 @@ pub fn serve(args: &Args) -> CliResult {
     if let Some(l) = &metrics_listener {
         println!("metrics: http://{}/metrics", l.local_addr().map_err(err)?);
     }
-    println!("commands: QUERY RESOLVE ADD STATS METRICS SNAPSHOT SHUTDOWN");
-    let mut options = yv_store::ServeOptions::new(store).workers(workers);
+    println!("commands: QUERY RESOLVE ADD STATS METRICS TOP TRACE SNAPSHOT SHUTDOWN");
+    let mut options = yv_store::ServeOptions::new(store)
+        .workers(workers)
+        .trace_ring(trace_ring)
+        .trace_capture(!args.flag("no-trace"));
     if let Some(us) = slow_us {
         options = options.slow_us(us);
     }
@@ -624,6 +760,72 @@ pub fn snapshot(args: &Args) -> CliResult {
         stats.matches
     );
     Ok(())
+}
+
+/// Render a `TOP` report as the `yv top` dashboard. Pure — equal reports
+/// render byte-identically, so tests pin the output exactly.
+fn render_top(report: &yv_store::TopReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let r = &report.ring;
+    let _ = writeln!(
+        out,
+        "trace ring: {}/{} resident, {} captured, {} evicted, {} tail-sampled",
+        r.occupancy, r.capacity, r.captured, r.evicted, r.sampled
+    );
+    if r.last_slow != 0 {
+        let _ = writeln!(out, "last slow trace: {:016x}", r.last_slow);
+    }
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>7} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "COMMAND", "COUNT", "ERRORS", "MEAN_US", "P50_US", "P95_US", "P99_US", "MAX_US"
+    );
+    for c in &report.commands {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>7} {:>8} {:>7} {:>7} {:>7} {:>7}",
+            c.name, c.count, c.errors, c.mean_us, c.p50_us, c.p95_us, c.p99_us, c.max_us
+        );
+    }
+    if !report.slow.is_empty() {
+        let _ = writeln!(out, "recent slow requests (newest first):");
+        for s in &report.slow {
+            let _ = writeln!(
+                out,
+                "  trace={:016x} {:<8} {} conn={} total_us={} spans={}",
+                s.trace,
+                s.command,
+                if s.ok { "ok " } else { "err" },
+                s.conn,
+                s.total_ns / 1_000,
+                s.spans
+            );
+        }
+    }
+    out
+}
+
+/// Live introspection of a running server: one `TOP` exchange rendered
+/// as a dashboard, or a 2-second refresh loop with `--watch`.
+pub fn top(args: &Args) -> CliResult {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let k = match args.get("k") {
+        Some(v) => Some(
+            v.parse::<usize>().map_err(|_| "option --k: expects an integer".to_owned())?,
+        ),
+        None => None,
+    };
+    let mut client = yv_store::Client::connect(addr).map_err(err)?;
+    loop {
+        let report = client.top(k).map_err(err)?;
+        print!("{}", render_top(&report));
+        if !args.flag("watch") {
+            return Ok(());
+        }
+        println!();
+        std::thread::sleep(std::time::Duration::from_secs(2));
+    }
 }
 
 /// Deterministic arrival pool for `yv load`: enough last-name variety
@@ -772,8 +974,75 @@ mod tests {
         assert!(content.contains("\"yv_pipeline_stage_blocking_us\":"));
         assert!(content.contains("\"yv_resolve_p50_us\":"));
         assert!(content.contains("\"yv_resolve_p99_us\":"));
+        assert!(content.contains("\"yv_resolve_max_us\":"));
         assert!(content.contains("\"yv_resolve_candidates\":"));
+        assert!(content.contains("\"yv_trace_overhead_disabled_p50_us\":"));
+        assert!(content.contains("\"yv_trace_overhead_enabled_p50_us\":"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn top_dashboard_renders_byte_identically() {
+        let report = yv_store::TopReport {
+            ring: yv_store::RingRow {
+                capacity: 512,
+                occupancy: 3,
+                captured: 3,
+                evicted: 0,
+                sampled: 1,
+                last_slow: 0x00ab_00cd_00ef_0011,
+            },
+            commands: vec![
+                yv_store::client::CommandRow {
+                    name: "QUERY".to_owned(),
+                    count: 25,
+                    errors: 0,
+                    mean_us: 91,
+                    p50_us: 128,
+                    p95_us: 256,
+                    p99_us: 256,
+                    max_us: 227,
+                },
+                yv_store::client::CommandRow {
+                    name: "RESOLVE".to_owned(),
+                    count: 1,
+                    errors: 1,
+                    mean_us: 24,
+                    p50_us: 24,
+                    p95_us: 24,
+                    p99_us: 24,
+                    max_us: 24,
+                },
+            ],
+            slow: vec![yv_store::SlowRow {
+                trace: 0x00ab_00cd_00ef_0011,
+                command: "RESOLVE".to_owned(),
+                ok: true,
+                conn: 3,
+                total_ns: 24_500,
+                spans: 5,
+            }],
+        };
+        assert_eq!(
+            render_top(&report),
+            "trace ring: 3/512 resident, 3 captured, 0 evicted, 1 tail-sampled\n\
+             last slow trace: 00ab00cd00ef0011\n\
+             COMMAND       COUNT  ERRORS  MEAN_US  P50_US  P95_US  P99_US  MAX_US\n\
+             QUERY            25       0       91     128     256     256     227\n\
+             RESOLVE           1       1       24      24      24      24      24\n\
+             recent slow requests (newest first):\n  \
+             trace=00ab00cd00ef0011 RESOLVE  ok  conn=3 total_us=24 spans=5\n"
+        );
+        // An idle ring (nothing sampled yet) omits the slow sections.
+        let idle = yv_store::TopReport {
+            ring: yv_store::RingRow::default(),
+            commands: Vec::new(),
+            slow: Vec::new(),
+        };
+        let rendered = render_top(&idle);
+        assert!(rendered.starts_with("trace ring: 0/0 resident"), "{rendered}");
+        assert!(!rendered.contains("last slow trace"), "{rendered}");
+        assert!(!rendered.contains("recent slow"), "{rendered}");
     }
 
     #[test]

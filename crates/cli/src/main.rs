@@ -13,6 +13,7 @@
 //! yv serve    --dir people.store [--shards 4] [--addr 127.0.0.1:7878]
 //!             [--workers 4] [--metrics-addr 127.0.0.1:9100] [--slow-us 50000]
 //! yv snapshot --dir people.store                     fold the WALs into the snapshot
+//! yv top      --addr 127.0.0.1:7878 [--k 5] [--watch] live server introspection
 //! yv load     --addr 127.0.0.1:7878 [--adds 24 --threads 4] [--shutdown]
 //! yv reproduce [--quick]                             all tables & figures
 //! yv audit    check|fix-baseline [--format human|json|sarif] [--jobs N]
@@ -50,6 +51,9 @@ COMMANDS:
     serve      persistent store + TCP query server (--dir required; bootstraps
                a store on first run, reopens snapshot + per-shard WALs afterwards)
     snapshot   fold a store's write-ahead logs into a fresh snapshot (--dir)
+    top        live introspection of a running server: trace-ring counters,
+               per-command latency rows and recent slow traces (--addr;
+               --watch refreshes every 2 seconds)
     load       typed TCP client for a running server: concurrent ADDs plus a
                digest of a fixed query battery (--addr required)
     reproduce  regenerate every table and figure of the paper (--quick for a smoke run)
@@ -86,6 +90,16 @@ SERVING OPTIONS:
     --metrics-addr A:P  Prometheus scrape sidecar answering GET /metrics
     --slow-us N         log requests slower than N microseconds as JSON
                         lines on stderr (arguments appear only as a digest)
+                        and tail-sample them into the trace reservoir
+    --trace-ring N      trace capture-ring capacity, rounded up to a power
+                        of two (default 512; completed request traces,
+                        introspectable via TOP / TRACE <id> / yv top)
+    --no-trace          disable request-trace capture entirely
+
+TOP OPTIONS (yv top):
+    --addr A:P          server address (default 127.0.0.1:7878)
+    --k N               recent slow traces to show (default 5)
+    --watch             redraw every 2 seconds until interrupted
 
 RESOLVE CLIENT OPTIONS (yv resolve --name ...):
     --name X            the (possibly misspelled) name to resolve (client mode)
@@ -132,11 +146,12 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
         "serve" => Some((
             &[
                 "records", "seed", "ng", "max-minsup", "dir", "shards", "addr",
-                "workers", "map-cache", "metrics-addr", "slow-us",
+                "workers", "map-cache", "metrics-addr", "slow-us", "trace-ring",
             ],
-            &["italy"],
+            &["italy", "no-trace"],
         )),
         "snapshot" => Some((&["dir"], &[])),
+        "top" => Some((&["addr", "k"], &["watch"])),
         "load" => Some((&["addr", "adds", "threads", "book-base"], &["shutdown"])),
         "reproduce" => Some((&[], &["quick"])),
         _ => None,
@@ -151,7 +166,10 @@ fn main() {
     if raw.first().map(String::as_str) == Some("audit") {
         std::process::exit(i32::from(yv_audit::cli::run(&raw[1..])));
     }
-    let args = match Args::parse(raw, &["italy", "quick", "timings", "help", "shutdown"]) {
+    let args = match Args::parse(
+        raw,
+        &["italy", "quick", "timings", "help", "shutdown", "watch", "no-trace"],
+    ) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -175,6 +193,7 @@ fn main() {
         "narrate" => commands::narrate(&args),
         "serve" => commands::serve(&args),
         "snapshot" => commands::snapshot(&args),
+        "top" => commands::top(&args),
         "load" => commands::load(&args),
         "reproduce" => commands::reproduce(&args),
         "help" | "--help" | "-h" => {

@@ -45,6 +45,9 @@ pub struct LatencySummary {
     pub p50_us: u64,
     pub p95_us: u64,
     pub p99_us: u64,
+    /// Exact worst sample (not bucket-rounded) — the number you grep
+    /// for after an incident.
+    pub max_us: u64,
 }
 
 /// An immutable copy of a [`Histogram`]'s bucket counts and sum, taken in
@@ -56,11 +59,13 @@ pub struct LatencySummary {
 pub struct HistogramSnapshot {
     pub counts: [u64; BUCKET_COUNT],
     pub sum_ns: u64,
+    /// Largest single sample recorded, exact (0 when empty).
+    pub max_ns: u64,
 }
 
 impl Default for HistogramSnapshot {
     fn default() -> Self {
-        HistogramSnapshot { counts: [0; BUCKET_COUNT], sum_ns: 0 }
+        HistogramSnapshot { counts: [0; BUCKET_COUNT], sum_ns: 0, max_ns: 0 }
     }
 }
 
@@ -100,7 +105,7 @@ impl HistogramSnapshot {
         Histogram::bucket_bound_us(BUCKET_COUNT - 1)
     }
 
-    /// Count / mean / p50 / p95 / p99, all from this one snapshot.
+    /// Count / mean / p50 / p95 / p99 / max, all from this one snapshot.
     #[must_use]
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
@@ -109,6 +114,7 @@ impl HistogramSnapshot {
             p50_us: self.percentile_us(0.50),
             p95_us: self.percentile_us(0.95),
             p99_us: self.percentile_us(0.99),
+            max_us: self.max_ns / 1_000,
         }
     }
 }
@@ -119,6 +125,7 @@ impl HistogramSnapshot {
 pub struct Histogram {
     counts: [AtomicU64; BUCKET_COUNT],
     sum_ns: AtomicU64,
+    max_ns: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -133,6 +140,7 @@ impl Histogram {
         Histogram {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
         }
     }
 
@@ -158,6 +166,7 @@ impl Histogram {
     pub fn record_ns(&self, nanos: u64) {
         self.counts[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
+        self.max_ns.fetch_max(nanos, Ordering::Relaxed);
     }
 
     /// Copy the bucket counts and sum in one pass. Concurrent `record_ns`
@@ -169,6 +178,7 @@ impl Histogram {
         HistogramSnapshot {
             counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -189,6 +199,9 @@ impl Histogram {
         if snap.sum_ns > 0 {
             self.sum_ns.fetch_add(snap.sum_ns, Ordering::Relaxed);
         }
+        // max of maxes == max of the concatenated stream, so the merge
+        // property below holds for max_us too.
+        self.max_ns.fetch_max(snap.max_ns, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
@@ -260,6 +273,27 @@ mod tests {
         assert_eq!(s.p95_us, 4);
         assert_eq!(s.p99_us, 4);
         assert_eq!(s.mean_us, 3);
+        // Max is exact, not bucket-rounded: 3µs, not the 4µs bound.
+        assert_eq!(s.max_us, 3);
+    }
+
+    #[test]
+    fn max_tracks_the_exact_worst_sample() {
+        let h = Histogram::new();
+        assert_eq!(h.summary().max_us, 0);
+        for &ns in &[100 * US, 800 * US, 200 * US, 400 * US] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.summary().max_us, 800);
+        assert_eq!(h.snapshot().max_ns, 800 * US);
+        // Merging takes the max of maxes.
+        let other = Histogram::new();
+        other.record_ns(50 * US);
+        h.merge(&other);
+        assert_eq!(h.summary().max_us, 800);
+        other.record_ns(9_000 * US);
+        h.merge(&other);
+        assert_eq!(h.summary().max_us, 9_000);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   histograms with p50/p95/p99 summaries, shared across `yv serve`
 //!   workers and reported per command kind in `STATS`. Histograms take
 //!   consistent [`HistogramSnapshot`]s and [`Histogram::merge`] exactly.
+//! - [`TraceCtx`] / [`TraceRing`] / [`TraceSink`] — request-scoped
+//!   tracing: seeded deterministic trace ids, single-owner per-request
+//!   span capture ([`RequestTrace`] is `Copy` and heap-free), and a
+//!   lock-free seqlock capture ring with a tail-sampling reservoir,
+//!   surfaced by `yv serve` as `TOP`/`TRACE` protocol commands.
 //! - [`MetricsRegistry`] — a pull-based registry of named counters,
 //!   [`Gauge`]s and histograms with a Prometheus text-format (0.0.4)
 //!   renderer, scraped by `yv serve`'s `METRICS` command and
@@ -46,14 +51,18 @@
 
 pub mod alloc;
 pub mod clock;
+pub mod ctx;
 pub mod histogram;
 pub mod recorder;
 pub mod registry;
+pub mod ring;
 pub mod trace;
 
 pub use alloc::{alloc_stats, reset_peak, AllocStats, CountingAlloc};
 pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use ctx::{RequestTrace, TraceCtx, TraceIdGen, TraceSpan, MAX_SPAN_ARGS, MAX_TRACE_SPANS};
 pub use histogram::{Counter, Histogram, HistogramSnapshot, LatencySummary, BUCKET_COUNT};
 pub use recorder::{Recorder, Span, SpanRecord};
 pub use registry::{Gauge, MetricsRegistry};
+pub use ring::{RingStats, TailSampler, TraceRing, TraceSink};
 pub use trace::{chrome_trace, timings_table};

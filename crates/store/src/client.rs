@@ -122,7 +122,7 @@ pub struct ResolveRow {
     pub members: Vec<RecordId>,
 }
 
-/// One `CMD` row of a `STATS` response.
+/// One `CMD` row of a `STATS` or `TOP` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommandRow {
     pub name: String,
@@ -132,6 +132,65 @@ pub struct CommandRow {
     pub p50_us: u64,
     pub p95_us: u64,
     pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// The `RING` row of a `TOP` response: capture-ring counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingRow {
+    pub capacity: usize,
+    pub occupancy: usize,
+    pub captured: u64,
+    pub evicted: u64,
+    pub sampled: u64,
+    /// Trace id of the most recent tail-sampled request (0 = none yet).
+    pub last_slow: u64,
+}
+
+/// One `SLOW` row of a `TOP` response: a tail-sampled request summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowRow {
+    pub trace: u64,
+    pub command: String,
+    pub ok: bool,
+    pub conn: u64,
+    pub total_ns: u64,
+    pub spans: usize,
+}
+
+/// A parsed `TOP` response: ring counters, per-command latency rows and
+/// the recent tail-sampled requests, newest first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopReport {
+    pub ring: RingRow,
+    pub commands: Vec<CommandRow>,
+    pub slow: Vec<SlowRow>,
+}
+
+/// One `SPAN` row of a `TRACE` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    pub name: String,
+    pub depth: u8,
+    pub shard: Option<u32>,
+    /// Start offset relative to the request's accept time, nanoseconds.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub args: Vec<(String, u64)>,
+}
+
+/// A parsed `TRACE` response: the request summary from the status line
+/// plus the span tree in depth-first order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    pub id: u64,
+    pub command: String,
+    pub ok: bool,
+    pub conn: u64,
+    pub total_ns: u64,
+    pub dropped_spans: u16,
+    pub args: Vec<(String, u64)>,
+    pub spans: Vec<SpanRow>,
 }
 
 /// A parsed `STATS` response: the store-wide aggregates from the status
@@ -185,8 +244,11 @@ impl Client {
     pub fn add(&mut self, record: &Record) -> Result<usize, ClientError> {
         let line = encode_add(record)?;
         let (status, _) = self.exchange(&line)?;
+        // Token scan, not a prefix match: OK status lines may carry a
+        // trailing `trace=<id>` token after the matches count.
         status
-            .strip_prefix("OK matches=")
+            .split_whitespace()
+            .find_map(|token| token.strip_prefix("matches="))
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| ClientError::Protocol(format!("expected OK matches=N, got {status:?}")))
     }
@@ -228,6 +290,24 @@ impl Client {
             out.push('\n');
         }
         Ok(out)
+    }
+
+    /// Run `TOP` and parse the live introspection report. `k` bounds the
+    /// number of `SLOW` rows; the server default applies when absent.
+    pub fn top(&mut self, k: Option<usize>) -> Result<TopReport, ClientError> {
+        let mut line = String::from("TOP");
+        if let Some(k) = k {
+            push_kv(&mut line, "k", &k.to_string())?;
+        }
+        let (_, data) = self.exchange(&line)?;
+        parse_top(&data)
+    }
+
+    /// Run `TRACE <id>` and parse the span tree for one captured request.
+    /// Ids come from the `trace=` token on OK status lines (or `TOP`).
+    pub fn trace_get(&mut self, id: u64) -> Result<TraceReport, ClientError> {
+        let (status, data) = self.exchange(&format!("TRACE {id:016x}"))?;
+        parse_trace(&status, &data)
     }
 
     /// Ask the server to fold its WALs into a fresh snapshot.
@@ -413,6 +493,134 @@ fn field<T: std::str::FromStr>(line: &str, key: &str) -> Result<T, ClientError> 
         .ok_or_else(|| ClientError::Protocol(format!("no {key}= field in {line:?}")))
 }
 
+/// Like [`field`], but for the zero-padded hex trace ids.
+fn hex_field(line: &str, key: &str) -> Result<u64, ClientError> {
+    let prefix = format!("{key}=");
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(&prefix))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| ClientError::Protocol(format!("no hex {key}= field in {line:?}")))
+}
+
+/// Collect the `key=value` tokens whose key is *not* in `known` and
+/// whose value is a u64 — the open-ended trace/span annotation args.
+fn extra_args(line: &str, known: &[&str]) -> Vec<(String, u64)> {
+    line.split_whitespace()
+        .filter_map(|token| token.split_once('='))
+        .filter(|(key, _)| !known.contains(key))
+        .filter_map(|(key, value)| value.parse().ok().map(|v| (key.to_owned(), v)))
+        .collect()
+}
+
+/// Parse one `CMD NAME count=... max_us=...` row (shared by `STATS` and
+/// `TOP`).
+fn parse_cmd_row(line: &str) -> Result<CommandRow, ClientError> {
+    let rest = line
+        .strip_prefix("CMD ")
+        .ok_or_else(|| ClientError::Protocol(format!("malformed CMD line {line:?}")))?;
+    let name = rest
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| ClientError::Protocol(format!("malformed CMD line {line:?}")))?
+        .to_owned();
+    Ok(CommandRow {
+        name,
+        count: field(line, "count")?,
+        errors: field(line, "errors")?,
+        mean_us: field(line, "mean_us")?,
+        p50_us: field(line, "p50_us")?,
+        p95_us: field(line, "p95_us")?,
+        p99_us: field(line, "p99_us")?,
+        max_us: field(line, "max_us")?,
+    })
+}
+
+/// Parse the `ok`/`err` value of a `status=` token.
+fn status_flag(line: &str) -> Result<bool, ClientError> {
+    match field::<String>(line, "status")?.as_str() {
+        "ok" => Ok(true),
+        "err" => Ok(false),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected status={other:?} in {line:?}"
+        ))),
+    }
+}
+
+/// Parse the `TOP` data rows: `RING`, `CMD` and `SLOW` lines.
+fn parse_top(data: &[String]) -> Result<TopReport, ClientError> {
+    let mut ring = None;
+    let mut commands = Vec::new();
+    let mut slow = Vec::new();
+    for line in data {
+        if line.starts_with("RING ") {
+            ring = Some(RingRow {
+                capacity: field(line, "capacity")?,
+                occupancy: field(line, "occupancy")?,
+                captured: field(line, "captured")?,
+                evicted: field(line, "evicted")?,
+                sampled: field(line, "sampled")?,
+                last_slow: hex_field(line, "last_slow_trace")?,
+            });
+        } else if line.starts_with("CMD ") {
+            commands.push(parse_cmd_row(line)?);
+        } else if line.starts_with("SLOW ") {
+            slow.push(SlowRow {
+                trace: hex_field(line, "trace")?,
+                command: field(line, "command")?,
+                ok: status_flag(line)?,
+                conn: field(line, "conn")?,
+                total_ns: field(line, "total_ns")?,
+                spans: field(line, "spans")?,
+            });
+        } else {
+            return Err(ClientError::Protocol(format!(
+                "unexpected TOP data line {line:?}"
+            )));
+        }
+    }
+    let ring =
+        ring.ok_or_else(|| ClientError::Protocol("TOP response has no RING line".to_owned()))?;
+    Ok(TopReport { ring, commands, slow })
+}
+
+/// Parse the `TRACE` status line plus the indented `SPAN` tree.
+fn parse_trace(status: &str, data: &[String]) -> Result<TraceReport, ClientError> {
+    const KNOWN: &[&str] = &["trace", "command", "status", "conn", "total_ns", "spans", "dropped"];
+    const SPAN_KNOWN: &[&str] = &["name", "depth", "shard", "start_ns", "dur_ns"];
+    let mut report = TraceReport {
+        id: hex_field(status, "trace")?,
+        command: field(status, "command")?,
+        ok: status_flag(status)?,
+        conn: field(status, "conn")?,
+        total_ns: field(status, "total_ns")?,
+        dropped_spans: field(status, "dropped")?,
+        args: extra_args(status, KNOWN),
+        spans: Vec::new(),
+    };
+    for line in data {
+        if !line.trim_start().starts_with("SPAN ") {
+            return Err(ClientError::Protocol(format!(
+                "unexpected TRACE data line {line:?}"
+            )));
+        }
+        let shard = match line.split_whitespace().find_map(|t| t.strip_prefix("shard=")) {
+            Some(v) => Some(v.parse().map_err(|_| {
+                ClientError::Protocol(format!("malformed shard= in {line:?}"))
+            })?),
+            None => None,
+        };
+        report.spans.push(SpanRow {
+            name: field(line, "name")?,
+            depth: field(line, "depth")?,
+            shard,
+            start_ns: field(line, "start_ns")?,
+            dur_ns: field(line, "dur_ns")?,
+            args: extra_args(line, SPAN_KNOWN),
+        });
+    }
+    Ok(report)
+}
+
 /// Parse the `STATS` status line plus `SHARD` / `CMD` data rows.
 fn parse_stats(status: &str, data: &[String]) -> Result<StatsReport, ClientError> {
     let mut report = StatsReport {
@@ -451,21 +659,8 @@ fn parse_stats(status: &str, data: &[String]) -> Result<StatsReport, ClientError
                 fuzzy_grams: field(line, "fuzzy_grams")?,
                 fuzzy_postings: field(line, "fuzzy_postings")?,
             });
-        } else if let Some(rest) = line.strip_prefix("CMD ") {
-            let name = rest
-                .split_whitespace()
-                .next()
-                .ok_or_else(|| ClientError::Protocol(format!("malformed CMD line {line:?}")))?
-                .to_owned();
-            report.commands.push(CommandRow {
-                name,
-                count: field(line, "count")?,
-                errors: field(line, "errors")?,
-                mean_us: field(line, "mean_us")?,
-                p50_us: field(line, "p50_us")?,
-                p95_us: field(line, "p95_us")?,
-                p99_us: field(line, "p99_us")?,
-            });
+        } else if line.starts_with("CMD ") {
+            report.commands.push(parse_cmd_row(line)?);
         } else {
             return Err(ClientError::Protocol(format!(
                 "unexpected STATS data line {line:?}"
@@ -588,7 +783,8 @@ mod tests {
             "SHARD 1 records=2 vocabulary=4 postings=4 wal=0 wal_bytes=0 \
              fuzzy_names=4 fuzzy_grams=17 fuzzy_postings=18"
                 .to_owned(),
-            "CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64".to_owned(),
+            "CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64 max_us=71"
+                .to_owned(),
         ];
         let report = parse_stats(status, &data).expect("well-formed");
         assert_eq!(report.records, 7);
@@ -605,6 +801,70 @@ mod tests {
         assert_eq!(report.commands.len(), 1);
         assert_eq!(report.commands[0].name, "QUERY");
         assert_eq!(report.commands[0].p95_us, 64);
+        assert_eq!(report.commands[0].max_us, 71);
         assert!(parse_stats("OK records=7", &[]).is_err(), "missing fields rejected");
+    }
+
+    #[test]
+    fn top_response_parses_ring_cmd_and_slow_rows() {
+        let data = vec![
+            "RING capacity=512 occupancy=3 captured=3 evicted=0 sampled=1 \
+             last_slow_trace=00ab00cd00ef0011"
+                .to_owned(),
+            "CMD RESOLVE count=1 errors=0 mean_us=24 p50_us=24 p95_us=24 p99_us=24 max_us=24"
+                .to_owned(),
+            "SLOW trace=00ab00cd00ef0011 command=RESOLVE status=ok conn=3 total_ns=24500 spans=5"
+                .to_owned(),
+        ];
+        let report = parse_top(&data).expect("well-formed");
+        assert_eq!(report.ring.capacity, 512);
+        assert_eq!(report.ring.occupancy, 3);
+        assert_eq!(report.ring.sampled, 1);
+        assert_eq!(report.ring.last_slow, 0x00ab_00cd_00ef_0011);
+        assert_eq!(report.commands.len(), 1);
+        assert_eq!(report.commands[0].name, "RESOLVE");
+        assert_eq!(report.commands[0].max_us, 24);
+        assert_eq!(report.slow.len(), 1);
+        assert_eq!(report.slow[0].trace, 0x00ab_00cd_00ef_0011);
+        assert!(report.slow[0].ok);
+        assert_eq!(report.slow[0].spans, 5);
+        assert!(parse_top(&["CMD QUERY count=1".to_owned()]).is_err(), "RING line required");
+        assert!(parse_top(&["RANDOM row".to_owned()]).is_err(), "unknown rows rejected");
+    }
+
+    #[test]
+    fn trace_response_parses_the_span_tree_with_shards_and_args() {
+        let status = "OK trace=00ab00cd00ef0011 command=RESOLVE status=ok conn=3 \
+                      total_ns=24500 spans=5 dropped=0 name_digest=3735928559 k=3";
+        let data = vec![
+            "SPAN name=accept depth=0 start_ns=0 dur_ns=0".to_owned(),
+            "  SPAN name=shard depth=1 shard=2 start_ns=4000 dur_ns=10000 cands=4".to_owned(),
+        ];
+        let report = parse_trace(status, &data).expect("well-formed");
+        assert_eq!(report.id, 0x00ab_00cd_00ef_0011);
+        assert_eq!(report.command, "RESOLVE");
+        assert!(report.ok);
+        assert_eq!(report.conn, 3);
+        assert_eq!(report.total_ns, 24500);
+        assert_eq!(report.dropped_spans, 0);
+        assert_eq!(
+            report.args,
+            vec![("name_digest".to_owned(), 3_735_928_559), ("k".to_owned(), 3)]
+        );
+        assert_eq!(report.spans.len(), 2);
+        assert_eq!(report.spans[0].name, "accept");
+        assert_eq!(report.spans[0].shard, None);
+        assert_eq!(report.spans[1].shard, Some(2));
+        assert_eq!(report.spans[1].start_ns, 4000);
+        assert_eq!(report.spans[1].args, vec![("cands".to_owned(), 4)]);
+        assert!(
+            parse_trace(status, &["HIT seed=1 entity=1".to_owned()]).is_err(),
+            "non-SPAN data rejected"
+        );
+        assert!(
+            parse_trace("OK trace=zz command=X status=ok conn=0 total_ns=0 spans=0 dropped=0", &[])
+                .is_err(),
+            "bad hex id rejected"
+        );
     }
 }

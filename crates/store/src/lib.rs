@@ -25,8 +25,11 @@
 //! - [`server`] — a line-protocol TCP front end over a shared [`Store`],
 //!   with a scoped worker pool, per-request and per-shard metrics in a
 //!   [`yv_obs::MetricsRegistry`] (scraped via the `METRICS` command or a
-//!   `GET /metrics` sidecar listener), and optional slow-request JSON
-//!   logging — see [`ServeOptions`];
+//!   `GET /metrics` sidecar listener), optional slow-request JSON
+//!   logging, and request-scoped tracing: every request carries a trace
+//!   id accept-to-reply, completed traces land in a lock-free capture
+//!   ring with a tail-sampling reservoir, and the `TOP` / `TRACE <id>`
+//!   commands expose them live — see [`ServeOptions`];
 //! - [`client`] — a typed client for that protocol.
 //!
 //! ```no_run
@@ -52,13 +55,17 @@ pub mod snapshot;
 pub mod store;
 pub mod wal;
 
-pub use client::{Client, ClientError, ResolveRow};
+pub use client::{
+    Client, ClientError, ResolveRow, RingRow, SlowRow, SpanRow, TopReport, TraceReport,
+};
 pub use error::StoreError;
 pub use index::QueryIndex;
-pub use protocol::{CommandStats, Request};
+pub use protocol::{CommandStats, Request, DEFAULT_TOP_SLOW};
 #[allow(deprecated)]
 pub use server::{serve, serve_with};
-pub use server::{CommandMetrics, ServeOptions, ServerMetrics};
+pub use server::{
+    CommandMetrics, ServeOptions, ServerMetrics, DEFAULT_TRACE_CAPACITY, DEFAULT_TRACE_SEED,
+};
 pub use shard::{shard_of_name, shard_of_record, Manifest, ShardStats, MANIFEST_FILE, ROUTING_RULE};
 pub use store::{
     segment_file_name, wal_file_name, ResolveOptions, ResolveOutcome, Store, StoreStats,

@@ -25,9 +25,23 @@
 //! < SHARD 1 records=1244 vocabulary=489 postings=2487 wal=0 wal_bytes=0
 //! < SHARD 2 records=1267 vocabulary=501 postings=2530 wal=0 wal_bytes=0
 //! < SHARD 3 records=1199 vocabulary=431 postings=2399 wal=0 wal_bytes=0
-//! < CMD QUERY count=240 errors=0 mean_us=412 p50_us=256 p95_us=1024 p99_us=2048
-//! < CMD ADD count=12 errors=1 mean_us=95 p50_us=64 p95_us=256 p99_us=256
-//! < CMD SNAPSHOT count=1 errors=0 mean_us=5210 p50_us=8192 p95_us=8192 p99_us=8192
+//! < CMD QUERY count=240 errors=0 mean_us=412 p50_us=256 p95_us=1024 p99_us=2048 max_us=1940
+//! < CMD ADD count=12 errors=1 mean_us=95 p50_us=64 p95_us=256 p99_us=256 max_us=221
+//! < CMD SNAPSHOT count=1 errors=0 mean_us=5210 p50_us=8192 p95_us=8192 p99_us=8192 max_us=5210
+//! < .
+//! > TOP k=1
+//! < OK top
+//! < RING capacity=512 occupancy=253 captured=253 evicted=0 sampled=2 last_slow_trace=b10e24d1fa8c0f37
+//! < CMD QUERY count=240 errors=0 mean_us=412 p50_us=256 p95_us=1024 p99_us=2048 max_us=1940
+//! < ...
+//! < SLOW trace=b10e24d1fa8c0f37 command=RESOLVE status=ok conn=3 total_ns=2104930 spans=8
+//! < .
+//! > TRACE b10e24d1fa8c0f37
+//! < OK trace=b10e24d1fa8c0f37 command=RESOLVE status=ok conn=3 total_ns=2104930 spans=8 dropped=0 name_digest=5817832
+//! < SPAN name=parse depth=0 start_ns=110 dur_ns=1800
+//! < SPAN name=shard_fanout depth=0 start_ns=2050 dur_ns=1990000
+//! <   SPAN name=shard depth=1 shard=0 start_ns=2300 dur_ns=470000 cands=2
+//! < ...
 //! < .
 //! > METRICS
 //! < OK metrics
@@ -47,7 +61,11 @@
 use crate::store::DEFAULT_RESOLVE_K;
 use yv_core::{PersonQuery, QueryHit};
 use yv_fuzzy::RankedEntity;
+use yv_obs::{RequestTrace, RingStats};
 use yv_records::{DateParts, Gender, Record, RecordBuilder, SourceId};
+
+/// Slow-trace summary rows a bare `TOP` returns.
+pub const DEFAULT_TOP_SLOW: usize = 5;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +83,18 @@ pub enum Request {
     Add(Box<Record>),
     Stats,
     Metrics,
+    Top {
+        /// Slow-trace summary rows to include (defaults to
+        /// [`DEFAULT_TOP_SLOW`]; 0 suppresses them).
+        k: usize,
+    },
+    Trace {
+        /// The trace id to look up (as issued in a `trace=` token).
+        id: u64,
+        /// Render the span tree as one JSON data line instead of
+        /// `SPAN` lines.
+        json: bool,
+    },
     Snapshot,
     Shutdown,
 }
@@ -80,6 +110,8 @@ impl Request {
             Request::Add(_) => "ADD",
             Request::Stats => "STATS",
             Request::Metrics => "METRICS",
+            Request::Top { .. } => "TOP",
+            Request::Trace { .. } => "TRACE",
             Request::Snapshot => "SNAPSHOT",
             Request::Shutdown => "SHUTDOWN",
         }
@@ -101,13 +133,73 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ADD" => parse_add(&args).map(|r| Request::Add(Box::new(r))),
         "STATS" => expect_no_args("STATS", &args).map(|()| Request::Stats),
         "METRICS" => expect_no_args("METRICS", &args).map(|()| Request::Metrics),
+        "TOP" => parse_top(&args),
+        "TRACE" => parse_trace(&args),
         "SNAPSHOT" => expect_no_args("SNAPSHOT", &args).map(|()| Request::Snapshot),
         "SHUTDOWN" => expect_no_args("SHUTDOWN", &args).map(|()| Request::Shutdown),
         other => Err(format!(
-            "unknown command {other}; expected QUERY, RESOLVE, ADD, STATS, METRICS, SNAPSHOT \
-             or SHUTDOWN"
+            "unknown command {other}; expected QUERY, RESOLVE, ADD, STATS, METRICS, TOP, \
+             TRACE, SNAPSHOT or SHUTDOWN"
         )),
     }
+}
+
+/// Parse `TOP [k=N]` — live per-command stats plus the `N` most recent
+/// slow-trace summaries.
+fn parse_top(args: &[&str]) -> Result<Request, String> {
+    let mut k = DEFAULT_TOP_SLOW;
+    let mut seen = false;
+    for token in args {
+        let (key, value) = split_kv(token, "TOP")?;
+        match key {
+            "k" if seen => return Err("TOP: duplicate key k".to_owned()),
+            "k" => {
+                k = value.parse().map_err(|_| {
+                    format!("TOP: bad k value {value:?} (expected a non-negative integer)")
+                })?;
+                seen = true;
+            }
+            other => return Err(format!("TOP: unknown key {other}")),
+        }
+    }
+    Ok(Request::Top { k })
+}
+
+/// Parse `TRACE <id> [format=human|json]`. The id is the hex token the
+/// server returned (`trace=` prefix tolerated, so the wire token can be
+/// pasted back verbatim).
+fn parse_trace(args: &[&str]) -> Result<Request, String> {
+    let Some((&raw, options)) = args.split_first() else {
+        return Err("TRACE: a trace id argument is required".to_owned());
+    };
+    let hex = raw.strip_prefix("trace=").unwrap_or(raw);
+    let id = u64::from_str_radix(hex, 16)
+        .map_err(|_| format!("TRACE: bad trace id {raw:?} (expected hex)"))?;
+    if id == 0 {
+        return Err("TRACE: trace id 0 means untraced".to_owned());
+    }
+    let mut json = false;
+    let mut seen = false;
+    for token in options {
+        let (key, value) = split_kv(token, "TRACE")?;
+        match key {
+            "format" if seen => return Err("TRACE: duplicate key format".to_owned()),
+            "format" => {
+                json = match value {
+                    "json" => true,
+                    "human" => false,
+                    other => {
+                        return Err(format!(
+                            "TRACE: bad format {other:?} (expected human or json)"
+                        ))
+                    }
+                };
+                seen = true;
+            }
+            other => return Err(format!("TRACE: unknown key {other}")),
+        }
+    }
+    Ok(Request::Trace { id, json })
 }
 
 /// Parse `RESOLVE <name> [k=N] [min=SCORE]`. The name comes first as a
@@ -338,6 +430,8 @@ pub struct CommandStats {
     pub p50_us: u64,
     pub p95_us: u64,
     pub p99_us: u64,
+    /// Exact worst latency (not a bucket bound), microseconds.
+    pub max_us: u64,
 }
 
 /// Render the `STATS` response: the store-wide status line, one `SHARD`
@@ -366,9 +460,158 @@ pub fn format_stats(
         ));
     }
     for c in commands {
+        out.push_str(&format_cmd_row(c));
+    }
+    out.push_str(TERMINATOR);
+    out.push('\n');
+    out
+}
+
+fn format_cmd_row(c: &CommandStats) -> String {
+    format!(
+        "CMD {} count={} errors={} mean_us={} p50_us={} p95_us={} p99_us={} max_us={}\n",
+        c.name, c.count, c.errors, c.mean_us, c.p50_us, c.p95_us, c.p99_us, c.max_us
+    )
+}
+
+/// Splice a `trace=<id>` token onto the end of a response's `OK` status
+/// line. `ERR` responses and the untraced id 0 pass through untouched —
+/// the token is a success artifact a client can paste into `TRACE`.
+#[must_use]
+pub fn with_trace_token(response: &str, trace_id: u64) -> String {
+    if trace_id == 0 || !response.starts_with("OK") {
+        return response.to_owned();
+    }
+    match response.split_once('\n') {
+        Some((status, rest)) => format!("{status} trace={trace_id:016x}\n{rest}"),
+        None => format!("{response} trace={trace_id:016x}"),
+    }
+}
+
+fn push_span_args(out: &mut String, args: &[(&'static str, u64)]) {
+    for (key, value) in args {
+        out.push_str(&format!(" {key}={value}"));
+    }
+}
+
+/// Render a `TRACE` response as a human-readable span tree that is still
+/// machine-parseable: a status line describing the request, one `SPAN`
+/// data line per span (indented two spaces per depth, every field a
+/// `key=value` token), and the terminator. Span starts are rendered
+/// relative to the request's accept time, so renderings are byte-
+/// identical whenever the trace was captured under a deterministic
+/// clock, regardless of the clock's absolute origin.
+#[must_use]
+pub fn format_trace(trace: &RequestTrace) -> String {
+    let mut out = format!(
+        "OK trace={:016x} command={} status={} conn={} total_ns={} spans={} dropped={}",
+        trace.id,
+        trace.command,
+        if trace.ok { "ok" } else { "err" },
+        trace.conn,
+        trace.total_ns,
+        trace.spans().len(),
+        trace.dropped_spans
+    );
+    push_span_args(&mut out, trace.args());
+    out.push('\n');
+    for span in trace.spans() {
+        for _ in 0..span.depth {
+            out.push_str("  ");
+        }
         out.push_str(&format!(
-            "CMD {} count={} errors={} mean_us={} p50_us={} p95_us={} p99_us={}\n",
-            c.name, c.count, c.errors, c.mean_us, c.p50_us, c.p95_us, c.p99_us
+            "SPAN name={} depth={}",
+            span.name, span.depth
+        ));
+        if let Some(shard) = span.shard() {
+            out.push_str(&format!(" shard={shard}"));
+        }
+        out.push_str(&format!(
+            " start_ns={} dur_ns={}",
+            span.start_ns.saturating_sub(trace.start_ns),
+            span.dur_ns
+        ));
+        push_span_args(&mut out, span.args());
+        out.push('\n');
+    }
+    out.push_str(TERMINATOR);
+    out.push('\n');
+    out
+}
+
+fn json_args(args: &[(&'static str, u64)]) -> String {
+    let pairs: Vec<String> =
+        args.iter().map(|(key, value)| format!("\"{key}\":{value}")).collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+/// Render a `TRACE ... format=json` response: status line, one JSON
+/// object data line, terminator. Names and arg keys are static protocol
+/// identifiers (no quotes or backslashes), so no escaping is needed.
+#[must_use]
+pub fn format_trace_json(trace: &RequestTrace) -> String {
+    let spans: Vec<String> = trace
+        .spans()
+        .iter()
+        .map(|span| {
+            let shard = span
+                .shard()
+                .map_or_else(|| "null".to_owned(), |shard| shard.to_string());
+            format!(
+                "{{\"name\":\"{}\",\"depth\":{},\"shard\":{},\"start_ns\":{},\
+                 \"dur_ns\":{},\"args\":{}}}",
+                span.name,
+                span.depth,
+                shard,
+                span.start_ns.saturating_sub(trace.start_ns),
+                span.dur_ns,
+                json_args(span.args())
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"trace\":\"{:016x}\",\"command\":\"{}\",\"ok\":{},\"conn\":{},\
+         \"total_ns\":{},\"dropped_spans\":{},\"args\":{},\"spans\":[{}]}}",
+        trace.id,
+        trace.command,
+        trace.ok,
+        trace.conn,
+        trace.total_ns,
+        trace.dropped_spans,
+        json_args(trace.args()),
+        spans.join(",")
+    );
+    format!("OK trace={:016x} format=json\n{body}\n{TERMINATOR}\n", trace.id)
+}
+
+/// Render the `TOP` response: status line, a `RING` data line with the
+/// capture-ring counters, one `CMD` row per command kind (same shape as
+/// `STATS`), and one `SLOW` summary line per recent tail-sampled trace,
+/// newest first.
+#[must_use]
+pub fn format_top(
+    ring: &RingStats,
+    last_slow_id: u64,
+    commands: &[CommandStats],
+    slow: &[RequestTrace],
+) -> String {
+    let mut out = format!(
+        "OK top\nRING capacity={} occupancy={} captured={} evicted={} sampled={} \
+         last_slow_trace={:016x}\n",
+        ring.capacity, ring.occupancy, ring.captured, ring.evicted, ring.sampled, last_slow_id
+    );
+    for c in commands {
+        out.push_str(&format_cmd_row(c));
+    }
+    for trace in slow {
+        out.push_str(&format!(
+            "SLOW trace={:016x} command={} status={} conn={} total_ns={} spans={}\n",
+            trace.id,
+            trace.command,
+            if trace.ok { "ok" } else { "err" },
+            trace.conn,
+            trace.total_ns,
+            trace.spans().len()
         ));
     }
     out.push_str(TERMINATOR);
@@ -493,6 +736,7 @@ mod tests {
                 p50_us: 32,
                 p95_us: 64,
                 p99_us: 64,
+                max_us: 57,
             },
             CommandStats {
                 name: "ADD",
@@ -502,6 +746,7 @@ mod tests {
                 p50_us: 0,
                 p95_us: 0,
                 p99_us: 0,
+                max_us: 0,
             },
         ];
         let shards = [
@@ -536,8 +781,8 @@ mod tests {
              fuzzy_names=9 fuzzy_grams=31 fuzzy_postings=40\n\
              SHARD 1 records=2 vocabulary=4 postings=4 wal=0 wal_bytes=0 \
              fuzzy_names=4 fuzzy_grams=17 fuzzy_postings=18\n\
-             CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64\n\
-             CMD ADD count=0 errors=1 mean_us=0 p50_us=0 p95_us=0 p99_us=0\n\
+             CMD QUERY count=3 errors=0 mean_us=40 p50_us=32 p95_us=64 p99_us=64 max_us=57\n\
+             CMD ADD count=0 errors=1 mean_us=0 p50_us=0 p95_us=0 p99_us=0 max_us=0\n\
              .\n"
         );
         assert_eq!(format_stats("OK records=7", &[], &[]), "OK records=7\n.\n");
@@ -612,6 +857,173 @@ mod tests {
              .\n"
         );
         assert_eq!(format_candidates(&[]), "OK 0\n.\n");
+    }
+
+    #[test]
+    fn top_parses_with_optional_k() {
+        assert_eq!(parse_request("TOP"), Ok(Request::Top { k: DEFAULT_TOP_SLOW }));
+        assert_eq!(parse_request("top k=0"), Ok(Request::Top { k: 0 }));
+        assert_eq!(parse_request("TOP k=12"), Ok(Request::Top { k: 12 }));
+        let err = parse_request("TOP k=many").expect_err("bad k");
+        assert!(err.contains("bad k value"), "{err}");
+        let err = parse_request("TOP k=1 k=2").expect_err("duplicate k");
+        assert!(err.contains("duplicate key k"), "{err}");
+        let err = parse_request("TOP depth=3").expect_err("unknown key");
+        assert!(err.contains("unknown key depth"), "{err}");
+    }
+
+    #[test]
+    fn trace_parses_hex_ids_with_or_without_wire_prefix() {
+        assert_eq!(
+            parse_request("TRACE 00ab00cd00ef0011"),
+            Ok(Request::Trace { id: 0x00ab_00cd_00ef_0011, json: false })
+        );
+        // The exact token the server printed can be pasted back.
+        assert_eq!(
+            parse_request("trace trace=ff00000000000001 format=json"),
+            Ok(Request::Trace { id: 0xff00_0000_0000_0001, json: true })
+        );
+        assert_eq!(
+            parse_request("TRACE 1f format=human"),
+            Ok(Request::Trace { id: 0x1f, json: false })
+        );
+        let err = parse_request("TRACE").expect_err("id required");
+        assert!(err.contains("trace id argument is required"), "{err}");
+        let err = parse_request("TRACE zebra").expect_err("bad hex");
+        assert!(err.contains("bad trace id"), "{err}");
+        let err = parse_request("TRACE 0").expect_err("zero id");
+        assert!(err.contains("untraced"), "{err}");
+        let err = parse_request("TRACE 1f format=xml").expect_err("bad format");
+        assert!(err.contains("bad format"), "{err}");
+        let err = parse_request("TRACE 1f color=blue").expect_err("unknown key");
+        assert!(err.contains("unknown key color"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_error_lists_top_and_trace() {
+        let err = parse_request("FROB").expect_err("unknown");
+        assert!(err.contains("TOP"), "{err}");
+        assert!(err.contains("TRACE"), "{err}");
+    }
+
+    #[test]
+    fn trace_token_splices_onto_ok_status_lines_only() {
+        assert_eq!(
+            with_trace_token("OK 2\nHIT seed=1 entity=1\n.\n", 0xab),
+            "OK 2 trace=00000000000000ab\nHIT seed=1 entity=1\n.\n"
+        );
+        assert_eq!(
+            with_trace_token("OK matches=3\n.\n", 0x1234_5678_9abc_def0),
+            "OK matches=3 trace=123456789abcdef0\n.\n"
+        );
+        // ERR responses and untraced requests pass through untouched.
+        assert_eq!(with_trace_token("ERR nope\n.\n", 0xab), "ERR nope\n.\n");
+        assert_eq!(with_trace_token("OK 2\n.\n", 0), "OK 2\n.\n");
+    }
+
+    fn sample_trace() -> RequestTrace {
+        use std::sync::Arc;
+        use yv_obs::{Clock, ManualClock, TraceCtx};
+        let clock = Arc::new(ManualClock::at(50_000));
+        let mut ctx = TraceCtx::start(0x00ab_00cd_00ef_0011, 3, Arc::clone(&clock) as Arc<dyn Clock>);
+        ctx.set_command("RESOLVE");
+        ctx.annotate("name_digest", 0xdead_beef);
+        ctx.enter("parse");
+        clock.advance(1_500);
+        ctx.exit();
+        ctx.enter("shard_fanout");
+        for shard in 0..2u32 {
+            ctx.enter_shard("shard", shard);
+            ctx.arg("cands", u64::from(shard) + 2);
+            clock.advance(10_000);
+            ctx.exit();
+        }
+        ctx.exit();
+        ctx.enter("merge");
+        clock.advance(3_000);
+        ctx.exit();
+        ctx.finish(true).expect("enabled ctx")
+    }
+
+    #[test]
+    fn trace_renders_a_parseable_span_tree_with_relative_starts() {
+        let rendered = format_trace(&sample_trace());
+        assert_eq!(
+            rendered,
+            "OK trace=00ab00cd00ef0011 command=RESOLVE status=ok conn=3 total_ns=24500 \
+             spans=5 dropped=0 name_digest=3735928559\n\
+             SPAN name=parse depth=0 start_ns=0 dur_ns=1500\n\
+             SPAN name=shard_fanout depth=0 start_ns=1500 dur_ns=20000\n\
+             \x20\x20SPAN name=shard depth=1 shard=0 start_ns=1500 dur_ns=10000 cands=2\n\
+             \x20\x20SPAN name=shard depth=1 shard=1 start_ns=11500 dur_ns=10000 cands=3\n\
+             SPAN name=merge depth=0 start_ns=21500 dur_ns=3000\n\
+             .\n"
+        );
+        // Byte-identical across runs: the same ManualClock schedule
+        // renders the same bytes, whatever the clock origin was.
+        assert_eq!(rendered, format_trace(&sample_trace()));
+    }
+
+    #[test]
+    fn trace_json_renders_one_data_line() {
+        let rendered = format_trace_json(&sample_trace());
+        let mut lines = rendered.lines();
+        assert_eq!(
+            lines.next(),
+            Some("OK trace=00ab00cd00ef0011 format=json")
+        );
+        let body = lines.next().expect("json body");
+        assert!(body.starts_with('{') && body.ends_with('}'), "{body}");
+        assert!(body.contains("\"command\":\"RESOLVE\""), "{body}");
+        assert!(body.contains("\"args\":{\"name_digest\":3735928559}"), "{body}");
+        assert!(
+            body.contains(
+                "{\"name\":\"shard\",\"depth\":1,\"shard\":1,\"start_ns\":11500,\
+                 \"dur_ns\":10000,\"args\":{\"cands\":3}}"
+            ),
+            "{body}"
+        );
+        assert_eq!(lines.next(), Some(TERMINATOR));
+        assert_eq!(lines.next(), None);
+        assert_eq!(rendered, format_trace_json(&sample_trace()));
+    }
+
+    #[test]
+    fn top_renders_ring_cmd_and_slow_rows() {
+        let ring = RingStats {
+            capacity: 512,
+            occupancy: 17,
+            captured: 912,
+            evicted: 400,
+            sampled: 2,
+        };
+        let rows = [CommandStats {
+            name: "RESOLVE",
+            count: 4,
+            errors: 0,
+            mean_us: 388,
+            p50_us: 256,
+            p95_us: 512,
+            p99_us: 512,
+            max_us: 497,
+        }];
+        let slow = [sample_trace()];
+        assert_eq!(
+            format_top(&ring, 0x00ab_00cd_00ef_0011, &rows, &slow),
+            "OK top\n\
+             RING capacity=512 occupancy=17 captured=912 evicted=400 sampled=2 \
+             last_slow_trace=00ab00cd00ef0011\n\
+             CMD RESOLVE count=4 errors=0 mean_us=388 p50_us=256 p95_us=512 p99_us=512 \
+             max_us=497\n\
+             SLOW trace=00ab00cd00ef0011 command=RESOLVE status=ok conn=3 total_ns=24500 \
+             spans=5\n\
+             .\n"
+        );
+        assert_eq!(
+            format_top(&RingStats::default(), 0, &[], &[]),
+            "OK top\nRING capacity=0 occupancy=0 captured=0 evicted=0 sampled=0 \
+             last_slow_trace=0000000000000000\n.\n"
+        );
     }
 
     #[test]

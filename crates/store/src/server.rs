@@ -41,7 +41,13 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use yv_obs::{Clock, Counter, Histogram, MetricsRegistry, MonotonicClock};
+use yv_obs::{Clock, Counter, Histogram, MetricsRegistry, MonotonicClock, TraceCtx, TraceSink};
+
+/// Default capture-ring capacity (power of two; ~2 KiB per slot).
+pub const DEFAULT_TRACE_CAPACITY: usize = 512;
+
+/// Default seed for the deterministic trace-id generator.
+pub const DEFAULT_TRACE_SEED: u64 = 0x7976_5f74_7261_6365; // "yv_trace"
 
 /// Per-command metrics: success/error counters plus a lock-free latency
 /// histogram (percentiles via [`Histogram::summary`]). Latency covers the
@@ -99,6 +105,7 @@ impl CommandMetrics {
             p50_us: summary.p50_us,
             p95_us: summary.p95_us,
             p99_us: summary.p99_us,
+            max_us: summary.max_us,
         }
     }
 }
@@ -119,6 +126,8 @@ pub struct ServerMetrics {
     pub add: CommandMetrics,
     pub stats: CommandMetrics,
     pub metrics: CommandMetrics,
+    pub top: CommandMetrics,
+    pub trace: CommandMetrics,
     pub snapshot: CommandMetrics,
     pub shutdown: CommandMetrics,
     /// Request lines that never parsed into a command.
@@ -142,6 +151,8 @@ impl ServerMetrics {
             add: cmd("add", "ADD"),
             stats: cmd("stats", "STATS"),
             metrics: cmd("metrics", "METRICS"),
+            top: cmd("top", "TOP"),
+            trace: cmd("trace", "TRACE"),
             snapshot: cmd("snapshot", "SNAPSHOT"),
             shutdown: cmd("shutdown", "SHUTDOWN"),
             parse_errors: registry.counter(
@@ -154,13 +165,15 @@ impl ServerMetrics {
 
     /// Per-command stats rows in protocol order.
     #[must_use]
-    pub fn command_stats(&self) -> [CommandStats; 7] {
+    pub fn command_stats(&self) -> [CommandStats; 9] {
         [
             self.query.stats("QUERY"),
             self.resolve.stats("RESOLVE"),
             self.add.stats("ADD"),
             self.stats.stats("STATS"),
             self.metrics.stats("METRICS"),
+            self.top.stats("TOP"),
+            self.trace.stats("TRACE"),
             self.snapshot.stats("SNAPSHOT"),
             self.shutdown.stats("SHUTDOWN"),
         ]
@@ -175,6 +188,8 @@ impl ServerMetrics {
             + self.add.errors.get()
             + self.stats.errors.get()
             + self.metrics.errors.get()
+            + self.top.errors.get()
+            + self.trace.errors.get()
             + self.snapshot.errors.get()
             + self.shutdown.errors.get()
     }
@@ -182,20 +197,23 @@ impl ServerMetrics {
 
 /// Structured slow-request logging: every request at or above the
 /// threshold emits one JSON line (connection id, canonical command name,
-/// FNV-1a 64 digest of the argument text, latency). The command name is a
-/// static protocol string and the digest is hex, so no JSON escaping is
-/// needed and raw client input — which may hold victims' names — never
-/// reaches the log.
+/// FNV-1a 64 digest of the argument text, latency, trace id). The command
+/// name is a static protocol string and the digest and trace id are hex,
+/// so no JSON escaping is needed and raw client input — which may hold
+/// victims' names — never reaches the log. The trace id is the same one
+/// the client saw in its `trace=` token, so a logged slow request can be
+/// looked up with `TRACE <id>` while it is still in the ring.
 struct SlowLog {
     threshold_ns: u64,
     sink: parking_lot::Mutex<Box<dyn Write + Send>>,
 }
 
 impl SlowLog {
-    fn log(&self, conn: u64, command: &'static str, args_digest: u64, dur_ns: u64) {
+    fn log(&self, conn: u64, command: &'static str, args_digest: u64, dur_ns: u64, trace: u64) {
         let line = format!(
             "{{\"slow_request\":true,\"conn\":{conn},\"command\":\"{command}\",\
-             \"args_digest\":\"{args_digest:016x}\",\"latency_us\":{}}}\n",
+             \"args_digest\":\"{args_digest:016x}\",\"latency_us\":{},\
+             \"trace\":\"{trace:016x}\"}}\n",
             dur_ns / 1_000
         );
         let mut sink = self.sink.lock();
@@ -224,11 +242,16 @@ pub struct ServeOptions {
     metrics_listener: Option<TcpListener>,
     metrics_addr: Option<SocketAddr>,
     slow_log: Option<Box<dyn Write + Send>>,
+    trace_capacity: usize,
+    trace_capture: bool,
+    trace_seed: u64,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl ServeOptions {
     /// Start configuring a server over `store`, with the defaults: 4
-    /// workers, no slow log, no scrape sidecar.
+    /// workers, no slow log, no scrape sidecar, a
+    /// [`DEFAULT_TRACE_CAPACITY`]-slot trace ring with capture on.
     #[must_use]
     pub fn new(store: Store) -> ServeOptions {
         ServeOptions {
@@ -238,6 +261,10 @@ impl ServeOptions {
             metrics_listener: None,
             metrics_addr: None,
             slow_log: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            trace_capture: true,
+            trace_seed: DEFAULT_TRACE_SEED,
+            clock: None,
         }
     }
 
@@ -282,13 +309,60 @@ impl ServeOptions {
         self
     }
 
+    /// Capture-ring capacity in traces (rounded up to a power of two).
+    /// Memory is bounded at roughly `capacity × 2 KiB` plus a quarter
+    /// of that for the tail-sampling reservoir.
+    #[must_use]
+    pub fn trace_ring(mut self, capacity: usize) -> ServeOptions {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enable or disable retaining completed traces. When disabled,
+    /// requests still carry `trace=` ids on the wire, but `TOP`/`TRACE`
+    /// see an empty ring — the configuration the `trace_overhead` bench
+    /// compares against.
+    #[must_use]
+    pub fn trace_capture(mut self, capture: bool) -> ServeOptions {
+        self.trace_capture = capture;
+        self
+    }
+
+    /// Seed for the deterministic trace-id generator. Two servers with
+    /// the same seed issue the same id sequence — what the restart and
+    /// byte-identity tests rely on.
+    #[must_use]
+    pub fn trace_seed(mut self, seed: u64) -> ServeOptions {
+        self.trace_seed = seed;
+        self
+    }
+
+    /// Inject the clock requests are timed and traced with. Defaults to
+    /// a fresh [`MonotonicClock`]; tests inject a
+    /// [`yv_obs::ManualClock`] for deterministic span trees.
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> ServeOptions {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Serve the store on an already-bound listener until a client sends
     /// `SHUTDOWN`. Returns the store after flushing the WALs into a
     /// fresh snapshot, so the caller can keep using (or inspect) the
     /// final state.
     pub fn serve(self, listener: TcpListener) -> Result<Store, StoreError> {
-        let ServeOptions { store, workers, slow_us, metrics_listener, metrics_addr, slow_log } =
-            self;
+        let ServeOptions {
+            store,
+            workers,
+            slow_us,
+            metrics_listener,
+            metrics_addr,
+            slow_log,
+            trace_capacity,
+            trace_capture,
+            trace_seed,
+            clock,
+        } = self;
         let Some(store) = store else {
             return Err(StoreError::Corrupt("ServeOptions has no store".into()));
         };
@@ -297,7 +371,12 @@ impl ServeOptions {
             (None, Some(addr)) => Some(TcpListener::bind(addr)?),
             (None, None) => None,
         };
-        serve_inner(store, listener, workers, slow_us, metrics_listener, slow_log)
+        // The tail sampler reuses the slow-log threshold; without one,
+        // only ERR-status traces are tail-retained.
+        let sampler_slow_ns = slow_us.map_or(u64::MAX, |us| us.saturating_mul(1_000));
+        let sink = TraceSink::new(trace_capacity, sampler_slow_ns, trace_seed, trace_capture);
+        let clock = clock.unwrap_or_else(|| Arc::new(MonotonicClock::new()));
+        serve_inner(store, listener, workers, slow_us, metrics_listener, slow_log, sink, clock)
     }
 }
 
@@ -309,6 +388,10 @@ impl std::fmt::Debug for ServeOptions {
             .field("metrics_listener", &self.metrics_listener)
             .field("metrics_addr", &self.metrics_addr)
             .field("slow_log", &self.slow_log.as_ref().map(|_| "<sink>"))
+            .field("trace_capacity", &self.trace_capacity)
+            .field("trace_capture", &self.trace_capture)
+            .field("trace_seed", &self.trace_seed)
+            .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
             .finish_non_exhaustive()
     }
 }
@@ -318,13 +401,18 @@ impl std::fmt::Debug for ServeOptions {
 struct ServerCtx<'a> {
     store: &'a Store,
     metrics: &'a ServerMetrics,
-    clock: &'a MonotonicClock,
+    clock: Arc<dyn Clock>,
     shutdown: &'a AtomicBool,
     /// The protocol listener's address (self-connect target on shutdown).
     addr: SocketAddr,
     /// The scrape sidecar's address, when one is running.
     metrics_addr: Option<SocketAddr>,
     slow: Option<&'a SlowLog>,
+    /// The trace capture ring + tail sampler + id generator.
+    sink: &'a TraceSink,
+    /// Trace id of the most recent tail-sampled request (the
+    /// `yv_trace_last_slow_id` gauge).
+    last_slow: &'a AtomicU64,
 }
 
 /// Positional-argument shim for the builder.
@@ -345,6 +433,7 @@ pub fn serve_with(
     options.serve(listener)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_inner(
     store: Store,
     listener: TcpListener,
@@ -352,6 +441,8 @@ fn serve_inner(
     slow_us: Option<u64>,
     metrics_listener: Option<TcpListener>,
     slow_log: Option<Box<dyn Write + Send>>,
+    sink: TraceSink,
+    clock: Arc<dyn Clock>,
 ) -> Result<Store, StoreError> {
     let addr = listener.local_addr()?;
     let metrics_addr = match &metrics_listener {
@@ -359,7 +450,6 @@ fn serve_inner(
         None => None,
     };
     let metrics = ServerMetrics::default();
-    let clock = MonotonicClock::new();
     let shutdown = AtomicBool::new(false);
     let slow = slow_us.map(|us| SlowLog {
         threshold_ns: us.saturating_mul(1_000),
@@ -368,15 +458,18 @@ fn serve_inner(
         ),
     });
     let conn_ids = AtomicU64::new(0);
+    let last_slow = AtomicU64::new(0);
     let (tx, rx) = crossbeam::channel::unbounded::<(u64, TcpStream)>();
     let ctx = ServerCtx {
         store: &store,
         metrics: &metrics,
-        clock: &clock,
+        clock,
         shutdown: &shutdown,
         addr,
         metrics_addr,
         slow: slow.as_ref(),
+        sink: &sink,
+        last_slow: &last_slow,
     };
 
     let result = crossbeam::thread::scope(|s| {
@@ -512,6 +605,34 @@ fn render_metrics(ctx: &ServerCtx<'_>) -> String {
     )
     .set(stats.entity_map_evictions);
 
+    let t = ctx.sink.stats();
+    reg.set_gauge("yv_trace_ring_capacity", "Trace capture ring slot count", t.capacity);
+    reg.set_gauge(
+        "yv_trace_ring_occupancy",
+        "Completed traces currently resident in the capture ring",
+        t.occupancy,
+    );
+    reg.counter_value(
+        "yv_trace_ring_captured_total",
+        "Lifetime traces captured into the ring",
+    )
+    .set(t.captured);
+    reg.counter_value(
+        "yv_trace_ring_evicted_total",
+        "Lifetime traces displaced by drop-oldest overwrites",
+    )
+    .set(t.evicted);
+    reg.counter_value(
+        "yv_trace_ring_sampled_total",
+        "Lifetime traces retained by the tail sampler (slow or ERR)",
+    )
+    .set(t.sampled);
+    reg.set_gauge(
+        "yv_trace_last_slow_id",
+        "Trace id of the most recent tail-sampled request (0 when none)",
+        ctx.last_slow.load(Ordering::Relaxed),
+    );
+
     let alloc = yv_obs::alloc_stats();
     reg.counter_value("yv_alloc_bytes_total", "Bytes allocated since process start")
         .set(alloc.alloc_bytes);
@@ -588,8 +709,17 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
             continue;
         }
         let started = ctx.clock.now_nanos();
+        // Every request gets a trace context from accept to reply. The
+        // accept span marks request admission (id issue + context setup);
+        // the stage spans follow inside the command arms.
+        let mut trace = TraceCtx::start(ctx.sink.next_id(), conn, Arc::clone(&ctx.clock));
+        trace.enter("accept");
+        trace.exit();
+        trace.enter("parse");
         let parsed = protocol::parse_request(&line);
+        trace.exit();
         let command = parsed.as_ref().map_or("INVALID", Request::name);
+        trace.set_command(command);
         let mut closing = false;
         let elapsed = || ctx.clock.now_nanos().saturating_sub(started);
         let response = match parsed {
@@ -598,25 +728,35 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                 protocol::format_status(&format!("ERR {msg}"))
             }
             Ok(Request::Query(query)) => {
-                let hits = ctx.store.query(&query);
+                let hits = ctx.store.query_traced(&query, &mut trace);
+                trace.annotate("hits", hits.len() as u64);
                 ctx.metrics.query.record(true, elapsed());
                 protocol::format_hits(&hits)
             }
             Ok(Request::Resolve { name, k, min }) => {
+                // The name itself never enters the trace — only its
+                // sanctioned digest, same policy as the slow log.
+                trace.annotate("name_digest", crate::codec::fnv1a64(name.as_bytes()));
+                trace.annotate("k", k as u64);
                 let options = crate::store::ResolveOptions {
                     k,
                     min_score: min.unwrap_or(f64::NEG_INFINITY),
                     ..crate::store::ResolveOptions::default()
                 };
-                let outcome = ctx.store.resolve(&name, &options);
+                let outcome = ctx.store.resolve_traced(&name, &options, &mut trace);
+                let cands = outcome.hits.len() as u64;
+                trace.annotate("cands", cands);
                 ctx.metrics.resolve.record(true, elapsed());
                 protocol::format_candidates(&outcome.hits)
             }
             Ok(Request::Add(record)) => {
+                trace.enter("apply");
                 let outcome = ctx.store.add_record(*record);
+                trace.exit();
                 ctx.metrics.add.record(outcome.is_ok(), elapsed());
                 match outcome {
                     Ok(matches) => {
+                        trace.annotate("matches", matches.len() as u64);
                         protocol::format_status(&format!("OK matches={}", matches.len()))
                     }
                     Err(e) => protocol::format_status(&format!("ERR {e}")),
@@ -659,8 +799,37 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                 ctx.metrics.metrics.record(true, elapsed());
                 protocol::format_metrics(&render_metrics(ctx))
             }
+            Ok(Request::Top { k }) => {
+                let ring = ctx.sink.stats();
+                let slow_traces = ctx.sink.recent_slow(k);
+                ctx.metrics.top.record(true, elapsed());
+                protocol::format_top(
+                    &ring,
+                    ctx.last_slow.load(Ordering::Relaxed),
+                    &ctx.metrics.command_stats(),
+                    &slow_traces,
+                )
+            }
+            Ok(Request::Trace { id, json }) => match ctx.sink.find(id) {
+                Some(found) => {
+                    ctx.metrics.trace.record(true, elapsed());
+                    if json {
+                        protocol::format_trace_json(&found)
+                    } else {
+                        protocol::format_trace(&found)
+                    }
+                }
+                None => {
+                    ctx.metrics.trace.record(false, elapsed());
+                    protocol::format_status(&format!(
+                        "ERR TRACE: no trace {id:016x} (never captured or already evicted)"
+                    ))
+                }
+            },
             Ok(Request::Snapshot) => {
+                trace.enter("snapshot");
                 let outcome = ctx.store.snapshot();
+                trace.exit();
                 ctx.metrics.snapshot.record(outcome.is_ok(), elapsed());
                 match outcome {
                     Ok(()) => protocol::format_status("OK snapshot"),
@@ -684,7 +853,23 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                     .trim()
                     .split_once(char::is_whitespace)
                     .map_or("", |(_, rest)| rest);
-                slow.log(conn, command, crate::codec::fnv1a64(args.as_bytes()), dur_ns);
+                slow.log(conn, command, crate::codec::fnv1a64(args.as_bytes()), dur_ns, trace.id());
+            }
+        }
+        // The reply span covers response post-processing (trace-token
+        // splice); the trace is sealed and captured *before* the write so
+        // a client can `TRACE` the id from the response it just read.
+        trace.enter("reply");
+        let traced = matches!(command, "QUERY" | "RESOLVE" | "ADD" | "SNAPSHOT");
+        let response =
+            if traced { protocol::with_trace_token(&response, trace.id()) } else { response };
+        trace.exit();
+        if traced || command == "INVALID" {
+            let ok = !response.starts_with("ERR");
+            if let Some(done) = trace.finish(ok) {
+                if ctx.sink.capture(done) {
+                    ctx.last_slow.store(done.id, Ordering::Relaxed);
+                }
             }
         }
         if writer.write_all(response.as_bytes()).is_err() {
@@ -730,6 +915,7 @@ mod tests {
         assert_eq!(row.p50_us, 256, "rank 2 of 4: the 200µs sample's bucket bound");
         assert_eq!(row.p95_us, 1_024, "rank 4 of 4: the 800µs sample's bucket bound");
         assert_eq!(row.p99_us, 1_024);
+        assert_eq!(row.max_us, 800, "max is the exact worst sample, not a bucket bound");
     }
 
     #[test]
@@ -737,7 +923,9 @@ mod tests {
         let metrics = ServerMetrics::default();
         metrics.add.record(true, 5_000);
         let rendered = metrics.registry.render_prometheus();
-        for kind in ["query", "resolve", "add", "stats", "metrics", "snapshot", "shutdown"] {
+        for kind in
+            ["query", "resolve", "add", "stats", "metrics", "top", "trace", "snapshot", "shutdown"]
+        {
             assert!(rendered.contains(&format!("# TYPE yv_cmd_{kind}_ok_total counter\n")));
             assert!(
                 rendered.contains(&format!("# TYPE yv_cmd_{kind}_latency_us histogram\n")),
@@ -755,8 +943,9 @@ mod tests {
         metrics.parse_errors.incr();
         metrics.add.record(false, 1_000);
         metrics.snapshot.record(false, 1_000);
-        assert_eq!(metrics.errors(), 3);
-        assert_eq!(metrics.command_stats().len(), 7);
+        metrics.trace.record(false, 1_000);
+        assert_eq!(metrics.errors(), 4);
+        assert_eq!(metrics.command_stats().len(), 9);
     }
 
     #[test]
@@ -776,12 +965,13 @@ mod tests {
             threshold_ns: 0,
             sink: parking_lot::Mutex::new(Box::new(Sink(Arc::clone(&buf)))),
         };
-        slow.log(7, "QUERY", 0xabcd, 1_234_567);
+        slow.log(7, "QUERY", 0xabcd, 1_234_567, 0x00ff_1122_3344_5566);
         let logged = String::from_utf8(buf.lock().clone()).expect("utf8 log line");
         assert_eq!(
             logged,
             "{\"slow_request\":true,\"conn\":7,\"command\":\"QUERY\",\
-             \"args_digest\":\"000000000000abcd\",\"latency_us\":1234}\n"
+             \"args_digest\":\"000000000000abcd\",\"latency_us\":1234,\
+             \"trace\":\"00ff112233445566\"}\n"
         );
     }
 }

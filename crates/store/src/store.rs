@@ -38,7 +38,7 @@ use yv_core::{
     EntityMap, IncrementalResolver, PersonQuery, QueryHit, RankedMatch, Resolution,
 };
 use yv_fuzzy::{rank_entities, FuzzyIndex, RankedEntity, ScoreBlend, DEFAULT_QGRAM_BOUND};
-use yv_obs::Counter;
+use yv_obs::{Counter, TraceCtx};
 use yv_records::{Dataset, Record, RecordId, Source, SourceId};
 
 /// Base snapshot file name inside a store directory.
@@ -785,13 +785,30 @@ impl Store {
     /// as `PersonQuery::run` over the full dataset.
     #[must_use]
     pub fn query(&self, query: &PersonQuery) -> Vec<QueryHit> {
+        self.query_traced(query, &mut TraceCtx::disabled())
+    }
+
+    /// [`Store::query`] with request-scoped tracing: the shard fan-out
+    /// and the merge/expand phase each record a span, with one child
+    /// span per shard annotated with the seeds it contributed. A
+    /// [`TraceCtx::disabled`] context makes every trace call a no-op, so
+    /// the untraced path pays one branch per shard.
+    #[must_use]
+    pub fn query_traced(&self, query: &PersonQuery, trace: &mut TraceCtx) -> Vec<QueryHit> {
+        trace.enter("shard_fanout");
         let mut seeds: Vec<RecordId> = Vec::new();
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
+            trace.enter_shard("shard", i as u32);
+            let before = seeds.len();
             seeds.extend(shard.read().index.seeds(query));
+            trace.arg("seeds", (seeds.len() - before) as u64);
+            trace.exit();
         }
+        trace.exit();
+        trace.enter("merge");
         seeds.sort_unstable();
         let entity_map = self.entity_map(query.certainty);
-        seeds
+        let hits = seeds
             .into_iter()
             .map(|seed| QueryHit {
                 seed,
@@ -799,7 +816,9 @@ impl Store {
                     .entity_of(seed)
                     .map_or_else(|| vec![seed], <[RecordId]>::to_vec),
             })
-            .collect()
+            .collect();
+        trace.exit();
+        hits
     }
 
     /// Per-record best incident ranked-match score — the resolver's own
@@ -842,24 +861,46 @@ impl Store {
     /// a restart.
     #[must_use]
     pub fn resolve(&self, name: &str, options: &ResolveOptions) -> ResolveOutcome {
+        self.resolve_traced(name, options, &mut TraceCtx::disabled())
+    }
+
+    /// [`Store::resolve`] with request-scoped tracing: one span for the
+    /// q-gram shard fan-out (a child per shard annotated with the
+    /// candidates it surfaced and the names it examined) and one for the
+    /// ranking merge. Only counts enter the trace — candidate names stay
+    /// out, same privacy discipline as the slow log.
+    #[must_use]
+    pub fn resolve_traced(
+        &self,
+        name: &str,
+        options: &ResolveOptions,
+        trace: &mut TraceCtx,
+    ) -> ResolveOutcome {
         let query = name.to_lowercase();
         // Collect owned candidates so the shard read locks drop before
         // ranking (which may take the resolver lock via the memos).
         let mut names: Vec<(String, f64, Vec<RecordId>)> = Vec::new();
         let mut examined = 0;
         let mut pruned = 0;
-        for shard in &self.shards {
+        trace.enter("shard_fanout");
+        for (i, shard) in self.shards.iter().enumerate() {
+            trace.enter_shard("shard", i as u32);
             let s = shard.read();
             let (candidates, stats) = s.fuzzy.candidates(&query, options.bound);
             examined += stats.examined;
             pruned += stats.pruned_length + stats.pruned_jaccard;
+            trace.arg("cands", candidates.len() as u64);
+            trace.arg("examined", stats.examined);
             for c in candidates {
                 names.push((c.name.to_owned(), c.jaccard, c.records.to_vec()));
             }
+            trace.exit();
         }
+        trace.exit();
         self.fuzzy_examined.add(examined);
         self.fuzzy_pruned.add(pruned);
 
+        trace.enter("merge");
         let entity_map = self.entity_map(0.0);
         let certainties = self.certainties_at();
         let hits = rank_entities(
@@ -871,6 +912,7 @@ impl Store {
             options.k,
             options.min_score,
         );
+        trace.exit();
         ResolveOutcome { hits, examined, pruned }
     }
 

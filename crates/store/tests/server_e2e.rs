@@ -125,13 +125,16 @@ fn concurrent_clients_durable_adds_and_restart_identity() {
 
     // Per-command metrics: one CMD row per command kind, with counters
     // and latency percentiles.
-    assert_eq!(stats.commands.len(), 7, "{stats:?}");
+    assert_eq!(stats.commands.len(), 9, "{stats:?}");
     let query_row = stats.commands.iter().find(|c| c.name == "QUERY").unwrap();
     // 4 concurrent clients ran the 5-query battery, plus one more pass.
     assert_eq!(query_row.count as usize, 5 * queries().len(), "{query_row:?}");
+    assert!(query_row.max_us >= query_row.p50_us.min(query_row.mean_us), "{query_row:?}");
     let add_row = stats.commands.iter().find(|c| c.name == "ADD").unwrap();
     assert_eq!(add_row.count, 2);
     assert!(stats.commands.iter().any(|c| c.name == "SNAPSHOT"));
+    assert!(stats.commands.iter().any(|c| c.name == "TOP"));
+    assert!(stats.commands.iter().any(|c| c.name == "TRACE"));
 
     // Server-side errors surface as typed client errors, not broken
     // connections.
@@ -291,7 +294,9 @@ fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
         .unwrap();
     let body = client.metrics().unwrap();
     // One histogram series per protocol command, with cumulative buckets.
-    for kind in ["query", "resolve", "add", "stats", "metrics", "snapshot", "shutdown"] {
+    for kind in
+        ["query", "resolve", "add", "stats", "metrics", "top", "trace", "snapshot", "shutdown"]
+    {
         assert!(
             body.contains(&format!("# TYPE yv_cmd_{kind}_latency_us histogram")),
             "missing {kind} histogram in:\n{body}"
@@ -323,6 +328,12 @@ fn metrics_command_and_sidecar_scrape_expose_prometheus_text() {
         "yv_alloc_bytes_total",
         "yv_alloc_live_bytes",
         "yv_alloc_peak_bytes",
+        "yv_trace_ring_capacity",
+        "yv_trace_ring_occupancy",
+        "yv_trace_ring_captured_total",
+        "yv_trace_ring_evicted_total",
+        "yv_trace_ring_sampled_total",
+        "yv_trace_last_slow_id",
     ] {
         assert!(body.contains(&format!("\n{gauge} ")), "missing {gauge} in:\n{body}");
     }
@@ -400,9 +411,12 @@ fn slow_log_emits_one_json_line_per_slow_request() {
     assert_eq!(lines.len(), 4, "{logged}");
     for line in &lines {
         assert!(line.starts_with("{\"slow_request\":true,\"conn\":"), "{line}");
-        for field in ["\"command\":\"", "\"args_digest\":\"", "\"latency_us\":"] {
+        for field in ["\"command\":\"", "\"args_digest\":\"", "\"latency_us\":", "\"trace\":\""] {
             assert!(line.contains(field), "{line}");
         }
+        // Every slow line names a real trace id, cross-referenceable
+        // against TRACE (INVALID included — parse failures are traced).
+        assert!(!line.contains("\"trace\":\"0000000000000000\""), "{line}");
         assert!(line.ends_with('}'), "{line}");
     }
     assert!(lines.iter().any(|l| l.contains("\"command\":\"QUERY\"")), "{logged}");
@@ -412,6 +426,130 @@ fn slow_log_emits_one_json_line_per_slow_request() {
     // Identical requests digest identically; the raw arguments never
     // appear in the log.
     assert!(!logged.contains("Guido"), "{logged}");
+}
+
+/// One raw request/response exchange over an already-open connection.
+fn raw_exchange(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &str,
+) -> (String, Vec<String>) {
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut status = String::new();
+    reader.read_line(&mut status).unwrap();
+    let mut data = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "connection closed mid-response");
+        if line == ".\n" {
+            break;
+        }
+        data.push(line);
+    }
+    (status, data)
+}
+
+/// The tracing acceptance path: a slow RESOLVE against a 4-shard store
+/// hands back a `trace=` id on its status line; `TRACE <id>` serves the
+/// span tree accept → parse → shard fan-out (one child per shard) →
+/// merge → reply; `TOP` cross-references the same id in its ring
+/// counters and SLOW rows; and under an injected [`ManualClock`] the
+/// whole rendering is byte-identical across independent server
+/// instances.
+#[test]
+fn trace_of_a_slow_resolve_serves_the_span_tree_and_top_deterministically() {
+    fn run(tag: &str) -> String {
+        let dir = fresh_dir(tag);
+        let store = Store::create(&dir, trained_resolver(200, 88), 4).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clock = std::sync::Arc::new(yv_obs::ManualClock::at(0));
+        let server = std::thread::spawn(move || {
+            ServeOptions::new(store)
+                .workers(2)
+                // Threshold zero under a manual clock: every captured
+                // request tail-samples, no timing games.
+                .slow_us(0)
+                .slow_log(Box::new(std::io::sink()))
+                .trace_seed(0xfeed_beef)
+                .clock(clock)
+                .serve(listener)
+                .unwrap()
+        });
+
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let (status, _) = raw_exchange(&mut raw, &mut reader, "RESOLVE Levi k=3");
+        assert!(status.starts_with("OK "), "{status}");
+        let id_hex = status
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("trace="))
+            .unwrap_or_else(|| panic!("no trace= token in {status:?}"));
+        let id = u64::from_str_radix(id_hex, 16).unwrap();
+        assert_ne!(id, 0, "trace id 0 means untraced");
+
+        // The typed client parses the span tree.
+        let mut client = Client::connect(addr).unwrap();
+        let report = client.trace_get(id).unwrap();
+        assert_eq!(report.id, id);
+        assert_eq!(report.command, "RESOLVE");
+        assert!(report.ok, "{report:?}");
+        assert_eq!(report.conn, 0, "the raw socket was the first connection");
+        assert_eq!(report.dropped_spans, 0);
+        let names: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["accept", "parse", "shard_fanout", "shard", "shard", "shard", "shard", "merge",
+             "reply"],
+            "{report:?}"
+        );
+        // The per-shard children cover every shard exactly once, nested
+        // one level under the fan-out, each annotated with its local
+        // candidate count.
+        let shards: Vec<u32> = report.spans.iter().filter_map(|s| s.shard).collect();
+        assert_eq!(shards, [0, 1, 2, 3], "{report:?}");
+        for span in report.spans.iter().filter(|s| s.shard.is_some()) {
+            assert_eq!(span.depth, 1, "{span:?}");
+            assert!(span.args.iter().any(|(k, _)| k == "cands"), "{span:?}");
+        }
+        // The queried name never enters the trace — only its digest.
+        assert!(report.args.iter().any(|(k, _)| k == "name_digest"), "{report:?}");
+        assert!(!format!("{report:?}").contains("Levi"));
+
+        // TOP cross-references the same id: captured, tail-sampled, and
+        // recorded as the most recent slow trace.
+        let top = client.top(None).unwrap();
+        assert!(top.ring.capacity > 0 && top.ring.occupancy >= 1, "{top:?}");
+        assert!(top.ring.captured >= 1 && top.ring.sampled >= 1, "{top:?}");
+        assert_eq!(top.ring.last_slow, id, "{top:?}");
+        assert!(top.slow.iter().any(|s| s.trace == id && s.command == "RESOLVE"), "{top:?}");
+        let resolve_row = top.commands.iter().find(|c| c.name == "RESOLVE").unwrap();
+        assert_eq!(resolve_row.count, 1, "{resolve_row:?}");
+
+        // TRACE of an unknown id is a typed refusal — and the connection
+        // survives it.
+        let err = client.trace_get(0x1).unwrap_err();
+        assert!(err.is_server(), "{err:?}");
+        assert!(err.server_message().unwrap().contains("no trace"), "{err:?}");
+        assert!(client.top(Some(1)).is_ok());
+
+        // Raw TRACE bytes for the cross-instance determinism check.
+        let (trace_status, trace_data) =
+            raw_exchange(&mut raw, &mut reader, &format!("TRACE {id:016x}"));
+
+        // Close the raw connection before SHUTDOWN so its worker drains.
+        drop(reader);
+        drop(raw);
+        client.shutdown().unwrap();
+        server.join().unwrap();
+        format!("{trace_status}{}", trace_data.concat())
+    }
+
+    let first = run("trace-e2e-a");
+    let second = run("trace-e2e-b");
+    assert_eq!(first, second, "same seed + manual clock must render byte-identical traces");
 }
 
 #[test]
