@@ -53,7 +53,12 @@ if cargo run -q -p yv-audit -- check --no-cache --baseline "$stale_baseline" \
     exit 1
 fi
 rm -f "$stale_baseline"
-echo "audit gate: workspace clean in ${audit_elapsed}s, seeded violations detected, good twins pass, stale baseline refused"
+# The windowed-telemetry surfaces must stay clean under the strictest
+# rules: S1 (clocks are injected, never read ambiently) on the rollup
+# rings and N1 (no raw names reach a sink) on the persisted frames.
+cargo run -q -p yv-audit -- check \
+    crates/obs/src/window.rs crates/store/src/telemetry.rs crates/store/src/server.rs
+echo "audit gate: workspace clean in ${audit_elapsed}s, seeded violations detected, good twins pass, stale baseline refused, telemetry files pass S1/N1"
 
 # Observability smoke test: `yv block --trace-json` must emit a valid
 # Chrome-trace file carrying the span taxonomy (DESIGN.md §11).
@@ -81,12 +86,15 @@ print(f"trace smoke test: {len(events)} events, span taxonomy present")
 PYEOF
 
 # Metrics exposition smoke test: serve a small store with the Prometheus
-# scrape sidecar and a 1µs slow-request threshold, drive one QUERY, scrape
-# GET /metrics, and validate the text format (DESIGN.md §11). Both
-# listeners bind port 0; the printed startup lines carry the real ports.
+# scrape sidecar, a 1µs slow-request threshold, an (unmeetable) 1µs SLO
+# on QUERY over a 12-second window, and persisted telemetry; drive a
+# QUERY burst, scrape GET /metrics, validate the text format, and walk
+# the SLO through ok → firing → ok (DESIGN.md §11). Both listeners bind
+# port 0; the printed startup lines carry the real ports.
 cargo run -q --release -p yv-cli --bin yv -- \
     serve --dir "$store_dir/store" --records 300 \
     --addr 127.0.0.1:0 --metrics-addr 127.0.0.1:0 --slow-us 1 \
+    --telemetry-dir "$store_dir/telemetry" --slo 'query:p99<1/12' \
     > "$serve_log" 2>&1 &
 serve_pid=$!
 for _ in $(seq 1 150); do
@@ -94,7 +102,7 @@ for _ in $(seq 1 150); do
     sleep 0.2
 done
 python3 - "$serve_log" <<'PYEOF'
-import re, socket, sys, urllib.request
+import re, socket, sys, time, urllib.request
 
 log = open(sys.argv[1]).read()
 addr = re.search(r"on (127\.0\.0\.1:\d+) with \d+ workers", log).group(1)
@@ -115,12 +123,41 @@ def request(line):
             return lines
         lines.append(got.rstrip("\n"))
 
+def scrape():
+    return urllib.request.urlopen(url, timeout=10).read().decode()
+
+def gauge(body, name):
+    rows = [l for l in body.splitlines() if l.startswith(name + " ")]
+    assert rows, f"missing {name}"
+    return int(rows[0].split()[-1])
+
+# Before any QUERY traffic the SLO is clean: state 0 (ok).
+assert gauge(scrape(), "yv_slo_query_state") == 0
+
 resp = request("QUERY first=Abramo")
 assert resp[0].startswith("OK"), resp[:1]
+# A burst of queries, then wait out the 1-second bucket boundary so the
+# burst lands in *closed* windows.
+for _ in range(8):
+    assert request("QUERY first=Abramo")[0].startswith("OK")
+time.sleep(1.4)
 
-body = urllib.request.urlopen(url, timeout=10).read().decode()
+# HISTORY after the burst: the recent window holds every query, while a
+# metric that saw no traffic reports an empty window.
+hist = request("HISTORY query window=60")
+assert hist[0].startswith("OK history metric=query"), hist[0]
+window = [l for l in hist[1:] if l.startswith("WINDOW ")][0]
+recent = int(re.search(r"count=(\d+)", window).group(1))
+assert recent >= 9, f"recent window lost the burst: {window!r}"
+assert any(l.startswith("SLO metric=query") for l in hist), hist
+assert any(l.startswith("BUCKET ") for l in hist), hist
+stale = request("HISTORY resolve window=60")
+stale_window = [l for l in stale[1:] if l.startswith("WINDOW ")][0]
+assert "count=0" in stale_window, f"idle metric reports traffic: {stale_window!r}"
+
+body = scrape()
 for kind in ["query", "resolve", "add", "stats", "metrics", "top", "trace",
-             "snapshot", "shutdown"]:
+             "history", "snapshot", "shutdown"]:
     needle = f'yv_cmd_{kind}_latency_us_bucket{{le="+Inf"}}'
     assert needle in body, f"missing histogram series for {kind}"
 count = [l for l in body.splitlines() if l.startswith("yv_cmd_query_latency_us_count ")]
@@ -129,8 +166,16 @@ for name in ["yv_store_records", "yv_store_wal_bytes", "yv_store_postings",
              "yv_alloc_live_bytes", "yv_alloc_peak_bytes",
              "yv_trace_ring_capacity", "yv_trace_ring_occupancy",
              "yv_trace_ring_captured_total", "yv_trace_ring_evicted_total",
-             "yv_trace_ring_sampled_total", "yv_trace_last_slow_id"]:
+             "yv_trace_ring_sampled_total", "yv_trace_last_slow_id",
+             "yv_telemetry_log_bytes", "yv_telemetry_frames_total",
+             "yv_telemetry_log_rotations_total", "yv_slow_log_rotations",
+             "yv_window_parse_errors_60s", "yv_slo_query_threshold_us"]:
     assert any(l.startswith(name + " ") for l in body.splitlines()), f"missing {name}"
+# Every query breaches the injected 1µs threshold, so both burn windows
+# are saturated and the SLO fires (state 2).
+assert gauge(body, "yv_slo_query_state") == 2, "SLO did not fire under 1us threshold"
+assert gauge(body, "yv_slo_query_burn_long_pct") >= 100
+assert gauge(body, "yv_telemetry_frames_total") >= 1, "no telemetry frames persisted"
 # --slow-us 1 makes the QUERY above slow, so the tail sampler must have
 # retained it and published its id.
 captured = [l for l in body.splitlines() if l.startswith("yv_trace_ring_captured_total ")]
@@ -144,16 +189,28 @@ for line in body.splitlines():
     if line and not line.startswith("#"):
         assert sample.match(line), f"malformed sample line: {line!r}"
 
+# Once the 12-second rule window drains, the SLO recovers: ok again.
+time.sleep(13)
+assert gauge(scrape(), "yv_slo_query_state") == 0, "SLO did not recover to ok"
+
 resp = request("SHUTDOWN")
 assert resp[0].startswith("OK"), resp
-print(f"metrics smoke test: scrape ok, {len(body.splitlines())} exposition lines")
+print(f"metrics smoke test: scrape ok, {len(body.splitlines())} exposition lines,"
+      f" HISTORY count={recent}, SLO walked ok -> firing -> ok")
 PYEOF
 wait "$serve_pid"
-# --slow-us 1 makes every request slow; the JSONL slow log must have fired.
-grep -q '"slow_request":true' "$serve_log" || {
+# With --telemetry-dir the slow log moves to a size-capped JSONL file; the
+# 1µs threshold makes every request slow, so it must have fired there.
+grep -q '"slow_request":true' "$store_dir/telemetry/slow.jsonl" || {
     echo "slow-request log never fired despite --slow-us 1" >&2
     exit 1
 }
+# ...and the closed buckets must have been persisted as telemetry frames.
+if [ ! -s "$store_dir/telemetry/telemetry.yvt" ]; then
+    echo "telemetry smoke test: telemetry.yvt missing or empty after shutdown" >&2
+    exit 1
+fi
+echo "telemetry smoke test: slow.jsonl + telemetry.yvt persisted"
 
 # Sharded-store smoke test (DESIGN.md §9): bootstrap a 4-shard store,
 # fire concurrent ADDs through the typed client (`yv load`, four

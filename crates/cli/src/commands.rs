@@ -518,9 +518,14 @@ const BENCH_TRACE_REPS: usize = 4;
 /// 4-shard store with request-trace capture enabled (span recording plus
 /// a push into the lock-free ring, exactly the server's hot path) and
 /// with a disabled [`yv_obs::TraceCtx`] (every trace call early-returns).
-/// Publishes `yv_trace_overhead_{enabled,disabled}_p50_us` and fails the
-/// bench when capture costs more than 5% of the untraced QUERY p50
-/// (plus an absolute floor so micro-latency jitter cannot flake).
+/// A third mode layers the windowed-telemetry rollup on top of the traced
+/// path — histogram record plus a [`yv_obs::WindowedHistogram`] rotation
+/// per request, the server's worst case (the ticker normally amortizes
+/// rotations). Publishes `yv_trace_overhead_{enabled,disabled}_p50_us`
+/// and `yv_window_rollup_p50_us`, and fails the bench when capture costs
+/// more than 5% of the untraced QUERY p50, or the windowed rollup more
+/// than 5% of the traced p50 (plus an absolute floor so micro-latency
+/// jitter cannot flake).
 fn bench_trace_overhead(
     gen: &Generated,
     pipeline: &Pipeline,
@@ -568,10 +573,18 @@ fn bench_trace_overhead(
         yv_store::DEFAULT_TRACE_SEED,
         true,
     );
-    // best[0] = capture disabled, best[1] = capture enabled.
-    let mut best = [u64::MAX; 2];
+    // The windowed mode's rollup target: a histogram observed by a
+    // WindowedHistogram, rotated on every request (worst case).
+    let window_hist = std::sync::Arc::new(yv_obs::Histogram::new());
+    let windows = yv_obs::WindowedHistogram::new(
+        std::sync::Arc::clone(&window_hist),
+        std::sync::Arc::clone(&trace_clock),
+    );
+    // best[0] = capture disabled, best[1] = capture enabled,
+    // best[2] = capture enabled + windowed rollup.
+    let mut best = [u64::MAX; 3];
     for _ in 0..BENCH_TRACE_ROUNDS {
-        for (slot, enabled) in [(0usize, false), (1, true)] {
+        for (slot, enabled) in [(0usize, false), (1, true), (2, true)] {
             let hist = yv_obs::Histogram::new();
             for _ in 0..BENCH_TRACE_REPS {
                 for query in &battery {
@@ -592,6 +605,11 @@ fn bench_trace_overhead(
                         let mut trace = yv_obs::TraceCtx::disabled();
                         let _hits = store.query_traced(query, &mut trace);
                     }
+                    let elapsed = clock.now_nanos().saturating_sub(started);
+                    if slot == 2 {
+                        window_hist.record_ns(elapsed);
+                        let _ = windows.rotate();
+                    }
                     hist.record_ns(clock.now_nanos().saturating_sub(started));
                 }
             }
@@ -611,6 +629,11 @@ fn bench_trace_overhead(
         "QUERY p50 with trace capture + ring push enabled (battery, best of 3)",
         best[1],
     );
+    registry.set_gauge(
+        "yv_window_rollup_p50_us",
+        "QUERY p50 traced + windowed rollup with per-request rotation (battery, best of 3)",
+        best[2],
+    );
     // 5% of the untraced p50, floored at 100us: capture is a bounded
     // stack write plus one seqlock slot copy, and must stay invisible.
     let allowed = best[0] + (best[0] / 20).max(100);
@@ -619,6 +642,16 @@ fn bench_trace_overhead(
             "trace capture overhead regression: QUERY p50 {} us traced vs {} us untraced \
              (allowed {} us)",
             best[1], best[0], allowed
+        ));
+    }
+    // Same discipline for the windowed rollup: one histogram record plus
+    // one (usually no-op) rotation must stay within 5% of the traced p50.
+    let allowed = best[1] + (best[1] / 20).max(100);
+    if best[2] > allowed {
+        return Err(format!(
+            "windowed rollup overhead regression: QUERY p50 {} us windowed vs {} us traced \
+             (allowed {} us)",
+            best[2], best[1], allowed
         ));
     }
     Ok((best[0], best[1]))
@@ -713,6 +746,14 @@ pub fn serve(args: &Args) -> CliResult {
         Some(a) => Some(std::net::TcpListener::bind(a).map_err(err)?),
         None => None,
     };
+    let slo_rules = match args.get("slo") {
+        Some(v) => v
+            .split(',')
+            .map(|chunk| yv_obs::SloRule::parse(chunk.trim()))
+            .collect::<Result<Vec<_>, String>>()?,
+        None => Vec::new(),
+    };
+    let telemetry_dir = args.get("telemetry-dir").map(std::path::PathBuf::from);
     let store = open_or_bootstrap(args, std::path::Path::new(dir))?;
     store.set_entity_map_capacity(map_cache);
     let stats = store.stats();
@@ -728,13 +769,22 @@ pub fn serve(args: &Args) -> CliResult {
     if let Some(l) = &metrics_listener {
         println!("metrics: http://{}/metrics", l.local_addr().map_err(err)?);
     }
-    println!("commands: QUERY RESOLVE ADD STATS METRICS TOP TRACE SNAPSHOT SHUTDOWN");
+    println!("commands: QUERY RESOLVE ADD STATS METRICS TOP TRACE HISTORY SNAPSHOT SHUTDOWN");
     let mut options = yv_store::ServeOptions::new(store)
         .workers(workers)
         .trace_ring(trace_ring)
-        .trace_capture(!args.flag("no-trace"));
+        .trace_capture(!args.flag("no-trace"))
+        .slo(slo_rules);
     if let Some(us) = slow_us {
         options = options.slow_us(us);
+    }
+    if let Some(telemetry_dir) = telemetry_dir {
+        // The slow-request log moves next to the telemetry segments (size-
+        // capped JSONL, one rotated generation) instead of spamming stderr.
+        if slow_us.is_some() {
+            options = options.slow_log_file(telemetry_dir.join("slow.jsonl"));
+        }
+        options = options.telemetry_dir(telemetry_dir);
     }
     if let Some(l) = metrics_listener {
         options = options.metrics_listener(l);
@@ -806,6 +856,85 @@ fn render_top(report: &yv_store::TopReport) -> String {
     out
 }
 
+/// Eight-level block characters indexed low to high; zero renders as the
+/// lowest block so gaps stay visible in a run of busy epochs.
+const SPARK_BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render counts as a unicode sparkline, scaled to the largest value.
+/// Pure: equal inputs render byte-identically.
+fn sparkline(counts: &[u64]) -> String {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    counts
+        .iter()
+        .map(|&n| {
+            if max == 0 || n == 0 {
+                SPARK_BLOCKS[0]
+            } else {
+                // 1..=7, so any non-zero count clears the zero glyph.
+                SPARK_BLOCKS[(n * 7).div_ceil(max).min(7) as usize]
+            }
+        })
+        .collect()
+}
+
+/// The per-epoch request counts of a `HISTORY` report over its full
+/// window, oldest first, absent epochs filled with zero.
+fn history_counts(report: &yv_store::HistoryReport) -> Vec<u64> {
+    let lo = report.now_epoch.saturating_sub(report.window as u64);
+    (lo..report.now_epoch)
+        .map(|epoch| {
+            report
+                .buckets
+                .iter()
+                .find(|b| b.epoch == epoch)
+                .map_or(0, |b| b.count)
+        })
+        .collect()
+}
+
+/// Render the windowed-telemetry section of the `yv top` dashboard: one
+/// sparkline per active command plus one status line per SLO rule. Pure —
+/// equal reports render byte-identically, so tests pin the output exactly.
+fn render_top_history(reports: &[yv_store::HistoryReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let active: Vec<_> = reports.iter().filter(|r| r.summary.count > 0).collect();
+    if !active.is_empty() {
+        let _ = writeln!(out, "windows (last 60s, newest right):");
+        for r in &active {
+            let _ = writeln!(
+                out,
+                "  {:<10} {} {:>6} reqs  p50={}us p99={}us",
+                r.metric,
+                sparkline(&history_counts(r)),
+                r.summary.count,
+                r.summary.p50_us,
+                r.summary.p99_us
+            );
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    for r in reports {
+        for s in &r.slo {
+            if !seen.insert((s.metric.clone(), s.threshold_us, s.window)) {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  slo {:<8} p{} < {}us over {}s: {} (burn {}%/{}% long/short)",
+                s.metric,
+                (s.p * 100.0).round() as u64,
+                s.threshold_us,
+                s.window,
+                s.state,
+                s.burn_long_pct,
+                s.burn_short_pct
+            );
+        }
+    }
+    out
+}
+
 /// Live introspection of a running server: one `TOP` exchange rendered
 /// as a dashboard, or a 2-second refresh loop with `--watch`.
 pub fn top(args: &Args) -> CliResult {
@@ -820,6 +949,13 @@ pub fn top(args: &Args) -> CliResult {
     loop {
         let report = client.top(k).map_err(err)?;
         print!("{}", render_top(&report));
+        // One HISTORY fetch per command the server has actually seen; the
+        // renderer drops idle ones, so a quiet server adds no lines.
+        let mut histories = Vec::new();
+        for c in report.commands.iter().filter(|c| c.count > 0) {
+            histories.push(client.history(&c.name.to_lowercase(), None, None).map_err(err)?);
+        }
+        print!("{}", render_top_history(&histories));
         if !args.flag("watch") {
             return Ok(());
         }
@@ -978,6 +1114,7 @@ mod tests {
         assert!(content.contains("\"yv_resolve_candidates\":"));
         assert!(content.contains("\"yv_trace_overhead_disabled_p50_us\":"));
         assert!(content.contains("\"yv_trace_overhead_enabled_p50_us\":"));
+        assert!(content.contains("\"yv_window_rollup_p50_us\":"));
         std::fs::remove_file(path).ok();
     }
 
@@ -1043,6 +1180,63 @@ mod tests {
         assert!(rendered.starts_with("trace ring: 0/0 resident"), "{rendered}");
         assert!(!rendered.contains("last slow trace"), "{rendered}");
         assert!(!rendered.contains("recent slow"), "{rendered}");
+    }
+
+    #[test]
+    fn top_history_sparklines_and_slo_lines_render_byte_identically() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        assert_eq!(sparkline(&[1, 1]), "██");
+        let report = yv_store::HistoryReport {
+            metric: "query".to_owned(),
+            tier: "s".to_owned(),
+            window: 8,
+            now_epoch: 9,
+            summary: yv_store::HistorySummaryRow {
+                count: 13,
+                mean_us: 40,
+                p50_us: 24,
+                p95_us: 100,
+                p99_us: 100,
+                min_us: 10,
+                max_us: 100,
+            },
+            slo: vec![yv_store::HistorySloRow {
+                metric: "query".to_owned(),
+                p: 0.99,
+                threshold_us: 50_000,
+                window: 60,
+                short_window: 10,
+                state: "ok".to_owned(),
+                burn_long_pct: 0,
+                burn_short_pct: 0,
+            }],
+            buckets: vec![
+                yv_store::HistoryBucketRow {
+                    epoch: 2, count: 1, mean_us: 10, p50_us: 10, max_us: 10,
+                },
+                yv_store::HistoryBucketRow {
+                    epoch: 5, count: 4, mean_us: 20, p50_us: 20, max_us: 30,
+                },
+                yv_store::HistoryBucketRow {
+                    epoch: 8, count: 8, mean_us: 60, p50_us: 24, max_us: 100,
+                },
+            ],
+        };
+        // Window covers epochs 1..9; gaps render as the lowest block.
+        assert_eq!(
+            render_top_history(std::slice::from_ref(&report)),
+            "windows (last 60s, newest right):\n  \
+             query      ▁▂▁▁▅▁▁█     13 reqs  p50=24us p99=100us\n  \
+             slo query    p99 < 50000us over 60s: ok (burn 0%/0% long/short)\n"
+        );
+        // An idle metric adds no sparkline, but its SLO line still shows.
+        let idle = yv_store::HistoryReport { summary: Default::default(), buckets: Vec::new(),
+            ..report };
+        let rendered = render_top_history(&[idle]);
+        assert!(!rendered.contains("windows ("), "{rendered}");
+        assert!(rendered.contains("slo query"), "{rendered}");
+        assert_eq!(render_top_history(&[]), "");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! yv narrate  --records 2000 [--top 3]
 //! yv serve    --dir people.store [--shards 4] [--addr 127.0.0.1:7878]
 //!             [--workers 4] [--metrics-addr 127.0.0.1:9100] [--slow-us 50000]
+//!             [--telemetry-dir DIR] [--slo p99<50000/60]
 //! yv snapshot --dir people.store                     fold the WALs into the snapshot
 //! yv top      --addr 127.0.0.1:7878 [--k 5] [--watch] live server introspection
 //! yv load     --addr 127.0.0.1:7878 [--adds 24 --threads 4] [--shutdown]
@@ -52,8 +53,9 @@ COMMANDS:
                a store on first run, reopens snapshot + per-shard WALs afterwards)
     snapshot   fold a store's write-ahead logs into a fresh snapshot (--dir)
     top        live introspection of a running server: trace-ring counters,
-               per-command latency rows and recent slow traces (--addr;
-               --watch refreshes every 2 seconds)
+               per-command latency rows, recent slow traces, per-command
+               sparklines over the last 60 seconds and SLO status lines
+               (--addr; --watch refreshes every 2 seconds)
     load       typed TCP client for a running server: concurrent ADDs plus a
                digest of a fixed query battery (--addr required)
     reproduce  regenerate every table and figure of the paper (--quick for a smoke run)
@@ -95,6 +97,12 @@ SERVING OPTIONS:
                         of two (default 512; completed request traces,
                         introspectable via TOP / TRACE <id> / yv top)
     --no-trace          disable request-trace capture entirely
+    --telemetry-dir DIR persist closed telemetry buckets to DIR/telemetry.yvt
+                        (size-capped, one old generation kept) and replay
+                        them on restart, so HISTORY survives restarts
+    --slo RULES         comma-separated burn-rate rules, each
+                        [metric:]pQQ<MICROS/WINDOW (e.g. query:p99<50000/60);
+                        evaluated live as yv_slo_* gauges and HISTORY rows
 
 TOP OPTIONS (yv top):
     --addr A:P          server address (default 127.0.0.1:7878)
@@ -147,6 +155,7 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
             &[
                 "records", "seed", "ng", "max-minsup", "dir", "shards", "addr",
                 "workers", "map-cache", "metrics-addr", "slow-us", "trace-ring",
+                "telemetry-dir", "slo",
             ],
             &["italy", "no-trace"],
         )),

@@ -5,7 +5,10 @@
 //! with the last bucket absorbing everything slower. Percentiles are
 //! reported as the upper bound of the bucket the requested rank falls in
 //! — coarse (within 2×) but lock-free, constant-memory, and safe to share
-//! across server workers.
+//! across server workers. Windowed rollups ([`crate::window`]) instead use
+//! [`HistogramSnapshot::percentile_interp_us`], which interpolates inside
+//! the rank bucket and clamps to the observed min/max so a window's p50
+//! can never fall below its smallest sample.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -48,6 +51,10 @@ pub struct LatencySummary {
     /// Exact worst sample (not bucket-rounded) — the number you grep
     /// for after an incident.
     pub max_us: u64,
+    /// Best sample (0 when empty). Exact for live snapshots; for a
+    /// [`HistogramSnapshot::sub`] delta it is the tightest provable
+    /// lower bound on the window's smallest sample.
+    pub min_us: u64,
 }
 
 /// An immutable copy of a [`Histogram`]'s bucket counts and sum, taken in
@@ -61,11 +68,16 @@ pub struct HistogramSnapshot {
     pub sum_ns: u64,
     /// Largest single sample recorded, exact (0 when empty).
     pub max_ns: u64,
+    /// Smallest single sample recorded (0 when empty). For deltas
+    /// produced by [`HistogramSnapshot::sub`] this is a lower bound:
+    /// the later snapshot's lifetime minimum raised to the floor of the
+    /// window's lowest non-empty bucket.
+    pub min_ns: u64,
 }
 
 impl Default for HistogramSnapshot {
     fn default() -> Self {
-        HistogramSnapshot { counts: [0; BUCKET_COUNT], sum_ns: 0, max_ns: 0 }
+        HistogramSnapshot { counts: [0; BUCKET_COUNT], sum_ns: 0, max_ns: 0, min_ns: 0 }
     }
 }
 
@@ -86,15 +98,23 @@ impl HistogramSnapshot {
         self.sum_ns / n / 1_000
     }
 
+    /// The rank (1-based) the `q`-quantile falls on, or `None` when empty.
+    fn rank(&self, q: f64) -> Option<(u64, u64)> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        Some((target, total))
+    }
+
     /// The `q`-quantile as the upper bound of the bucket holding that
     /// rank, in microseconds. 0 when empty.
     #[must_use]
     pub fn percentile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
+        let Some((target, _)) = self.rank(q) else {
             return 0;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        };
         let mut cumulative = 0u64;
         for (i, &n) in self.counts.iter().enumerate() {
             cumulative += n;
@@ -105,7 +125,96 @@ impl HistogramSnapshot {
         Histogram::bucket_bound_us(BUCKET_COUNT - 1)
     }
 
-    /// Count / mean / p50 / p95 / p99 / max, all from this one snapshot.
+    /// The `q`-quantile interpolated linearly inside the rank bucket and
+    /// clamped to the snapshot's observed `[min, max]`, in microseconds.
+    ///
+    /// Naive in-bucket interpolation walks down from the bucket floor as
+    /// the rank drops — with two samples of 30µs and 31µs in the
+    /// `[16,32)`µs bucket the raw p50 interpolates to 24µs, *below* the
+    /// smallest sample ever observed. Clamping to `min_us` pins the
+    /// reported quantile inside the envelope the snapshot actually saw,
+    /// which is what makes windowed deltas trustworthy on dashboards.
+    #[must_use]
+    pub fn percentile_interp_us(&self, q: f64) -> u64 {
+        let Some((target, _)) = self.rank(q) else {
+            return 0;
+        };
+        let min_us = self.min_ns / 1_000;
+        let max_us = self.max_ns / 1_000;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= target {
+                let rank_in_bucket = target - cumulative; // 1..=n
+                let lo = Histogram::bucket_floor_us(i);
+                let hi = Histogram::bucket_bound_us(i);
+                let raw = lo + ((hi - lo) * rank_in_bucket).div_ceil(n);
+                return raw.clamp(min_us, max_us.max(min_us));
+            }
+            cumulative += n;
+        }
+        max_us.max(min_us)
+    }
+
+    /// Checked snapshot subtraction: the samples recorded between
+    /// `earlier` and `self` (both taken from the same growing histogram).
+    ///
+    /// Returns `None` when `self` is not a superset of `earlier` (any
+    /// bucket count or the sum would go negative) — the caller's snapshots
+    /// are from different histograms or were taken out of order. The
+    /// delta's `max_ns` carries the later lifetime max (an upper bound for
+    /// the window); `min_ns` is the later lifetime min raised to the floor
+    /// of the window's lowest non-empty bucket — the tightest lower bound
+    /// derivable from two cumulative snapshots.
+    #[must_use]
+    pub fn sub(&self, earlier: &HistogramSnapshot) -> Option<HistogramSnapshot> {
+        let mut counts = [0u64; BUCKET_COUNT];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot = self.counts[i].checked_sub(earlier.counts[i])?;
+        }
+        let sum_ns = self.sum_ns.checked_sub(earlier.sum_ns)?;
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Some(HistogramSnapshot::default());
+        }
+        let lowest = counts.iter().position(|&n| n > 0).unwrap_or(0);
+        let floor_ns = Histogram::bucket_floor_us(lowest).saturating_mul(1_000);
+        Some(HistogramSnapshot {
+            counts,
+            sum_ns,
+            max_ns: self.max_ns,
+            min_ns: self.min_ns.max(floor_ns),
+        })
+    }
+
+    /// Pure snapshot merge: the concatenation of both sample streams.
+    /// Inverse of [`HistogramSnapshot::sub`] — `b.sub(a).merge(a) == b`
+    /// whenever both snapshots came from the same growing histogram
+    /// (pinned by a property test).
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKET_COUNT];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot = self.counts[i].saturating_add(other.counts[i]);
+        }
+        let min_ns = match (self.count() > 0, other.count() > 0) {
+            (true, true) => self.min_ns.min(other.min_ns),
+            (true, false) => self.min_ns,
+            (false, true) => other.min_ns,
+            (false, false) => 0,
+        };
+        HistogramSnapshot {
+            counts,
+            sum_ns: self.sum_ns.saturating_add(other.sum_ns),
+            max_ns: self.max_ns.max(other.max_ns),
+            min_ns,
+        }
+    }
+
+    /// Count / mean / p50 / p95 / p99 / max / min, all from this one
+    /// snapshot, with bucket-upper-bound percentiles.
     #[must_use]
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
@@ -115,6 +224,22 @@ impl HistogramSnapshot {
             p95_us: self.percentile_us(0.95),
             p99_us: self.percentile_us(0.99),
             max_us: self.max_ns / 1_000,
+            min_us: self.min_ns / 1_000,
+        }
+    }
+
+    /// Like [`HistogramSnapshot::summary`] but with interpolated, min/max
+    /// clamped percentiles — the flavor `HISTORY` windows report.
+    #[must_use]
+    pub fn summary_interp(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_us: self.mean_us(),
+            p50_us: self.percentile_interp_us(0.50),
+            p95_us: self.percentile_interp_us(0.95),
+            p99_us: self.percentile_interp_us(0.99),
+            max_us: self.max_ns / 1_000,
+            min_us: self.min_ns / 1_000,
         }
     }
 }
@@ -126,6 +251,8 @@ pub struct Histogram {
     counts: [AtomicU64; BUCKET_COUNT],
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// `u64::MAX` until the first sample, so `fetch_min` needs no branch.
+    min_ns: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -141,6 +268,7 @@ impl Histogram {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -162,11 +290,23 @@ impl Histogram {
         1u64 << i.min(BUCKET_COUNT - 1)
     }
 
+    /// Lower bound of bucket `i` in microseconds (0 for the sub-µs
+    /// bucket).
+    #[must_use]
+    pub fn bucket_floor_us(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i.min(BUCKET_COUNT - 1) - 1)
+        }
+    }
+
     /// Record one latency sample.
     pub fn record_ns(&self, nanos: u64) {
         self.counts[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(nanos, Ordering::Relaxed);
         self.max_ns.fetch_max(nanos, Ordering::Relaxed);
+        self.min_ns.fetch_min(nanos, Ordering::Relaxed);
     }
 
     /// Copy the bucket counts and sum in one pass. Concurrent `record_ns`
@@ -175,10 +315,12 @@ impl Histogram {
     /// internally consistent.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let raw_min = self.min_ns.load(Ordering::Relaxed);
         HistogramSnapshot {
             counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
             max_ns: self.max_ns.load(Ordering::Relaxed),
+            min_ns: if raw_min == u64::MAX { 0 } else { raw_min },
         }
     }
 
@@ -200,8 +342,13 @@ impl Histogram {
             self.sum_ns.fetch_add(snap.sum_ns, Ordering::Relaxed);
         }
         // max of maxes == max of the concatenated stream, so the merge
-        // property below holds for max_us too.
+        // property below holds for max_us too; same for min of mins
+        // (empty histograms are neutral: their normalized 0 min must not
+        // poison the merged minimum).
         self.max_ns.fetch_max(snap.max_ns, Ordering::Relaxed);
+        if snap.count() > 0 {
+            self.min_ns.fetch_min(snap.min_ns, Ordering::Relaxed);
+        }
     }
 
     /// Total samples recorded.
@@ -251,6 +398,10 @@ mod tests {
         assert_eq!(Histogram::bucket_bound_us(10), 1_024);
         // Overflow clamps to the last bucket.
         assert_eq!(Histogram::bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        // Floors are half the bound except for the sub-µs bucket.
+        assert_eq!(Histogram::bucket_floor_us(0), 0);
+        assert_eq!(Histogram::bucket_floor_us(1), 1);
+        assert_eq!(Histogram::bucket_floor_us(10), 512);
     }
 
     #[test]
@@ -261,6 +412,7 @@ mod tests {
         assert_eq!(h.percentile_us(0.5), 0);
         assert_eq!(h.percentile_us(0.99), 0);
         assert_eq!(h.summary(), LatencySummary::default());
+        assert_eq!(h.snapshot().min_ns, 0);
     }
 
     #[test]
@@ -273,8 +425,9 @@ mod tests {
         assert_eq!(s.p95_us, 4);
         assert_eq!(s.p99_us, 4);
         assert_eq!(s.mean_us, 3);
-        // Max is exact, not bucket-rounded: 3µs, not the 4µs bound.
+        // Max and min are exact, not bucket-rounded.
         assert_eq!(s.max_us, 3);
+        assert_eq!(s.min_us, 3);
     }
 
     #[test]
@@ -294,6 +447,22 @@ mod tests {
         other.record_ns(9_000 * US);
         h.merge(&other);
         assert_eq!(h.summary().max_us, 9_000);
+    }
+
+    #[test]
+    fn min_tracks_the_exact_best_sample() {
+        let h = Histogram::new();
+        for &ns in &[100 * US, 30 * US, 400 * US] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.summary().min_us, 30);
+        // Merging an empty histogram must not reset the minimum.
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary().min_us, 30);
+        let faster = Histogram::new();
+        faster.record_ns(7 * US);
+        h.merge(&faster);
+        assert_eq!(h.summary().min_us, 7);
     }
 
     #[test]
@@ -369,6 +538,80 @@ mod tests {
         }
         assert_eq!(snap.summary(), h.summary());
         assert_eq!(HistogramSnapshot::default().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn sub_recovers_the_window_between_two_snapshots() {
+        let h = Histogram::new();
+        h.record_ns(10 * US);
+        h.record_ns(20 * US);
+        let earlier = h.snapshot();
+        h.record_ns(100 * US);
+        h.record_ns(200 * US);
+        let later = h.snapshot();
+        let delta = later.sub(&earlier).expect("later is a superset");
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum_ns, 300 * US);
+        // The window's min bound: lifetime min (10µs) raised to the floor
+        // of the lowest delta bucket ([64,128)µs -> 64µs).
+        assert_eq!(delta.min_ns, 64 * US);
+        assert_eq!(delta.max_ns, 200 * US);
+    }
+
+    #[test]
+    fn sub_of_unrelated_snapshots_is_none_not_garbage() {
+        let a = Histogram::new();
+        a.record_ns(10 * US);
+        let b = Histogram::new();
+        b.record_ns(900 * US);
+        // b's snapshot is not a superset of a's: some bucket underflows.
+        assert_eq!(b.snapshot().sub(&a.snapshot()), None);
+        // Equal snapshots subtract to the empty snapshot.
+        let same = a.snapshot();
+        assert_eq!(same.sub(&same), Some(HistogramSnapshot::default()));
+    }
+
+    #[test]
+    fn interpolated_p50_never_undershoots_the_window_minimum() {
+        // Regression: two samples at 30µs and 31µs share the [16,32)µs
+        // bucket. Rank-1 interpolation yields 16 + 16*1/2 = 24µs — below
+        // every sample in the window. The clamp pins p50 to the observed
+        // minimum instead.
+        let h = Histogram::new();
+        h.record_ns(30 * US);
+        h.record_ns(31 * US);
+        let delta = h.snapshot().sub(&HistogramSnapshot::default()).expect("superset");
+        assert_eq!(delta.min_ns, 30 * US);
+        assert_eq!(delta.percentile_interp_us(0.50), 30);
+        // p100 interpolates to the bucket bound (32) but clamps to the
+        // exact max.
+        assert_eq!(delta.percentile_interp_us(1.0), 31);
+        let s = delta.summary_interp();
+        assert_eq!((s.p50_us, s.min_us, s.max_us), (30, 30, 31));
+        // Unclamped ranks still interpolate inside the bucket: with four
+        // samples spread across [16,32), rank 1 of 4 sits at 20µs...
+        let spread = Histogram::new();
+        for &us in &[16, 20, 25, 31] {
+            spread.record_ns(us * US);
+        }
+        // ...16 + ceil(16*1/4) = 20, within [min=16, max=31].
+        assert_eq!(spread.snapshot().percentile_interp_us(0.25), 20);
+    }
+
+    #[test]
+    fn snapshot_merge_is_subs_inverse() {
+        let h = Histogram::new();
+        h.record_ns(5 * US);
+        let a = h.snapshot();
+        h.record_ns(300 * US);
+        h.record_ns(2 * US);
+        let b = h.snapshot();
+        let delta = b.sub(&a).expect("superset");
+        assert_eq!(delta.merge(&a), b);
+        assert_eq!(a.merge(&delta), b);
+        // Merging the empty snapshot is the identity.
+        assert_eq!(b.merge(&HistogramSnapshot::default()), b);
+        assert_eq!(HistogramSnapshot::default().merge(&b), b);
     }
 
     #[test]

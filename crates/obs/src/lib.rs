@@ -25,6 +25,12 @@
 //!   span capture ([`RequestTrace`] is `Copy` and heap-free), and a
 //!   lock-free seqlock capture ring with a tail-sampling reservoir,
 //!   surfaced by `yv serve` as `TOP`/`TRACE` protocol commands.
+//! - [`WindowedHistogram`] / [`WindowedCounter`] / [`SloRule`] — windowed
+//!   telemetry: rings of per-bucket snapshot deltas (60 × 1s and 60 × 1m
+//!   tiers) rotated lazily from the injected clock, plus multi-window SLO
+//!   burn-rate evaluation (`ok`/`warning`/`firing`), surfaced by
+//!   `yv serve` as the `HISTORY` command, `yv_slo_*` gauges and the
+//!   `telemetry.yvt` on-disk history.
 //! - [`MetricsRegistry`] — a pull-based registry of named counters,
 //!   [`Gauge`]s and histograms with a Prometheus text-format (0.0.4)
 //!   renderer, scraped by `yv serve`'s `METRICS` command and
@@ -57,6 +63,7 @@ pub mod recorder;
 pub mod registry;
 pub mod ring;
 pub mod trace;
+pub mod window;
 
 pub use alloc::{alloc_stats, reset_peak, AllocStats, CountingAlloc};
 pub use clock::{Clock, ManualClock, MonotonicClock};
@@ -66,3 +73,7 @@ pub use recorder::{Recorder, Span, SpanRecord};
 pub use registry::{Gauge, MetricsRegistry};
 pub use ring::{RingStats, TailSampler, TraceRing, TraceSink};
 pub use trace::{chrome_trace, timings_table};
+pub use window::{
+    ClosedBucket, SloRule, SloState, SloStatus, Tier, WindowView, WindowedCounter,
+    WindowedHistogram, WINDOW_BUCKETS,
+};

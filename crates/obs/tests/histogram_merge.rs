@@ -62,4 +62,35 @@ proptest! {
         ba.merge(&fill(&a));
         prop_assert_eq!(ab.snapshot(), ba.snapshot());
     }
+
+    /// `sub` then `merge` round-trips a snapshot: for any prefix/window
+    /// split of one growing histogram, `later.sub(&earlier)` recovers the
+    /// window and merging it back onto `earlier` reproduces `later`
+    /// field-for-field (counts, sum, max, and the min bound) — the
+    /// invariant windowed rollups and telemetry.yvt replay rely on.
+    fn sub_then_merge_round_trips(
+        prefix in vec(0u64..5_000_000_000, 0..100),
+        window in vec(0u64..5_000_000_000, 0..100),
+    ) {
+        let h = fill(&prefix);
+        let earlier = h.snapshot();
+        for &ns in &window {
+            h.record_ns(ns);
+        }
+        let later = h.snapshot();
+        let delta = later.sub(&earlier).expect("later is a superset of earlier");
+        prop_assert_eq!(delta.count(), window.len() as u64);
+        prop_assert_eq!(delta.merge(&earlier), later);
+        prop_assert_eq!(earlier.merge(&delta), later);
+        // The delta's percentiles never undershoot its min bound.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            if delta.count() > 0 {
+                prop_assert!(delta.percentile_interp_us(q) >= delta.min_ns / 1_000, "q={}", q);
+            }
+        }
+        // Subtracting out of order is a typed refusal, not garbage.
+        if delta.count() > 0 {
+            prop_assert_eq!(earlier.sub(&later), None);
+        }
+    }
 }

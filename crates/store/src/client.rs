@@ -193,6 +193,60 @@ pub struct TraceReport {
     pub spans: Vec<SpanRow>,
 }
 
+/// The `WINDOW` row of a `HISTORY` response: every in-window sample
+/// merged, with interpolated min/max-clamped percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistorySummaryRow {
+    pub count: u64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+}
+
+/// One `SLO` row of a `HISTORY` response: a burn-rate rule and its
+/// evaluated state (`ok` / `warning` / `firing`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistorySloRow {
+    pub metric: String,
+    pub p: f64,
+    pub threshold_us: u64,
+    pub window: usize,
+    pub short_window: usize,
+    pub state: String,
+    pub burn_long_pct: u64,
+    pub burn_short_pct: u64,
+}
+
+/// One `BUCKET` row of a `HISTORY` response: a closed window bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryBucketRow {
+    pub epoch: u64,
+    pub count: u64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub max_us: u64,
+}
+
+/// A parsed `HISTORY` response: the resolved metric/tier/window from the
+/// status line, the whole-window summary, the SLO rows watching the
+/// metric, and the non-empty closed buckets (ascending epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryReport {
+    pub metric: String,
+    /// The tier label the server resolved (`s` or `m`).
+    pub tier: String,
+    pub window: usize,
+    /// The currently open epoch; buckets cover `[now_epoch - window,
+    /// now_epoch)`.
+    pub now_epoch: u64,
+    pub summary: HistorySummaryRow,
+    pub slo: Vec<HistorySloRow>,
+    pub buckets: Vec<HistoryBucketRow>,
+}
+
 /// A parsed `STATS` response: the store-wide aggregates from the status
 /// line plus the per-shard and per-command data rows.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -308,6 +362,28 @@ impl Client {
     pub fn trace_get(&mut self, id: u64) -> Result<TraceReport, ClientError> {
         let (status, data) = self.exchange(&format!("TRACE {id:016x}"))?;
         parse_trace(&status, &data)
+    }
+
+    /// Run `HISTORY <metric>` and parse the windowed-rollup report.
+    /// `window` (buckets) and `tier` fall back to the server defaults
+    /// (60 and seconds) when absent.
+    pub fn history(
+        &mut self,
+        metric: &str,
+        window: Option<usize>,
+        tier: Option<yv_obs::Tier>,
+    ) -> Result<HistoryReport, ClientError> {
+        let mut line = String::from("HISTORY");
+        line.push(' ');
+        line.push_str(wire_value("metric", metric)?);
+        if let Some(window) = window {
+            push_kv(&mut line, "window", &window.to_string())?;
+        }
+        if let Some(tier) = tier {
+            push_kv(&mut line, "tier", tier.label())?;
+        }
+        let (status, data) = self.exchange(&line)?;
+        parse_history(&status, &data)
     }
 
     /// Ask the server to fold its WALs into a fresh snapshot.
@@ -621,6 +697,60 @@ fn parse_trace(status: &str, data: &[String]) -> Result<TraceReport, ClientError
     Ok(report)
 }
 
+/// Parse the `HISTORY` status line plus `WINDOW` / `SLO` / `BUCKET` rows.
+fn parse_history(status: &str, data: &[String]) -> Result<HistoryReport, ClientError> {
+    let mut summary = None;
+    let mut slo = Vec::new();
+    let mut buckets = Vec::new();
+    for line in data {
+        if line.starts_with("WINDOW ") {
+            summary = Some(HistorySummaryRow {
+                count: field(line, "count")?,
+                mean_us: field(line, "mean_us")?,
+                p50_us: field(line, "p50_us")?,
+                p95_us: field(line, "p95_us")?,
+                p99_us: field(line, "p99_us")?,
+                min_us: field(line, "min_us")?,
+                max_us: field(line, "max_us")?,
+            });
+        } else if line.starts_with("SLO ") {
+            slo.push(HistorySloRow {
+                metric: field(line, "metric")?,
+                p: field(line, "p")?,
+                threshold_us: field(line, "threshold_us")?,
+                window: field(line, "window")?,
+                short_window: field(line, "short_window")?,
+                state: field(line, "state")?,
+                burn_long_pct: field(line, "burn_long_pct")?,
+                burn_short_pct: field(line, "burn_short_pct")?,
+            });
+        } else if line.starts_with("BUCKET ") {
+            buckets.push(HistoryBucketRow {
+                epoch: field(line, "epoch")?,
+                count: field(line, "count")?,
+                mean_us: field(line, "mean_us")?,
+                p50_us: field(line, "p50_us")?,
+                max_us: field(line, "max_us")?,
+            });
+        } else {
+            return Err(ClientError::Protocol(format!(
+                "unexpected HISTORY data line {line:?}"
+            )));
+        }
+    }
+    let summary = summary
+        .ok_or_else(|| ClientError::Protocol("HISTORY response has no WINDOW line".to_owned()))?;
+    Ok(HistoryReport {
+        metric: field(status, "metric")?,
+        tier: field(status, "tier")?,
+        window: field(status, "window")?,
+        now_epoch: field(status, "now_epoch")?,
+        summary,
+        slo,
+        buckets,
+    })
+}
+
 /// Parse the `STATS` status line plus `SHARD` / `CMD` data rows.
 fn parse_stats(status: &str, data: &[String]) -> Result<StatsReport, ClientError> {
     let mut report = StatsReport {
@@ -865,6 +995,45 @@ mod tests {
             parse_trace("OK trace=zz command=X status=ok conn=0 total_ns=0 spans=0 dropped=0", &[])
                 .is_err(),
             "bad hex id rejected"
+        );
+    }
+
+    #[test]
+    fn history_response_parses_summary_slo_and_bucket_rows() {
+        let status = "OK history metric=query tier=s window=5 now_epoch=9 buckets=2";
+        let data = vec![
+            "WINDOW count=4 mean_us=40 p50_us=24 p95_us=100 p99_us=100 min_us=10 max_us=100"
+                .to_owned(),
+            "SLO metric=query p=0.99 threshold_us=1000 window=60 short_window=10 state=ok \
+             burn_long_pct=0 burn_short_pct=0"
+                .to_owned(),
+            "BUCKET epoch=7 count=3 mean_us=20 p50_us=24 max_us=30".to_owned(),
+            "BUCKET epoch=8 count=1 mean_us=100 p50_us=100 max_us=100".to_owned(),
+        ];
+        let report = parse_history(status, &data).expect("well-formed");
+        assert_eq!(report.metric, "query");
+        assert_eq!(report.tier, "s");
+        assert_eq!(report.window, 5);
+        assert_eq!(report.now_epoch, 9);
+        assert_eq!(report.summary.count, 4);
+        assert_eq!(report.summary.p50_us, 24);
+        assert_eq!(report.summary.min_us, 10);
+        assert_eq!(report.summary.max_us, 100);
+        assert_eq!(report.slo.len(), 1);
+        assert_eq!(report.slo[0].metric, "query");
+        assert!((report.slo[0].p - 0.99).abs() < 1e-12);
+        assert_eq!(report.slo[0].threshold_us, 1000);
+        assert_eq!(report.slo[0].short_window, 10);
+        assert_eq!(report.slo[0].state, "ok");
+        assert_eq!(report.buckets.len(), 2);
+        assert_eq!(report.buckets[0].epoch, 7);
+        assert_eq!(report.buckets[0].count, 3);
+        assert_eq!(report.buckets[1].epoch, 8);
+        assert_eq!(report.buckets[1].mean_us, 100);
+        assert!(parse_history(status, &[]).is_err(), "WINDOW line required");
+        assert!(
+            parse_history(status, &["RANDOM row".to_owned()]).is_err(),
+            "unknown rows rejected"
         );
     }
 }

@@ -29,7 +29,10 @@
 //!   logging, and request-scoped tracing: every request carries a trace
 //!   id accept-to-reply, completed traces land in a lock-free capture
 //!   ring with a tail-sampling reservoir, and the `TOP` / `TRACE <id>`
-//!   commands expose them live — see [`ServeOptions`];
+//!   commands expose them live — see [`ServeOptions`]. Per-command
+//!   latencies additionally roll into windowed telemetry (60 × 1s and
+//!   60 × 1m rings) served by `HISTORY`, evaluated against `--slo`
+//!   burn-rate rules, and persisted via [`telemetry`];
 //! - [`client`] — a typed client for that protocol.
 //!
 //! ```no_run
@@ -53,10 +56,12 @@ pub mod server;
 pub mod shard;
 pub mod snapshot;
 pub mod store;
+pub mod telemetry;
 pub mod wal;
 
 pub use client::{
-    Client, ClientError, ResolveRow, RingRow, SlowRow, SpanRow, TopReport, TraceReport,
+    Client, ClientError, HistoryBucketRow, HistoryReport, HistorySloRow, HistorySummaryRow,
+    ResolveRow, RingRow, SlowRow, SpanRow, TopReport, TraceReport,
 };
 pub use error::StoreError;
 pub use index::QueryIndex;
@@ -64,8 +69,10 @@ pub use protocol::{CommandStats, Request, DEFAULT_TOP_SLOW};
 #[allow(deprecated)]
 pub use server::{serve, serve_with};
 pub use server::{
-    CommandMetrics, ServeOptions, ServerMetrics, DEFAULT_TRACE_CAPACITY, DEFAULT_TRACE_SEED,
+    CommandMetrics, ServeOptions, ServerMetrics, DEFAULT_SLOW_LOG_CAP_BYTES,
+    DEFAULT_TRACE_CAPACITY, DEFAULT_TRACE_SEED,
 };
+pub use telemetry::{TelemetryLog, DEFAULT_CAP_BYTES as DEFAULT_TELEMETRY_CAP_BYTES};
 pub use shard::{shard_of_name, shard_of_record, Manifest, ShardStats, MANIFEST_FILE, ROUTING_RULE};
 pub use store::{
     segment_file_name, wal_file_name, ResolveOptions, ResolveOutcome, Store, StoreStats,

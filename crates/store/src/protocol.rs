@@ -43,6 +43,13 @@
 //! <   SPAN name=shard depth=1 shard=0 start_ns=2300 dur_ns=470000 cands=2
 //! < ...
 //! < .
+//! > HISTORY query window=5 tier=s
+//! < OK history metric=query tier=s window=5 now_epoch=93 buckets=2
+//! < WINDOW count=240 mean_us=412 p50_us=256 p95_us=1024 p99_us=2048 min_us=38 max_us=1940
+//! < SLO metric=query p=0.99 threshold_us=5000 window=60 short_window=10 state=ok burn_long_pct=0 burn_short_pct=0
+//! < BUCKET epoch=91 count=120 mean_us=400 p50_us=250 max_us=1800
+//! < BUCKET epoch=92 count=120 mean_us=424 p50_us=262 max_us=1940
+//! < .
 //! > METRICS
 //! < OK metrics
 //! < # HELP yv_cmd_query_latency_us QUERY latency (microsecond buckets)
@@ -61,7 +68,7 @@
 use crate::store::DEFAULT_RESOLVE_K;
 use yv_core::{PersonQuery, QueryHit};
 use yv_fuzzy::RankedEntity;
-use yv_obs::{RequestTrace, RingStats};
+use yv_obs::{RequestTrace, RingStats, SloRule, SloStatus, Tier, WindowView, WINDOW_BUCKETS};
 use yv_records::{DateParts, Gender, Record, RecordBuilder, SourceId};
 
 /// Slow-trace summary rows a bare `TOP` returns.
@@ -95,6 +102,18 @@ pub enum Request {
         /// `SPAN` lines.
         json: bool,
     },
+    History {
+        /// The windowed metric: a lowercase command kind (e.g. `query`).
+        metric: String,
+        /// Closed buckets to cover, ending at the open one
+        /// (1..=[`WINDOW_BUCKETS`]).
+        window: usize,
+        /// Rollup granularity: seconds or minutes.
+        tier: Tier,
+        /// Render the history as one JSON data line instead of
+        /// `WINDOW`/`SLO`/`BUCKET` rows.
+        json: bool,
+    },
     Snapshot,
     Shutdown,
 }
@@ -112,6 +131,7 @@ impl Request {
             Request::Metrics => "METRICS",
             Request::Top { .. } => "TOP",
             Request::Trace { .. } => "TRACE",
+            Request::History { .. } => "HISTORY",
             Request::Snapshot => "SNAPSHOT",
             Request::Shutdown => "SHUTDOWN",
         }
@@ -135,11 +155,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "METRICS" => expect_no_args("METRICS", &args).map(|()| Request::Metrics),
         "TOP" => parse_top(&args),
         "TRACE" => parse_trace(&args),
+        "HISTORY" => parse_history(&args),
         "SNAPSHOT" => expect_no_args("SNAPSHOT", &args).map(|()| Request::Snapshot),
         "SHUTDOWN" => expect_no_args("SHUTDOWN", &args).map(|()| Request::Shutdown),
         other => Err(format!(
             "unknown command {other}; expected QUERY, RESOLVE, ADD, STATS, METRICS, TOP, \
-             TRACE, SNAPSHOT or SHUTDOWN"
+             TRACE, HISTORY, SNAPSHOT or SHUTDOWN"
         )),
     }
 }
@@ -200,6 +221,63 @@ fn parse_trace(args: &[&str]) -> Result<Request, String> {
         }
     }
     Ok(Request::Trace { id, json })
+}
+
+/// Parse `HISTORY <metric> [window=N] [tier=s|m] [format=human|json]`.
+/// The metric comes first as a bare token (a command kind, matched
+/// case-insensitively so `HISTORY QUERY` and `HISTORY query` agree);
+/// the server rejects kinds it does not track.
+fn parse_history(args: &[&str]) -> Result<Request, String> {
+    let Some((&metric, options)) = args.split_first() else {
+        return Err("HISTORY: a metric argument is required (a command kind, e.g. query)".to_owned());
+    };
+    if metric.contains('=') {
+        return Err(format!("HISTORY: first argument must be a bare metric name, got {metric:?}"));
+    }
+    let metric = metric.to_ascii_lowercase();
+    let mut window = WINDOW_BUCKETS;
+    let mut tier = Tier::Seconds;
+    let mut json = false;
+    let (mut seen_window, mut seen_tier, mut seen_format) = (false, false, false);
+    for token in options {
+        let (key, value) = split_kv(token, "HISTORY")?;
+        match key {
+            "window" if seen_window => return Err("HISTORY: duplicate key window".to_owned()),
+            "window" => {
+                let parsed: usize = value.parse().map_err(|_| {
+                    format!("HISTORY: bad window value {value:?} (expected 1..={WINDOW_BUCKETS})")
+                })?;
+                if parsed == 0 || parsed > WINDOW_BUCKETS {
+                    return Err(format!(
+                        "HISTORY: window {parsed} out of range (expected 1..={WINDOW_BUCKETS})"
+                    ));
+                }
+                window = parsed;
+                seen_window = true;
+            }
+            "tier" if seen_tier => return Err("HISTORY: duplicate key tier".to_owned()),
+            "tier" => {
+                tier = Tier::parse(value)
+                    .ok_or_else(|| format!("HISTORY: bad tier {value:?} (expected s or m)"))?;
+                seen_tier = true;
+            }
+            "format" if seen_format => return Err("HISTORY: duplicate key format".to_owned()),
+            "format" => {
+                json = match value {
+                    "json" => true,
+                    "human" => false,
+                    other => {
+                        return Err(format!(
+                            "HISTORY: bad format {other:?} (expected human or json)"
+                        ))
+                    }
+                };
+                seen_format = true;
+            }
+            other => return Err(format!("HISTORY: unknown key {other}")),
+        }
+    }
+    Ok(Request::History { metric, window, tier, json })
 }
 
 /// Parse `RESOLVE <name> [k=N] [min=SCORE]`. The name comes first as a
@@ -619,6 +697,119 @@ pub fn format_top(
     out
 }
 
+/// One `SLO` row: the rule, its derived short window, and the evaluated
+/// burn-rate state.
+fn format_slo_row(rule: &SloRule, status: &SloStatus) -> String {
+    format!(
+        "SLO metric={} p={} threshold_us={} window={} short_window={} state={} \
+         burn_long_pct={} burn_short_pct={}\n",
+        rule.metric,
+        rule.p,
+        rule.threshold_us,
+        rule.window,
+        rule.short_window(),
+        status.state.label(),
+        status.burn_long_pct,
+        status.burn_short_pct
+    )
+}
+
+/// Render the `HISTORY` response: a status line carrying the resolved
+/// metric/tier/window, one `WINDOW` roll-up row over every in-window
+/// sample, one `SLO` row per rule watching this metric, and one `BUCKET`
+/// row per non-empty closed bucket (ascending epoch). Percentiles are
+/// interpolated and clamped to the window's observed min/max
+/// ([`yv_obs::HistogramSnapshot::percentile_interp_us`]), so a `p50_us`
+/// can never undershoot `min_us`.
+#[must_use]
+pub fn format_history(metric: &str, view: &WindowView, slo: &[(SloRule, SloStatus)]) -> String {
+    let mut out = format!(
+        "OK history metric={} tier={} window={} now_epoch={} buckets={}\n",
+        metric,
+        view.tier.label(),
+        view.window,
+        view.now_epoch,
+        view.buckets.len()
+    );
+    let s = view.merged.summary_interp();
+    out.push_str(&format!(
+        "WINDOW count={} mean_us={} p50_us={} p95_us={} p99_us={} min_us={} max_us={}\n",
+        s.count, s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.min_us, s.max_us
+    ));
+    for (rule, status) in slo {
+        out.push_str(&format_slo_row(rule, status));
+    }
+    for &(epoch, ref snap) in &view.buckets {
+        let b = snap.summary_interp();
+        out.push_str(&format!(
+            "BUCKET epoch={} count={} mean_us={} p50_us={} max_us={}\n",
+            epoch, b.count, b.mean_us, b.p50_us, b.max_us
+        ));
+    }
+    out.push_str(TERMINATOR);
+    out.push('\n');
+    out
+}
+
+/// Render `HISTORY ... format=json`: the same data as [`format_history`]
+/// as one JSON object on a single data line.
+#[must_use]
+pub fn format_history_json(
+    metric: &str,
+    view: &WindowView,
+    slo: &[(SloRule, SloStatus)],
+) -> String {
+    let s = view.merged.summary_interp();
+    let slo_json: Vec<String> = slo
+        .iter()
+        .map(|(rule, status)| {
+            format!(
+                "{{\"metric\":\"{}\",\"p\":{},\"threshold_us\":{},\"window\":{},\
+                 \"short_window\":{},\"state\":\"{}\",\"burn_long_pct\":{},\
+                 \"burn_short_pct\":{}}}",
+                rule.metric,
+                rule.p,
+                rule.threshold_us,
+                rule.window,
+                rule.short_window(),
+                status.state.label(),
+                status.burn_long_pct,
+                status.burn_short_pct
+            )
+        })
+        .collect();
+    let buckets_json: Vec<String> = view
+        .buckets
+        .iter()
+        .map(|&(epoch, ref snap)| {
+            let b = snap.summary_interp();
+            format!(
+                "{{\"epoch\":{},\"count\":{},\"mean_us\":{},\"p50_us\":{},\"max_us\":{}}}",
+                epoch, b.count, b.mean_us, b.p50_us, b.max_us
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"metric\":\"{}\",\"tier\":\"{}\",\"window\":{},\"now_epoch\":{},\
+         \"summary\":{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\
+         \"p99_us\":{},\"min_us\":{},\"max_us\":{}}},\"slo\":[{}],\"buckets\":[{}]}}",
+        metric,
+        view.tier.label(),
+        view.window,
+        view.now_epoch,
+        s.count,
+        s.mean_us,
+        s.p50_us,
+        s.p95_us,
+        s.p99_us,
+        s.min_us,
+        s.max_us,
+        slo_json.join(","),
+        buckets_json.join(",")
+    );
+    format!("OK history format=json\n{body}\n{TERMINATOR}\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -904,6 +1095,103 @@ mod tests {
         let err = parse_request("FROB").expect_err("unknown");
         assert!(err.contains("TOP"), "{err}");
         assert!(err.contains("TRACE"), "{err}");
+        assert!(err.contains("HISTORY"), "{err}");
+    }
+
+    #[test]
+    fn history_parses_metric_window_tier_and_format() {
+        assert_eq!(
+            parse_request("HISTORY query"),
+            Ok(Request::History {
+                metric: "query".to_owned(),
+                window: WINDOW_BUCKETS,
+                tier: Tier::Seconds,
+                json: false
+            })
+        );
+        // The metric is case-insensitive; every option is explicit here.
+        assert_eq!(
+            parse_request("history QUERY window=5 tier=m format=json"),
+            Ok(Request::History {
+                metric: "query".to_owned(),
+                window: 5,
+                tier: Tier::Minutes,
+                json: true
+            })
+        );
+        let err = parse_request("HISTORY").expect_err("metric required");
+        assert!(err.contains("metric argument is required"), "{err}");
+        let err = parse_request("HISTORY window=5").expect_err("bare metric");
+        assert!(err.contains("bare metric name"), "{err}");
+        let err = parse_request("HISTORY query window=0").expect_err("zero window");
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_request("HISTORY query window=61").expect_err("oversized window");
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_request("HISTORY query window=soon").expect_err("bad window");
+        assert!(err.contains("bad window value"), "{err}");
+        let err = parse_request("HISTORY query tier=h").expect_err("bad tier");
+        assert!(err.contains("bad tier"), "{err}");
+        let err = parse_request("HISTORY query tier=s tier=m").expect_err("dup tier");
+        assert!(err.contains("duplicate key tier"), "{err}");
+        let err = parse_request("HISTORY query format=xml").expect_err("bad format");
+        assert!(err.contains("bad format"), "{err}");
+        let err = parse_request("HISTORY query depth=3").expect_err("unknown key");
+        assert!(err.contains("unknown key depth"), "{err}");
+    }
+
+    fn sample_view() -> (WindowView, SloRule, SloStatus) {
+        let h1 = yv_obs::Histogram::new();
+        for us in [10u64, 20, 30] {
+            h1.record_ns(us * 1_000);
+        }
+        let b1 = h1.snapshot();
+        let h2 = yv_obs::Histogram::new();
+        h2.record_ns(100_000);
+        let b2 = h2.snapshot();
+        let merged = b1.merge(&b2);
+        let view = WindowView {
+            tier: Tier::Seconds,
+            window: 5,
+            now_epoch: 9,
+            merged,
+            buckets: vec![(7, b1), (8, b2)],
+        };
+        let rule =
+            SloRule { metric: "query".to_owned(), p: 0.99, threshold_us: 1000, window: 60 };
+        let status = rule.evaluate(&merged, &merged);
+        (view, rule, status)
+    }
+
+    #[test]
+    fn history_formats_exact_rows() {
+        let (view, rule, status) = sample_view();
+        assert_eq!(
+            format_history("query", &view, &[(rule, status)]),
+            "OK history metric=query tier=s window=5 now_epoch=9 buckets=2\n\
+             WINDOW count=4 mean_us=40 p50_us=24 p95_us=100 p99_us=100 min_us=10 max_us=100\n\
+             SLO metric=query p=0.99 threshold_us=1000 window=60 short_window=10 state=ok \
+             burn_long_pct=0 burn_short_pct=0\n\
+             BUCKET epoch=7 count=3 mean_us=20 p50_us=24 max_us=30\n\
+             BUCKET epoch=8 count=1 mean_us=100 p50_us=100 max_us=100\n\
+             .\n"
+        );
+    }
+
+    #[test]
+    fn history_formats_exact_json() {
+        let (view, rule, status) = sample_view();
+        assert_eq!(
+            format_history_json("query", &view, &[(rule, status)]),
+            "OK history format=json\n\
+             {\"metric\":\"query\",\"tier\":\"s\",\"window\":5,\"now_epoch\":9,\
+             \"summary\":{\"count\":4,\"mean_us\":40,\"p50_us\":24,\"p95_us\":100,\
+             \"p99_us\":100,\"min_us\":10,\"max_us\":100},\
+             \"slo\":[{\"metric\":\"query\",\"p\":0.99,\"threshold_us\":1000,\"window\":60,\
+             \"short_window\":10,\"state\":\"ok\",\"burn_long_pct\":0,\"burn_short_pct\":0}],\
+             \"buckets\":[{\"epoch\":7,\"count\":3,\"mean_us\":20,\"p50_us\":24,\"max_us\":30},\
+             {\"epoch\":8,\"count\":1,\"mean_us\":100,\"p50_us\":100,\"max_us\":100}]}\n\
+             .\n"
+        );
     }
 
     #[test]

@@ -32,22 +32,45 @@
 //! so a stock Prometheus scraper needs no protocol client. Per-shard
 //! gauges (`yv_shard_<i>_records` / `_postings` / `_wal_bytes`) expose
 //! the shard balance. Requests slower than [`ServeOptions::slow_us`] are
-//! logged as one JSON line each (see [`SlowLog`]).
+//! logged as one JSON line each (see [`SlowLog`]), into a size-capped,
+//! rotating file when [`ServeOptions::slow_log_file`] is set.
+//!
+//! Windowed telemetry: every command's latency histogram additionally
+//! feeds a [`WindowedHistogram`] (60 × 1s and 60 × 1m rings of snapshot
+//! deltas). A tick thread rotates the windows from the injected clock,
+//! persists each closed bucket to `telemetry.yvt` (see
+//! [`crate::telemetry`]) when [`ServeOptions::telemetry_dir`] is set, and
+//! re-evaluates the [`SloRule`]s from [`ServeOptions::slo`], publishing
+//! their burn-rate state as `yv_slo_*` gauges. The `HISTORY` command
+//! serves the recent-window rollups; rotation is *lazy and idempotent*,
+//! so `HISTORY`/`METRICS` stay correct under a [`yv_obs::ManualClock`]
+//! where the ticker never observes time moving.
 
 use crate::error::StoreError;
 use crate::protocol::{self, CommandStats, Request};
 use crate::store::Store;
+use crate::telemetry::{self, TelemetryLog};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use yv_obs::{Clock, Counter, Histogram, MetricsRegistry, MonotonicClock, TraceCtx, TraceSink};
+use yv_obs::{
+    Clock, Counter, Histogram, MetricsRegistry, MonotonicClock, SloRule, SloStatus, Tier,
+    TraceCtx, TraceSink, WindowView, WindowedCounter, WindowedHistogram,
+};
 
 /// Default capture-ring capacity (power of two; ~2 KiB per slot).
 pub const DEFAULT_TRACE_CAPACITY: usize = 512;
 
 /// Default seed for the deterministic trace-id generator.
 pub const DEFAULT_TRACE_SEED: u64 = 0x7976_5f74_7261_6365; // "yv_trace"
+
+/// Default size cap for the slow-request JSONL log before it rotates.
+pub const DEFAULT_SLOW_LOG_CAP_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Interval of the window-rotation tick thread (real time).
+const TICK_MILLIS: u64 = 250;
 
 /// Per-command metrics: success/error counters plus a lock-free latency
 /// histogram (percentiles via [`Histogram::summary`]). Latency covers the
@@ -128,6 +151,7 @@ pub struct ServerMetrics {
     pub metrics: CommandMetrics,
     pub top: CommandMetrics,
     pub trace: CommandMetrics,
+    pub history: CommandMetrics,
     pub snapshot: CommandMetrics,
     pub shutdown: CommandMetrics,
     /// Request lines that never parsed into a command.
@@ -153,6 +177,7 @@ impl ServerMetrics {
             metrics: cmd("metrics", "METRICS"),
             top: cmd("top", "TOP"),
             trace: cmd("trace", "TRACE"),
+            history: cmd("history", "HISTORY"),
             snapshot: cmd("snapshot", "SNAPSHOT"),
             shutdown: cmd("shutdown", "SHUTDOWN"),
             parse_errors: registry.counter(
@@ -165,7 +190,7 @@ impl ServerMetrics {
 
     /// Per-command stats rows in protocol order.
     #[must_use]
-    pub fn command_stats(&self) -> [CommandStats; 9] {
+    pub fn command_stats(&self) -> [CommandStats; 10] {
         [
             self.query.stats("QUERY"),
             self.resolve.stats("RESOLVE"),
@@ -174,6 +199,7 @@ impl ServerMetrics {
             self.metrics.stats("METRICS"),
             self.top.stats("TOP"),
             self.trace.stats("TRACE"),
+            self.history.stats("HISTORY"),
             self.snapshot.stats("SNAPSHOT"),
             self.shutdown.stats("SHUTDOWN"),
         ]
@@ -190,6 +216,7 @@ impl ServerMetrics {
             + self.metrics.errors.get()
             + self.top.errors.get()
             + self.trace.errors.get()
+            + self.history.errors.get()
             + self.snapshot.errors.get()
             + self.shutdown.errors.get()
     }
@@ -203,12 +230,61 @@ impl ServerMetrics {
 /// victims' names — never reaches the log. The trace id is the same one
 /// the client saw in its `trace=` token, so a logged slow request can be
 /// looked up with `TRACE <id>` while it is still in the ring.
+///
+/// The log is **size-capped**: once `cap_bytes` of lines have been
+/// written the sink rotates — a file sink renames itself to `<path>.1`
+/// (replacing the previous generation, so disk usage is bounded at
+/// roughly `2 × cap_bytes`) and reopens fresh; a stream sink (stderr)
+/// cannot be renamed, so it emits a rotation marker line and resets its
+/// byte count. Rotations are counted and surfaced as the
+/// `yv_slow_log_rotations` gauge.
 struct SlowLog {
     threshold_ns: u64,
-    sink: parking_lot::Mutex<Box<dyn Write + Send>>,
+    cap_bytes: u64,
+    rotations: AtomicU64,
+    sink: parking_lot::Mutex<SlowSink>,
+}
+
+/// Where slow-request lines go, with the bytes written since the last
+/// rotation tracked alongside the handle it guards.
+enum SlowSink {
+    /// An opaque stream (stderr or a test buffer): rotation is logical.
+    Stream { out: Box<dyn Write + Send>, written: u64 },
+    /// A file we own: rotation renames it aside and reopens fresh.
+    File { path: PathBuf, out: std::fs::File, written: u64 },
 }
 
 impl SlowLog {
+    fn stream(threshold_us: u64, out: Box<dyn Write + Send>, cap_bytes: u64) -> SlowLog {
+        SlowLog {
+            threshold_ns: threshold_us.saturating_mul(1_000),
+            cap_bytes: cap_bytes.max(1),
+            rotations: AtomicU64::new(0),
+            sink: parking_lot::Mutex::new(SlowSink::Stream { out, written: 0 }),
+        }
+    }
+
+    fn file(threshold_us: u64, path: &std::path::Path, cap_bytes: u64) -> Result<SlowLog, StoreError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let out = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let written = out.metadata()?.len();
+        Ok(SlowLog {
+            threshold_ns: threshold_us.saturating_mul(1_000),
+            cap_bytes: cap_bytes.max(1),
+            rotations: AtomicU64::new(0),
+            sink: parking_lot::Mutex::new(SlowSink::File { path: path.to_path_buf(), out, written }),
+        })
+    }
+
+    /// Lifetime rotations performed by this log.
+    fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
+    }
+
     fn log(&self, conn: u64, command: &'static str, args_digest: u64, dur_ns: u64, trace: u64) {
         let line = format!(
             "{{\"slow_request\":true,\"conn\":{conn},\"command\":\"{command}\",\
@@ -217,9 +293,42 @@ impl SlowLog {
             dur_ns / 1_000
         );
         let mut sink = self.sink.lock();
-        // audit:allow(L1) the line is formatted before acquisition; the lock exists to serialize exactly this write+flush pair into the JSONL sink
-        let _ = sink.write_all(line.as_bytes());
-        let _ = sink.flush();
+        match &mut *sink {
+            SlowSink::Stream { out, written } => {
+                if *written + line.len() as u64 > self.cap_bytes {
+                    let n = self.rotations.fetch_add(1, Ordering::Relaxed) + 1;
+                    // audit:allow(L1) the line is formatted before acquisition; the lock exists to serialize exactly this rotate-check+write+flush sequence into the JSONL sink
+                    let _ = out.write_all(
+                        format!("{{\"slow_log_rotated\":true,\"generation\":{n}}}\n").as_bytes(),
+                    );
+                    *written = 0;
+                }
+                *written += line.len() as u64;
+                let _ = out.write_all(line.as_bytes());
+                let _ = out.flush();
+            }
+            SlowSink::File { path, out, written } => {
+                if *written + line.len() as u64 > self.cap_bytes {
+                    let _ = out.flush();
+                    let mut aside = path.clone().into_os_string();
+                    aside.push(".1");
+                    if std::fs::rename(path.as_path(), PathBuf::from(aside)).is_ok() {
+                        if let Ok(fresh) = std::fs::OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(path.as_path())
+                        {
+                            *out = fresh;
+                            *written = 0;
+                            self.rotations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                *written += line.len() as u64;
+                let _ = out.write_all(line.as_bytes());
+                let _ = out.flush();
+            }
+        }
     }
 }
 
@@ -242,10 +351,15 @@ pub struct ServeOptions {
     metrics_listener: Option<TcpListener>,
     metrics_addr: Option<SocketAddr>,
     slow_log: Option<Box<dyn Write + Send>>,
+    slow_log_path: Option<PathBuf>,
+    slow_log_cap: u64,
     trace_capacity: usize,
     trace_capture: bool,
     trace_seed: u64,
     clock: Option<Arc<dyn Clock>>,
+    telemetry_dir: Option<PathBuf>,
+    telemetry_cap: u64,
+    slo: Vec<SloRule>,
 }
 
 impl ServeOptions {
@@ -261,10 +375,15 @@ impl ServeOptions {
             metrics_listener: None,
             metrics_addr: None,
             slow_log: None,
+            slow_log_path: None,
+            slow_log_cap: DEFAULT_SLOW_LOG_CAP_BYTES,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             trace_capture: true,
             trace_seed: DEFAULT_TRACE_SEED,
             clock: None,
+            telemetry_dir: None,
+            telemetry_cap: telemetry::DEFAULT_CAP_BYTES,
+            slo: Vec::new(),
         }
     }
 
@@ -302,10 +421,57 @@ impl ServeOptions {
     }
 
     /// Redirect the slow-request log away from stderr. Ignored unless
-    /// [`ServeOptions::slow_us`] is set.
+    /// [`ServeOptions::slow_us`] is set (and superseded by
+    /// [`ServeOptions::slow_log_file`]).
     #[must_use]
     pub fn slow_log(mut self, sink: Box<dyn Write + Send>) -> ServeOptions {
         self.slow_log = Some(sink);
+        self
+    }
+
+    /// Write the slow-request log to `path`, size-capped: at
+    /// [`ServeOptions::slow_log_cap_bytes`] the file rotates to
+    /// `<path>.1` (one previous generation is kept). Ignored unless
+    /// [`ServeOptions::slow_us`] is set.
+    #[must_use]
+    pub fn slow_log_file(mut self, path: PathBuf) -> ServeOptions {
+        self.slow_log_path = Some(path);
+        self
+    }
+
+    /// Size cap (bytes) the slow-request log rotates at. Defaults to
+    /// [`DEFAULT_SLOW_LOG_CAP_BYTES`].
+    #[must_use]
+    pub fn slow_log_cap_bytes(mut self, cap: u64) -> ServeOptions {
+        self.slow_log_cap = cap;
+        self
+    }
+
+    /// Persist closed telemetry buckets to `dir/telemetry.yvt` and
+    /// replay any existing history there on startup, so `HISTORY`
+    /// windows survive a restart.
+    #[must_use]
+    pub fn telemetry_dir(mut self, dir: PathBuf) -> ServeOptions {
+        self.telemetry_dir = Some(dir);
+        self
+    }
+
+    /// Size cap (bytes) per telemetry segment before it rotates to
+    /// `telemetry.old.yvt`. Defaults to
+    /// [`crate::telemetry::DEFAULT_CAP_BYTES`].
+    #[must_use]
+    pub fn telemetry_cap_bytes(mut self, cap: u64) -> ServeOptions {
+        self.telemetry_cap = cap;
+        self
+    }
+
+    /// Watch latency SLOs: each rule's multi-window burn rate is
+    /// re-evaluated on the server tick (and on every `METRICS` scrape
+    /// and `HISTORY` request) and published as `yv_slo_<metric>_state`
+    /// / `_burn_long_pct` / `_burn_short_pct` gauges.
+    #[must_use]
+    pub fn slo(mut self, rules: Vec<SloRule>) -> ServeOptions {
+        self.slo = rules;
         self
     }
 
@@ -358,10 +524,15 @@ impl ServeOptions {
             metrics_listener,
             metrics_addr,
             slow_log,
+            slow_log_path,
+            slow_log_cap,
             trace_capacity,
             trace_capture,
             trace_seed,
             clock,
+            telemetry_dir,
+            telemetry_cap,
+            slo,
         } = self;
         let Some(store) = store else {
             return Err(StoreError::Corrupt("ServeOptions has no store".into()));
@@ -376,7 +547,17 @@ impl ServeOptions {
         let sampler_slow_ns = slow_us.map_or(u64::MAX, |us| us.saturating_mul(1_000));
         let sink = TraceSink::new(trace_capacity, sampler_slow_ns, trace_seed, trace_capture);
         let clock = clock.unwrap_or_else(|| Arc::new(MonotonicClock::new()));
-        serve_inner(store, listener, workers, slow_us, metrics_listener, slow_log, sink, clock)
+        let slow = match (slow_us, slow_log_path) {
+            (Some(us), Some(path)) => Some(SlowLog::file(us, &path, slow_log_cap)?),
+            (Some(us), None) => Some(SlowLog::stream(
+                us,
+                slow_log.unwrap_or_else(|| Box::new(std::io::stderr())),
+                slow_log_cap,
+            )),
+            (None, _) => None,
+        };
+        let telemetry_cfg = TelemetryConfig { dir: telemetry_dir, cap_bytes: telemetry_cap, slo };
+        serve_inner(store, listener, workers, slow, metrics_listener, sink, clock, telemetry_cfg)
     }
 }
 
@@ -388,11 +569,162 @@ impl std::fmt::Debug for ServeOptions {
             .field("metrics_listener", &self.metrics_listener)
             .field("metrics_addr", &self.metrics_addr)
             .field("slow_log", &self.slow_log.as_ref().map(|_| "<sink>"))
+            .field("slow_log_path", &self.slow_log_path)
+            .field("slow_log_cap", &self.slow_log_cap)
             .field("trace_capacity", &self.trace_capacity)
             .field("trace_capture", &self.trace_capture)
             .field("trace_seed", &self.trace_seed)
             .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
+            .field("telemetry_dir", &self.telemetry_dir)
+            .field("telemetry_cap", &self.telemetry_cap)
+            .field("slo", &self.slo)
             .finish_non_exhaustive()
+    }
+}
+
+/// Windowed-telemetry configuration carried from [`ServeOptions::serve`]
+/// into the serving loop.
+struct TelemetryConfig {
+    dir: Option<PathBuf>,
+    cap_bytes: u64,
+    slo: Vec<SloRule>,
+}
+
+/// The server's windowed-telemetry runtime: one [`WindowedHistogram`]
+/// per command kind (reading the same latency histograms `STATS`
+/// reports), a windowed parse-error counter, the configured SLO rules,
+/// and the optional on-disk history log.
+///
+/// Rotation is centralized here so every closed bucket is persisted
+/// exactly once: all read paths (`HISTORY`, `METRICS`, the SLO
+/// evaluator, the tick thread) funnel through
+/// [`Telemetry::rotate_and_persist`] before touching a window.
+struct Telemetry {
+    windows: Vec<(&'static str, WindowedHistogram)>,
+    parse_errors_window: WindowedCounter,
+    slo: Vec<SloRule>,
+    log: Option<parking_lot::Mutex<TelemetryLog>>,
+}
+
+impl Telemetry {
+    /// Build the per-command windows, open the history log (when a dir
+    /// is configured) and replay any persisted buckets into the rings.
+    fn new(
+        metrics: &ServerMetrics,
+        clock: &Arc<dyn Clock>,
+        cfg: TelemetryConfig,
+    ) -> Result<Telemetry, StoreError> {
+        let kinds: [(&'static str, &CommandMetrics); 10] = [
+            ("query", &metrics.query),
+            ("resolve", &metrics.resolve),
+            ("add", &metrics.add),
+            ("stats", &metrics.stats),
+            ("metrics", &metrics.metrics),
+            ("top", &metrics.top),
+            ("trace", &metrics.trace),
+            ("history", &metrics.history),
+            ("snapshot", &metrics.snapshot),
+            ("shutdown", &metrics.shutdown),
+        ];
+        let windows: Vec<(&'static str, WindowedHistogram)> = kinds
+            .into_iter()
+            .map(|(kind, m)| {
+                (kind, WindowedHistogram::new(Arc::clone(&m.latency), Arc::clone(clock)))
+            })
+            .collect();
+        let parse_errors_window =
+            WindowedCounter::new(Arc::clone(&metrics.parse_errors), Arc::clone(clock));
+        let log = match cfg.dir {
+            Some(dir) => {
+                for (metric, bucket) in telemetry::replay(&dir)? {
+                    if let Some((_, w)) = windows.iter().find(|(kind, _)| *kind == metric) {
+                        w.restore(bucket);
+                    }
+                }
+                Some(parking_lot::Mutex::new(TelemetryLog::open(&dir, cfg.cap_bytes)?))
+            }
+            None => None,
+        };
+        Ok(Telemetry { windows, parse_errors_window, slo: cfg.slo, log })
+    }
+
+    fn window_for(&self, metric: &str) -> Option<&WindowedHistogram> {
+        self.windows.iter().find(|(kind, _)| *kind == metric).map(|(_, w)| w)
+    }
+
+    /// Rotate every window, appending each newly closed non-empty bucket
+    /// to the history log. Idempotent: a bucket closes (and is persisted)
+    /// exactly once no matter how many paths call this concurrently.
+    fn rotate_and_persist(&self) {
+        for (kind, w) in &self.windows {
+            let closed = w.rotate();
+            if closed.is_empty() {
+                continue;
+            }
+            if let Some(log) = &self.log {
+                let mut log = log.lock();
+                for bucket in &closed {
+                    // Telemetry is best-effort history: an IO error here
+                    // must not take down request serving.
+                    // audit:allow(L1) frames are pre-encoded scalars; the lock serializes append order into the segment
+                    let _ = log.append(kind, bucket);
+                }
+            }
+        }
+        self.parse_errors_window.rotate();
+    }
+
+    /// The windowed view `HISTORY` serves, or `None` for a metric the
+    /// server does not track.
+    fn view(&self, metric: &str, tier: Tier, window: usize) -> Option<WindowView> {
+        self.rotate_and_persist();
+        self.window_for(metric).map(|w| w.window(tier, window))
+    }
+
+    /// Evaluate every SLO rule watching `metric` (for `HISTORY` rows).
+    fn slo_for(&self, metric: &str) -> Vec<(SloRule, SloStatus)> {
+        self.slo
+            .iter()
+            .filter(|rule| rule.metric == metric)
+            .filter_map(|rule| self.evaluate(rule).map(|status| (rule.clone(), status)))
+            .collect()
+    }
+
+    fn evaluate(&self, rule: &SloRule) -> Option<SloStatus> {
+        let w = self.window_for(&rule.metric)?;
+        let long = w.window(Tier::Seconds, rule.window).merged;
+        let short = w.window(Tier::Seconds, rule.short_window()).merged;
+        Some(rule.evaluate(&long, &short))
+    }
+
+    /// Re-evaluate every rule and publish the `yv_slo_*` gauges. With
+    /// several rules on one metric the last rule wins the gauge names.
+    fn publish_slo(&self, reg: &MetricsRegistry) {
+        self.rotate_and_persist();
+        for rule in &self.slo {
+            let Some(status) = self.evaluate(rule) else { continue };
+            let m = &rule.metric;
+            reg.set_gauge(
+                &format!("yv_slo_{m}_state"),
+                "SLO burn-rate state (0 ok, 1 warning, 2 firing)",
+                status.state.as_u64(),
+            );
+            reg.set_gauge(
+                &format!("yv_slo_{m}_burn_long_pct"),
+                "Long-window SLO burn rate (percent of error budget consumed)",
+                status.burn_long_pct,
+            );
+            reg.set_gauge(
+                &format!("yv_slo_{m}_burn_short_pct"),
+                "Short-window SLO burn rate (percent of error budget consumed)",
+                status.burn_short_pct,
+            );
+            reg.set_gauge(
+                &format!("yv_slo_{m}_threshold_us"),
+                "SLO latency threshold (microseconds)",
+                rule.threshold_us,
+            );
+        }
     }
 }
 
@@ -413,6 +745,8 @@ struct ServerCtx<'a> {
     /// Trace id of the most recent tail-sampled request (the
     /// `yv_trace_last_slow_id` gauge).
     last_slow: &'a AtomicU64,
+    /// Windowed rollups, SLO rules and the telemetry history log.
+    telemetry: &'a Telemetry,
 }
 
 /// Positional-argument shim for the builder.
@@ -438,11 +772,11 @@ fn serve_inner(
     store: Store,
     listener: TcpListener,
     workers: usize,
-    slow_us: Option<u64>,
+    slow: Option<SlowLog>,
     metrics_listener: Option<TcpListener>,
-    slow_log: Option<Box<dyn Write + Send>>,
     sink: TraceSink,
     clock: Arc<dyn Clock>,
+    telemetry_cfg: TelemetryConfig,
 ) -> Result<Store, StoreError> {
     let addr = listener.local_addr()?;
     let metrics_addr = match &metrics_listener {
@@ -450,13 +784,8 @@ fn serve_inner(
         None => None,
     };
     let metrics = ServerMetrics::default();
+    let telemetry = Telemetry::new(&metrics, &clock, telemetry_cfg)?;
     let shutdown = AtomicBool::new(false);
-    let slow = slow_us.map(|us| SlowLog {
-        threshold_ns: us.saturating_mul(1_000),
-        sink: parking_lot::Mutex::new(
-            slow_log.unwrap_or_else(|| Box::new(std::io::stderr())),
-        ),
-    });
     let conn_ids = AtomicU64::new(0);
     let last_slow = AtomicU64::new(0);
     let (tx, rx) = crossbeam::channel::unbounded::<(u64, TcpStream)>();
@@ -470,6 +799,7 @@ fn serve_inner(
         slow: slow.as_ref(),
         sink: &sink,
         last_slow: &last_slow,
+        telemetry: &telemetry,
     };
 
     let result = crossbeam::thread::scope(|s| {
@@ -483,6 +813,19 @@ fn serve_inner(
             });
         }
         drop(rx);
+        // The telemetry tick: rotate windows, persist closed buckets and
+        // refresh the SLO gauges every TICK_MILLIS of *real* time. Under
+        // a ManualClock no epoch ever passes, so the tick is a no-op and
+        // rotation happens lazily on the HISTORY/METRICS read paths —
+        // which keeps deterministic tests byte-identical regardless of
+        // ticker scheduling.
+        s.spawn(move |_| {
+            while !ctx.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(TICK_MILLIS));
+                ctx.telemetry.rotate_and_persist();
+                ctx.telemetry.publish_slo(&ctx.metrics.registry);
+            }
+        });
         if let Some(mlistener) = &metrics_listener {
             s.spawn(move |_| {
                 for stream in mlistener.incoming() {
@@ -507,6 +850,9 @@ fn serve_inner(
                 }
             }
         }
+        // However the accept loop ended, make sure the tick thread (which
+        // only watches the flag) can exit too.
+        shutdown.store(true, Ordering::SeqCst);
         drop(tx);
     });
     if result.is_err() {
@@ -632,6 +978,42 @@ fn render_metrics(ctx: &ServerCtx<'_>) -> String {
         "Trace id of the most recent tail-sampled request (0 when none)",
         ctx.last_slow.load(Ordering::Relaxed),
     );
+
+    // Windowed telemetry: refresh the SLO gauges (rotating and
+    // persisting any buckets that closed since the last tick on the
+    // way), then the rollup/log health gauges.
+    ctx.telemetry.publish_slo(reg);
+    reg.set_gauge(
+        "yv_window_parse_errors_60s",
+        "Parse errors in the last 60 seconds-tier buckets",
+        ctx.telemetry.parse_errors_window.sum(60),
+    );
+    if let Some(log) = &ctx.telemetry.log {
+        let log = log.lock();
+        // audit:allow(L1) three counter reads under the log lock; no IO
+        reg.set_gauge(
+            "yv_telemetry_log_bytes",
+            "Bytes in the active telemetry.yvt segment",
+            log.bytes(),
+        );
+        reg.counter_value(
+            "yv_telemetry_frames_total",
+            "Closed window buckets appended to telemetry.yvt by this process",
+        )
+        .set(log.frames());
+        reg.counter_value(
+            "yv_telemetry_log_rotations_total",
+            "Telemetry segment rotations performed by this process",
+        )
+        .set(log.rotations());
+    }
+    if let Some(slow) = ctx.slow {
+        reg.set_gauge(
+            "yv_slow_log_rotations",
+            "Slow-request log rotations performed by this process",
+            slow.rotations(),
+        );
+    }
 
     let alloc = yv_obs::alloc_stats();
     reg.counter_value("yv_alloc_bytes_total", "Bytes allocated since process start")
@@ -826,6 +1208,27 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
                     ))
                 }
             },
+            Ok(Request::History { metric, window, tier, json }) => {
+                match ctx.telemetry.view(&metric, tier, window) {
+                    Some(view) => {
+                        let slo = ctx.telemetry.slo_for(&metric);
+                        ctx.metrics.history.record(true, elapsed());
+                        if json {
+                            protocol::format_history_json(&metric, &view, &slo)
+                        } else {
+                            protocol::format_history(&metric, &view, &slo)
+                        }
+                    }
+                    None => {
+                        ctx.metrics.history.record(false, elapsed());
+                        protocol::format_status(&format!(
+                            "ERR HISTORY: unknown metric {metric:?} (expected a command kind: \
+                             query, resolve, add, stats, metrics, top, trace, history, \
+                             snapshot or shutdown)"
+                        ))
+                    }
+                }
+            }
             Ok(Request::Snapshot) => {
                 trace.enter("snapshot");
                 let outcome = ctx.store.snapshot();
@@ -923,9 +1326,10 @@ mod tests {
         let metrics = ServerMetrics::default();
         metrics.add.record(true, 5_000);
         let rendered = metrics.registry.render_prometheus();
-        for kind in
-            ["query", "resolve", "add", "stats", "metrics", "top", "trace", "snapshot", "shutdown"]
-        {
+        for kind in [
+            "query", "resolve", "add", "stats", "metrics", "top", "trace", "history", "snapshot",
+            "shutdown",
+        ] {
             assert!(rendered.contains(&format!("# TYPE yv_cmd_{kind}_ok_total counter\n")));
             assert!(
                 rendered.contains(&format!("# TYPE yv_cmd_{kind}_latency_us histogram\n")),
@@ -945,7 +1349,7 @@ mod tests {
         metrics.snapshot.record(false, 1_000);
         metrics.trace.record(false, 1_000);
         assert_eq!(metrics.errors(), 4);
-        assert_eq!(metrics.command_stats().len(), 9);
+        assert_eq!(metrics.command_stats().len(), 10);
     }
 
     #[test]
@@ -961,10 +1365,7 @@ mod tests {
                 Ok(())
             }
         }
-        let slow = SlowLog {
-            threshold_ns: 0,
-            sink: parking_lot::Mutex::new(Box::new(Sink(Arc::clone(&buf)))),
-        };
+        let slow = SlowLog::stream(0, Box::new(Sink(Arc::clone(&buf))), DEFAULT_SLOW_LOG_CAP_BYTES);
         slow.log(7, "QUERY", 0xabcd, 1_234_567, 0x00ff_1122_3344_5566);
         let logged = String::from_utf8(buf.lock().clone()).expect("utf8 log line");
         assert_eq!(
@@ -973,5 +1374,53 @@ mod tests {
              \"args_digest\":\"000000000000abcd\",\"latency_us\":1234,\
              \"trace\":\"00ff112233445566\"}\n"
         );
+        assert_eq!(slow.rotations(), 0);
+    }
+
+    #[test]
+    fn file_slow_log_rotates_at_the_size_cap_keeping_one_generation() {
+        let dir = std::env::temp_dir().join("yv-store-slowlog-tests").join("rotate");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("slow.jsonl");
+        // Each line is ~130 bytes; a 300-byte cap rotates every 2-3 lines.
+        let slow = SlowLog::file(1, &path, 300).expect("open slow log");
+        for conn in 0..10 {
+            slow.log(conn, "QUERY", conn, 5_000_000, conn);
+        }
+        assert!(slow.rotations() >= 2, "cap must force rotations, saw {}", slow.rotations());
+        let aside = dir.join("slow.jsonl.1");
+        assert!(aside.exists(), "rotation keeps exactly one previous generation");
+        let head = std::fs::read_to_string(&path).expect("active log");
+        let prev = std::fs::read_to_string(&aside).expect("rotated log");
+        assert!(head.len() as u64 <= 300 + 200, "active file stays near the cap");
+        // Every retained line is complete JSONL (rotation never tears one).
+        for line in head.lines().chain(prev.lines()) {
+            assert!(line.starts_with("{\"slow_request\":true,"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        // The newest line survived in the active file.
+        assert!(head.contains("\"conn\":9,"));
+    }
+
+    #[test]
+    fn stream_slow_log_rotation_is_logical_with_a_marker() {
+        let buf = Arc::new(parking_lot::Mutex::new(Vec::<u8>::new()));
+        struct Sink(Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let slow = SlowLog::stream(1, Box::new(Sink(Arc::clone(&buf))), 200);
+        for conn in 0..4 {
+            slow.log(conn, "QUERY", conn, 5_000_000, conn);
+        }
+        assert!(slow.rotations() >= 1);
+        let logged = String::from_utf8(buf.lock().clone()).expect("utf8");
+        assert!(logged.contains("{\"slow_log_rotated\":true,\"generation\":1}\n"), "{logged}");
     }
 }
