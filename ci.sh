@@ -55,10 +55,13 @@ fi
 rm -f "$stale_baseline"
 # The windowed-telemetry surfaces must stay clean under the strictest
 # rules: S1 (clocks are injected, never read ambiently) on the rollup
-# rings and N1 (no raw names reach a sink) on the persisted frames.
+# rings and N1 (no raw names reach a sink) on the persisted frames —
+# and the wire-protocol surfaces (frame codec + client) under C1
+# (cast safety on length/count fields read off the network).
 cargo run -q -p yv-audit -- check \
-    crates/obs/src/window.rs crates/store/src/telemetry.rs crates/store/src/server.rs
-echo "audit gate: workspace clean in ${audit_elapsed}s, seeded violations detected, good twins pass, stale baseline refused, telemetry files pass S1/N1"
+    crates/obs/src/window.rs crates/store/src/telemetry.rs crates/store/src/server.rs \
+    crates/store/src/frame.rs crates/store/src/client.rs
+echo "audit gate: workspace clean in ${audit_elapsed}s, seeded violations detected, good twins pass, stale baseline refused, telemetry+wire files pass S1/N1/C1"
 
 # Observability smoke test: `yv block --trace-json` must emit a valid
 # Chrome-trace file carrying the span taxonomy (DESIGN.md §11).
@@ -212,12 +215,13 @@ if [ ! -s "$store_dir/telemetry/telemetry.yvt" ]; then
 fi
 echo "telemetry smoke test: slow.jsonl + telemetry.yvt persisted"
 
-# Sharded-store smoke test (DESIGN.md §9): bootstrap a 4-shard store,
-# fire concurrent ADDs through the typed client (`yv load`, four
-# connections), shut down (folding the per-shard WALs into the
+# Sharded-store smoke test (DESIGN.md §9, §13): bootstrap a 4-shard
+# store, fire concurrent ADDs through the typed client over both
+# transports (`yv load` text, then `yv load --binary` streaming
+# BATCH_ADD frames), shut down (folding the per-shard WALs into the
 # snapshot), restart on the same directory, and require the identical
 # logical state back: same record count, same shard count, and the same
-# query-battery digest.
+# query-battery digest — which must also be transport-independent.
 serve_on_shard_dir() {
     cargo run -q --release -p yv-cli --bin yv -- \
         serve --dir "$store_dir/shards" --records 300 --shards 4 \
@@ -309,6 +313,119 @@ assert "Levi" not in "\n".join(lines), "raw query name leaked into the trace"
 print(f"trace smoke test: trace {trace_id} replays {len(spans)} spans,"
       f" owner shard {owner} in the fan-out")
 PYEOF
+# Binary wire smoke test (DESIGN.md §13): one socket sends the HELLO
+# line and upgrades to checksummed binary frames (STATS, then QUERY);
+# a plain-text session on a second socket keeps working before, during
+# and after — the two transports coexist on one server, and the binary
+# QUERY block must be byte-identical to the text one (modulo the
+# per-request trace id).
+python3 - "$shard_addr" <<'PYEOF'
+import re, socket, struct, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+
+def fnv1a64(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+def frame(tag, payload=b""):
+    return (bytes([tag]) + struct.pack("<I", len(payload)) + payload
+            + struct.pack("<Q", fnv1a64(bytes([tag]) + payload)))
+
+def read_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        got = sock.recv(n - len(buf))
+        assert got, "server closed mid-frame"
+        buf += got
+    return buf
+
+def read_block(sock):
+    tag = read_exact(sock, 1)[0]
+    assert tag == 0x20, f"expected BLOCK frame, got tag {tag:#04x}"
+    (length,) = struct.unpack("<I", read_exact(sock, 4))
+    payload = read_exact(sock, length)
+    (checksum,) = struct.unpack("<Q", read_exact(sock, 8))
+    assert checksum == fnv1a64(bytes([tag]) + payload), "frame checksum mismatch"
+    (strlen,) = struct.unpack("<I", payload[:4])
+    assert strlen == length - 4, "BLOCK string length disagrees with payload"
+    return payload[4:].decode()
+
+def opt_str(value):
+    if value is None:
+        return b"\x00"
+    raw = value.encode()
+    return b"\x01" + struct.pack("<I", len(raw)) + raw
+
+# Plain-text session first: capture the reference QUERY block.
+text = socket.create_connection((host, int(port)), timeout=10)
+tf = text.makefile("rw", newline="\n")
+
+def text_request(line):
+    tf.write(line + "\n")
+    tf.flush()
+    lines = []
+    while True:
+        got = tf.readline()
+        assert got, "server closed mid-response"
+        lines.append(got)
+        if got == ".\n":
+            return "".join(lines)
+
+text_block = text_request("QUERY first=Abramo")
+assert text_block.startswith("OK"), text_block
+
+# Second socket: HELLO upgrade, then binary frames.
+bin_sock = socket.create_connection((host, int(port)), timeout=10)
+bin_sock.sendall(b"HELLO proto=binary\n")
+hello = b""
+while not hello.endswith(b".\n"):
+    got = bin_sock.recv(256)
+    assert got, "server closed during HELLO"
+    hello += got
+assert hello == b"OK hello proto=binary\n.\n", hello
+
+# Binary STATS (tag 0x04, empty payload).
+bin_sock.sendall(frame(0x04))
+stats = read_block(bin_sock)
+assert stats.startswith("OK records="), stats
+
+# Binary QUERY (tag 0x01) with the text protocol's defaults
+# (similarity=0.88, certainty=0.0): same block as the text session.
+payload = (opt_str("Abramo") + opt_str(None)
+           + struct.pack("<d", 0.88) + struct.pack("<d", 0.0))
+bin_sock.sendall(frame(0x01, payload))
+bin_block = read_block(bin_sock)
+strip = lambda s: re.sub(r" trace=[0-9a-f]{16}", "", s)
+assert strip(bin_block) == strip(text_block), f"{bin_block!r} != {text_block!r}"
+
+# The text session is still alive and unupgraded after the binary
+# traffic on the other socket: same answer again.
+again = text_request("QUERY first=Abramo")
+assert strip(again) == strip(text_block), f"{again!r} != {text_block!r}"
+text.close()
+bin_sock.close()
+hits = max(0, len(text_block.splitlines()) - 2)
+print(f"binary wire smoke: HELLO upgrade ok, STATS/QUERY framed+checksummed,"
+      f" text and binary blocks identical ({hits} hits), text session undisturbed")
+PYEOF
+# Binary pipelined load (DESIGN.md §13): 24 more records over HELLO-
+# upgraded connections streaming BATCH_ADD frames, then the query
+# battery over the same binary transport. A text battery on the same
+# store state must print the identical digest — the battery digest is
+# transport-independent (README promises CI enforces this).
+fill_bin="$(cargo run -q --release -p yv-cli --bin yv -- \
+    load --addr "$shard_addr" --adds 24 --threads 4 --binary --batch 8 \
+    --book-base 950000)"
+grep -q "via binary BATCH_ADD x8" <<< "$fill_bin" || {
+    echo "binary load smoke test: the binary wire was not used: $fill_bin" >&2
+    exit 1
+}
+fill_text="$(cargo run -q --release -p yv-cli --bin yv -- \
+    load --addr "$shard_addr" --adds 0)"
 cargo run -q --release -p yv-cli --bin yv -- \
     load --addr "$shard_addr" --shutdown > /dev/null
 wait "$shard_pid"
@@ -316,27 +433,40 @@ serve_on_shard_dir "$shard_log_replay"
 replay="$(cargo run -q --release -p yv-cli --bin yv -- \
     load --addr "$shard_addr" --shutdown)"
 wait "$shard_pid"
-for run in fill replay; do
+for run in fill fill_bin fill_text replay; do
     grep -q "shards=4" <<< "${!run}" || {
         echo "sharded smoke test: $run run lost the shard count: ${!run}" >&2
         exit 1
     }
 done
 records_fill="$(grep -o 'records=[0-9]*' <<< "$fill")"
+records_bin="$(grep -o 'records=[0-9]*' <<< "$fill_bin")"
 records_replay="$(grep -o 'records=[0-9]*' <<< "$replay")"
-if [ "$records_fill" != "$records_replay" ] || [ "$records_fill" != "records=324" ]; then
-    echo "sharded smoke test: expected records=324 before and after restart," \
-        "got '$records_fill' / '$records_replay'" >&2
+if [ "$records_fill" != "records=324" ]; then
+    echo "sharded smoke test: expected records=324 after the text ADDs," \
+        "got '$records_fill'" >&2
     exit 1
 fi
-digest_fill="$(grep '^battery digest:' <<< "$fill")"
+if [ "$records_bin" != "records=348" ] || [ "$records_replay" != "records=348" ]; then
+    echo "sharded smoke test: expected records=348 after the binary load and" \
+        "after restart, got '$records_bin' / '$records_replay'" >&2
+    exit 1
+fi
+digest_bin="$(grep '^battery digest:' <<< "$fill_bin")"
+digest_text="$(grep '^battery digest:' <<< "$fill_text")"
 digest_replay="$(grep '^battery digest:' <<< "$replay")"
-if [ -z "$digest_fill" ] || [ "$digest_fill" != "$digest_replay" ]; then
-    echo "sharded smoke test: query battery diverged across restart:" \
-        "'$digest_fill' vs '$digest_replay'" >&2
+if [ -z "$digest_bin" ] || [ "$digest_bin" != "$digest_text" ]; then
+    echo "sharded smoke test: battery digest depends on the transport:" \
+        "binary '$digest_bin' vs text '$digest_text'" >&2
     exit 1
 fi
-echo "sharded smoke test: 24 concurrent ADDs over 4 shards, restart identical ($digest_fill)"
+if [ "$digest_bin" != "$digest_replay" ]; then
+    echo "sharded smoke test: query battery diverged across restart:" \
+        "'$digest_bin' vs '$digest_replay'" >&2
+    exit 1
+fi
+echo "sharded smoke test: 24 text ADDs + 24 binary BATCH_ADDs over 4 shards," \
+    "text/binary digests identical, restart identical ($digest_bin)"
 
 # Shard-routing hash gate: fnv1a64 is the only hash the store may route
 # records with (DESIGN.md §9) — a stray std/fast hasher would re-route
@@ -359,7 +489,10 @@ echo "shard routing gate: fnv1a64 is the only routing hash"
 
 # Bench regression gate: a run compared against itself must pass, and a
 # synthetic 2x slowdown injected into its stage timings must fail the
-# compare with a nonzero exit.
+# compare with a nonzero exit. The bench run itself includes the serve
+# transport stage, which enforces the binary >= 3x text throughput
+# floor in-process and must publish both req/s rates into the JSON
+# (the `_per_s` rate class the compare gates on).
 cargo run -q --release -p yv-cli --bin yv -- \
     bench --records 300 --out "$bench_base" > /dev/null
 cargo run -q --release -p yv-cli --bin yv -- \
@@ -368,6 +501,9 @@ python3 - "$bench_base" "$bench_slow" <<'PYEOF'
 import json, sys
 with open(sys.argv[1]) as f:
     bench = json.load(f)
+body = json.dumps(bench)
+for rate in ["yv_serve_text_req_per_s", "yv_serve_binary_req_per_s"]:
+    assert rate in body, f"bench JSON is missing the serve rate {rate}"
 # Double every stage; the +100ms keeps tiny stages above the absolute
 # floor so the gate trips deterministically at CI scale.
 bench["stages_us"] = {k: v * 2 + 100_000 for k, v in bench["stages_us"].items()}

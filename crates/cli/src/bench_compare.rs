@@ -11,6 +11,10 @@
 //!   on a ratio threshold with an absolute floor: a regression needs
 //!   `new > old * threshold` *and* `new - old >= min_delta`. Improvements
 //!   always pass.
+//! - **rate** — keys whose last segment ends in `_per_s` (the serve
+//!   transport throughputs). Higher is better, so the gate flips: a
+//!   regression needs `new < old / threshold` *and* `old - new >=
+//!   min_delta`. Improvements always pass.
 //! - **exact** — everything else (counters, match totals, the schema
 //!   string). The pipeline is deterministic for a given `records`/`seed`,
 //!   so any drift in these is a real behaviour change and fails
@@ -96,6 +100,13 @@ pub fn parse_flat_json(text: &str) -> Result<Vec<(String, Value)>, String> {
 fn is_noisy(key: &str) -> bool {
     key.split('.')
         .any(|seg| seg.ends_with("_us") || seg.ends_with("_ns") || seg.ends_with("_bytes"))
+}
+
+/// Whether a metric is a throughput rate (higher is better): any path
+/// segment ending in `_per_s`. These gate like noisy metrics but with
+/// the direction reversed — a *drop* past the threshold regresses.
+fn is_rate(key: &str) -> bool {
+    key.split('.').any(|seg| seg.ends_with("_per_s"))
 }
 
 /// One compared metric.
@@ -187,6 +198,24 @@ pub fn compare(
 /// Classify one metric's movement.
 fn judge(key: &str, old: &Value, new: &Value, config: &CompareConfig) -> (bool, String) {
     match (old, new) {
+        (Value::Int(o), Value::Int(n)) if is_rate(key) => {
+            if n >= o {
+                return (false, "improved or equal".to_owned());
+            }
+            let delta = o - n;
+            let under_ratio = (*n as f64) < (*o as f64) / config.threshold;
+            if under_ratio && delta >= config.min_delta {
+                (
+                    true,
+                    format!(
+                        "-{delta} drops past 1/{}x threshold (floor {})",
+                        config.threshold, config.min_delta
+                    ),
+                )
+            } else {
+                (false, format!("-{delta} within threshold"))
+            }
+        }
         (Value::Int(o), Value::Int(n)) if is_noisy(key) => {
             if n <= o {
                 return (false, "improved or equal".to_owned());
@@ -281,6 +310,45 @@ mod tests {
         let faster = SAMPLE.replace("\"blocking\": 52000", "\"blocking\": 1000");
         let new = parse_flat_json(&faster).unwrap();
         assert_eq!(compare(&old, &new, &CompareConfig::default()).unwrap().regressions, 0);
+    }
+
+    const RATE_SAMPLE: &str = r#"{
+  "schema": "yv-bench-pipeline/v2",
+  "records": 250,
+  "seed": 7,
+  "metrics": {
+    "yv_serve_binary_req_per_s": 90000,
+    "yv_serve_text_req_per_s": 20000
+  }
+}
+"#;
+
+    #[test]
+    fn throughput_drop_past_the_threshold_is_a_regression() {
+        let old = parse_flat_json(RATE_SAMPLE).unwrap();
+        // 90000 -> 30000 req/s is worse than 1/1.5x and past the floor.
+        let collapsed =
+            RATE_SAMPLE.replace("\"yv_serve_binary_req_per_s\": 90000", "\"yv_serve_binary_req_per_s\": 30000");
+        let new = parse_flat_json(&collapsed).unwrap();
+        let report = compare(&old, &new, &CompareConfig::default()).unwrap();
+        assert_eq!(report.regressions, 1, "{}", report.render());
+        assert!(report.render().contains("yv_serve_binary_req_per_s"));
+    }
+
+    #[test]
+    fn throughput_gains_and_small_dips_pass() {
+        let old = parse_flat_json(RATE_SAMPLE).unwrap();
+        // A rate increase is an improvement, never a regression.
+        let faster =
+            RATE_SAMPLE.replace("\"yv_serve_text_req_per_s\": 20000", "\"yv_serve_text_req_per_s\": 90000");
+        let new = parse_flat_json(&faster).unwrap();
+        assert_eq!(compare(&old, &new, &CompareConfig::default()).unwrap().regressions, 0);
+        // 20000 -> 14000 is past 1/1.5x but under the 10000 floor.
+        let dip =
+            RATE_SAMPLE.replace("\"yv_serve_text_req_per_s\": 20000", "\"yv_serve_text_req_per_s\": 14000");
+        let new = parse_flat_json(&dip).unwrap();
+        let report = compare(&old, &new, &CompareConfig::default()).unwrap();
+        assert_eq!(report.regressions, 0, "{}", report.render());
     }
 
     #[test]

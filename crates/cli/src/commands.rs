@@ -270,6 +270,8 @@ pub fn bench(args: &Args) -> CliResult {
         bench_resolve(&gen, &pipeline, &config, &registry)?;
     let (trace_disabled_us, trace_enabled_us) =
         bench_trace_overhead(&gen, &pipeline, &config, &registry)?;
+    let (serve_text_per_s, serve_binary_per_s) =
+        bench_serve_protocols(&gen, &pipeline, &config, &registry)?;
 
     const STAGES: &[&str] =
         &["preprocess", "train", "blocking", "extract", "score", "resolve", "total"];
@@ -316,6 +318,10 @@ pub fn bench(args: &Args) -> CliResult {
     println!(
         "trace capture overhead: QUERY p50 {trace_enabled_us} us traced \
          vs {trace_disabled_us} us untraced"
+    );
+    println!(
+        "serve transports ({BENCH_SERVE_ARRIVALS} ADDs): text {serve_text_per_s} req/s, \
+         binary BATCH_ADD x{BENCH_SERVE_BATCH} {serve_binary_per_s} req/s"
     );
     println!("wrote {out}");
     emit_obs(args, &rec)?;
@@ -657,6 +663,133 @@ fn bench_trace_overhead(
     Ok((best[0], best[1]))
 }
 
+/// Arrivals each transport pushes through the serve bench stage.
+const BENCH_SERVE_ARRIVALS: usize = 768;
+/// Records per `BATCH_ADD` frame in the binary serve stage — the batch
+/// size the 3x acceptance gate is defined at.
+const BENCH_SERVE_BATCH: usize = 256;
+/// `BATCH_ADD` frames the binary serve stage keeps in flight at once.
+const BENCH_SERVE_WINDOW: usize = 4;
+
+/// The transport stage of `yv bench`: start a real `yv serve` over a
+/// 4-shard store and push the same arrival stream through each wire —
+/// per-request text `ADD`s on one connection, pipelined binary
+/// `BATCH_ADD` frames (batch = [`BENCH_SERVE_BATCH`]) on another with a
+/// fresh identical store. Publishes records/second for both as
+/// `yv_serve_text_req_per_s` / `yv_serve_binary_req_per_s` (rate-gated
+/// by the compare gate) plus the raw `*_elapsed_us` timings. The binary
+/// wire must clear 3x the text rate in-process: below that, batching has
+/// stopped paying for its framing and the stage fails the bench.
+fn bench_serve_protocols(
+    gen: &Generated,
+    pipeline: &Pipeline,
+    config: &PipelineConfig,
+    registry: &MetricsRegistry,
+) -> Result<(u64, u64), String> {
+    use yv_obs::Clock as _;
+    let clock = yv_obs::MonotonicClock::new();
+    let book_base: u64 = 800_000;
+    let mut rates = [0u64; 2];
+    let mut elapsed = [0u64; 2];
+    for (slot, mode) in [(0usize, "text"), (1, "binary")] {
+        let dir = std::env::temp_dir().join("yv-bench-store").join(format!("serve-{mode}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).map_err(err)?;
+        let resolver = yv_core::IncrementalResolver::bootstrap(
+            clone_dataset(&gen.dataset),
+            pipeline.clone(),
+            config.clone(),
+            yv_core::IncrementalConfig::default(),
+        );
+        let store = yv_store::Store::create(&dir, resolver, BENCH_ADD_THREADS).map_err(err)?;
+        let records_before = store.stats().records;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").map_err(err)?;
+        let addr = listener.local_addr().map_err(err)?;
+        let server =
+            std::thread::spawn(move || yv_store::ServeOptions::new(store).workers(2).serve(listener));
+
+        let started = clock.now_nanos();
+        let mut acked = 0usize;
+        if slot == 1 {
+            let mut client = yv_store::ClientOptions::new()
+                .protocol(yv_store::Protocol::Binary)
+                .connect(addr)
+                .map_err(err)?;
+            let mut pipe = client.pipeline(BENCH_SERVE_WINDOW);
+            for start in (0..BENCH_SERVE_ARRIVALS).step_by(BENCH_SERVE_BATCH) {
+                let chunk: Vec<_> = (start..(start + BENCH_SERVE_BATCH).min(BENCH_SERVE_ARRIVALS))
+                    .map(|i| load_record(book_base, i))
+                    .collect();
+                pipe.push(&yv_store::RequestFrame::BatchAdd(chunk)).map_err(err)?;
+            }
+            for reply in pipe.flush().map_err(err)? {
+                for status in reply.batch().map_err(err)? {
+                    match status {
+                        yv_store::BatchStatus::Ok { .. } => acked += 1,
+                        yv_store::BatchStatus::Err(e) => {
+                            return Err(format!("serve bench BATCH_ADD refused a record: {e}"))
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut client = yv_store::Client::connect(addr).map_err(err)?;
+            for i in 0..BENCH_SERVE_ARRIVALS {
+                client.add(&load_record(book_base, i)).map_err(err)?;
+                acked += 1;
+            }
+        }
+        elapsed[slot] = clock.now_nanos().saturating_sub(started) / 1_000;
+        if acked != BENCH_SERVE_ARRIVALS {
+            return Err(format!(
+                "serve bench ({mode}) acked {acked} of {BENCH_SERVE_ARRIVALS} arrivals"
+            ));
+        }
+        let mut closer = yv_store::Client::connect(addr).map_err(err)?;
+        closer.shutdown().map_err(err)?;
+        let store = server
+            .join()
+            .map_err(|_| "serve bench server panicked".to_owned())?
+            .map_err(err)?;
+        if store.stats().records != records_before + BENCH_SERVE_ARRIVALS {
+            return Err(format!("serve bench ({mode}) lost arrivals"));
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+        let per_s =
+            (BENCH_SERVE_ARRIVALS as u128 * 1_000_000) / u128::from(elapsed[slot].max(1));
+        rates[slot] = u64::try_from(per_s).unwrap_or(u64::MAX);
+    }
+    registry.set_gauge(
+        "yv_serve_text_req_per_s",
+        "Per-request text ADD throughput over one serve connection",
+        rates[0],
+    );
+    registry.set_gauge(
+        "yv_serve_binary_req_per_s",
+        "Pipelined binary BATCH_ADD throughput (batch=256) over one serve connection",
+        rates[1],
+    );
+    registry.set_gauge(
+        "yv_serve_text_elapsed_us",
+        "Wall time for the text half of the serve transport stage",
+        elapsed[0],
+    );
+    registry.set_gauge(
+        "yv_serve_binary_elapsed_us",
+        "Wall time for the binary half of the serve transport stage",
+        elapsed[1],
+    );
+    if rates[1] < rates[0].saturating_mul(3) {
+        return Err(format!(
+            "binary transport regression: BATCH_ADD {} req/s is under 3x the per-request \
+             text ADD {} req/s",
+            rates[1], rates[0]
+        ));
+    }
+    Ok((rates[0], rates[1]))
+}
+
 pub fn query(args: &Args) -> CliResult {
     let gen = dataset(args)?;
     let certainty: f64 = args.parse_or("certainty", 0.0, "number").map_err(err)?;
@@ -993,9 +1126,57 @@ fn load_battery() -> Vec<PersonQuery> {
         .collect()
 }
 
+/// One `yv load` worker's share of the arrivals, over the binary
+/// transport: `HELLO`-negotiated connection, records chunked into
+/// `BATCH_ADD` frames of `batch`, frames pipelined with a bounded
+/// in-flight window. Returns the summed per-record match counts.
+fn load_binary_worker(
+    addr: &str,
+    t: usize,
+    threads: usize,
+    adds: usize,
+    batch: usize,
+    book_base: u64,
+) -> Result<usize, String> {
+    let mut client = yv_store::ClientOptions::new()
+        .protocol(yv_store::Protocol::Binary)
+        .connect(addr)
+        .map_err(err)?;
+    let mut pipe = client.pipeline(LOAD_PIPELINE_WINDOW);
+    let mut chunk = Vec::with_capacity(batch);
+    for i in (t..adds).step_by(threads) {
+        chunk.push(load_record(book_base, i));
+        if chunk.len() == batch {
+            pipe.push(&yv_store::RequestFrame::BatchAdd(std::mem::take(&mut chunk)))
+                .map_err(err)?;
+        }
+    }
+    if !chunk.is_empty() {
+        pipe.push(&yv_store::RequestFrame::BatchAdd(chunk)).map_err(err)?;
+    }
+    let mut matched = 0usize;
+    for reply in pipe.flush().map_err(err)? {
+        for status in reply.batch().map_err(err)? {
+            match status {
+                yv_store::BatchStatus::Ok { matches } => matched += matches as usize,
+                yv_store::BatchStatus::Err(e) => {
+                    return Err(format!("BATCH_ADD refused a record: {e}"))
+                }
+            }
+        }
+    }
+    Ok(matched)
+}
+
+/// `BATCH_ADD` frames each `yv load --binary` connection keeps in
+/// flight at once.
+const LOAD_PIPELINE_WINDOW: usize = 4;
+
 /// Drive a running `yv serve` instance through the typed TCP client:
-/// optionally fire concurrent ADDs over several connections, then print
-/// the server's stats line and a digest of a fixed query battery (equal
+/// optionally fire concurrent ADDs over several connections (per-request
+/// text lines by default; `--binary` negotiates the framed transport and
+/// streams `BATCH_ADD` frames of `--batch` records), then print the
+/// server's stats line and a digest of a fixed query battery (equal
 /// digests ⇔ equal logical state), optionally sending SHUTDOWN. This is
 /// the client half of ci.sh's sharded smoke test.
 pub fn load(args: &Args) -> CliResult {
@@ -1005,11 +1186,16 @@ pub fn load(args: &Args) -> CliResult {
     let adds: usize = args.parse_or("adds", 0, "integer").map_err(err)?;
     let threads: usize = args.parse_or("threads", 4, "integer").map_err(err)?.max(1);
     let book_base: u64 = args.parse_or("book-base", 900_000, "integer").map_err(err)?;
+    let binary = args.flag("binary");
+    let batch: usize = args.parse_or("batch", 256, "integer").map_err(err)?.max(1);
     if adds > 0 {
         let matched = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     scope.spawn(move || -> Result<usize, String> {
+                        if binary {
+                            return load_binary_worker(addr, t, threads, adds, batch, book_base);
+                        }
                         let mut client = yv_store::Client::connect(addr).map_err(err)?;
                         let mut matched = 0;
                         for i in (t..adds).step_by(threads) {
@@ -1024,9 +1210,16 @@ pub fn load(args: &Args) -> CliResult {
                 .map(|h| h.join().unwrap_or_else(|_| Err("load worker panicked".to_owned())))
                 .sum::<Result<usize, String>>()
         })?;
-        println!("added {adds} records over {threads} connections ({matched} matched)");
+        let wire = if binary { format!("binary BATCH_ADD x{batch}") } else { "text ADD".to_owned() };
+        println!("added {adds} records over {threads} connections via {wire} ({matched} matched)");
     }
-    let mut client = yv_store::Client::connect(addr).map_err(err)?;
+    // With --binary the stats/battery connection upgrades too, so the
+    // printed digest proves QUERY decodes identically on both wires
+    // (ci.sh compares it against a text run over the same store).
+    let protocol =
+        if binary { yv_store::Protocol::Binary } else { yv_store::Protocol::Text };
+    let mut client =
+        yv_store::ClientOptions::new().protocol(protocol).connect(addr).map_err(err)?;
     let stats = client.stats().map_err(err)?;
     println!(
         "records={} shards={} wal={} wal_bytes={}",
@@ -1115,6 +1308,10 @@ mod tests {
         assert!(content.contains("\"yv_trace_overhead_disabled_p50_us\":"));
         assert!(content.contains("\"yv_trace_overhead_enabled_p50_us\":"));
         assert!(content.contains("\"yv_window_rollup_p50_us\":"));
+        assert!(content.contains("\"yv_serve_text_req_per_s\":"));
+        assert!(content.contains("\"yv_serve_binary_req_per_s\":"));
+        assert!(content.contains("\"yv_serve_text_elapsed_us\":"));
+        assert!(content.contains("\"yv_serve_binary_elapsed_us\":"));
         std::fs::remove_file(path).ok();
     }
 

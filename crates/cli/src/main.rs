@@ -15,7 +15,7 @@
 //!             [--telemetry-dir DIR] [--slo p99<50000/60]
 //! yv snapshot --dir people.store                     fold the WALs into the snapshot
 //! yv top      --addr 127.0.0.1:7878 [--k 5] [--watch] live server introspection
-//! yv load     --addr 127.0.0.1:7878 [--adds 24 --threads 4] [--shutdown]
+//! yv load     --addr 127.0.0.1:7878 [--adds 24 --threads 4] [--binary [--batch N]] [--shutdown]
 //! yv reproduce [--quick]                             all tables & figures
 //! yv audit    check|fix-baseline [--format human|json|sarif] [--jobs N]
 //! ```
@@ -119,6 +119,9 @@ LOAD OPTIONS:
     --adds N            records to ADD before the battery (default 0)
     --threads N         concurrent client connections for the ADDs (default 4)
     --book-base N       first synthetic book id (default 900000)
+    --binary            negotiate the binary framed transport (HELLO) and
+                        stream the ADDs as pipelined BATCH_ADD frames
+    --batch N           records per BATCH_ADD frame with --binary (default 256)
     --shutdown          send SHUTDOWN after the battery
 
 Unknown options are rejected with the list of options the command accepts.
@@ -161,7 +164,7 @@ fn spec(command: &str) -> Option<(&'static [&'static str], &'static [&'static st
         )),
         "snapshot" => Some((&["dir"], &[])),
         "top" => Some((&["addr", "k"], &["watch"])),
-        "load" => Some((&["addr", "adds", "threads", "book-base"], &["shutdown"])),
+        "load" => Some((&["addr", "adds", "threads", "book-base", "batch"], &["shutdown", "binary"])),
         "reproduce" => Some((&[], &["quick"])),
         _ => None,
     }
@@ -177,7 +180,7 @@ fn main() {
     }
     let args = match Args::parse(
         raw,
-        &["italy", "quick", "timings", "help", "shutdown", "watch", "no-trace"],
+        &["italy", "quick", "timings", "help", "shutdown", "watch", "no-trace", "binary"],
     ) {
         Ok(args) => args,
         Err(e) => {

@@ -1,10 +1,10 @@
-//! Typed client for the `yv serve` line protocol.
+//! Typed client for `yv serve`, over either transport.
 //!
-//! Wraps one TCP connection and turns protocol exchanges into typed
-//! calls — [`Client::query`] returns [`QueryHit`]s, [`Client::add`] the
-//! match count, [`Client::stats`] a parsed [`StatsReport`] — so callers
-//! (tests, the CLI, load generators) never hand-assemble request lines
-//! or scrape response text:
+//! A [`Client`] wraps one TCP connection and turns protocol exchanges
+//! into typed calls — [`Client::query`] returns [`QueryHit`]s,
+//! [`Client::add`] the match count, [`Client::stats`] a parsed
+//! [`StatsReport`] — so callers (tests, the CLI, load generators) never
+//! hand-assemble request lines or scrape response text:
 //!
 //! ```no_run
 //! # use yv_store::client::Client;
@@ -17,17 +17,52 @@
 //! # Ok::<(), yv_store::client::ClientError>(())
 //! ```
 //!
-//! The wire format is `key=value` tokens separated by whitespace, so not
-//! every [`Record`] is expressible: values containing whitespace (or
-//! empty ones), `mothers_maiden`, and places have no encoding. Those
+//! ## Transports
+//!
+//! The transport lives behind the [`Connection`] trait with two
+//! backends: the original line protocol ([`Protocol::Text`], what
+//! `Client::connect` still gives you) and the length-prefixed,
+//! checksummed binary framing from [`crate::frame`]
+//! ([`Protocol::Binary`], negotiated by sending `HELLO proto=binary` as
+//! the first request). [`ClientOptions`] picks the transport and the
+//! socket timeouts:
+//!
+//! ```no_run
+//! # use std::time::Duration;
+//! # use yv_store::client::{ClientOptions, Protocol};
+//! let mut client = ClientOptions::new()
+//!     .connect_timeout(Duration::from_secs(2))
+//!     .read_timeout(Duration::from_secs(30))
+//!     .protocol(Protocol::Negotiate)
+//!     .connect("127.0.0.1:7878")?;
+//! # Ok::<(), yv_store::client::ClientError>(())
+//! ```
+//!
+//! Every typed call works identically on both transports (binary
+//! replies carry the same rendered block the text server would have
+//! written, so even the parsers are shared). The binary transport adds
+//! [`Client::batch_add`] — many records in one round trip with
+//! per-record [`BatchStatus`] outcomes — and [`Client::pipeline`], which
+//! keeps a bounded window of requests in flight and hands replies back
+//! in request order.
+//!
+//! ## What the text wire cannot carry
+//!
+//! The line format is `key=value` tokens separated by whitespace, so not
+//! every [`Record`] is expressible there: values containing whitespace
+//! (or empty ones), `mothers_maiden`, and places have no encoding. Those
 //! surface as [`ClientError::Unencodable`] *before* anything is sent —
-//! an encoding gap never half-transmits a record.
+//! an encoding gap never half-transmits a record. The binary codec
+//! carries every record verbatim.
 
+use crate::error::StoreError;
+use crate::frame::{BatchStatus, RequestFrame, ResponseFrame, HELLO_LINE, HELLO_OK};
 use crate::protocol::TERMINATOR;
 use crate::shard::ShardStats;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use yv_core::{PersonQuery, QueryHit};
 use yv_records::{Gender, Record, RecordId};
 
@@ -37,15 +72,16 @@ pub enum ClientError {
     /// The TCP connection failed or dropped mid-exchange.
     Io(std::io::Error),
     /// The server answered, but not in the shape the protocol promises
-    /// (missing terminator, malformed data line). The string names what
-    /// was expected.
+    /// (missing terminator, malformed data line, bad frame checksum).
+    /// The string names what was expected.
     Protocol(String),
     /// The server answered with an `ERR ...` status; the string is the
     /// server's message.
     Server(String),
-    /// The request has no line-protocol encoding (whitespace or empty
-    /// value, `mothers_maiden`, places). Detected client-side before
-    /// anything is sent.
+    /// The request has no encoding on the connection's transport
+    /// (whitespace or empty value, `mothers_maiden`, places on the line
+    /// protocol; `BATCH_ADD` on a text connection). Detected client-side
+    /// before anything is sent.
     Unencodable(String),
 }
 
@@ -75,6 +111,19 @@ impl ClientError {
             _ => None,
         }
     }
+
+    /// The [`std::io::ErrorKind`] underneath a transport failure, if the
+    /// failure was an I/O error at all. Retry logic upstream can branch
+    /// on this without string-matching: `ConnectionRefused` (server not
+    /// up yet) and `TimedOut`/`WouldBlock` (slow reply) are retryable in
+    /// ways `ConnectionReset` mid-request may not be.
+    #[must_use]
+    pub fn io_kind(&self) -> Option<std::io::ErrorKind> {
+        match self {
+            ClientError::Io(e) => Some(e.kind()),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -84,7 +133,7 @@ impl fmt::Display for ClientError {
             ClientError::Protocol(what) => write!(f, "malformed server response: {what}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Unencodable(what) => {
-                write!(f, "not expressible in the line protocol: {what}")
+                write!(f, "not expressible on this transport: {what}")
             }
         }
     }
@@ -102,6 +151,15 @@ impl std::error::Error for ClientError {
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+impl From<StoreError> for ClientError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
     }
 }
 
@@ -270,34 +328,288 @@ pub struct StatsReport {
     pub commands: Vec<CommandRow>,
 }
 
-/// A connected protocol client. One request in flight at a time (the
-/// protocol is strictly request/response per connection).
+/// Which transport a connection should speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// The original line protocol. The default: inspectable with
+    /// `telnet`/`nc`, and what [`Client::connect`] gives you.
+    #[default]
+    Text,
+    /// Send `HELLO proto=binary` on connect and require the upgrade; a
+    /// server that refuses is an error ([`ClientError::Server`]).
+    Binary,
+    /// Try the `HELLO` upgrade, but fall back to the text protocol on
+    /// the same connection if the server refuses (an `ERR` reply leaves
+    /// the text session usable by design).
+    Negotiate,
+}
+
+/// Builder for how a [`Client`] connects: socket timeouts and the
+/// transport ([`Protocol`]). `Client::connect(addr)` is shorthand for
+/// `ClientOptions::new().connect(addr)`.
+#[derive(Debug, Clone, Default)]
+pub struct ClientOptions {
+    connect_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    protocol: Protocol,
+}
+
+impl ClientOptions {
+    /// Defaults: no timeouts (blocking connect/read), text protocol.
+    #[must_use]
+    pub fn new() -> ClientOptions {
+        ClientOptions::default()
+    }
+
+    /// Bound how long `connect` waits for the TCP handshake. Each
+    /// resolved address gets the full budget in turn.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> ClientOptions {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Bound how long any single read waits for server bytes; an
+    /// expired timeout surfaces as [`ClientError::Io`] with kind
+    /// `TimedOut`/`WouldBlock` (platform-dependent).
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> ClientOptions {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Pick the transport (default [`Protocol::Text`]).
+    #[must_use]
+    pub fn protocol(mut self, protocol: Protocol) -> ClientOptions {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Connect, apply the timeouts, and run the `HELLO` negotiation the
+    /// chosen [`Protocol`] calls for.
+    pub fn connect<A: ToSocketAddrs>(&self, addr: A) -> Result<Client, ClientError> {
+        let stream = self.open_stream(addr)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        // Request/response protocol: Nagle holds the final partial
+        // segment of a large frame until the server's delayed ACK, which
+        // turns every pipelined BATCH_ADD into a ~40ms round trip.
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        let binary = match self.protocol {
+            Protocol::Text => false,
+            Protocol::Binary | Protocol::Negotiate => {
+                writer.write_all(HELLO_LINE.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                let (status, _) = read_text_block(&mut reader)?;
+                if status == HELLO_OK {
+                    true
+                } else if let Some(msg) = status.strip_prefix("ERR ") {
+                    if self.protocol == Protocol::Binary {
+                        return Err(ClientError::Server(msg.to_owned()));
+                    }
+                    false
+                } else {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected HELLO reply {status:?}"
+                    )));
+                }
+            }
+        };
+        let negotiated = if binary { Protocol::Binary } else { Protocol::Text };
+        let conn: Box<dyn Connection> = if binary {
+            Box::new(BinaryConnection { reader, writer })
+        } else {
+            Box::new(TextConnection { reader, writer })
+        };
+        Ok(Client { conn, negotiated })
+    }
+
+    fn open_stream<A: ToSocketAddrs>(&self, addr: A) -> Result<TcpStream, ClientError> {
+        let Some(timeout) = self.connect_timeout else {
+            return Ok(TcpStream::connect(addr)?);
+        };
+        let mut last = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
+    }
+}
+
+/// One reply off the wire, still in transport shape. [`Reply::block`]
+/// and [`Reply::batch`] convert to the typed forms (mapping `ERR`
+/// statuses to [`ClientError::Server`]); pipelined callers get `Reply`
+/// values back so an `ERR` mid-stream doesn't abort the replies behind
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A rendered response block: the status line plus the data lines
+    /// (terminator already consumed). Both transports produce these —
+    /// the binary framing carries the same rendered text.
+    Block {
+        status: String,
+        data: Vec<String>,
+    },
+    /// Per-record `BATCH_ADD` outcomes, in request order (binary only).
+    Batch(Vec<BatchStatus>),
+}
+
+impl Reply {
+    /// This reply as a successful text block. `ERR` statuses become
+    /// [`ClientError::Server`]; a batch reply here is a protocol breach.
+    pub fn block(self) -> Result<(String, Vec<String>), ClientError> {
+        match self {
+            Reply::Block { status, data } => {
+                if let Some(msg) = status.strip_prefix("ERR ") {
+                    return Err(ClientError::Server(msg.to_owned()));
+                }
+                if !status.starts_with("OK") {
+                    return Err(ClientError::Protocol(format!(
+                        "expected an OK or ERR status line, got {status:?}"
+                    )));
+                }
+                Ok((status, data))
+            }
+            Reply::Batch(_) => Err(ClientError::Protocol(
+                "expected a response block, got a BATCH_ADD status frame".to_owned(),
+            )),
+        }
+    }
+
+    /// This reply as per-record `BATCH_ADD` statuses.
+    pub fn batch(self) -> Result<Vec<BatchStatus>, ClientError> {
+        match self {
+            Reply::Batch(statuses) => Ok(statuses),
+            Reply::Block { status, .. } => {
+                if let Some(msg) = status.strip_prefix("ERR ") {
+                    return Err(ClientError::Server(msg.to_owned()));
+                }
+                Err(ClientError::Protocol(format!(
+                    "expected BATCH_ADD statuses, got a response block {status:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// One request/reply transport. Implementations promise that replies
+/// come back **in request order** (the server handles each connection
+/// serially), which is what makes [`Pipeline`] sound: after `n` sends
+/// and `m < n` receives, the next [`recv`](Connection::recv) yields the
+/// reply to send `m + 1`.
+pub trait Connection: fmt::Debug + Send {
+    /// Encode and write one request without waiting for its reply.
+    /// Encoding failures ([`ClientError::Unencodable`]) are detected
+    /// before any byte is written.
+    fn send(&mut self, request: &RequestFrame) -> Result<(), ClientError>;
+
+    /// Read the next reply, in send order.
+    fn recv(&mut self) -> Result<Reply, ClientError>;
+}
+
+/// The line-protocol backend: requests render to `key=value` lines,
+/// replies are status + data lines up to the terminator.
 #[derive(Debug)]
-pub struct Client {
+pub struct TextConnection {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
+impl Connection for TextConnection {
+    fn send(&mut self, request: &RequestFrame) -> Result<(), ClientError> {
+        // One write per request: splitting the line and its newline into
+        // two TCP segments lets Nagle hold the newline for the delayed
+        // ACK (~40ms per request on loopback).
+        let mut line = render_request(request)?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Reply, ClientError> {
+        let (status, data) = read_text_block(&mut self.reader)?;
+        Ok(Reply::Block { status, data })
+    }
+}
+
+/// The binary backend: length-prefixed, checksummed frames from
+/// [`crate::frame`], entered via `HELLO proto=binary`.
+#[derive(Debug)]
+pub struct BinaryConnection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection for BinaryConnection {
+    fn send(&mut self, request: &RequestFrame) -> Result<(), ClientError> {
+        let bytes = request.encode()?;
+        self.writer.write_all(&bytes)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Reply, ClientError> {
+        match ResponseFrame::read(&mut self.reader)? {
+            None => Err(ClientError::Protocol("connection closed mid-response".to_owned())),
+            Some(ResponseFrame::Batch(statuses)) => Ok(Reply::Batch(statuses)),
+            Some(ResponseFrame::Block(block)) => {
+                let mut lines = block.lines().map(str::to_owned);
+                let status = lines.next().ok_or_else(|| {
+                    ClientError::Protocol("empty response block frame".to_owned())
+                })?;
+                let mut data: Vec<String> = lines.collect();
+                if data.pop().as_deref() != Some(TERMINATOR) {
+                    return Err(ClientError::Protocol(
+                        "response block frame has no terminator".to_owned(),
+                    ));
+                }
+                Ok(Reply::Block { status, data })
+            }
+        }
+    }
+}
+
+/// A connected client. One logical request/reply at a time through the
+/// typed methods; [`Client::pipeline`] overlaps requests explicitly.
+#[derive(Debug)]
+pub struct Client {
+    conn: Box<dyn Connection>,
+    negotiated: Protocol,
+}
+
 impl Client {
-    /// Connect to a `yv serve` server.
+    /// Connect with the defaults: text protocol, no timeouts. Shorthand
+    /// for `ClientOptions::new().connect(addr)`.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        let read_half = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(read_half), writer: stream })
+        ClientOptions::new().connect(addr)
+    }
+
+    /// The transport this connection actually speaks after negotiation:
+    /// [`Protocol::Binary`] iff the `HELLO` upgrade happened.
+    #[must_use]
+    pub fn protocol(&self) -> Protocol {
+        self.negotiated
     }
 
     /// Run a `QUERY` and parse the hits.
     pub fn query(&mut self, query: &PersonQuery) -> Result<Vec<QueryHit>, ClientError> {
-        let line = encode_query(query)?;
-        let (_, data) = self.exchange(&line)?;
+        let (_, data) = self.request(&RequestFrame::Query(query.clone()))?;
         data.iter().map(|line| parse_hit(line)).collect()
     }
 
     /// Run an `ADD`, returning the number of ranked matches the new
     /// record produced.
     pub fn add(&mut self, record: &Record) -> Result<usize, ClientError> {
-        let line = encode_add(record)?;
-        let (status, _) = self.exchange(&line)?;
+        let (status, _) = self.request(&RequestFrame::Add(Box::new(record.clone())))?;
         // Token scan, not a prefix match: OK status lines may carry a
         // trailing `trace=<id>` token after the matches count.
         status
@@ -305,6 +617,15 @@ impl Client {
             .find_map(|token| token.strip_prefix("matches="))
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| ClientError::Protocol(format!("expected OK matches=N, got {status:?}")))
+    }
+
+    /// Run a `BATCH_ADD`: all `records` in one round trip, answered with
+    /// one [`BatchStatus`] per record in order. Binary transport only —
+    /// on a text connection this refuses with
+    /// [`ClientError::Unencodable`] before sending anything.
+    pub fn batch_add(&mut self, records: Vec<Record>) -> Result<Vec<BatchStatus>, ClientError> {
+        self.conn.send(&RequestFrame::BatchAdd(records))?;
+        self.conn.recv()?.batch()
     }
 
     /// Run a `RESOLVE` and parse the ranked candidates. `k` and `min`
@@ -316,28 +637,21 @@ impl Client {
         k: Option<usize>,
         min: Option<f64>,
     ) -> Result<Vec<ResolveRow>, ClientError> {
-        let mut line = String::from("RESOLVE");
-        line.push(' ');
-        line.push_str(wire_value("name", name)?);
-        if let Some(k) = k {
-            push_kv(&mut line, "k", &k.to_string())?;
-        }
-        if let Some(min) = min {
-            push_kv(&mut line, "min", &format!("{min}"))?;
-        }
-        let (_, data) = self.exchange(&line)?;
+        let k = k.map(wire_u32("k")).transpose()?;
+        let frame = RequestFrame::Resolve { name: name.to_owned(), k, min };
+        let (_, data) = self.request(&frame)?;
         data.iter().map(|line| parse_cand(line)).collect()
     }
 
     /// Run `STATS` and parse the report.
     pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
-        let (status, data) = self.exchange("STATS")?;
+        let (status, data) = self.request(&RequestFrame::Stats)?;
         parse_stats(&status, &data)
     }
 
     /// Run `METRICS`, returning the Prometheus text exposition verbatim.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
-        let (_, data) = self.exchange("METRICS")?;
+        let (_, data) = self.request(&RequestFrame::Metrics)?;
         let mut out = String::new();
         for line in data {
             out.push_str(&line);
@@ -349,18 +663,15 @@ impl Client {
     /// Run `TOP` and parse the live introspection report. `k` bounds the
     /// number of `SLOW` rows; the server default applies when absent.
     pub fn top(&mut self, k: Option<usize>) -> Result<TopReport, ClientError> {
-        let mut line = String::from("TOP");
-        if let Some(k) = k {
-            push_kv(&mut line, "k", &k.to_string())?;
-        }
-        let (_, data) = self.exchange(&line)?;
+        let k = k.map(wire_u32("k")).transpose()?;
+        let (_, data) = self.request(&RequestFrame::Top { k })?;
         parse_top(&data)
     }
 
     /// Run `TRACE <id>` and parse the span tree for one captured request.
     /// Ids come from the `trace=` token on OK status lines (or `TOP`).
     pub fn trace_get(&mut self, id: u64) -> Result<TraceReport, ClientError> {
-        let (status, data) = self.exchange(&format!("TRACE {id:016x}"))?;
+        let (status, data) = self.request(&RequestFrame::Trace { id, json: false })?;
         parse_trace(&status, &data)
     }
 
@@ -373,68 +684,174 @@ impl Client {
         window: Option<usize>,
         tier: Option<yv_obs::Tier>,
     ) -> Result<HistoryReport, ClientError> {
-        let mut line = String::from("HISTORY");
-        line.push(' ');
-        line.push_str(wire_value("metric", metric)?);
-        if let Some(window) = window {
-            push_kv(&mut line, "window", &window.to_string())?;
-        }
-        if let Some(tier) = tier {
-            push_kv(&mut line, "tier", tier.label())?;
-        }
-        let (status, data) = self.exchange(&line)?;
+        let frame = RequestFrame::History {
+            metric: metric.to_owned(),
+            window: window.map(wire_u32("window")).transpose()?,
+            tier,
+            json: false,
+        };
+        let (status, data) = self.request(&frame)?;
         parse_history(&status, &data)
     }
 
     /// Ask the server to fold its WALs into a fresh snapshot.
     pub fn snapshot(&mut self) -> Result<(), ClientError> {
-        self.exchange("SNAPSHOT").map(|_| ())
+        self.request(&RequestFrame::Snapshot).map(|_| ())
     }
 
     /// Ask the server to shut down (it answers `OK bye` first).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.exchange("SHUTDOWN").map(|_| ())
+        self.request(&RequestFrame::Shutdown).map(|_| ())
     }
 
-    /// One request/response exchange: send the line, read the status
-    /// line and data lines up to the terminator. `ERR` statuses become
-    /// [`ClientError::Server`].
-    fn exchange(&mut self, request: &str) -> Result<(String, Vec<String>), ClientError> {
-        self.writer.write_all(request.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let status = self.read_line()?;
-        let mut data = Vec::new();
-        loop {
-            let line = self.read_line()?;
-            if line == TERMINATOR {
-                break;
+    /// Start a pipelined stretch: up to `window` requests in flight at
+    /// once, replies collected in request order. A `window` of 0 is
+    /// treated as 1 (plain request/reply).
+    pub fn pipeline(&mut self, window: usize) -> Pipeline<'_> {
+        Pipeline { conn: self.conn.as_mut(), window: window.max(1), in_flight: 0, replies: Vec::new() }
+    }
+
+    /// One request/reply exchange, unwrapped to (status, data lines).
+    fn request(&mut self, frame: &RequestFrame) -> Result<(String, Vec<String>), ClientError> {
+        self.conn.send(frame)?;
+        self.conn.recv()?.block()
+    }
+}
+
+/// An explicit pipelining window over a [`Client`]'s connection.
+///
+/// [`push`](Pipeline::push) writes a request, first draining one reply
+/// if the in-flight window is full — so at most `window` requests are
+/// outstanding and neither side can deadlock on a full TCP buffer.
+/// [`flush`](Pipeline::flush) drains the rest. Replies always come back
+/// in push order; an `ERR` reply occupies its slot like any other (it
+/// does not abort the stream), so callers match replies to requests by
+/// index.
+#[derive(Debug)]
+pub struct Pipeline<'a> {
+    conn: &'a mut dyn Connection,
+    window: usize,
+    in_flight: usize,
+    replies: Vec<Reply>,
+}
+
+impl Pipeline<'_> {
+    /// Send one request, draining a reply first if the window is full.
+    pub fn push(&mut self, request: &RequestFrame) -> Result<(), ClientError> {
+        if self.in_flight >= self.window {
+            let reply = self.conn.recv()?;
+            self.replies.push(reply);
+            self.in_flight -= 1;
+        }
+        self.conn.send(request)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Drain every outstanding reply and return all replies collected
+    /// since the last flush, in push order. The pipeline stays usable.
+    pub fn flush(&mut self) -> Result<Vec<Reply>, ClientError> {
+        while self.in_flight > 0 {
+            let reply = self.conn.recv()?;
+            self.replies.push(reply);
+            self.in_flight -= 1;
+        }
+        Ok(std::mem::take(&mut self.replies))
+    }
+}
+
+/// Read one text-protocol response block: the status line plus data
+/// lines up to (and consuming) the terminator.
+fn read_text_block<R: BufRead>(reader: &mut R) -> Result<(String, Vec<String>), ClientError> {
+    let status = read_line(reader)?;
+    let mut data = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line == TERMINATOR {
+            break;
+        }
+        data.push(line);
+    }
+    Ok((status, data))
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, ClientError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ClientError::Protocol("connection closed mid-response".to_owned()));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Narrow a caller-facing `usize` knob to the wire's `u32`.
+fn wire_u32(key: &'static str) -> impl Fn(usize) -> Result<u32, ClientError> {
+    move |value| {
+        u32::try_from(value)
+            .map_err(|_| ClientError::Unencodable(format!("{key} value {value} exceeds u32")))
+    }
+}
+
+/// Render a request as its line-protocol form, exactly as the pre-frame
+/// client would have sent it. `BATCH_ADD` has no line form.
+fn render_request(request: &RequestFrame) -> Result<String, ClientError> {
+    Ok(match request {
+        RequestFrame::Query(query) => encode_query(query)?,
+        RequestFrame::Add(record) => encode_add(record)?,
+        RequestFrame::Resolve { name, k, min } => {
+            let mut line = String::from("RESOLVE");
+            line.push(' ');
+            line.push_str(wire_value("name", name)?);
+            if let Some(k) = k {
+                push_kv(&mut line, "k", &k.to_string())?;
             }
-            data.push(line);
+            if let Some(min) = min {
+                push_kv(&mut line, "min", &format!("{min}"))?;
+            }
+            line
         }
-        if let Some(msg) = status.strip_prefix("ERR ") {
-            return Err(ClientError::Server(msg.to_owned()));
+        RequestFrame::BatchAdd(_) => {
+            return Err(ClientError::Unencodable(
+                "BATCH_ADD has no line-protocol encoding; connect with Protocol::Binary"
+                    .to_owned(),
+            ))
         }
-        if !status.starts_with("OK") {
-            return Err(ClientError::Protocol(format!(
-                "expected an OK or ERR status line, got {status:?}"
-            )));
+        RequestFrame::Stats => "STATS".to_owned(),
+        RequestFrame::Metrics => "METRICS".to_owned(),
+        RequestFrame::Top { k } => {
+            let mut line = String::from("TOP");
+            if let Some(k) = k {
+                push_kv(&mut line, "k", &k.to_string())?;
+            }
+            line
         }
-        Ok((status, data))
-    }
-
-    fn read_line(&mut self) -> Result<String, ClientError> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(ClientError::Protocol(
-                "connection closed mid-response".to_owned(),
-            ));
+        RequestFrame::Trace { id, json } => {
+            let mut line = format!("TRACE {id:016x}");
+            if *json {
+                push_kv(&mut line, "format", "json")?;
+            }
+            line
         }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
+        RequestFrame::History { metric, window, tier, json } => {
+            let mut line = String::from("HISTORY");
+            line.push(' ');
+            line.push_str(wire_value("metric", metric)?);
+            if let Some(window) = window {
+                push_kv(&mut line, "window", &window.to_string())?;
+            }
+            if let Some(tier) = tier {
+                push_kv(&mut line, "tier", tier.label())?;
+            }
+            if *json {
+                push_kv(&mut line, "format", "json")?;
+            }
+            line
         }
-        Ok(line)
-    }
+        RequestFrame::Snapshot => "SNAPSHOT".to_owned(),
+        RequestFrame::Shutdown => "SHUTDOWN".to_owned(),
+    })
 }
 
 /// Check a value is wire-safe (non-empty, no whitespace) and return it.
@@ -883,6 +1300,125 @@ mod tests {
         assert!(parse_cand("CAND entity=17 score=0.5 name=levi").is_err());
         assert!(parse_cand("HIT seed=17 entity=1").is_err());
         assert!(parse_cand("CAND entity=17 score=x name=levi members=17").is_err());
+    }
+
+    /// A scripted [`Connection`] that records the high-water mark of
+    /// outstanding requests, for exercising [`Pipeline`] off-socket.
+    #[derive(Debug)]
+    struct MockConn {
+        sent: Vec<u8>,
+        outstanding: usize,
+        max_outstanding: usize,
+        next_reply: usize,
+    }
+
+    impl MockConn {
+        fn new() -> MockConn {
+            MockConn { sent: Vec::new(), outstanding: 0, max_outstanding: 0, next_reply: 0 }
+        }
+    }
+
+    impl Connection for MockConn {
+        fn send(&mut self, request: &RequestFrame) -> Result<(), ClientError> {
+            self.sent.push(request.tag());
+            self.outstanding += 1;
+            self.max_outstanding = self.max_outstanding.max(self.outstanding);
+            Ok(())
+        }
+
+        fn recv(&mut self) -> Result<Reply, ClientError> {
+            assert!(self.outstanding > 0, "recv with nothing in flight");
+            self.outstanding -= 1;
+            let n = self.next_reply;
+            self.next_reply += 1;
+            Ok(Reply::Block { status: format!("OK reply={n}"), data: Vec::new() })
+        }
+    }
+
+    #[test]
+    fn pipeline_bounds_the_window_and_preserves_reply_order() {
+        let mut conn = MockConn::new();
+        let mut pipeline =
+            Pipeline { conn: &mut conn, window: 3, in_flight: 0, replies: Vec::new() };
+        for _ in 0..10 {
+            pipeline.push(&RequestFrame::Stats).expect("push");
+        }
+        let replies = pipeline.flush().expect("flush");
+        assert_eq!(replies.len(), 10);
+        for (n, reply) in replies.iter().enumerate() {
+            let expected = format!("OK reply={n}");
+            assert!(matches!(reply, Reply::Block { status, .. } if *status == expected));
+        }
+        // The pipeline stays usable after a flush, and a fresh flush
+        // only returns replies pushed since.
+        pipeline.push(&RequestFrame::Metrics).expect("push");
+        let more = pipeline.flush().expect("flush");
+        assert_eq!(more.len(), 1);
+        assert!(pipeline.flush().expect("empty flush").is_empty());
+        assert_eq!(conn.max_outstanding, 3, "window must bound in-flight requests");
+        assert_eq!(conn.sent.len(), 11);
+    }
+
+    #[test]
+    fn rendered_requests_round_trip_through_the_server_parser() {
+        let cases = [
+            (RequestFrame::Resolve { name: "levi".into(), k: Some(3), min: Some(0.25) }, ()),
+            (RequestFrame::Resolve { name: "levi".into(), k: None, min: None }, ()),
+            (RequestFrame::Stats, ()),
+            (RequestFrame::Metrics, ()),
+            (RequestFrame::Top { k: Some(7) }, ()),
+            (RequestFrame::Top { k: None }, ()),
+            (RequestFrame::Trace { id: 0x00ab_00cd_00ef_0011, json: true }, ()),
+            (
+                RequestFrame::History {
+                    metric: "query".into(),
+                    window: Some(5),
+                    tier: Some(yv_obs::Tier::Minutes),
+                    json: false,
+                },
+                (),
+            ),
+            (RequestFrame::Snapshot, ()),
+            (RequestFrame::Shutdown, ()),
+        ];
+        for (frame, ()) in cases {
+            let line = render_request(&frame).expect("renderable");
+            let parsed = parse_request(&line)
+                .unwrap_or_else(|e| panic!("server rejected {line:?}: {e}"));
+            let via_frame = frame.clone().into_request().expect("frame converts");
+            assert_eq!(parsed, via_frame, "text and binary disagree for {line:?}");
+        }
+        assert!(matches!(
+            render_request(&RequestFrame::BatchAdd(Vec::new())),
+            Err(ClientError::Unencodable(_))
+        ));
+    }
+
+    #[test]
+    fn reply_conversions_map_err_statuses_to_server_errors() {
+        let err = Reply::Block { status: "ERR no such metric".to_owned(), data: Vec::new() };
+        assert!(matches!(err.clone().block(), Err(ClientError::Server(msg)) if msg == "no such metric"));
+        assert!(matches!(err.batch(), Err(ClientError::Server(_))));
+
+        let ok = Reply::Block { status: "OK matches=2".to_owned(), data: Vec::new() };
+        assert_eq!(ok.clone().block().expect("ok").0, "OK matches=2");
+        assert!(matches!(ok.batch(), Err(ClientError::Protocol(_))));
+
+        let batch = Reply::Batch(vec![BatchStatus::Ok { matches: 1 }]);
+        assert!(matches!(batch.clone().block(), Err(ClientError::Protocol(_))));
+        assert_eq!(batch.batch().expect("batch").len(), 1);
+
+        let garbled = Reply::Block { status: "HELLO?".to_owned(), data: Vec::new() };
+        assert!(matches!(garbled.block(), Err(ClientError::Protocol(_))));
+    }
+
+    #[test]
+    fn io_kind_surfaces_the_transport_error_kind() {
+        let refused = ClientError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionRefused));
+        assert_eq!(refused.io_kind(), Some(std::io::ErrorKind::ConnectionRefused));
+        assert_eq!(ClientError::Protocol("x".to_owned()).io_kind(), None);
+        assert_eq!(ClientError::Server("x".to_owned()).io_kind(), None);
+        assert_eq!(ClientError::Unencodable("x".to_owned()).io_kind(), None);
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl Writer {
         }
     }
 
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.u32(v);
+            }
+        }
+    }
+
     pub fn opt_i32(&mut self, v: Option<i32>) {
         match v {
             None => self.u8(0),
@@ -197,6 +207,14 @@ impl<'a> Reader<'a> {
         match self.u8(what)? {
             0 => Ok(None),
             1 => Ok(Some(self.u8(what)?)),
+            t => Err(StoreError::Corrupt(format!("bad option tag {t} for {what}"))),
+        }
+    }
+
+    pub fn opt_u32(&mut self, what: &str) -> Result<Option<u32>, StoreError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32(what)?)),
             t => Err(StoreError::Corrupt(format!("bad option tag {t} for {what}"))),
         }
     }

@@ -32,8 +32,16 @@
 //!   commands expose them live — see [`ServeOptions`]. Per-command
 //!   latencies additionally roll into windowed telemetry (60 × 1s and
 //!   60 × 1m rings) served by `HISTORY`, evaluated against `--slo`
-//!   burn-rate rules, and persisted via [`telemetry`];
-//! - [`client`] — a typed client for that protocol.
+//!   burn-rate rules, and persisted via [`telemetry`]. A first-request
+//!   `HELLO proto=binary` line upgrades a connection to the
+//!   length-prefixed, checksummed binary framing in [`frame`] (text
+//!   stays for telnet-style inspection), adding a `BATCH_ADD` frame
+//!   that streams many records per round trip;
+//! - [`client`] — a typed client for both transports: a [`Connection`]
+//!   trait with text and binary backends, a [`ClientOptions`] builder
+//!   (timeouts, `Text`/`Binary`/`Negotiate` protocol choice) and a
+//!   [`Pipeline`] for order-preserving pipelined requests with a
+//!   bounded in-flight window.
 //!
 //! ```no_run
 //! use std::net::TcpListener;
@@ -50,6 +58,7 @@
 pub mod client;
 pub mod codec;
 pub mod error;
+pub mod frame;
 pub mod index;
 pub mod protocol;
 pub mod server;
@@ -60,14 +69,17 @@ pub mod telemetry;
 pub mod wal;
 
 pub use client::{
-    Client, ClientError, HistoryBucketRow, HistoryReport, HistorySloRow, HistorySummaryRow,
-    ResolveRow, RingRow, SlowRow, SpanRow, TopReport, TraceReport,
+    Client, ClientError, ClientOptions, Connection, Pipeline, Protocol, Reply, HistoryBucketRow,
+    HistoryReport, HistorySloRow, HistorySummaryRow, ResolveRow, RingRow, SlowRow, SpanRow,
+    TopReport, TraceReport,
 };
 pub use error::StoreError;
+pub use frame::{
+    frame_checksum, BatchStatus, RequestFrame, ResponseFrame, HEADER_LEN, HELLO_LINE,
+    HELLO_OK, MAX_PAYLOAD, TRAILER_LEN,
+};
 pub use index::QueryIndex;
 pub use protocol::{CommandStats, Request, DEFAULT_TOP_SLOW};
-#[allow(deprecated)]
-pub use server::{serve, serve_with};
 pub use server::{
     CommandMetrics, ServeOptions, ServerMetrics, DEFAULT_SLOW_LOG_CAP_BYTES,
     DEFAULT_TRACE_CAPACITY, DEFAULT_TRACE_SEED,

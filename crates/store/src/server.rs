@@ -47,9 +47,11 @@
 //! where the ticker never observes time moving.
 
 use crate::error::StoreError;
+use crate::frame;
 use crate::protocol::{self, CommandStats, Request};
 use crate::store::Store;
 use crate::telemetry::{self, TelemetryLog};
+use yv_records::Record;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -749,24 +751,6 @@ struct ServerCtx<'a> {
     telemetry: &'a Telemetry,
 }
 
-/// Positional-argument shim for the builder.
-#[deprecated(note = "use ServeOptions::new(store).workers(n).serve(listener)")]
-pub fn serve(store: Store, listener: TcpListener, workers: usize) -> Result<Store, StoreError> {
-    ServeOptions::new(store).workers(workers).serve(listener)
-}
-
-/// Shim for the old (store, listener, options) calling convention: folds
-/// `store` into `options` (replacing any store already there) and serves.
-#[deprecated(note = "fold the store into ServeOptions::new(store) and call .serve(listener)")]
-pub fn serve_with(
-    store: Store,
-    listener: TcpListener,
-    mut options: ServeOptions,
-) -> Result<Store, StoreError> {
-    options.store = Some(store);
-    options.serve(listener)
-}
-
 #[allow(clippy::too_many_arguments)]
 fn serve_inner(
     store: Store,
@@ -843,6 +827,12 @@ fn serve_inner(
                 break;
             }
             if let Ok(stream) = stream {
+                // Request/response protocol: without TCP_NODELAY the
+                // final partial segment of a multi-segment reply (or a
+                // large BATCH_ADD frame) sits in Nagle's buffer waiting
+                // for the peer's delayed ACK — tens of milliseconds per
+                // round trip on an otherwise idle loopback.
+                let _ = stream.set_nodelay(true);
                 let conn = conn_ids.fetch_add(1, Ordering::Relaxed);
                 // A send only fails if every worker panicked; stop accepting.
                 if tx.send((conn, stream)).is_err() {
@@ -1076,11 +1066,20 @@ fn serve_scrape(stream: TcpStream, ctx: &ServerCtx<'_>) {
 
 /// Serve one client connection: request lines in, response blocks out,
 /// until the client closes or asks for shutdown.
+///
+/// HELLO negotiation state machine: a fresh connection may upgrade to
+/// the binary framing in [`crate::frame`] by making its *first* request
+/// the literal line [`frame::HELLO_LINE`]; the server acknowledges with
+/// a normal text block ([`frame::HELLO_OK`]) and the socket speaks
+/// frames from then on. Any other first request fixes the connection to
+/// the text transport for its lifetime — a later `HELLO` is refused
+/// with an `ERR`, never a mid-stream transport switch.
 fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut line = String::new();
+    let mut first_request = true;
     loop {
         line.clear();
         match reader.read_line(&mut line) {
@@ -1090,6 +1089,16 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
         if line.trim().is_empty() {
             continue;
         }
+        let mut tokens = line.split_whitespace();
+        let is_hello = tokens.next().is_some_and(|cmd| cmd.eq_ignore_ascii_case("HELLO"));
+        if is_hello && first_request && tokens.eq(["proto=binary"]) {
+            if writer.write_all(protocol::format_status(frame::HELLO_OK).as_bytes()).is_err() {
+                return;
+            }
+            handle_binary_connection(&mut reader, &mut writer, conn, ctx);
+            return;
+        }
+        first_request = false;
         let started = ctx.clock.now_nanos();
         // Every request gets a trace context from accept to reply. The
         // accept span marks request admission (id issue + context setup);
@@ -1098,195 +1107,366 @@ fn handle_connection(stream: TcpStream, conn: u64, ctx: &ServerCtx<'_>) {
         trace.enter("accept");
         trace.exit();
         trace.enter("parse");
-        let parsed = protocol::parse_request(&line);
-        trace.exit();
-        let command = parsed.as_ref().map_or("INVALID", Request::name);
-        trace.set_command(command);
-        let mut closing = false;
-        let elapsed = || ctx.clock.now_nanos().saturating_sub(started);
-        let response = match parsed {
-            Err(msg) => {
-                ctx.metrics.parse_errors.incr();
-                protocol::format_status(&format!("ERR {msg}"))
-            }
-            Ok(Request::Query(query)) => {
-                let hits = ctx.store.query_traced(&query, &mut trace);
-                trace.annotate("hits", hits.len() as u64);
-                ctx.metrics.query.record(true, elapsed());
-                protocol::format_hits(&hits)
-            }
-            Ok(Request::Resolve { name, k, min }) => {
-                // The name itself never enters the trace — only its
-                // sanctioned digest, same policy as the slow log.
-                trace.annotate("name_digest", crate::codec::fnv1a64(name.as_bytes()));
-                trace.annotate("k", k as u64);
-                let options = crate::store::ResolveOptions {
-                    k,
-                    min_score: min.unwrap_or(f64::NEG_INFINITY),
-                    ..crate::store::ResolveOptions::default()
-                };
-                let outcome = ctx.store.resolve_traced(&name, &options, &mut trace);
-                let cands = outcome.hits.len() as u64;
-                trace.annotate("cands", cands);
-                ctx.metrics.resolve.record(true, elapsed());
-                protocol::format_candidates(&outcome.hits)
-            }
-            Ok(Request::Add(record)) => {
-                trace.enter("apply");
-                let outcome = ctx.store.add_record(*record);
-                trace.exit();
-                ctx.metrics.add.record(outcome.is_ok(), elapsed());
-                match outcome {
-                    Ok(matches) => {
-                        trace.annotate("matches", matches.len() as u64);
-                        protocol::format_status(&format!("OK matches={}", matches.len()))
-                    }
-                    Err(e) => protocol::format_status(&format!("ERR {e}")),
-                }
-            }
-            Ok(Request::Stats) => {
-                let stats = ctx.store.stats();
-                // Record before rendering so this request appears in its
-                // own CMD row.
-                ctx.metrics.stats.record(true, elapsed());
-                protocol::format_stats(
-                    &format!(
-                        "OK records={} sources={} matches={} shards={} wal={} wal_bytes={} \
-                         vocabulary={} entity_maps={} evictions={} \
-                         fuzzy_names={} fuzzy_grams={} fuzzy_postings={} \
-                         fuzzy_examined={} fuzzy_pruned={} errors={}",
-                        stats.records,
-                        stats.sources,
-                        stats.matches,
-                        stats.shards.len(),
-                        stats.wal_entries,
-                        stats.wal_bytes,
-                        stats.vocabulary,
-                        stats.entity_maps_cached,
-                        stats.entity_map_evictions,
-                        stats.fuzzy_names,
-                        stats.fuzzy_grams,
-                        stats.fuzzy_postings,
-                        stats.fuzzy_examined,
-                        stats.fuzzy_pruned,
-                        ctx.metrics.errors(),
-                    ),
-                    &stats.shards,
-                    &ctx.metrics.command_stats(),
-                )
-            }
-            Ok(Request::Metrics) => {
-                // Record first so this scrape's own latency sample is in
-                // the exposition it returns.
-                ctx.metrics.metrics.record(true, elapsed());
-                protocol::format_metrics(&render_metrics(ctx))
-            }
-            Ok(Request::Top { k }) => {
-                let ring = ctx.sink.stats();
-                let slow_traces = ctx.sink.recent_slow(k);
-                ctx.metrics.top.record(true, elapsed());
-                protocol::format_top(
-                    &ring,
-                    ctx.last_slow.load(Ordering::Relaxed),
-                    &ctx.metrics.command_stats(),
-                    &slow_traces,
-                )
-            }
-            Ok(Request::Trace { id, json }) => match ctx.sink.find(id) {
-                Some(found) => {
-                    ctx.metrics.trace.record(true, elapsed());
-                    if json {
-                        protocol::format_trace_json(&found)
-                    } else {
-                        protocol::format_trace(&found)
-                    }
-                }
-                None => {
-                    ctx.metrics.trace.record(false, elapsed());
-                    protocol::format_status(&format!(
-                        "ERR TRACE: no trace {id:016x} (never captured or already evicted)"
-                    ))
-                }
-            },
-            Ok(Request::History { metric, window, tier, json }) => {
-                match ctx.telemetry.view(&metric, tier, window) {
-                    Some(view) => {
-                        let slo = ctx.telemetry.slo_for(&metric);
-                        ctx.metrics.history.record(true, elapsed());
-                        if json {
-                            protocol::format_history_json(&metric, &view, &slo)
-                        } else {
-                            protocol::format_history(&metric, &view, &slo)
-                        }
-                    }
-                    None => {
-                        ctx.metrics.history.record(false, elapsed());
-                        protocol::format_status(&format!(
-                            "ERR HISTORY: unknown metric {metric:?} (expected a command kind: \
-                             query, resolve, add, stats, metrics, top, trace, history, \
-                             snapshot or shutdown)"
-                        ))
-                    }
-                }
-            }
-            Ok(Request::Snapshot) => {
-                trace.enter("snapshot");
-                let outcome = ctx.store.snapshot();
-                trace.exit();
-                ctx.metrics.snapshot.record(outcome.is_ok(), elapsed());
-                match outcome {
-                    Ok(()) => protocol::format_status("OK snapshot"),
-                    Err(e) => protocol::format_status(&format!("ERR {e}")),
-                }
-            }
-            Ok(Request::Shutdown) => {
-                ctx.shutdown.store(true, Ordering::SeqCst);
-                ctx.metrics.shutdown.record(true, elapsed());
-                closing = true;
-                protocol::format_status("OK bye")
-            }
+        let parsed = if is_hello {
+            Err("HELLO: binary negotiation expects exactly `HELLO proto=binary` as the \
+                 first request on a fresh connection"
+                .to_owned())
+        } else {
+            protocol::parse_request(&line)
         };
-        let dur_ns = elapsed();
-        if let Some(slow) = ctx.slow {
-            if dur_ns >= slow.threshold_ns {
-                // Digest the argument text (everything after the command
-                // token) so repeats of one query correlate without the
-                // arguments themselves ever being logged.
-                let args = line
-                    .trim()
-                    .split_once(char::is_whitespace)
-                    .map_or("", |(_, rest)| rest);
-                slow.log(conn, command, crate::codec::fnv1a64(args.as_bytes()), dur_ns, trace.id());
-            }
-        }
-        // The reply span covers response post-processing (trace-token
-        // splice); the trace is sealed and captured *before* the write so
-        // a client can `TRACE` the id from the response it just read.
-        trace.enter("reply");
-        let traced = matches!(command, "QUERY" | "RESOLVE" | "ADD" | "SNAPSHOT");
-        let response =
-            if traced { protocol::with_trace_token(&response, trace.id()) } else { response };
         trace.exit();
-        if traced || command == "INVALID" {
-            let ok = !response.starts_with("ERR");
-            if let Some(done) = trace.finish(ok) {
-                if ctx.sink.capture(done) {
-                    ctx.last_slow.store(done.id, Ordering::Relaxed);
-                }
-            }
-        }
+        // Digest the argument text (everything after the command token)
+        // so repeats of one query correlate in the slow log without the
+        // arguments themselves ever being logged.
+        let args = line.trim().split_once(char::is_whitespace).map_or("", |(_, rest)| rest);
+        let args_digest = crate::codec::fnv1a64(args.as_bytes());
+        let (response, command, closing) = dispatch(ctx, parsed, &mut trace, started);
+        let response = seal_response(ctx, conn, command, args_digest, trace, started, response);
         if writer.write_all(response.as_bytes()).is_err() {
             return;
         }
         if closing {
-            // Unblock the acceptors so they observe the shutdown flag.
-            let _ = TcpStream::connect(ctx.addr);
-            if let Some(maddr) = ctx.metrics_addr {
-                let _ = TcpStream::connect(maddr);
-            }
+            unblock_acceptors(ctx);
             return;
         }
     }
+}
+
+/// Serve the binary side of a negotiated connection: request frames in,
+/// response frames out, until the client closes or asks for shutdown.
+///
+/// Error discipline mirrors the WAL reader. A clean EOF *between* frames
+/// ends the connection quietly. A torn frame, checksum mismatch or
+/// oversized length prefix means the byte stream itself can no longer be
+/// trusted, so the connection drops without applying anything from the
+/// broken frame — this is what keeps a mid-frame `BATCH_ADD` cut from
+/// half-applying. A frame that passes the checksum but decodes to an
+/// invalid request gets a normal `ERR` reply; the transport is fine,
+/// only the request was bad.
+fn handle_binary_connection(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    conn: u64,
+    ctx: &ServerCtx<'_>,
+) {
+    loop {
+        let (tag, payload) = match frame::read_raw_frame(reader) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => return, // clean close at a frame boundary
+            Err(_) => {
+                ctx.metrics.parse_errors.incr();
+                return;
+            }
+        };
+        let started = ctx.clock.now_nanos();
+        let mut trace = TraceCtx::start(ctx.sink.next_id(), conn, Arc::clone(&ctx.clock));
+        trace.enter("accept");
+        trace.exit();
+        trace.enter("parse");
+        let decoded = frame::RequestFrame::decode(tag, &payload);
+        trace.exit();
+        // The payload digest plays the role the argument-text digest
+        // plays on the text path: correlating repeats in the slow log
+        // without logging the arguments.
+        let args_digest = crate::codec::fnv1a64(&payload);
+        let (reply, closing) = match decoded {
+            Ok(frame::RequestFrame::BatchAdd(records)) => {
+                (batch_add_reply(ctx, conn, records, args_digest, trace, started), false)
+            }
+            other => {
+                let parsed = other
+                    .map_err(|e| e.to_string())
+                    .and_then(frame::RequestFrame::into_request);
+                let (response, command, closing) = dispatch(ctx, parsed, &mut trace, started);
+                let response =
+                    seal_response(ctx, conn, command, args_digest, trace, started, response);
+                (frame::ResponseFrame::Block(response), closing)
+            }
+        };
+        if write_response_frame(writer, &reply).is_err() {
+            return;
+        }
+        if closing {
+            unblock_acceptors(ctx);
+            return;
+        }
+    }
+}
+
+/// Apply a `BATCH_ADD` frame via [`Store::add_records`] group commit:
+/// one WAL fsync per dirty shard for the whole frame, and every status
+/// in the reply refers to a record whose shard WAL has already been
+/// synced. A connection lost before the reply leaves only durable
+/// records behind — never a torn batch (a torn *frame* never reaches
+/// this function at all: the checksum gate drops it).
+fn batch_add_reply(
+    ctx: &ServerCtx<'_>,
+    conn: u64,
+    records: Vec<Record>,
+    args_digest: u64,
+    mut trace: TraceCtx,
+    started: u64,
+) -> frame::ResponseFrame {
+    trace.set_command("BATCH_ADD");
+    let count = records.len().max(1) as u64;
+    trace.annotate("records", records.len() as u64);
+    trace.enter("apply");
+    let apply_started = ctx.clock.now_nanos();
+    let outcomes = ctx.store.add_records(records);
+    let apply_ns = ctx.clock.now_nanos().saturating_sub(apply_started);
+    let mut statuses = Vec::with_capacity(outcomes.len());
+    let mut all_ok = true;
+    for outcome in outcomes {
+        // Per-record metrics under the ADD kind (amortized share of the
+        // batch): a batch of N shows up as N adds in every CMD row,
+        // latency window and HISTORY bucket, so the two transports
+        // report load on the same scale.
+        ctx.metrics.add.record(outcome.is_ok(), apply_ns / count);
+        statuses.push(match outcome {
+            Ok(matches) => frame::BatchStatus::Ok {
+                matches: u32::try_from(matches.len()).unwrap_or(u32::MAX),
+            },
+            Err(e) => {
+                all_ok = false;
+                frame::BatchStatus::Err(e.to_string())
+            }
+        });
+    }
+    trace.exit();
+    let dur_ns = ctx.clock.now_nanos().saturating_sub(started);
+    if let Some(slow) = ctx.slow {
+        if dur_ns >= slow.threshold_ns {
+            slow.log(conn, "BATCH_ADD", args_digest, dur_ns, trace.id());
+        }
+    }
+    if let Some(done) = trace.finish(all_ok) {
+        if ctx.sink.capture(done) {
+            ctx.last_slow.store(done.id, Ordering::Relaxed);
+        }
+    }
+    frame::ResponseFrame::Batch(statuses)
+}
+
+/// Encode and write one response frame; an unencodable response (a
+/// status string past the u32 limit) surfaces as an IO error so the
+/// caller drops the connection rather than sending a half-frame.
+fn write_response_frame(
+    writer: &mut TcpStream,
+    reply: &frame::ResponseFrame,
+) -> std::io::Result<()> {
+    let bytes = reply.encode().map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("unencodable reply: {e}"))
+    })?;
+    writer.write_all(&bytes)
+}
+
+/// Self-connect to the protocol (and scrape) listeners so acceptors
+/// blocked in `accept` observe the shutdown flag.
+fn unblock_acceptors(ctx: &ServerCtx<'_>) {
+    let _ = TcpStream::connect(ctx.addr);
+    if let Some(maddr) = ctx.metrics_addr {
+        let _ = TcpStream::connect(maddr);
+    }
+}
+
+/// Post-process one response block identically on both transports:
+/// slow-log the request when it crossed the threshold, splice the trace
+/// token into traced commands' status lines, and seal + capture the
+/// trace *before* the reply is written so a client can `TRACE` the id
+/// from the response it just read.
+fn seal_response(
+    ctx: &ServerCtx<'_>,
+    conn: u64,
+    command: &'static str,
+    args_digest: u64,
+    mut trace: TraceCtx,
+    started: u64,
+    response: String,
+) -> String {
+    let dur_ns = ctx.clock.now_nanos().saturating_sub(started);
+    if let Some(slow) = ctx.slow {
+        if dur_ns >= slow.threshold_ns {
+            slow.log(conn, command, args_digest, dur_ns, trace.id());
+        }
+    }
+    // The reply span covers response post-processing (trace-token
+    // splice); the trace is sealed and captured before the write so a
+    // client can `TRACE` the id from the response it just read.
+    trace.enter("reply");
+    let traced = matches!(command, "QUERY" | "RESOLVE" | "ADD" | "SNAPSHOT");
+    let response =
+        if traced { protocol::with_trace_token(&response, trace.id()) } else { response };
+    trace.exit();
+    if traced || command == "INVALID" {
+        let ok = !response.starts_with("ERR");
+        if let Some(done) = trace.finish(ok) {
+            if ctx.sink.capture(done) {
+                ctx.last_slow.store(done.id, Ordering::Relaxed);
+            }
+        }
+    }
+    response
+}
+
+/// Execute one parsed request (or format its parse/decode failure) and
+/// record its per-command metrics — the single dispatch point both the
+/// text and binary transports funnel through, so a command behaves
+/// identically however it arrived. Returns the rendered response block,
+/// the canonical command name, and whether the connection closes after
+/// the reply (`SHUTDOWN`).
+fn dispatch(
+    ctx: &ServerCtx<'_>,
+    parsed: Result<Request, String>,
+    trace: &mut TraceCtx,
+    started: u64,
+) -> (String, &'static str, bool) {
+    let command = parsed.as_ref().map_or("INVALID", Request::name);
+    trace.set_command(command);
+    let mut closing = false;
+    let elapsed = || ctx.clock.now_nanos().saturating_sub(started);
+    let response = match parsed {
+        Err(msg) => {
+            ctx.metrics.parse_errors.incr();
+            protocol::format_status(&format!("ERR {msg}"))
+        }
+        Ok(Request::Query(query)) => {
+            let hits = ctx.store.query_traced(&query, trace);
+            trace.annotate("hits", hits.len() as u64);
+            ctx.metrics.query.record(true, elapsed());
+            protocol::format_hits(&hits)
+        }
+        Ok(Request::Resolve { name, k, min }) => {
+            // The name itself never enters the trace — only its
+            // sanctioned digest, same policy as the slow log.
+            trace.annotate("name_digest", crate::codec::fnv1a64(name.as_bytes()));
+            trace.annotate("k", k as u64);
+            let options = crate::store::ResolveOptions {
+                k,
+                min_score: min.unwrap_or(f64::NEG_INFINITY),
+                ..crate::store::ResolveOptions::default()
+            };
+            let outcome = ctx.store.resolve_traced(&name, &options, trace);
+            let cands = outcome.hits.len() as u64;
+            trace.annotate("cands", cands);
+            ctx.metrics.resolve.record(true, elapsed());
+            protocol::format_candidates(&outcome.hits)
+        }
+        Ok(Request::Add(record)) => {
+            trace.enter("apply");
+            let outcome = ctx.store.add_record(*record);
+            trace.exit();
+            ctx.metrics.add.record(outcome.is_ok(), elapsed());
+            match outcome {
+                Ok(matches) => {
+                    trace.annotate("matches", matches.len() as u64);
+                    protocol::format_status(&format!("OK matches={}", matches.len()))
+                }
+                Err(e) => protocol::format_status(&format!("ERR {e}")),
+            }
+        }
+        Ok(Request::Stats) => {
+            let stats = ctx.store.stats();
+            // Record before rendering so this request appears in its
+            // own CMD row.
+            ctx.metrics.stats.record(true, elapsed());
+            protocol::format_stats(
+                &format!(
+                    "OK records={} sources={} matches={} shards={} wal={} wal_bytes={} \
+                     vocabulary={} entity_maps={} evictions={} \
+                     fuzzy_names={} fuzzy_grams={} fuzzy_postings={} \
+                     fuzzy_examined={} fuzzy_pruned={} errors={}",
+                    stats.records,
+                    stats.sources,
+                    stats.matches,
+                    stats.shards.len(),
+                    stats.wal_entries,
+                    stats.wal_bytes,
+                    stats.vocabulary,
+                    stats.entity_maps_cached,
+                    stats.entity_map_evictions,
+                    stats.fuzzy_names,
+                    stats.fuzzy_grams,
+                    stats.fuzzy_postings,
+                    stats.fuzzy_examined,
+                    stats.fuzzy_pruned,
+                    ctx.metrics.errors(),
+                ),
+                &stats.shards,
+                &ctx.metrics.command_stats(),
+            )
+        }
+        Ok(Request::Metrics) => {
+            // Record first so this scrape's own latency sample is in
+            // the exposition it returns.
+            ctx.metrics.metrics.record(true, elapsed());
+            protocol::format_metrics(&render_metrics(ctx))
+        }
+        Ok(Request::Top { k }) => {
+            let ring = ctx.sink.stats();
+            let slow_traces = ctx.sink.recent_slow(k);
+            ctx.metrics.top.record(true, elapsed());
+            protocol::format_top(
+                &ring,
+                ctx.last_slow.load(Ordering::Relaxed),
+                &ctx.metrics.command_stats(),
+                &slow_traces,
+            )
+        }
+        Ok(Request::Trace { id, json }) => match ctx.sink.find(id) {
+            Some(found) => {
+                ctx.metrics.trace.record(true, elapsed());
+                if json {
+                    protocol::format_trace_json(&found)
+                } else {
+                    protocol::format_trace(&found)
+                }
+            }
+            None => {
+                ctx.metrics.trace.record(false, elapsed());
+                protocol::format_status(&format!(
+                    "ERR TRACE: no trace {id:016x} (never captured or already evicted)"
+                ))
+            }
+        },
+        Ok(Request::History { metric, window, tier, json }) => {
+            match ctx.telemetry.view(&metric, tier, window) {
+                Some(view) => {
+                    let slo = ctx.telemetry.slo_for(&metric);
+                    ctx.metrics.history.record(true, elapsed());
+                    if json {
+                        protocol::format_history_json(&metric, &view, &slo)
+                    } else {
+                        protocol::format_history(&metric, &view, &slo)
+                    }
+                }
+                None => {
+                    ctx.metrics.history.record(false, elapsed());
+                    protocol::format_status(&format!(
+                        "ERR HISTORY: unknown metric {metric:?} (expected a command kind: \
+                         query, resolve, add, stats, metrics, top, trace, history, \
+                         snapshot or shutdown)"
+                    ))
+                }
+            }
+        }
+        Ok(Request::Snapshot) => {
+            trace.enter("snapshot");
+            let outcome = ctx.store.snapshot();
+            trace.exit();
+            ctx.metrics.snapshot.record(outcome.is_ok(), elapsed());
+            match outcome {
+                Ok(()) => protocol::format_status("OK snapshot"),
+                Err(e) => protocol::format_status(&format!("ERR {e}")),
+            }
+        }
+        Ok(Request::Shutdown) => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            ctx.metrics.shutdown.record(true, elapsed());
+            closing = true;
+            protocol::format_status("OK bye")
+        }
+    };
+    (response, command, closing)
 }
 
 #[cfg(test)]

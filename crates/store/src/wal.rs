@@ -110,17 +110,44 @@ impl Wal {
     pub fn append_record(&mut self, seq: u64, record: &Record) -> Result<(), StoreError> {
         let mut w = Writer::new();
         codec::write_record(&mut w, record)?;
-        self.append_frame(TAG_RECORD, seq, &w.into_bytes())
+        self.append_frame(TAG_RECORD, seq, &w.into_bytes(), true)
+    }
+
+    /// Append a record frame without forcing it to disk — group-commit
+    /// building block. The frame is not durable until [`Wal::sync`]
+    /// returns; callers must not acknowledge the record before then.
+    pub fn append_record_nosync(
+        &mut self,
+        seq: u64,
+        record: &Record,
+    ) -> Result<(), StoreError> {
+        let mut w = Writer::new();
+        codec::write_record(&mut w, record)?;
+        self.append_frame(TAG_RECORD, seq, &w.into_bytes(), false)
     }
 
     /// Append a source frame stamped with its global arrival sequence.
     pub fn append_source(&mut self, seq: u64, source: &Source) -> Result<(), StoreError> {
         let mut w = Writer::new();
         codec::write_source(&mut w, source)?;
-        self.append_frame(TAG_SOURCE, seq, &w.into_bytes())
+        self.append_frame(TAG_SOURCE, seq, &w.into_bytes(), true)
     }
 
-    fn append_frame(&mut self, tag: u8, seq: u64, payload: &[u8]) -> Result<(), StoreError> {
+    /// Force every appended frame to disk. One call per batch is the
+    /// whole point of group commit: a 256-record `BATCH_ADD` pays one
+    /// `sync_data` where per-record appends would pay 256.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn append_frame(
+        &mut self,
+        tag: u8,
+        seq: u64,
+        payload: &[u8],
+        sync: bool,
+    ) -> Result<(), StoreError> {
         let len = u32::try_from(payload.len()).map_err(|_| StoreError::LimitExceeded {
             what: "WAL frame payload",
             len: payload.len(),
@@ -132,7 +159,9 @@ impl Wal {
         frame.extend_from_slice(payload);
         frame.extend_from_slice(&frame_checksum(tag, seq, payload).to_le_bytes());
         self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        if sync {
+            self.file.sync_data()?;
+        }
         self.bytes += frame.len() as u64;
         Ok(())
     }

@@ -15,8 +15,8 @@ use yv_core::{
     IncrementalConfig, IncrementalResolver, PersonQuery, Pipeline, PipelineConfig, QueryHit,
 };
 use yv_datagen::{tag_pairs, GenConfig};
-use yv_store::client::{Client, ClientError};
-use yv_store::{ServeOptions, Store};
+use yv_store::client::{Client, ClientError, ClientOptions, Protocol};
+use yv_store::{BatchStatus, RequestFrame, ServeOptions, Store, HELLO_LINE, HELLO_OK};
 
 fn fresh_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("yv-store-e2e").join(name);
@@ -655,6 +655,214 @@ fn kill_without_snapshot_replays_the_wal() {
     let store = Store::open(&dir).unwrap();
     assert_eq!(store.stats().records, stats_before.records);
     assert_eq!(store.stats().wal_entries, 1, "arrival came back via replay");
+    assert_eq!(store.query(&query), before, "replayed store answers identically");
+}
+
+/// Run the battery over an already-connected client (either transport).
+fn battery_with(client: &mut Client) -> Vec<Vec<QueryHit>> {
+    queries().iter().map(|q| client.query(q).unwrap()).collect()
+}
+
+/// Speak `HELLO proto=binary` on a raw socket and consume the text
+/// acknowledgement block, leaving the stream in binary framing.
+fn raw_hello(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>) {
+    stream.write_all(HELLO_LINE.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut status = String::new();
+    reader.read_line(&mut status).unwrap();
+    assert_eq!(status.trim_end(), HELLO_OK);
+    let mut dot = String::new();
+    reader.read_line(&mut dot).unwrap();
+    assert_eq!(dot, ".\n");
+}
+
+/// The binary-vs-text acceptance path: one seeded 4-shard server, a
+/// text client, a `HELLO`-negotiated binary client and a `Negotiate`
+/// client side by side on concurrent connections. QUERY and RESOLVE
+/// answers are identical across transports; `BATCH_ADD` streams records
+/// with per-record statuses (errors included, in submission order) that
+/// the text session then observes; the per-command metrics table stays
+/// at exactly the ten command kinds on both transports.
+#[test]
+fn binary_negotiation_matches_text_semantics_and_streams_batches() {
+    let dir = fresh_dir("binary-parity");
+    let store = Store::create(&dir, trained_resolver(250, 21), 4).unwrap();
+    let records_before = store.stats().records;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server =
+        std::thread::spawn(move || ServeOptions::new(store).workers(4).serve(listener).unwrap());
+
+    // Three concurrent sessions, one per connection flavor. The plain
+    // text session keeps working while binary frames flow on the others.
+    let mut text = Client::connect(addr).unwrap();
+    assert_eq!(text.protocol(), Protocol::Text);
+    let mut binary = ClientOptions::new().protocol(Protocol::Binary).connect(addr).unwrap();
+    assert_eq!(binary.protocol(), Protocol::Binary);
+    let mut negotiated = ClientOptions::new().protocol(Protocol::Negotiate).connect(addr).unwrap();
+    assert_eq!(negotiated.protocol(), Protocol::Binary, "a binary server upgrades Negotiate");
+
+    // QUERY: every transport answers the battery identically.
+    let text_answers = battery_with(&mut text);
+    let binary_answers = battery_with(&mut binary);
+    let negotiated_answers = battery_with(&mut negotiated);
+    assert_eq!(text_answers, binary_answers);
+    assert_eq!(text_answers, negotiated_answers);
+
+    // RESOLVE: identical hits, and identical typed refusals.
+    assert_eq!(
+        text.resolve("Lewi", Some(5), None).unwrap(),
+        binary.resolve("Lewi", Some(5), None).unwrap()
+    );
+    assert_eq!(
+        text.resolve("Lewi", Some(0), None).unwrap_err().server_message(),
+        binary.resolve("Lewi", Some(0), None).unwrap_err().server_message()
+    );
+
+    // BATCH_ADD: valid records interleaved with a refusal; statuses come
+    // back per record in submission order.
+    let mut records = Vec::new();
+    for i in 0..6u64 {
+        records.push(
+            yv_records::RecordBuilder::new(910_000 + i, yv_records::SourceId(0))
+                .first_name("Guido")
+                .last_name("Foa")
+                .build(),
+        );
+    }
+    records.insert(
+        3,
+        yv_records::RecordBuilder::new(910_999, yv_records::SourceId(99_999))
+            .first_name("X")
+            .build(),
+    );
+    let statuses = binary.batch_add(records).unwrap();
+    assert_eq!(statuses.len(), 7);
+    for (i, status) in statuses.iter().enumerate() {
+        if i == 3 {
+            let BatchStatus::Err(message) = status else {
+                panic!("slot 3 must be refused: {statuses:?}");
+            };
+            assert!(message.contains("unknown source"), "{message}");
+        } else {
+            assert!(matches!(status, BatchStatus::Ok { .. }), "slot {i}: {statuses:?}");
+        }
+    }
+
+    // The text session sees the batch arrivals immediately.
+    let stats = text.stats().unwrap();
+    assert_eq!(stats.records, records_before + 6);
+    assert_eq!(stats.wal_entries, 6);
+    // Batch records land under the ADD command kind; the table stays at
+    // exactly the ten protocol commands on both transports.
+    assert_eq!(stats.commands.len(), 10, "{stats:?}");
+    let add_row = stats.commands.iter().find(|c| c.name == "ADD").unwrap();
+    assert_eq!(add_row.count, 7, "six applied + one refused: {add_row:?}");
+    assert_eq!(text.stats().unwrap().records, binary.stats().unwrap().records);
+
+    // Both transports answer the post-batch battery identically too.
+    assert_eq!(battery_with(&mut text), battery_with(&mut binary));
+
+    drop(negotiated);
+    drop(binary);
+    text.shutdown().unwrap();
+    let store = server.join().unwrap();
+    assert_eq!(store.stats().records, records_before + 6);
+}
+
+/// A connection cut mid-`BATCH_ADD`-frame must leave the store exactly
+/// as the last *complete* frame left it: the torn frame applies nothing
+/// (the checksum gate never admits it), an earlier acknowledged batch on
+/// the same connection stays durable, and the store reopens cleanly from
+/// disk afterwards (group commit never leaves a WAL sequence gap).
+#[test]
+fn mid_frame_connection_drop_applies_nothing_from_the_torn_batch() {
+    let dir = fresh_dir("torn-batch");
+    let store = Store::create(&dir, trained_resolver(200, 33), 4).unwrap();
+    let records_before = store.stats().records;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server =
+        std::thread::spawn(move || ServeOptions::new(store).workers(2).serve(listener).unwrap());
+
+    let batch = |base: u64, n: u64| -> Vec<yv_records::Record> {
+        (0..n)
+            .map(|i| {
+                yv_records::RecordBuilder::new(base + i, yv_records::SourceId(0))
+                    .first_name("Sara")
+                    .last_name("Levi")
+                    .build()
+            })
+            .collect()
+    };
+
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        raw_hello(&mut raw, &mut reader);
+        // First batch: complete frame, acknowledged per record.
+        let first = RequestFrame::BatchAdd(batch(920_000, 3)).encode().unwrap();
+        raw.write_all(&first).unwrap();
+        let reply = yv_store::ResponseFrame::read(&mut reader).unwrap().unwrap();
+        let yv_store::ResponseFrame::Batch(statuses) = reply else {
+            panic!("expected batch statuses, got {reply:?}");
+        };
+        assert_eq!(statuses.len(), 3);
+        assert!(statuses.iter().all(|s| matches!(s, BatchStatus::Ok { .. })), "{statuses:?}");
+        // Second batch: cut inside the payload, then drop the socket.
+        let second = RequestFrame::BatchAdd(batch(920_100, 5)).encode().unwrap();
+        raw.write_all(&second[..second.len() / 2]).unwrap();
+        raw.flush().unwrap();
+        // Connection drops here (FIN mid-frame).
+    }
+
+    // The server is still alive and serves the truth: the acknowledged
+    // batch persists, the torn one contributed nothing.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.records, records_before + 3, "{stats:?}");
+    assert_eq!(stats.wal_entries, 3, "{stats:?}");
+    client.shutdown().unwrap();
+    let store = server.join().unwrap();
+    assert_eq!(store.stats().records, records_before + 3);
+    drop(store);
+
+    // The WALs merged cleanly — reopening must not report a gap.
+    let reopened = Store::open(&dir).unwrap();
+    assert_eq!(reopened.stats().records, records_before + 3);
+}
+
+/// Group commit is still write-ahead: a batch applied through
+/// [`Store::add_records`] survives a kill (no snapshot) byte-for-byte —
+/// the replayed store answers queries identically, because replay
+/// applies the same shard-grouped arrival order the batch committed in.
+#[test]
+fn group_committed_batches_replay_after_a_kill() {
+    let dir = fresh_dir("batch-kill-replay");
+    let store = Store::create(&dir, trained_resolver(150, 55), 3).unwrap();
+    let records_before = store.stats().records;
+    let records: Vec<_> = (0..10u64)
+        .map(|i| {
+            yv_records::RecordBuilder::new(930_000 + i, yv_records::SourceId(0))
+                .first_name("Guido")
+                .last_name("Foa")
+                .build()
+        })
+        .collect();
+    let outcomes = store.add_records(records);
+    assert_eq!(outcomes.len(), 10);
+    assert!(outcomes.iter().all(Result::is_ok), "{outcomes:?}");
+    let query = PersonQuery { first_name: Some("Guido".into()), ..PersonQuery::default() };
+    let before = store.query(&query);
+    assert_eq!(store.stats().records, records_before + 10);
+    assert_eq!(store.stats().wal_entries, 10);
+
+    // "Kill": drop without snapshotting; the group-committed WAL frames
+    // are the only trace of the batch.
+    drop(store);
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.stats().records, records_before + 10);
+    assert_eq!(store.stats().wal_entries, 10, "the batch came back via replay");
     assert_eq!(store.query(&query), before, "replayed store answers identically");
 }
 
